@@ -1,0 +1,54 @@
+//! Figure 2 as a bench: address-map throughput and block-read message
+//! counts per storage format, plus layout conversion (footnote 3).
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cholcomm_core::figures::{figure2, sweep_block_reads};
+use cholcomm_core::layout::convert::convert_counted;
+use cholcomm_core::layout::{Blocked, ColMajor, Laid, Morton, PackedLower, RecursivePacked};
+use cholcomm_core::matrix::spd;
+use std::hint::black_box;
+
+fn bench_layouts(c: &mut Criterion) {
+    println!("{}", figure2(256, 16));
+    let n = 256;
+    let b = 16;
+    let mut g = c.benchmark_group("layout_block_sweep");
+    g.sample_size(10);
+    g.bench_function("colmajor", |bch| {
+        let l = ColMajor::square(n);
+        bch.iter(|| black_box(sweep_block_reads(&l, n, b)))
+    });
+    g.bench_function("blocked", |bch| {
+        let l = Blocked::square(n, b);
+        bch.iter(|| black_box(sweep_block_reads(&l, n, b)))
+    });
+    g.bench_function("morton", |bch| {
+        let l = Morton::square(n);
+        bch.iter(|| black_box(sweep_block_reads(&l, n, b)))
+    });
+    g.bench_function("packed", |bch| {
+        let l = PackedLower::new(n);
+        bch.iter(|| black_box(sweep_block_reads(&l, n, b)))
+    });
+    g.bench_function("recursive_packed", |bch| {
+        let l = RecursivePacked::new(n);
+        bch.iter(|| black_box(sweep_block_reads(&l, n, b)))
+    });
+    g.finish();
+
+    let mut rng = spd::test_rng(11);
+    let a = spd::random_spd(n, &mut rng);
+    let src = Laid::from_matrix(&a, ColMajor::square(n));
+    let mut g2 = c.benchmark_group("layout_convert");
+    g2.sample_size(10);
+    g2.bench_function("colmajor_to_blocked", |bch| {
+        bch.iter(|| black_box(convert_counted(&src, Blocked::square(n, b), 1024)))
+    });
+    g2.bench_function("colmajor_to_morton", |bch| {
+        bch.iter(|| black_box(convert_counted(&src, Morton::square(n), 1024)))
+    });
+    g2.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

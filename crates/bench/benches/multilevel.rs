@@ -1,0 +1,40 @@
+//! Criterion bench of the stack-distance hierarchy simulator, plus the
+//! regenerated Corollary 3.2 table.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cholcomm_core::multilevel::{render_multilevel, run_multilevel};
+use cholcomm_core::matrix::spd;
+use cholcomm_core::seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use std::hint::black_box;
+
+fn bench_multilevel(c: &mut Criterion) {
+    let caps = vec![48usize, 96, 512];
+    let rows = run_multilevel(64, &caps, 7);
+    println!("{}", render_multilevel(64, &caps, &rows));
+
+    let n = 64;
+    let mut rng = spd::test_rng(8);
+    let a = spd::random_spd(n, &mut rng);
+    let mut g = c.benchmark_group("hierarchy_sim");
+    g.sample_size(10);
+    for levels in [1usize, 2, 4] {
+        let capacities: Vec<usize> = (0..levels).map(|i| 48 << (2 * i)).collect();
+        let model = ModelKind::Hierarchy { capacities };
+        g.bench_function(format!("ap00_{levels}_levels"), |bch| {
+            bch.iter(|| {
+                let rep = run_algorithm(
+                    Algorithm::Ap00 { leaf: 4 },
+                    black_box(&a),
+                    LayoutKind::Morton,
+                    &model,
+                )
+                .unwrap();
+                black_box(rep.levels.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multilevel);
+criterion_main!(benches);

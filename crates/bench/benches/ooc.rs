@@ -1,0 +1,60 @@
+//! Real out-of-core factorization bench: wall-clock and real I/O of the
+//! file-backed blocked Cholesky across cache capacities, plus an
+//! in-memory baseline.
+
+use cholcomm_core::matrix::{kernels, spd};
+use cholcomm_core::ooc::{ooc_potrf, FileMatrix};
+use cholcomm_core::report::TextTable;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ooc(c: &mut Criterion) {
+    let n = 128;
+    let b = 16;
+    let mut rng = spd::test_rng(17);
+    let a = spd::random_spd(n, &mut rng);
+
+    // Print the real-I/O table once.
+    let mut t = TextTable::new(
+        &format!("Out-of-core real I/O (n = {n}, b = {b})"),
+        &["cache tiles", "bytes read", "bytes written", "seeks"],
+    );
+    for cap in [3usize, 8, 32, 256] {
+        let path = cholcomm_core::ooc::filemat::scratch_path(&format!("bench{cap}"));
+        let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+        ooc_potrf(&mut fm, cap).unwrap();
+        let s = fm.stats();
+        t.row(vec![
+            cap.to_string(),
+            s.bytes_read.to_string(),
+            s.bytes_written.to_string(),
+            s.seeks.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut g = c.benchmark_group(format!("ooc_n{n}"));
+    g.sample_size(10);
+    g.bench_function("in_memory_potf2", |bch| {
+        bch.iter(|| {
+            let mut f = a.clone();
+            kernels::potf2(&mut f).unwrap();
+            black_box(f)
+        })
+    });
+    for cap in [3usize, 32] {
+        g.bench_function(format!("ooc_cache{cap}"), |bch| {
+            bch.iter(|| {
+                let path =
+                    cholcomm_core::ooc::filemat::scratch_path(&format!("iter{cap}"));
+                let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+                ooc_potrf(&mut fm, cap).unwrap();
+                black_box(fm.stats())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ooc);
+criterion_main!(benches);

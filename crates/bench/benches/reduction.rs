@@ -1,0 +1,41 @@
+//! Criterion bench of Algorithm 1 (matrix multiplication by Cholesky)
+//! vs a direct multiplication, plus the regenerated Theorem 1 table.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cholcomm_core::matrix::kernels;
+use cholcomm_core::theorem1::{random_inputs, render_reduction, run_reduction};
+use cholcomm_core::seq::zoo::{run_alg, Algorithm};
+use cholcomm_core::layout::ColMajor;
+use cholcomm_core::cachesim::NullTracer;
+use cholcomm_core::starred::{build_t_prime, extract_product};
+use std::hint::black_box;
+
+fn bench_reduction(c: &mut Criterion) {
+    let rows = run_reduction(24, 192, 5);
+    println!("{}", render_reduction(24, 192, &rows));
+
+    let n = 24;
+    let (a, b) = random_inputs(n, 6);
+    let mut g = c.benchmark_group("theorem1");
+    g.sample_size(10);
+    g.bench_function("matmul_via_cholesky", |bch| {
+        bch.iter(|| {
+            let t = build_t_prime(black_box(&a), black_box(&b));
+            let f = run_alg(
+                Algorithm::Ap00 { leaf: 4 },
+                &t,
+                ColMajor::square(3 * n),
+                &mut NullTracer,
+            )
+            .unwrap();
+            black_box(extract_product(&f, n).unwrap())
+        })
+    });
+    g.bench_function("matmul_direct", |bch| {
+        bch.iter(|| black_box(kernels::matmul(black_box(&a), black_box(&b))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

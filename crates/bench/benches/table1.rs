@@ -1,0 +1,46 @@
+//! Criterion bench over the Table 1 simulator runs: how expensive is it
+//! to *measure* each algorithm's communication, and (printed first) the
+//! regenerated table itself.
+
+use criterion::{Criterion, criterion_group, criterion_main};
+use cholcomm_core::matrix::spd;
+use cholcomm_core::seq::zoo::{all_algorithms, run_algorithm, Algorithm, LayoutKind, ModelKind};
+use cholcomm_core::table1::{render_table1, table1_at};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, so `cargo bench` reproduces the
+    // paper artifact as a side effect.
+    let (cfg, rows) = table1_at(64, 192, 1);
+    println!("{}", render_table1(cfg, &rows));
+
+    let n = 64;
+    let m = 192;
+    let mut rng = spd::test_rng(2);
+    let a = spd::random_spd(n, &mut rng);
+    let mut g = c.benchmark_group("table1_sim");
+    g.sample_size(10);
+    for alg in all_algorithms(m) {
+        let (layout, model) = match alg {
+            Algorithm::NaiveLeft | Algorithm::NaiveRight => (
+                LayoutKind::ColMajor,
+                ModelKind::Counting { message_cap: Some(m) },
+            ),
+            Algorithm::LapackBlocked { .. } => (
+                LayoutKind::Blocked(8),
+                ModelKind::Counting { message_cap: Some(m) },
+            ),
+            _ => (LayoutKind::Morton, ModelKind::Lru { m }),
+        };
+        g.bench_function(alg.name(), |bch| {
+            bch.iter(|| {
+                let rep = run_algorithm(alg, black_box(&a), layout, &model).unwrap();
+                black_box(rep.levels[0].words)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Crossover analysis: price every algorithm/layout pair under several
+//! machine models (DRAM, NVMe, disk, network alpha/beta points) and
+//! report where the latency-optimal combinations start to win.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin crossover
+//! ```
+
+use cholcomm_core::crossover::{measure_contenders, render_crossover};
+
+fn main() {
+    for (n, m) in [(64usize, 192usize), (128, 768)] {
+        let cs = measure_contenders(n, m, 8000 + n as u64);
+        println!("{}", render_crossover(n, m, &cs));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate **Figure 1**: the dependency sets `S_ij` and DAG statistics.
+
+use cholcomm_core::figures::figure1;
+
+fn main() {
+    for n in [6usize, 16, 64] {
+        println!("{}", figure1(n));
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerate **Figure 2**: the storage formats, as the message cost of
+//! block and column reads under each format.
+
+use cholcomm_core::figures::figure2;
+
+fn main() {
+    println!("{}", figure2(64, 8));
+    println!("{}", figure2(256, 16));
+    println!("column-major class: block reads cost b messages; block-contiguous: 1.");
+}

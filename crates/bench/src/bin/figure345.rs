@@ -1,0 +1,11 @@
+//! Regenerate **Figures 3-5**: the algorithm families' traffic on one
+//! (n, M) point.
+
+use cholcomm_core::figures::{figure345, figure3_profile, figure45_structure};
+
+fn main() {
+    println!("{}", figure345(64, 192, 4000));
+    println!("{}", figure345(128, 768, 4001));
+    println!("{}", figure3_profile(64));
+    println!("{}", figure45_structure(16, 2));
+}

@@ -1,0 +1,9 @@
+//! Regenerate **Figure 6**: the block-cyclic distribution map (the
+//! paper's own example: n = 24, b = 4, P = 9).
+
+use cholcomm_core::figures::figure6;
+
+fn main() {
+    println!("{}", figure6(24, 4, 9));
+    println!("{}", figure6(32, 4, 16));
+}

@@ -1,0 +1,63 @@
+//! Exact closed-form check for the naïve algorithms (Sections
+//! 3.1.4–3.1.5): measured words and messages must equal the paper's
+//! polynomials to the last word.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin naive_exact
+//! ```
+
+use cholcomm_core::cachesim::{CountingTracer, Tracer};
+use cholcomm_core::layout::{ColMajor, Laid};
+use cholcomm_core::matrix::spd;
+use cholcomm_core::report::TextTable;
+use cholcomm_core::seq::naive;
+
+fn main() {
+    let mut t = TextTable::new(
+        "Naive algorithms vs the paper's closed forms (exact)",
+        &[
+            "n",
+            "LL words",
+            "n^3/6+n^2+5n/6",
+            "LL msgs",
+            "n^2/2+3n/2",
+            "RL words",
+            "n^3/3+n^2+2n/3",
+            "RL msgs",
+            "n^2+n",
+        ],
+    );
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let mut rng = spd::test_rng(n as u64);
+        let a = spd::random_spd(n, &mut rng);
+
+        let mut l = Laid::from_matrix(&a, ColMajor::square(n));
+        let mut tr = CountingTracer::uncapped();
+        naive::left_looking(&mut l, &mut tr).unwrap();
+        let ll = tr.stats();
+
+        let mut r = Laid::from_matrix(&a, ColMajor::square(n));
+        let mut tr2 = CountingTracer::uncapped();
+        naive::right_looking(&mut r, &mut tr2).unwrap();
+        let rl = tr2.stats();
+
+        let nn = n as u64;
+        assert_eq!(ll.words, naive::left_looking_words(nn));
+        assert_eq!(ll.messages, naive::left_looking_messages(nn));
+        assert_eq!(rl.words, naive::right_looking_words(nn));
+        assert_eq!(rl.messages, naive::right_looking_messages(nn));
+        t.row(vec![
+            n.to_string(),
+            ll.words.to_string(),
+            naive::left_looking_words(nn).to_string(),
+            ll.messages.to_string(),
+            naive::left_looking_messages(nn).to_string(),
+            rl.words.to_string(),
+            naive::right_looking_words(nn).to_string(),
+            rl.messages.to_string(),
+            naive::right_looking_messages(nn).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("every measured count equals the paper's polynomial exactly.");
+}

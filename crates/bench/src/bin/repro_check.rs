@@ -1,0 +1,19 @@
+//! One-command reproduction self-check: runs every executable criterion
+//! of EXPERIMENTS.md and exits non-zero if any claim fails to reproduce.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin repro_check
+//! ```
+
+use cholcomm_core::verify::run_all;
+
+fn main() {
+    let report = run_all();
+    println!("{}", report.render());
+    if report.all_passed() {
+        println!("all reproduction criteria PASS");
+    } else {
+        println!("SOME REPRODUCTION CRITERIA FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerate the Section 3.1.2 stability study: backward error of every
+//! summation order (= every algorithm) across condition numbers.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin stability
+//! ```
+
+use cholcomm_core::stability::{render_stability, run_stability};
+
+fn main() {
+    for n in [32usize, 128] {
+        let rows = run_stability(n, &[1e2, 1e6, 1e10], 9000 + n as u64);
+        println!("{}", render_stability(n, &rows));
+    }
+}

@@ -1,0 +1,44 @@
+//! The **Theorem 1 / Algorithm 1** experiment: matrix multiplication via
+//! Cholesky over the starred semiring, through every algorithm in the
+//! zoo, with the bandwidth-constant check.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin theorem1
+//! ```
+
+use cholcomm_core::report::TextTable;
+use cholcomm_core::starred::analyze_reduction;
+use cholcomm_core::theorem1::{render_reduction, run_reduction};
+
+fn main() {
+    for (n, m) in [(16usize, 96usize), (32, 96), (32, 384)] {
+        let rows = run_reduction(n, m, 3000 + n as u64);
+        println!("{}", render_reduction(n, m, &rows));
+    }
+
+    // The symbolic Alg' (the paper's third construction): propagate
+    // 0*/1* through the DAG, eliminate dead/starred operations, and
+    // count what survives.
+    let mut t = TextTable::new(
+        "Symbolic Alg': flops of Cholesky(T') after starred + DAG elimination",
+        &["n", "full (9n^3)", "after simplification", "after DAG pruning", "2n^3 (matmul)"],
+    );
+    for n in [8usize, 16, 32, 64] {
+        let rep = analyze_reduction(n);
+        t.row(vec![
+            n.to_string(),
+            rep.full_flops.to_string(),
+            rep.after_simplification.to_string(),
+            rep.after_reachability.to_string(),
+            rep.matmul_flops.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("the surviving operation set IS a classical matrix multiplication");
+    println!("(2n^3 + O(n^2) flops) — 'Alg' performs a strict subset of the");
+    println!("arithmetic and memory operations of the original Cholesky algorithm'.");
+    println!("Reading guide:");
+    println!("  max |err| ~ 1e-12: Lemma 2.2 holds — no starred value contaminates A*B;");
+    println!("  ratio = chol_words(3n) / matmul_words(n) stays a bounded constant across n,");
+    println!("  which is exactly the reduction that transfers the matmul lower bound.");
+}

@@ -1,0 +1,1 @@
+//! Benchmark harness for the cholcomm workspace: table/figure regeneration binaries (src/bin) and criterion benches (benches/).

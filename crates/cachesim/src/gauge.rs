@@ -1,0 +1,92 @@
+//! Fast-memory occupancy gauge.
+//!
+//! The explicit algorithms (naïve, LAPACK blocked, ScaLAPACK's local
+//! steps) are only valid if their declared working set actually fits in
+//! the fast memory — e.g. Algorithm 4 requires `3 b^2 <= M`.  The gauge
+//! lets an algorithm account for what it holds and asserts the capacity
+//! invariant, so a mis-parameterized schedule fails loudly instead of
+//! silently reporting impossible communication counts.
+
+/// Tracks claimed fast-memory words against a capacity.
+#[derive(Debug, Clone)]
+pub struct FastMemGauge {
+    capacity: usize,
+    current: usize,
+    peak: usize,
+}
+
+impl FastMemGauge {
+    /// A gauge over `m` words of fast memory.
+    pub fn new(m: usize) -> Self {
+        FastMemGauge {
+            capacity: m,
+            current: 0,
+            peak: 0,
+        }
+    }
+
+    /// Claim `words` of fast memory.  Panics if the capacity would be
+    /// exceeded — the schedule is invalid for this `M`.
+    pub fn claim(&mut self, words: usize) {
+        self.current += words;
+        assert!(
+            self.current <= self.capacity,
+            "fast memory overflow: {} words claimed, capacity {}",
+            self.current,
+            self.capacity
+        );
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Release `words` previously claimed.
+    pub fn release(&mut self, words: usize) {
+        assert!(words <= self.current, "releasing more than claimed");
+        self.current -= words;
+    }
+
+    /// Currently claimed words.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let mut g = FastMemGauge::new(10);
+        g.claim(4);
+        g.claim(5);
+        g.release(3);
+        g.claim(2);
+        assert_eq!(g.current(), 8);
+        assert_eq!(g.peak(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast memory overflow")]
+    fn overflow_panics() {
+        let mut g = FastMemGauge::new(4);
+        g.claim(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more than claimed")]
+    fn over_release_panics() {
+        let mut g = FastMemGauge::new(4);
+        g.claim(2);
+        g.release(3);
+    }
+}

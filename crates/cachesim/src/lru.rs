@@ -1,0 +1,403 @@
+//! The ideal-cache (LRU) model for cache-oblivious algorithms.
+//!
+//! A word-granularity fully-associative LRU of capacity `M` (the paper's
+//! `B = 1` convention).  Words moved = cache misses (+ dirty write-backs);
+//! messages are formed by coalescing misses to consecutive addresses, up
+//! to `M` words per message — a maximal contiguous bundle, exactly the
+//! paper's message notion.
+
+use crate::coalesce::{Coalescer, DEFAULT_STREAMS};
+use crate::stats::TransferStats;
+use crate::tracer::{Access, Tracer};
+use cholcomm_layout::Run;
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    addr: usize,
+    prev: usize,
+    next: usize,
+    dirty: bool,
+}
+
+/// Word-granularity LRU cache simulator with miss-run message coalescing.
+///
+/// ```
+/// use cholcomm_cachesim::{Access, LruTracer, Tracer};
+///
+/// let mut t = LruTracer::new(8);
+/// t.touch_runs(&[0..4], Access::Read);
+/// t.touch_runs(&[0..4], Access::Read); // hits
+/// assert_eq!(t.fetch_stats().words, 4);
+/// assert_eq!(t.fetch_stats().messages, 1);
+/// ```
+#[derive(Debug)]
+pub struct LruTracer {
+    capacity: usize,
+    map: HashMap<usize, usize>,
+    slots: Vec<Slot>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    stats: TransferStats,
+    wb_stats: TransferStats,
+    count_writebacks: bool,
+    fetch_coalescer: Coalescer,
+    wb_coalescer: Coalescer,
+}
+
+impl LruTracer {
+    /// LRU tracer with fast-memory capacity `m` words; dirty evictions are
+    /// charged as write traffic.
+    pub fn new(m: usize) -> Self {
+        Self::with_writebacks(m, true)
+    }
+
+    /// LRU tracer counting only fetch misses when `count_writebacks` is
+    /// false.
+    pub fn with_writebacks(m: usize, count_writebacks: bool) -> Self {
+        Self::with_streams(m, count_writebacks, DEFAULT_STREAMS)
+    }
+
+    /// Full-control constructor: `streams` concurrent message-coalescing
+    /// streams (see [`Coalescer`]); `0` disables coalescing entirely.
+    pub fn with_streams(m: usize, count_writebacks: bool, streams: usize) -> Self {
+        assert!(m > 0, "cache capacity must be positive");
+        LruTracer {
+            capacity: m,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            stats: TransferStats::default(),
+            wb_stats: TransferStats::default(),
+            count_writebacks,
+            fetch_coalescer: Coalescer::new(m, streams),
+            wb_coalescer: Coalescer::new(m, streams),
+        }
+    }
+
+    /// Fast-memory capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetch-only traffic (slow → fast).
+    pub fn fetch_stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    /// Write-back traffic (fast → slow), populated when write-back
+    /// counting is enabled and after [`flush`](Self::flush).
+    pub fn writeback_stats(&self) -> TransferStats {
+        self.wb_stats
+    }
+
+    fn detach(&mut self, s: usize) {
+        let Slot { prev, next, .. } = self.slots[s];
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, s: usize) {
+        self.slots[s].prev = NIL;
+        self.slots[s].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+    }
+
+    fn charge_writeback(&mut self, addr: usize) {
+        self.wb_stats.words += 1;
+        if self.wb_coalescer.on_miss(addr) {
+            self.wb_stats.messages += 1;
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let s = self.tail;
+        debug_assert_ne!(s, NIL);
+        let Slot { addr, dirty, .. } = self.slots[s];
+        self.detach(s);
+        self.map.remove(&addr);
+        self.free.push(s);
+        if dirty && self.count_writebacks {
+            self.charge_writeback(addr);
+        }
+    }
+
+    fn access(&mut self, addr: usize, mode: Access) {
+        if let Some(&s) = self.map.get(&addr) {
+            // Hit: refresh recency, maybe dirty.
+            self.detach(s);
+            self.push_front(s);
+            if matches!(mode, Access::Write) {
+                self.slots[s].dirty = true;
+            }
+            return;
+        }
+        // Miss: one word of fetch traffic, coalesced into a message.
+        self.stats.words += 1;
+        if self.fetch_coalescer.on_miss(addr) {
+            self.stats.messages += 1;
+        }
+
+        if self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s] = Slot {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: matches!(mode, Access::Write),
+                };
+                s
+            }
+            None => {
+                self.slots.push(Slot {
+                    addr,
+                    prev: NIL,
+                    next: NIL,
+                    dirty: matches!(mode, Access::Write),
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(addr, s);
+        self.push_front(s);
+    }
+
+    /// Evict everything, charging write-backs for dirty words — call at
+    /// the end of an algorithm so the written output is fully accounted.
+    pub fn flush(&mut self) {
+        // Evict in address order so the flush coalesces like a real
+        // streaming write-out of the result.
+        let mut dirty_addrs: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|&(_, &s)| self.slots[s].dirty)
+            .map(|(&a, _)| a)
+            .collect();
+        dirty_addrs.sort_unstable();
+        if self.count_writebacks {
+            for a in dirty_addrs {
+                self.charge_writeback(a);
+            }
+        }
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Total traffic including write-backs.
+    pub fn total_stats(&self) -> TransferStats {
+        self.stats + self.wb_stats
+    }
+}
+
+impl Tracer for LruTracer {
+    fn touch_runs(&mut self, runs: &[Run], mode: Access) {
+        for r in runs {
+            for addr in r.clone() {
+                self.access(addr, mode);
+            }
+        }
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.total_stats()
+    }
+
+    fn reset(&mut self) {
+        let cw = self.count_writebacks;
+        *self = LruTracer::with_writebacks(self.capacity, cw);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::touch;
+    use cholcomm_layout::{cells_col_segment, ColMajor, Layout};
+
+    fn read_addrs(t: &mut LruTracer, addrs: &[usize]) {
+        for &a in addrs {
+            t.touch_runs(&[a..a + 1], Access::Read);
+        }
+    }
+
+    #[test]
+    fn hits_are_free() {
+        let mut t = LruTracer::new(4);
+        read_addrs(&mut t, &[0, 1, 0, 1, 0, 1]);
+        assert_eq!(t.fetch_stats().words, 2);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_order() {
+        let mut t = LruTracer::new(2);
+        read_addrs(&mut t, &[0, 1, 2]); // evicts 0
+        read_addrs(&mut t, &[1]); // hit
+        assert_eq!(t.fetch_stats().words, 3);
+        read_addrs(&mut t, &[0]); // miss again
+        assert_eq!(t.fetch_stats().words, 4);
+    }
+
+    #[test]
+    fn contiguous_misses_coalesce_into_one_message() {
+        let mut t = LruTracer::new(64);
+        t.touch_runs(&[0..32], Access::Read);
+        let s = t.fetch_stats();
+        assert_eq!(s.words, 32);
+        assert_eq!(s.messages, 1);
+    }
+
+    #[test]
+    fn messages_capped_at_capacity() {
+        let mut t = LruTracer::new(8);
+        t.touch_runs(&[0..8], Access::Read);
+        // Working set == capacity: second chunk evicts as it goes, but the
+        // stream of misses is contiguous so it extends in capped chunks.
+        t.touch_runs(&[8..16], Access::Read);
+        let s = t.fetch_stats();
+        assert_eq!(s.words, 16);
+        assert_eq!(s.messages, 2, "16 contiguous miss-words at cap 8");
+    }
+
+    #[test]
+    fn gap_breaks_message() {
+        let mut t = LruTracer::new(64);
+        t.touch_runs(&[0..4], Access::Read);
+        t.touch_runs(&[10..14], Access::Read);
+        assert_eq!(t.fetch_stats().messages, 2);
+    }
+
+    #[test]
+    fn writebacks_counted_on_dirty_eviction_and_flush() {
+        let mut t = LruTracer::new(2);
+        t.touch_runs(&[0..1], Access::Write);
+        t.touch_runs(&[1..2], Access::Write);
+        t.touch_runs(&[2..3], Access::Read); // evicts dirty 0
+        assert_eq!(t.writeback_stats().words, 1);
+        t.flush();
+        assert_eq!(t.writeback_stats().words, 2, "dirty 1 flushed; clean 2 not");
+    }
+
+    #[test]
+    fn repeated_scan_larger_than_cache_always_misses() {
+        // Classic LRU pathology: scanning N > M words repeatedly never
+        // hits.  This is what makes the naive algorithms Θ(n^3).
+        let mut t = LruTracer::new(8);
+        for _ in 0..3 {
+            t.touch_runs(&[0..16], Access::Read);
+        }
+        assert_eq!(t.fetch_stats().words, 48);
+    }
+
+    #[test]
+    fn working_set_within_cache_is_read_once() {
+        let l = ColMajor::square(8);
+        let mut t = LruTracer::new(128);
+        for _ in 0..5 {
+            for j in 0..8 {
+                touch(&mut t, &l, cells_col_segment(j, 0, 8), Access::Read);
+            }
+        }
+        assert_eq!(t.fetch_stats().words, 64, "whole matrix fits: one load");
+        assert_eq!(t.fetch_stats().messages, 1, "one contiguous scan");
+        assert_eq!(l.len(), 64);
+    }
+
+    #[test]
+    fn reset_restores_cold_cache() {
+        let mut t = LruTracer::new(4);
+        t.touch_runs(&[0..4], Access::Read);
+        t.reset();
+        assert_eq!(t.stats(), TransferStats::default());
+        t.touch_runs(&[0..1], Access::Read);
+        assert_eq!(t.fetch_stats().words, 1, "cold again after reset");
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! Model-based testing: the arena-linked-list LRU must agree, access
+    //! for access, with a brutally simple reference implementation.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference LRU: O(capacity) per access, obviously correct.
+    struct RefLru {
+        cap: usize,
+        order: Vec<usize>, // most recent first
+        misses: u64,
+    }
+
+    impl RefLru {
+        fn new(cap: usize) -> Self {
+            RefLru { cap, order: Vec::new(), misses: 0 }
+        }
+        fn access(&mut self, addr: usize) {
+            if let Some(pos) = self.order.iter().position(|&a| a == addr) {
+                self.order.remove(pos);
+            } else {
+                self.misses += 1;
+                if self.order.len() >= self.cap {
+                    self.order.pop();
+                }
+            }
+            self.order.insert(0, addr);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn fast_lru_agrees_with_reference(
+            trace in proptest::collection::vec(0usize..48, 1..600),
+            cap in 1usize..24,
+        ) {
+            let mut fast = LruTracer::with_writebacks(cap, false);
+            let mut slow = RefLru::new(cap);
+            for &a in &trace {
+                fast.touch_runs(&[a..a + 1], Access::Read);
+                slow.access(a);
+            }
+            prop_assert_eq!(fast.fetch_stats().words, slow.misses);
+        }
+
+        #[test]
+        fn write_then_read_marks_exactly_dirty_words(
+            writes in proptest::collection::vec(0usize..32, 1..50),
+        ) {
+            // Every written word must come back out at flush exactly once.
+            let mut t = LruTracer::new(1024); // nothing evicted early
+            let mut distinct: std::collections::HashSet<usize> = Default::default();
+            for &a in &writes {
+                t.touch_runs(&[a..a + 1], Access::Write);
+                distinct.insert(a);
+            }
+            t.flush();
+            prop_assert_eq!(t.writeback_stats().words, distinct.len() as u64);
+        }
+    }
+}

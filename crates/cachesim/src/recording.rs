@@ -1,0 +1,112 @@
+//! A tracer that records the raw transfer schedule, for replay and
+//! golden-trace testing.
+//!
+//! Two uses in this workspace:
+//!
+//! * **determinism** — an algorithm's touch schedule must be a pure
+//!   function of `(n, parameters)`, never of the data: run twice on
+//!   different matrices, compare traces;
+//! * **replay** — a recorded schedule can be re-priced under any other
+//!   tracer (e.g. record once, then evaluate several cache sizes without
+//!   re-running the algorithm's arithmetic).
+
+use crate::stats::TransferStats;
+use crate::tracer::{Access, Tracer};
+use cholcomm_layout::Run;
+
+/// Records every touch; also keeps plain counters for convenience.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingTracer {
+    events: Vec<(Access, Vec<Run>)>,
+    stats: TransferStats,
+}
+
+impl RecordingTracer {
+    /// Empty recording.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[(Access, Vec<Run>)] {
+        &self.events
+    }
+
+    /// Total touched words (every touch charged, like a
+    /// [`crate::CountingTracer`] with no cap).
+    pub fn touched_words(&self) -> u64 {
+        self.stats.words
+    }
+
+    /// Replay the recorded schedule into another tracer.
+    pub fn replay(&self, into: &mut impl Tracer) {
+        for (mode, runs) in &self.events {
+            into.touch_runs(runs, *mode);
+        }
+    }
+
+    /// `true` when two recordings describe the identical schedule.
+    pub fn same_schedule(&self, other: &Self) -> bool {
+        self.events.len() == other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(&other.events)
+                .all(|((m1, r1), (m2, r2))| m1 == m2 && r1 == r2)
+    }
+}
+
+impl Tracer for RecordingTracer {
+    fn touch_runs(&mut self, runs: &[Run], mode: Access) {
+        for r in runs {
+            self.stats.words += r.len() as u64;
+        }
+        self.stats.messages += runs.len() as u64;
+        self.events.push((mode, runs.to_vec()));
+    }
+
+    fn stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingTracer;
+    use crate::lru::LruTracer;
+
+    #[test]
+    fn records_and_replays_identically() {
+        let mut rec = RecordingTracer::new();
+        rec.touch_runs(&[0..8], Access::Read);
+        rec.touch_runs(&[8..12, 20..24], Access::Write);
+
+        let mut counting = CountingTracer::uncapped();
+        rec.replay(&mut counting);
+        assert_eq!(counting.stats().words, 16);
+        assert_eq!(counting.stats().messages, 3);
+
+        // Replaying into an LRU prices the same schedule differently.
+        let mut lru = LruTracer::with_writebacks(64, false);
+        rec.replay(&mut lru);
+        assert_eq!(lru.fetch_stats().words, 16, "all cold");
+        rec.replay(&mut lru);
+        assert_eq!(lru.fetch_stats().words, 16, "second pass all hits");
+    }
+
+    #[test]
+    fn schedule_equality() {
+        let mut a = RecordingTracer::new();
+        a.touch_runs(&[0..4], Access::Read);
+        let mut b = RecordingTracer::new();
+        b.touch_runs(&[0..4], Access::Read);
+        assert!(a.same_schedule(&b));
+        b.touch_runs(&[4..5], Access::Write);
+        assert!(!a.same_schedule(&b));
+    }
+}

@@ -1,0 +1,288 @@
+//! LRU stack-distance simulation (Bentley–Olken): one pass over the access
+//! trace yields the miss traffic of *every* cache capacity simultaneously.
+//!
+//! This is the engine behind the multi-level hierarchy experiments
+//! (Section 3.2 / Corollary 3.2): for an inclusive LRU hierarchy with
+//! capacities `M_1 <= M_2 <= ... <= M_{d-1}`, the words moved between
+//! levels `i` and `i+1` are exactly the accesses whose LRU stack distance
+//! exceeds `M_i` (plus cold misses) — the classic inclusion ("stack")
+//! property of LRU.
+
+use crate::coalesce::{Coalescer, DEFAULT_STREAMS};
+use crate::stats::TransferStats;
+use crate::tracer::{Access, Tracer};
+use cholcomm_layout::Run;
+use std::collections::HashMap;
+
+/// Fenwick tree over access times; a 1 marks the *most recent* access time
+/// of some address.
+#[derive(Debug, Default)]
+struct Fenwick {
+    tree: Vec<u32>,
+    active: Vec<bool>,
+}
+
+impl Fenwick {
+    fn ensure(&mut self, n: usize) {
+        if n < self.tree.len() {
+            return;
+        }
+        let newcap = (n + 1).next_power_of_two().max(1024);
+        let mut tree = vec![0u32; newcap];
+        let mut active = vec![false; newcap];
+        active[..self.active.len()].copy_from_slice(&self.active);
+        for (i, &a) in active.iter().enumerate() {
+            if a {
+                let mut k = i + 1;
+                while k <= newcap {
+                    tree[k - 1] += 1;
+                    k += k & k.wrapping_neg();
+                }
+            }
+        }
+        self.tree = tree;
+        self.active = active;
+    }
+
+    fn set(&mut self, i: usize, on: bool) {
+        self.ensure(i + 1);
+        if self.active[i] == on {
+            return;
+        }
+        self.active[i] = on;
+        let delta: i64 = if on { 1 } else { -1 };
+        let mut k = i + 1;
+        while k <= self.tree.len() {
+            self.tree[k - 1] = (self.tree[k - 1] as i64 + delta) as u32;
+            k += k & k.wrapping_neg();
+        }
+    }
+
+    /// Count of active positions in `[0, i]`.
+    fn prefix(&self, i: usize) -> u64 {
+        let mut k = (i + 1).min(self.tree.len());
+        let mut s = 0u64;
+        while k > 0 {
+            s += u64::from(self.tree[k - 1]);
+            k -= k & k.wrapping_neg();
+        }
+        s
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Level {
+    capacity: usize,
+    stats: TransferStats,
+    coalescer: Coalescer,
+}
+
+/// One-pass multi-capacity LRU simulator.
+///
+/// Construct with the hierarchy's capacities (ascending); after feeding
+/// the trace, [`level_stats`](Self::level_stats) reports the traffic
+/// between each level `i` and the next.
+#[derive(Debug)]
+pub struct StackDistanceTracer {
+    time: usize,
+    last_access: HashMap<usize, usize>,
+    fen: Fenwick,
+    levels: Vec<Level>,
+    cold_misses: u64,
+    accesses: u64,
+}
+
+impl StackDistanceTracer {
+    /// Simulator for the given ascending cache capacities.
+    pub fn new(capacities: &[usize]) -> Self {
+        assert!(!capacities.is_empty(), "need at least one capacity");
+        assert!(
+            capacities.windows(2).all(|w| w[0] <= w[1]),
+            "capacities must be ascending"
+        );
+        assert!(capacities[0] > 0);
+        StackDistanceTracer {
+            time: 0,
+            last_access: HashMap::new(),
+            fen: Fenwick::default(),
+            levels: capacities
+                .iter()
+                .map(|&c| Level {
+                    capacity: c,
+                    stats: TransferStats::default(),
+                    coalescer: Coalescer::new(c, DEFAULT_STREAMS),
+                })
+                .collect(),
+            cold_misses: 0,
+            accesses: 0,
+        }
+    }
+
+    fn record(&mut self, addr: usize) {
+        self.accesses += 1;
+        let t = self.time;
+        self.time += 1;
+        let dist: Option<u64> = match self.last_access.insert(addr, t) {
+            Some(tprev) => {
+                // Distinct other addresses touched since tprev: active
+                // times in (tprev, t).
+                let others = self.fen.prefix(t.saturating_sub(1))
+                    - self.fen.prefix(tprev);
+                self.fen.set(tprev, false);
+                Some(others + 1) // stack distance counts the address itself
+            }
+            None => {
+                self.cold_misses += 1;
+                None
+            }
+        };
+        self.fen.set(t, true);
+        for lv in &mut self.levels {
+            let miss = match dist {
+                None => true,
+                Some(d) => d > lv.capacity as u64,
+            };
+            if miss {
+                lv.stats.words += 1;
+                if lv.coalescer.on_miss(addr) {
+                    lv.stats.messages += 1;
+                }
+            }
+        }
+    }
+
+    /// Traffic between level `i` (capacity `capacities[i]`) and level
+    /// `i+1`.
+    pub fn level_stats(&self, i: usize) -> TransferStats {
+        self.levels[i].stats
+    }
+
+    /// Number of distinct addresses ever touched (= cold misses).
+    pub fn cold_misses(&self) -> u64 {
+        self.cold_misses
+    }
+
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// The simulated capacities.
+    pub fn capacities(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.capacity).collect()
+    }
+
+    /// The miss-ratio curve: `(capacity, misses / accesses)` per level —
+    /// the standard working-set characterization of a trace, here
+    /// obtained from a single pass.
+    pub fn miss_ratio_curve(&self) -> Vec<(usize, f64)> {
+        let acc = self.accesses.max(1) as f64;
+        self.levels
+            .iter()
+            .map(|l| (l.capacity, l.stats.words as f64 / acc))
+            .collect()
+    }
+}
+
+impl Tracer for StackDistanceTracer {
+    fn touch_runs(&mut self, runs: &[Run], _mode: Access) {
+        for r in runs {
+            for addr in r.clone() {
+                self.record(addr);
+            }
+        }
+    }
+
+    /// Reports the innermost level's traffic.
+    fn stats(&self) -> TransferStats {
+        self.levels[0].stats
+    }
+
+    fn reset(&mut self) {
+        let caps = self.capacities();
+        *self = StackDistanceTracer::new(&caps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::LruTracer;
+    use proptest::prelude::*;
+
+    fn feed(t: &mut impl Tracer, trace: &[usize]) {
+        for &a in trace {
+            t.touch_runs(&[a..a + 1], Access::Read);
+        }
+    }
+
+    #[test]
+    fn simple_distances() {
+        let mut t = StackDistanceTracer::new(&[1, 2]);
+        feed(&mut t, &[10, 11, 10, 11, 12, 10]);
+        // Capacity 1: every access misses except none (alternating).
+        assert_eq!(t.level_stats(0).words, 6);
+        // Capacity 2: 10,11 cold; 10,11 hits (d=2); 12 cold; 10 d=3 miss.
+        assert_eq!(t.level_stats(1).words, 4);
+        assert_eq!(t.cold_misses(), 3);
+    }
+
+    #[test]
+    fn monotone_in_capacity() {
+        let mut t = StackDistanceTracer::new(&[2, 4, 8, 16]);
+        let trace: Vec<usize> = (0..200).map(|i| (i * 7) % 23).collect();
+        feed(&mut t, &trace);
+        for i in 0..3 {
+            assert!(
+                t.level_stats(i).words >= t.level_stats(i + 1).words,
+                "inclusion property"
+            );
+        }
+    }
+
+    proptest! {
+        /// The stack-distance simulator must agree *exactly* with a direct
+        /// LRU simulation at every capacity, for both words and messages.
+        #[test]
+        fn agrees_with_direct_lru(
+            trace in proptest::collection::vec(0usize..64, 1..400),
+            cap in 1usize..32,
+        ) {
+            let mut sd = StackDistanceTracer::new(&[cap]);
+            feed(&mut sd, &trace);
+            let mut lru = LruTracer::with_writebacks(cap, false);
+            feed(&mut lru, &trace);
+            prop_assert_eq!(sd.level_stats(0).words, lru.fetch_stats().words);
+            prop_assert_eq!(sd.level_stats(0).messages, lru.fetch_stats().messages);
+        }
+    }
+
+    #[test]
+    fn miss_ratio_curve_is_monotone_and_bounded() {
+        let mut t = StackDistanceTracer::new(&[2, 8, 32, 128]);
+        let trace: Vec<usize> = (0..3000).map(|i| (i * 13) % 97).collect();
+        feed(&mut t, &trace);
+        let curve = t.miss_ratio_curve();
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[0].1 >= w[1].1, "monotone: {curve:?}");
+        }
+        assert!(curve[0].1 <= 1.0 && curve[3].1 > 0.0);
+        // At capacity >= working set (97 distinct), only cold misses.
+        assert!((curve[3].1 - 97.0 / 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fenwick_growth_is_transparent() {
+        let mut t = StackDistanceTracer::new(&[4]);
+        // Enough accesses to force several Fenwick rebuilds.
+        let trace: Vec<usize> = (0..5000).map(|i| i % 10).collect();
+        feed(&mut t, &trace);
+        // Working set of 10 > 4: plenty of misses but fewer than accesses.
+        let w = t.level_stats(0).words;
+        assert!(w > 10 && w <= 5000);
+        let mut big = StackDistanceTracer::new(&[16]);
+        feed(&mut big, &trace);
+        assert_eq!(big.level_stats(0).words, 10, "whole set fits at cap 16");
+    }
+}

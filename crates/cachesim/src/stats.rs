@@ -1,0 +1,80 @@
+//! Word/message counters.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Accumulated communication between two adjacent memory levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransferStats {
+    /// Total words moved — the paper's **bandwidth** cost.
+    pub words: u64,
+    /// Total messages (maximal contiguous bundles, each at most `M`
+    /// words) — the paper's **latency** cost.
+    pub messages: u64,
+}
+
+impl TransferStats {
+    /// Zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Modelled transfer time `alpha * messages + beta * words`.
+    pub fn time(&self, alpha: f64, beta: f64) -> f64 {
+        alpha * self.messages as f64 + beta * self.words as f64
+    }
+
+    /// Average words per message (0 when no messages were sent).
+    pub fn words_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.words as f64 / self.messages as f64
+        }
+    }
+}
+
+impl Add for TransferStats {
+    type Output = TransferStats;
+    fn add(self, rhs: Self) -> Self {
+        TransferStats {
+            words: self.words + rhs.words,
+            messages: self.messages + rhs.messages,
+        }
+    }
+}
+
+impl AddAssign for TransferStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.words += rhs.words;
+        self.messages += rhs.messages;
+    }
+}
+
+impl fmt::Display for TransferStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} words / {} messages", self.words, self.messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_time() {
+        let a = TransferStats { words: 10, messages: 2 };
+        let b = TransferStats { words: 5, messages: 1 };
+        let c = a + b;
+        assert_eq!(c.words, 15);
+        assert_eq!(c.messages, 3);
+        assert!((c.time(2.0, 0.5) - (6.0 + 7.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn words_per_message() {
+        let s = TransferStats { words: 12, messages: 3 };
+        assert_eq!(s.words_per_message(), 4.0);
+        assert_eq!(TransferStats::new().words_per_message(), 0.0);
+    }
+}

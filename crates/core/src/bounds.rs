@@ -1,0 +1,192 @@
+//! The paper's communication bounds, as executable formulas.
+//!
+//! Lower bounds come from the reduction (Theorem 1) applied to the
+//! Irony–Toledo–Tiskin matrix-multiplication bound (Theorem 2); upper
+//! bounds are the Table 1 / Table 2 rows.  All formulas use the paper's
+//! constants where it states them and constant 1 where it argues in
+//! Big-O.
+
+/// Theorem 2 (sequential instance, `P = 1`): any classical `n x n` matrix
+/// multiplication moves at least `n^3 / (2 sqrt(2) sqrt(M)) - M` words.
+pub fn mm_bandwidth_lower(n: usize, m: usize) -> f64 {
+    let (n, m) = (n as f64, m as f64);
+    (n.powi(3) / (2.0 * 2.0f64.sqrt() * m.sqrt()) - m).max(0.0)
+}
+
+/// Corollary 2.1 (sequential): latency lower bound
+/// `n^3 / (2 sqrt(2) M^{3/2}) - 1` messages.
+pub fn mm_latency_lower(n: usize, m: usize) -> f64 {
+    let (n, m) = (n as f64, m as f64);
+    (n.powi(3) / (2.0 * 2.0f64.sqrt() * m.powf(1.5)) - 1.0).max(0.0)
+}
+
+/// Corollary 2.3: sequential Cholesky bandwidth lower bound
+/// `Omega(n^3 / sqrt(M))`.  Via Theorem 1 the Cholesky of an `n x n`
+/// matrix embeds an `n/3 x n/3` multiplication.
+pub fn chol_bandwidth_lower(n: usize, m: usize) -> f64 {
+    mm_bandwidth_lower(n / 3, m)
+}
+
+/// Corollary 2.3: sequential Cholesky latency lower bound
+/// `Omega(n^3 / M^{3/2})`.
+pub fn chol_latency_lower(n: usize, m: usize) -> f64 {
+    mm_latency_lower(n / 3, m)
+}
+
+/// The scale factors the tables normalise against: `n^3 / sqrt(M)` words
+/// and `n^3 / M^{3/2}` messages (constants dropped).
+pub fn seq_bandwidth_scale(n: usize, m: usize) -> f64 {
+    (n as f64).powi(3) / (m as f64).sqrt()
+}
+
+/// `n^3 / M^{3/2}` — the sequential latency scale.
+pub fn seq_latency_scale(n: usize, m: usize) -> f64 {
+    (n as f64).powi(3) / (m as f64).powf(1.5)
+}
+
+/// Corollary 2.4 (2D parallel): bandwidth lower bound
+/// `Omega(n^2 / sqrt(P))` words on the critical path.
+pub fn par_bandwidth_scale(n: usize, p: usize) -> f64 {
+    (n as f64).powi(2) / (p as f64).sqrt()
+}
+
+/// Corollary 2.4 (2D parallel): latency lower bound `Omega(sqrt(P))`.
+pub fn par_latency_scale(p: usize) -> f64 {
+    (p as f64).sqrt()
+}
+
+/// Parallel flop scale `n^3 / (3 P)` (each processor's share of the
+/// `n^3/3` Cholesky flops).
+pub fn par_flop_scale(n: usize, p: usize) -> f64 {
+    (n as f64).powi(3) / (3.0 * p as f64)
+}
+
+/// Corollary 3.2: per-level bandwidth lower bound on a hierarchy with the
+/// given capacities — `n^3 / sqrt(M_i) - M_i` words across interface `i`.
+pub fn hierarchy_bandwidth_lower(n: usize, capacities: &[usize]) -> Vec<f64> {
+    capacities
+        .iter()
+        .map(|&mi| chol_bandwidth_lower(n, mi))
+        .collect()
+}
+
+/// Corollary 3.2: per-level latency lower bound `n^3 / M_i^{3/2}`.
+pub fn hierarchy_latency_lower(n: usize, capacities: &[usize]) -> Vec<f64> {
+    capacities
+        .iter()
+        .map(|&mi| chol_latency_lower(n, mi))
+        .collect()
+}
+
+/// Closed-form upper bounds of Table 1 (constants dropped), used as the
+/// "predicted" column of the regenerated table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Table1Row {
+    /// Naïve left/right looking, column-major.
+    NaiveColMajor,
+    /// LAPACK, column-major.
+    LapackColMajor,
+    /// LAPACK, contiguous blocks.
+    LapackBlocked,
+    /// Rectangular recursive (Toledo), column-major.
+    ToledoColMajor,
+    /// Rectangular recursive (Toledo), contiguous blocks.
+    ToledoBlocked,
+    /// Square recursive (AP00), recursive packed format (AGW01).
+    Ap00RecursivePacked,
+    /// Square recursive (AP00), column-major.
+    Ap00ColMajor,
+    /// Square recursive (AP00), contiguous blocks.
+    Ap00Blocked,
+}
+
+impl Table1Row {
+    /// Predicted words (bandwidth), constants dropped.
+    pub fn predicted_words(self, n: usize, m: usize) -> f64 {
+        let (nf, mf) = (n as f64, m as f64);
+        match self {
+            Table1Row::NaiveColMajor => nf.powi(3),
+            Table1Row::LapackColMajor | Table1Row::LapackBlocked => nf.powi(3) / mf.sqrt(),
+            Table1Row::ToledoColMajor | Table1Row::ToledoBlocked => {
+                nf.powi(3) / mf.sqrt() + nf.powi(2) * nf.log2()
+            }
+            Table1Row::Ap00RecursivePacked
+            | Table1Row::Ap00ColMajor
+            | Table1Row::Ap00Blocked => nf.powi(3) / mf.sqrt(),
+        }
+    }
+
+    /// Predicted messages (latency), constants dropped.
+    pub fn predicted_messages(self, n: usize, m: usize) -> f64 {
+        let (nf, mf) = (n as f64, m as f64);
+        match self {
+            Table1Row::NaiveColMajor => nf.powi(2) + nf.powi(3) / mf,
+            Table1Row::LapackColMajor => nf.powi(3) / mf,
+            Table1Row::LapackBlocked => nf.powi(3) / mf.powf(1.5),
+            Table1Row::ToledoColMajor => nf.powi(3) / mf,
+            Table1Row::ToledoBlocked => nf.powi(2),
+            Table1Row::Ap00RecursivePacked => nf.powi(3) / mf,
+            Table1Row::Ap00ColMajor => nf.powi(3) / mf,
+            Table1Row::Ap00Blocked => nf.powi(3) / mf.powf(1.5),
+        }
+    }
+}
+
+/// Table 2 closed forms: ScaLAPACK words `(nb/4 + n^2/sqrt(P)) log2 P`
+/// and messages `(3/2)(n/b) log2 P`.
+pub fn scalapack_words(n: usize, b: usize, p: usize) -> f64 {
+    cholcomm_par::pxpotrf::paper_word_bound(n, b, p)
+}
+
+/// See [`scalapack_words`].
+pub fn scalapack_messages(n: usize, b: usize, p: usize) -> f64 {
+    cholcomm_par::pxpotrf::paper_message_bound(n, b, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bounds_are_monotone_in_n() {
+        assert!(chol_bandwidth_lower(300, 64) > chol_bandwidth_lower(150, 64));
+        assert!(chol_latency_lower(300, 64) > chol_latency_lower(150, 64));
+    }
+
+    #[test]
+    fn lower_bounds_decrease_with_m() {
+        assert!(chol_bandwidth_lower(300, 64) > chol_bandwidth_lower(300, 1024));
+        assert!(chol_latency_lower(300, 64) > chol_latency_lower(300, 1024));
+    }
+
+    #[test]
+    fn bounds_clamp_at_zero() {
+        // Tiny n, huge M: the subtracted M dominates.
+        assert_eq!(mm_bandwidth_lower(4, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn latency_is_bandwidth_over_m_in_scale() {
+        let (n, m) = (512, 256);
+        let ratio = seq_bandwidth_scale(n, m) / seq_latency_scale(n, m);
+        assert!((ratio - m as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn table1_predictions_order_sensibly() {
+        let (n, m) = (512, 1024);
+        let naive = Table1Row::NaiveColMajor.predicted_words(n, m);
+        let lapack = Table1Row::LapackBlocked.predicted_words(n, m);
+        assert!(naive > 10.0 * lapack, "naive wastes ~sqrt(M)x bandwidth");
+        let lat_cm = Table1Row::Ap00ColMajor.predicted_messages(n, m);
+        let lat_bl = Table1Row::Ap00Blocked.predicted_messages(n, m);
+        assert!(lat_cm > 10.0 * lat_bl, "blocked storage wins ~sqrt(M)x latency");
+    }
+
+    #[test]
+    fn hierarchy_bounds_have_one_entry_per_level() {
+        let caps = [64usize, 512, 4096];
+        assert_eq!(hierarchy_bandwidth_lower(256, &caps).len(), 3);
+        assert_eq!(hierarchy_latency_lower(256, &caps).len(), 3);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # cholcomm-core
+//!
+//! The umbrella crate of the `cholcomm` workspace — a full reproduction of
+//! *Communication-Optimal Parallel and Sequential Cholesky Decomposition*
+//! (Ballard, Demmel, Holtz, Schwartz; SPAA 2009 / arXiv:0902.2537).
+//!
+//! It assembles the substrates into the paper's actual deliverables:
+//!
+//! * [`bounds`] — the communication lower bounds: Theorem 1 /
+//!   Corollaries 2.3–2.4 (sequential and parallel bandwidth & latency)
+//!   and Corollary 3.2 (multi-level hierarchies), plus the closed-form
+//!   upper bounds of every Table 1 row.
+//! * [`table1`] — regenerates **Table 1**: every sequential
+//!   algorithm × layout row, measured words/messages against the bounds.
+//! * [`table2`] — regenerates **Table 2**: ScaLAPACK `PxPOTRF`
+//!   critical-path costs across `P` and `b`, against the 2D bounds.
+//! * [`theorem1`] — the reduction experiment: matrix multiplication *by*
+//!   Cholesky (Algorithm 1) through every algorithm in the zoo, with the
+//!   bandwidth-within-a-constant check that powers the lower bound.
+//! * [`multilevel`] — the Section 3.2 hierarchy experiment: AP00 is
+//!   communication-optimal at *every* level with no tuning; LAPACK tuned
+//!   for one level loses at the others; Toledo's latency is structural.
+//! * [`figures`] — data behind Figures 1–6 (dependency DAG, storage
+//!   formats, algorithm traffic profiles, block-cyclic distribution).
+//! * [`report`] — plain-text table rendering shared by the binaries.
+//!
+//! All substrates are re-exported, so `cholcomm_core` (or the root
+//! `cholcomm` crate) is the only dependency an application needs.
+
+pub mod bounds;
+pub mod crossover;
+pub mod figures;
+pub mod multilevel;
+pub mod report;
+pub mod stability;
+pub mod table1;
+pub mod table2;
+pub mod theorem1;
+pub mod verify;
+
+pub use cholcomm_cachesim as cachesim;
+pub use cholcomm_distsim as distsim;
+pub use cholcomm_layout as layout;
+pub use cholcomm_matrix as matrix;
+pub use cholcomm_ooc as ooc;
+pub use cholcomm_par as par;
+pub use cholcomm_seq as seq;
+pub use cholcomm_starred as starred;

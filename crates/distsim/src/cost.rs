@@ -1,0 +1,103 @@
+//! Cost model and per-processor clocks.
+
+/// The alpha–beta–gamma cost model: a `w`-word message takes
+/// `alpha + beta * w` seconds; a flop takes `gamma` seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-message latency (seconds).
+    pub alpha: f64,
+    /// Per-word inverse bandwidth (seconds/word).
+    pub beta: f64,
+    /// Per-flop compute cost (seconds/flop).
+    pub gamma: f64,
+}
+
+impl CostModel {
+    /// A model with typical "network much slower than flops" ratios
+    /// (alpha : beta : gamma = 1000 : 10 : 1 in arbitrary units), used by
+    /// experiments that want a modelled wall-clock.
+    pub fn typical() -> Self {
+        CostModel {
+            alpha: 1000.0,
+            beta: 10.0,
+            gamma: 1.0,
+        }
+    }
+
+    /// Pure counting (all costs zero) — when only words/messages matter.
+    pub fn counting() -> Self {
+        CostModel {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 0.0,
+        }
+    }
+
+    /// Time for one `w`-word message.
+    pub fn message_time(&self, w: usize) -> f64 {
+        self.alpha + self.beta * w as f64
+    }
+}
+
+/// Communication/computation totals along one dependency path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CriticalPath {
+    /// Words transferred along the path.
+    pub words: u64,
+    /// Messages along the path.
+    pub messages: u64,
+    /// Flops along the path.
+    pub flops: u64,
+}
+
+/// Per-processor simulated clock and counters.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    /// Simulated local time under the [`CostModel`].
+    pub time: f64,
+    /// Critical-path tuple ending at this processor's current time.
+    pub path: CriticalPath,
+    /// Total words this processor sent.
+    pub words_sent: u64,
+    /// Total words this processor received.
+    pub words_recv: u64,
+    /// Total messages this processor sent.
+    pub messages_sent: u64,
+    /// Total messages this processor received.
+    pub messages_recv: u64,
+    /// Total flops this processor executed.
+    pub flops: u64,
+}
+
+impl Clock {
+    /// Advance for a local computation of `flops` floating point ops.
+    pub fn compute(&mut self, flops: u64, model: &CostModel) {
+        self.time += model.gamma * flops as f64;
+        self.flops += flops;
+        self.path.flops += flops;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_formula() {
+        let m = CostModel {
+            alpha: 5.0,
+            beta: 2.0,
+            gamma: 0.0,
+        };
+        assert_eq!(m.message_time(10), 25.0);
+    }
+
+    #[test]
+    fn compute_advances_clock_and_path() {
+        let mut c = Clock::default();
+        c.compute(100, &CostModel::typical());
+        assert_eq!(c.flops, 100);
+        assert_eq!(c.path.flops, 100);
+        assert_eq!(c.time, 100.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! The square processor grid of the 2D parallel model (Figure 6: `P`
+//! processors arranged `Pr x Pc` with `Pr = Pc = sqrt(P)`).
+
+/// A `pr x pc` processor grid with column-major rank numbering
+/// (`rank = prow + pcol * pr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid {
+    pr: usize,
+    pc: usize,
+}
+
+impl ProcGrid {
+    /// A `pr x pc` grid.
+    pub fn new(pr: usize, pc: usize) -> Self {
+        assert!(pr > 0 && pc > 0);
+        ProcGrid { pr, pc }
+    }
+
+    /// The square grid for `p` processors; `p` must be a perfect square.
+    pub fn square(p: usize) -> Self {
+        let s = (p as f64).sqrt().round() as usize;
+        assert_eq!(s * s, p, "P = {p} must be a perfect square for a 2D grid");
+        Self::new(s, s)
+    }
+
+    /// Total processors.
+    pub fn len(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// `true` for the degenerate empty grid (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.pr
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.pc
+    }
+
+    /// Rank of the processor at grid position `(prow, pcol)`.
+    pub fn rank(&self, prow: usize, pcol: usize) -> usize {
+        debug_assert!(prow < self.pr && pcol < self.pc);
+        prow + pcol * self.pr
+    }
+
+    /// Grid position of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        debug_assert!(rank < self.len());
+        (rank % self.pr, rank / self.pr)
+    }
+
+    /// Owner of global block `(bi, bj)` under block-cyclic distribution:
+    /// processor `(bi mod Pr, bj mod Pc)`.
+    pub fn block_owner(&self, bi: usize, bj: usize) -> usize {
+        self.rank(bi % self.pr, bj % self.pc)
+    }
+
+    /// Ranks of all processors in grid column `pcol`.
+    pub fn col_ranks(&self, pcol: usize) -> Vec<usize> {
+        (0..self.pr).map(|r| self.rank(r, pcol)).collect()
+    }
+
+    /// Ranks of all processors in grid row `prow`.
+    pub fn row_ranks(&self, prow: usize) -> Vec<usize> {
+        (0..self.pc).map(|c| self.rank(prow, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_coords_roundtrip() {
+        let g = ProcGrid::new(3, 4);
+        for r in 0..12 {
+            let (i, j) = g.coords(r);
+            assert_eq!(g.rank(i, j), r);
+        }
+    }
+
+    #[test]
+    fn square_grid() {
+        let g = ProcGrid::square(9);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect square")]
+    fn non_square_p_panics() {
+        ProcGrid::square(6);
+    }
+
+    #[test]
+    fn block_cyclic_ownership_matches_figure6() {
+        // Figure 6: n=24, b=4 (6x6 blocks), P=9 on a 3x3 grid.
+        let g = ProcGrid::square(9);
+        assert_eq!(g.block_owner(0, 0), g.block_owner(3, 3));
+        assert_eq!(g.block_owner(0, 0), g.block_owner(0, 3));
+        assert_ne!(g.block_owner(0, 0), g.block_owner(1, 0));
+        // Each processor owns exactly 4 of the 36 blocks.
+        let mut counts = vec![0usize; 9];
+        for bi in 0..6 {
+            for bj in 0..6 {
+                counts[g.block_owner(bi, bj)] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn row_and_col_ranks() {
+        let g = ProcGrid::new(2, 3);
+        assert_eq!(g.col_ranks(1), vec![g.rank(0, 1), g.rank(1, 1)]);
+        assert_eq!(g.row_ranks(0).len(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # cholcomm-distsim
+//!
+//! A deterministic distributed-memory machine simulator for the paper's
+//! parallel model (Section 3.3): `P` processors, each with local memory of
+//! size `M = O(n^2 / P)`, exchanging messages that cost `alpha + beta * w`
+//! for `w` words.  Collectives are binomial trees, so a broadcast to `k`
+//! processors costs `ceil(log2 k)` messages on the critical path — the
+//! source of every `log P` factor in Table 2.
+//!
+//! The simulator executes *real data movement* (payloads are actual matrix
+//! blocks), so algorithms built on it — ScaLAPACK's `PxPOTRF` in
+//! `cholcomm-par` — produce numerically verifiable results while their
+//! communication is being metered.
+//!
+//! Costs are tracked two ways:
+//!
+//! * **per-processor totals** (words/messages sent and received, flops);
+//! * **critical-path tuples** propagated with the same `max` rule as the
+//!   simulated clock, giving the paper's "words and messages communicated
+//!   along the critical path".
+
+pub mod cost;
+pub mod grid;
+pub mod machine;
+pub mod threaded;
+
+pub use cost::{Clock, CostModel, CriticalPath};
+pub use grid::ProcGrid;
+pub use machine::Machine;
+pub use threaded::{run_spmd, ProcCtx, RankClock, SpmdOutcome};

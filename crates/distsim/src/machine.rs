@@ -1,0 +1,354 @@
+//! The machine: processors, point-to-point sends, binomial-tree
+//! broadcasts, and critical-path extraction.
+
+use crate::cost::{Clock, CostModel, CriticalPath};
+
+/// A simulated `P`-processor distributed-memory machine.
+///
+/// The simulator is *deterministic and sequential*: an algorithm built on
+/// it is written as a straight-line driver that calls [`send`](Self::send)
+/// / [`broadcast`](Self::broadcast) / [`compute`](Self::compute); the
+/// machine advances per-processor clocks with the synchronous rendezvous
+/// rule `t' = max(t_src, t_dst) + alpha + beta * w` and propagates
+/// critical-path word/message/flop tuples along the same `max` edges.
+#[derive(Debug)]
+pub struct Machine {
+    clocks: Vec<Clock>,
+    model: CostModel,
+}
+
+impl Machine {
+    /// A machine with `p` processors under the given cost model.
+    pub fn new(p: usize, model: CostModel) -> Self {
+        assert!(p > 0);
+        Machine {
+            clocks: vec![Clock::default(); p],
+            model,
+        }
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Immutable view of a processor's clock.
+    pub fn clock(&self, p: usize) -> &Clock {
+        &self.clocks[p]
+    }
+
+    /// Charge `flops` of local computation to processor `p`.
+    pub fn compute(&mut self, p: usize, flops: u64) {
+        self.clocks[p].compute(flops, &self.model);
+    }
+
+    /// Transfer `words` from `src` to `dst` as one message, advancing both
+    /// clocks with the rendezvous rule and extending the critical path of
+    /// both endpoints from whichever party was later.
+    ///
+    /// A self-send is free (local data movement is not communication in
+    /// the 2D model).
+    pub fn send(&mut self, src: usize, dst: usize, words: usize) {
+        if src == dst {
+            return;
+        }
+        let (ts, td) = (self.clocks[src].time, self.clocks[dst].time);
+        let inherited: CriticalPath = if ts >= td {
+            self.clocks[src].path
+        } else {
+            self.clocks[dst].path
+        };
+        let t = ts.max(td) + self.model.message_time(words);
+        let path = CriticalPath {
+            words: inherited.words + words as u64,
+            messages: inherited.messages + 1,
+            flops: inherited.flops,
+        };
+        {
+            let c = &mut self.clocks[src];
+            c.time = t;
+            c.path = path;
+            c.words_sent += words as u64;
+            c.messages_sent += 1;
+        }
+        {
+            let c = &mut self.clocks[dst];
+            c.time = t;
+            c.path = path;
+            c.words_recv += words as u64;
+            c.messages_recv += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of `words` from `root` to every processor
+    /// in `members` (which must contain `root`).  Takes
+    /// `ceil(log2 |members|)` rounds; the critical path through the tree
+    /// accrues `O(log |members|)` messages — the paper's broadcast cost.
+    ///
+    /// Returns the list of `(src, dst)` edges used, so callers can move
+    /// the actual payload along the same tree.
+    pub fn broadcast(
+        &mut self,
+        root: usize,
+        members: &[usize],
+        words: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut order: Vec<usize> = Vec::with_capacity(members.len());
+        order.push(root);
+        order.extend(members.iter().copied().filter(|&m| m != root));
+        let k = order.len();
+        let mut edges = Vec::new();
+        // Round r: processors with index < 2^r forward to index + 2^r.
+        let mut have = 1usize;
+        while have < k {
+            let senders = have.min(k - have);
+            for s in 0..senders {
+                let (src, dst) = (order[s], order[s + have]);
+                self.send(src, dst, words);
+                edges.push((src, dst));
+            }
+            have *= 2;
+        }
+        edges
+    }
+
+    /// Ring ("pass it along") broadcast: `k - 1` sequential messages on
+    /// the critical path instead of the binomial tree's `ceil(log2 k)`.
+    /// Kept as the ablation baseline that shows where Table 2's `log P`
+    /// factors come from.
+    pub fn ring_broadcast(
+        &mut self,
+        root: usize,
+        members: &[usize],
+        words: usize,
+    ) -> Vec<(usize, usize)> {
+        let mut order: Vec<usize> = Vec::with_capacity(members.len());
+        order.push(root);
+        order.extend(members.iter().copied().filter(|&m| m != root));
+        let mut edges = Vec::new();
+        for w in order.windows(2) {
+            self.send(w[0], w[1], words);
+            edges.push((w[0], w[1]));
+        }
+        edges
+    }
+
+    /// Binomial-tree reduction of `words`-sized contributions from every
+    /// member to `root`: the mirror image of [`broadcast`](Self::broadcast),
+    /// `ceil(log2 k)` message rounds on the critical path, plus
+    /// `combine_flops` of local work per merge.
+    pub fn reduce(
+        &mut self,
+        root: usize,
+        members: &[usize],
+        words: usize,
+        combine_flops: u64,
+    ) -> Vec<(usize, usize)> {
+        let mut order: Vec<usize> = Vec::with_capacity(members.len());
+        order.push(root);
+        order.extend(members.iter().copied().filter(|&m| m != root));
+        let k = order.len();
+        // Invert the broadcast tree: run the rounds backwards.
+        let mut rounds = Vec::new();
+        let mut have = 1usize;
+        while have < k {
+            let senders = have.min(k - have);
+            rounds.push((have, senders));
+            have *= 2;
+        }
+        let mut edges = Vec::new();
+        for &(have, senders) in rounds.iter().rev() {
+            for s in 0..senders {
+                let (dst, src) = (order[s], order[s + have]);
+                self.send(src, dst, words);
+                self.compute(dst, combine_flops);
+                edges.push((src, dst));
+            }
+        }
+        edges
+    }
+
+    /// Binomial scatter: the root starts with one distinct `words`-sized
+    /// chunk per member and peels half of its remaining payload off to a
+    /// new subtree root each round — `ceil(log2 k)` rounds, total words
+    /// on the critical path `O(words * k)` (the first send carries half
+    /// of everything).
+    pub fn scatter(&mut self, root: usize, members: &[usize], words_each: usize) {
+        let mut order: Vec<usize> = Vec::with_capacity(members.len());
+        order.push(root);
+        order.extend(members.iter().copied().filter(|&m| m != root));
+        scatter_rec(self, &order, words_each);
+    }
+
+    /// Simulated finishing time: the slowest processor's clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().map(|c| c.time).fold(0.0, f64::max)
+    }
+
+    /// The critical path tuple of the processor that finishes last.
+    pub fn critical_path(&self) -> CriticalPath {
+        self.clocks
+            .iter()
+            .max_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"))
+            .map(|c| c.path)
+            .unwrap_or_default()
+    }
+
+    /// Maximum per-processor totals (words sent+received, messages
+    /// sent+received) — a coarser "busiest processor" metric.
+    pub fn max_proc_totals(&self) -> (u64, u64) {
+        let w = self
+            .clocks
+            .iter()
+            .map(|c| c.words_sent + c.words_recv)
+            .max()
+            .unwrap_or(0);
+        let m = self
+            .clocks
+            .iter()
+            .map(|c| c.messages_sent + c.messages_recv)
+            .max()
+            .unwrap_or(0);
+        (w, m)
+    }
+
+    /// Aggregate flops over all processors.
+    pub fn total_flops(&self) -> u64 {
+        self.clocks.iter().map(|c| c.flops).sum()
+    }
+
+    /// Maximum flops on any single processor (the parallel flop count of
+    /// Table 2).
+    pub fn max_proc_flops(&self) -> u64 {
+        self.clocks.iter().map(|c| c.flops).max().unwrap_or(0)
+    }
+}
+
+fn scatter_rec(m: &mut Machine, group: &[usize], words_each: usize) {
+    if group.len() <= 1 {
+        return;
+    }
+    let half = group.len().div_ceil(2);
+    let (keep, give) = group.split_at(half);
+    // The root ships the second half's entire payload to its new root.
+    m.send(keep[0], give[0], words_each * give.len());
+    scatter_rec(m, keep, words_each);
+    scatter_rec(m, give, words_each);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_advances_both_clocks() {
+        let mut m = Machine::new(2, CostModel::typical());
+        m.send(0, 1, 10);
+        assert_eq!(m.clock(0).time, m.clock(1).time);
+        assert_eq!(m.clock(0).time, 1000.0 + 100.0);
+        assert_eq!(m.clock(1).words_recv, 10);
+        assert_eq!(m.clock(0).messages_sent, 1);
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let mut m = Machine::new(2, CostModel::typical());
+        m.send(1, 1, 1000);
+        assert_eq!(m.clock(1).time, 0.0);
+        assert_eq!(m.clock(1).messages_sent, 0);
+    }
+
+    #[test]
+    fn rendezvous_waits_for_later_party() {
+        let mut m = Machine::new(2, CostModel::typical());
+        m.compute(1, 5000); // dst is busy until t = 5000
+        m.send(0, 1, 0);
+        assert_eq!(m.clock(0).time, 5000.0 + 1000.0);
+        // Critical path inherited from the later party (proc 1) includes
+        // its flops.
+        assert_eq!(m.clock(0).path.flops, 5000);
+        assert_eq!(m.clock(0).path.messages, 1);
+    }
+
+    #[test]
+    fn broadcast_is_logarithmic_on_the_critical_path() {
+        for k in [2usize, 4, 8, 16, 32] {
+            let mut m = Machine::new(k, CostModel::typical());
+            let members: Vec<usize> = (0..k).collect();
+            m.broadcast(0, &members, 1);
+            let cp = m.critical_path();
+            let expect = (k as f64).log2().ceil() as u64;
+            assert_eq!(cp.messages, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_exactly_once() {
+        let mut m = Machine::new(8, CostModel::counting());
+        let members: Vec<usize> = (0..8).collect();
+        let edges = m.broadcast(3, &members, 4);
+        assert_eq!(edges.len(), 7, "7 receivers");
+        let mut got = vec![false; 8];
+        got[3] = true;
+        for (s, d) in edges {
+            assert!(got[s], "sender must already have the data");
+            assert!(!got[d], "no duplicate delivery");
+            got[d] = true;
+        }
+        assert!(got.iter().all(|&g| g));
+    }
+
+    #[test]
+    fn ring_broadcast_is_linear_on_the_critical_path() {
+        for k in [2usize, 8, 16] {
+            let mut m = Machine::new(k, CostModel::typical());
+            let members: Vec<usize> = (0..k).collect();
+            m.ring_broadcast(0, &members, 1);
+            assert_eq!(m.critical_path().messages, (k - 1) as u64, "k = {k}");
+        }
+        // The whole point: at k = 16 the tree costs 4, the ring 15.
+        let members: Vec<usize> = (0..16).collect();
+        let mut tree = Machine::new(16, CostModel::typical());
+        tree.broadcast(0, &members, 1);
+        assert_eq!(tree.critical_path().messages, 4);
+    }
+
+    #[test]
+    fn reduce_is_logarithmic_and_delivers_to_root() {
+        for k in [2usize, 4, 8, 16] {
+            let mut m = Machine::new(k, CostModel::typical());
+            let members: Vec<usize> = (0..k).collect();
+            let edges = m.reduce(0, &members, 3, 10);
+            assert_eq!(edges.len(), k - 1, "everyone contributes once");
+            let expect = (k as f64).log2().ceil() as u64;
+            assert_eq!(m.critical_path().messages, expect, "k = {k}");
+            assert_eq!(m.clock(0).words_recv as usize % 3, 0);
+        }
+    }
+
+    #[test]
+    fn scatter_is_logarithmic_rounds_linear_words() {
+        let k = 8;
+        let mut m = Machine::new(k, CostModel::typical());
+        let members: Vec<usize> = (0..k).collect();
+        m.scatter(0, &members, 5);
+        let cp = m.critical_path();
+        assert!(cp.messages <= 3, "log2(8) = 3 rounds, got {}", cp.messages);
+        // Total words shipped: every non-root chunk crosses >= 1 edge.
+        let total: u64 = (0..k).map(|p| m.clock(p).words_sent).sum();
+        assert!(total >= 5 * (k as u64 - 1));
+    }
+
+    #[test]
+    fn makespan_and_totals() {
+        let mut m = Machine::new(3, CostModel::typical());
+        m.compute(2, 100);
+        m.send(0, 1, 5);
+        assert_eq!(m.makespan(), 1050.0);
+        let (w, msg) = m.max_proc_totals();
+        assert_eq!(w, 5);
+        assert_eq!(msg, 1);
+        assert_eq!(m.total_flops(), 100);
+        assert_eq!(m.max_proc_flops(), 100);
+    }
+}

@@ -1,0 +1,322 @@
+//! An SPMD execution mode: `P` real OS threads, each running the same
+//! per-processor program, exchanging real payloads over channels — the
+//! closest this workspace gets to an actual MPI execution.
+//!
+//! Clocks follow the postal model: a send stamps the sender's current
+//! simulated time; the receiver advances to
+//! `max(local, send_time + alpha + beta * words)` and inherits the
+//! critical-path tuple of whichever side was later, plus the message.
+//! Numerical results are deterministic (the dataflow is fixed); the
+//! simulated clocks are too, because every receive names its sender.
+//!
+//! The sequential [`Machine`](crate::Machine) remains the reference for
+//! the paper's tables; this mode exists to show the same algorithm and
+//! the same counts survive genuine concurrency (and to exercise the
+//! channel-based plumbing a real deployment would use).
+
+use crate::cost::{CostModel, CriticalPath};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A message between ranks: payload plus the sender's clock state.
+struct Msg {
+    words: usize,
+    send_time: f64,
+    path: CriticalPath,
+    payload: Vec<f64>,
+}
+
+/// Per-rank context handed to the SPMD program.
+pub struct ProcCtx {
+    rank: usize,
+    procs: usize,
+    model: CostModel,
+    time: f64,
+    path: CriticalPath,
+    words_sent: u64,
+    messages_sent: u64,
+    flops: u64,
+    /// `senders[dst]` — my outgoing channel to each destination.
+    senders: Vec<Sender<Msg>>,
+    /// `receivers[src]` — my inbox from each source.
+    receivers: Vec<Receiver<Msg>>,
+}
+
+impl ProcCtx {
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Charge local computation.
+    pub fn compute(&mut self, flops: u64) {
+        self.time += self.model.gamma * flops as f64;
+        self.flops += flops;
+        self.path.flops += flops;
+    }
+
+    /// Send `payload` to `dst` (one message).
+    pub fn send(&mut self, dst: usize, payload: Vec<f64>) {
+        assert_ne!(dst, self.rank, "no self-sends in the SPMD mode");
+        let words = payload.len();
+        let msg = Msg {
+            words,
+            send_time: self.time,
+            path: self.path,
+            payload,
+        };
+        self.words_sent += words as u64;
+        self.messages_sent += 1;
+        self.senders[dst].send(msg).expect("receiver alive");
+    }
+
+    /// Blocking receive of the next message from `src`.
+    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+        let msg = self.receivers[src].recv().expect("sender alive");
+        let arrival = msg.send_time + self.model.message_time(msg.words);
+        if arrival >= self.time {
+            // The message chain is the critical path into this event.
+            self.path = CriticalPath {
+                words: msg.path.words + msg.words as u64,
+                messages: msg.path.messages + 1,
+                flops: msg.path.flops,
+            };
+        } else {
+            // Local work dominates; the message only adds its own cost.
+            self.path.words += msg.words as u64;
+            self.path.messages += 1;
+        }
+        self.time = self.time.max(arrival);
+        msg.payload
+    }
+
+    /// Binomial-tree broadcast among `members` (which must contain both
+    /// `root` and this rank).  The root passes `Some(payload)`; everyone
+    /// receives the payload back.
+    pub fn bcast(&mut self, root: usize, members: &[usize], payload: Option<Vec<f64>>) -> Vec<f64> {
+        let mut order: Vec<usize> = Vec::with_capacity(members.len());
+        order.push(root);
+        order.extend(members.iter().copied().filter(|&m| m != root));
+        let me = order
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("caller must be a member");
+        let k = order.len();
+        let mut data = payload;
+        let mut have = 1usize;
+        while have < k {
+            if me < have {
+                // I already have the data; maybe I forward this round.
+                let peer = me + have;
+                if peer < k {
+                    let d = data.as_ref().expect("holder has data").clone();
+                    self.send(order[peer], d);
+                }
+            } else if me < 2 * have {
+                // I receive this round.
+                let from = order[me - have];
+                data = Some(self.recv(from));
+            }
+            have *= 2;
+        }
+        data.expect("broadcast delivers to every member")
+    }
+
+    fn into_clock(self) -> RankClock {
+        RankClock {
+            time: self.time,
+            path: self.path,
+            words_sent: self.words_sent,
+            messages_sent: self.messages_sent,
+            flops: self.flops,
+        }
+    }
+}
+
+/// Final clock state of one rank.
+#[derive(Debug, Clone, Copy)]
+pub struct RankClock {
+    /// Simulated completion time.
+    pub time: f64,
+    /// Critical path into this rank's final event.
+    pub path: CriticalPath,
+    /// Total words sent.
+    pub words_sent: u64,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Local flops.
+    pub flops: u64,
+}
+
+/// Outcome of an SPMD run: per-rank results and clocks.
+#[derive(Debug)]
+pub struct SpmdOutcome<T> {
+    /// Whatever each rank's program returned, by rank.
+    pub results: Vec<T>,
+    /// Final clock per rank.
+    pub clocks: Vec<RankClock>,
+}
+
+impl<T> SpmdOutcome<T> {
+    /// Slowest rank's simulated time.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().map(|c| c.time).fold(0.0, f64::max)
+    }
+
+    /// Critical path of the slowest rank.
+    pub fn critical_path(&self) -> CriticalPath {
+        self.clocks
+            .iter()
+            .max_by(|a, b| a.time.partial_cmp(&b.time).expect("finite"))
+            .map(|c| c.path)
+            .unwrap_or_default()
+    }
+}
+
+/// Run `program` on `p` OS threads under `model`; each rank gets its own
+/// [`ProcCtx`] with a full mesh of channels.
+pub fn run_spmd<T: Send>(
+    p: usize,
+    model: CostModel,
+    program: impl Fn(&mut ProcCtx) -> T + Sync,
+) -> SpmdOutcome<T> {
+    assert!(p > 0);
+    // Build the P x P channel mesh: mesh[src][dst].
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for (src, row) in senders.iter_mut().enumerate() {
+        for (dst, slot) in row.iter_mut().enumerate() {
+            let (tx, rx) = channel();
+            *slot = Some(tx);
+            receivers[dst][src] = Some(rx);
+        }
+    }
+
+    let mut ctxs: Vec<ProcCtx> = Vec::with_capacity(p);
+    for (rank, rx_row) in receivers.into_iter().enumerate() {
+        // Rank's outgoing channels: senders[rank][dst] for every dst.
+        let out_row: Vec<Sender<Msg>> = senders[rank]
+            .iter()
+            .map(|s| s.clone().expect("mesh built"))
+            .collect();
+        ctxs.push(ProcCtx {
+            rank,
+            procs: p,
+            model,
+            time: 0.0,
+            path: CriticalPath::default(),
+            words_sent: 0,
+            messages_sent: 0,
+            flops: 0,
+            senders: out_row,
+            receivers: rx_row.into_iter().map(|r| r.expect("mesh built")).collect(),
+        });
+    }
+    drop(senders);
+
+    let program = &program;
+    let mut slots: Vec<Option<(T, RankClock)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ctxs
+            .into_iter()
+            .map(|mut ctx| {
+                scope.spawn(move || {
+                    let out = program(&mut ctx);
+                    (out, ctx.into_clock())
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            slots[rank] = Some(h.join().expect("rank panicked"));
+        }
+    });
+
+    let mut results = Vec::with_capacity(p);
+    let mut clocks = Vec::with_capacity(p);
+    for s in slots {
+        let (r, c) = s.expect("all ranks joined");
+        results.push(r);
+        clocks.push(c);
+    }
+    SpmdOutcome { results, clocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_of_sends_accumulates_path() {
+        let p = 4;
+        let out = run_spmd(p, CostModel::typical(), |ctx| {
+            let r = ctx.rank();
+            if r == 0 {
+                ctx.send(1, vec![1.0; 10]);
+                0.0
+            } else {
+                let v = ctx.recv(r - 1);
+                if r + 1 < ctx.procs() {
+                    ctx.send(r + 1, v.clone());
+                }
+                v[0]
+            }
+        });
+        assert_eq!(out.results, vec![0.0, 1.0, 1.0, 1.0]);
+        let cp = out.critical_path();
+        assert_eq!(cp.messages, 3, "three hops");
+        assert_eq!(cp.words, 30);
+    }
+
+    #[test]
+    fn bcast_delivers_to_everyone_logarithmically() {
+        let p = 8;
+        let out = run_spmd(p, CostModel::typical(), |ctx| {
+            let members: Vec<usize> = (0..ctx.procs()).collect();
+            let data = if ctx.rank() == 0 {
+                Some(vec![42.0; 5])
+            } else {
+                None
+            };
+            ctx.bcast(0, &members, data)[0]
+        });
+        assert!(out.results.iter().all(|&v| v == 42.0));
+        let cp = out.critical_path();
+        assert!(cp.messages <= 3, "binomial depth log2(8) = 3, got {}", cp.messages);
+    }
+
+    #[test]
+    fn compute_shows_up_in_the_path() {
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute(5000);
+                ctx.send(1, vec![0.0]);
+            } else {
+                ctx.recv(0);
+            }
+            ctx.rank()
+        });
+        assert_eq!(out.clocks[1].path.flops, 5000, "receiver inherits the sender's work");
+    }
+
+    #[test]
+    fn deterministic_clocks_across_runs() {
+        let run = || {
+            let out = run_spmd(4, CostModel::typical(), |ctx| {
+                let members: Vec<usize> = (0..4).collect();
+                let data = if ctx.rank() == 2 { Some(vec![1.0; 7]) } else { None };
+                ctx.bcast(2, &members, data);
+                ctx.compute(10 * (ctx.rank() as u64 + 1));
+            });
+            (out.makespan(), out.critical_path())
+        };
+        let (m1, c1) = run();
+        let (m2, c2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Cache-aware blocked ("tiled") storage (Figure 2, bottom left): each
+//! `b x b` block occupies contiguous memory, so a block moves in one
+//! message.  This is the "contiguous block storage" whose availability is
+//! what lets LAPACK's POTRF attain the latency lower bound (Conclusion 3).
+
+use crate::Layout;
+
+/// Block-contiguous storage with block size `b`.  Blocks are ordered
+/// column-major by block index; elements within a block are column-major.
+/// Edge blocks (when `b` does not divide the dimensions) are smaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocked {
+    rows: usize,
+    cols: usize,
+    b: usize,
+}
+
+impl Blocked {
+    /// A `rows x cols` blocked layout with `b x b` tiles.
+    pub fn new(rows: usize, cols: usize, b: usize) -> Self {
+        assert!(b > 0, "block size must be positive");
+        Blocked { rows, cols, b }
+    }
+
+    /// Square convenience constructor.
+    pub fn square(n: usize, b: usize) -> Self {
+        Self::new(n, n, b)
+    }
+
+    /// The tile size.
+    pub fn block_size(&self) -> usize {
+        self.b
+    }
+
+    /// Height of block-row `bi` (smaller at the ragged edge).
+    fn block_height(&self, bi: usize) -> usize {
+        (self.rows - bi * self.b).min(self.b)
+    }
+
+    /// Width of block-column `bj`.
+    fn block_width(&self, bj: usize) -> usize {
+        (self.cols - bj * self.b).min(self.b)
+    }
+
+    /// Linear offset of the first element of block `(bi, bj)`.
+    fn block_offset(&self, bi: usize, bj: usize) -> usize {
+        // All block-columns before bj are fully dense: rows * width each.
+        let before_cols: usize = (0..bj).map(|c| self.rows * self.block_width(c)).sum();
+        // Blocks above (bi, bj) within block-column bj.
+        let above: usize = (0..bi)
+            .map(|r| self.block_height(r) * self.block_width(bj))
+            .sum();
+        before_cols + above
+    }
+}
+
+impl Layout for Blocked {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        let (bi, bj) = (i / self.b, j / self.b);
+        let (li, lj) = (i % self.b, j % self.b);
+        self.block_offset(bi, bj) + li + lj * self.block_height(bi)
+    }
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+}
+
+/// Iterate the block coordinates `(bi, bj)` covering an `n x n` matrix
+/// with tile size `b`, lower triangle only (`bi >= bj`).
+pub fn lower_blocks(n: usize, b: usize) -> impl Iterator<Item = (usize, usize)> {
+    let nb = n.div_ceil(b);
+    (0..nb).flat_map(move |bj| (bj..nb).map(move |bi| (bi, bj)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::cells_block;
+    use std::collections::HashSet;
+
+    #[test]
+    fn blocked_is_a_bijection() {
+        for (r, c, b) in [(8, 8, 4), (9, 7, 4), (10, 10, 3), (5, 5, 8)] {
+            let l = Blocked::new(r, c, b);
+            let mut seen = HashSet::new();
+            for j in 0..c {
+                for i in 0..r {
+                    let a = l.addr(i, j);
+                    assert!(a < l.len(), "({i},{j}) in {r}x{c} b={b}");
+                    assert!(seen.insert(a), "collision ({i},{j}) in {r}x{c} b={b}");
+                }
+            }
+            assert_eq!(seen.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn aligned_block_is_one_run() {
+        let l = Blocked::square(16, 4);
+        let runs = l.runs_for(cells_block(4, 8, 4, 4));
+        assert_eq!(runs.len(), 1, "an aligned tile is contiguous");
+        assert_eq!(runs[0].len(), 16);
+    }
+
+    #[test]
+    fn unaligned_block_spans_few_runs() {
+        let l = Blocked::square(16, 4);
+        // A block straddling 4 tiles: at most 4 runs, not 4 per-column.
+        let runs = l.runs_for(cells_block(2, 2, 4, 4));
+        assert!(runs.len() <= 8, "straddling block stays O(1) runs, got {}", runs.len());
+    }
+
+    #[test]
+    fn column_in_blocked_storage_is_many_runs() {
+        // The dual of Section 3.1.1: columns are *not* contiguous in
+        // blocked storage (the naive algorithms suffer there).
+        let l = Blocked::square(16, 4);
+        let runs = l.runs_for(crate::region::cells_col_segment(3, 0, 16));
+        assert_eq!(runs.len(), 4, "one run per tile the column crosses");
+    }
+
+    #[test]
+    fn ragged_edge_blocks() {
+        let l = Blocked::new(10, 10, 4);
+        // Bottom-right edge block is 2x2 and still contiguous.
+        let runs = l.runs_for(cells_block(8, 8, 2, 2));
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    fn lower_blocks_enumeration() {
+        let v: Vec<_> = lower_blocks(8, 4).collect();
+        assert_eq!(v, vec![(0, 0), (1, 0), (1, 1)]);
+        assert_eq!(lower_blocks(12, 4).count(), 6);
+    }
+}

@@ -1,0 +1,142 @@
+//! Column-major and row-major full storage ("Full" in Figure 2).
+
+use crate::Layout;
+
+/// Full column-major storage: `addr(i, j) = i + j * rows`.  Columns are
+/// contiguous — the format LAPACK actually uses, and the reason its POTRF
+/// cannot attain the latency lower bound (Conclusion 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColMajor {
+    rows: usize,
+    cols: usize,
+}
+
+impl ColMajor {
+    /// A `rows x cols` column-major layout.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        ColMajor { rows, cols }
+    }
+
+    /// Square `n x n` convenience constructor.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+}
+
+impl Layout for ColMajor {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        i + j * self.rows
+    }
+    fn name(&self) -> &'static str {
+        "column-major"
+    }
+}
+
+/// Full row-major storage: `addr(i, j) = i * cols + j`.  Rows are
+/// contiguous; included because the paper notes every algorithm has a
+/// row-wise twin ("up-looking" / "down-looking") with identical costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMajor {
+    rows: usize,
+    cols: usize,
+}
+
+impl RowMajor {
+    /// A `rows x cols` row-major layout.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RowMajor { rows, cols }
+    }
+
+    /// Square `n x n` convenience constructor.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+}
+
+impl Layout for RowMajor {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols);
+        i * self.cols + j
+    }
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{cells_block, cells_col_segment};
+
+    #[test]
+    fn colmajor_addresses() {
+        let l = ColMajor::new(4, 3);
+        assert_eq!(l.addr(0, 0), 0);
+        assert_eq!(l.addr(3, 0), 3);
+        assert_eq!(l.addr(0, 1), 4);
+        assert_eq!(l.len(), 12);
+    }
+
+    #[test]
+    fn colmajor_column_is_one_run() {
+        let l = ColMajor::square(8);
+        let runs = l.runs_for(cells_col_segment(3, 2, 7));
+        assert_eq!(runs.len(), 1, "a column segment is contiguous");
+        assert_eq!(runs[0].len(), 5);
+    }
+
+    #[test]
+    fn colmajor_block_costs_width_messages() {
+        // Section 3.1.1: reading a b x b block from column-major storage
+        // takes b messages.
+        let l = ColMajor::square(16);
+        let b = 4;
+        let runs = l.runs_for(cells_block(5, 5, b, b));
+        assert_eq!(runs.len(), b);
+    }
+
+    #[test]
+    fn colmajor_full_height_block_is_one_run() {
+        // Columns j..j+w of the whole matrix are contiguous.
+        let l = ColMajor::square(8);
+        let runs = l.runs_for(cells_block(0, 2, 8, 3));
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 24);
+    }
+
+    #[test]
+    fn rowmajor_block_costs_height_messages() {
+        let l = RowMajor::square(16);
+        let runs = l.runs_for(cells_block(5, 5, 3, 4));
+        assert_eq!(runs.len(), 3);
+    }
+
+    #[test]
+    fn message_cap_splits_long_runs() {
+        let l = ColMajor::square(32);
+        // One 32-word column with a 8-word message cap: 4 messages.
+        assert_eq!(l.messages_for(cells_col_segment(0, 0, 32), Some(8)), 4);
+        assert_eq!(l.messages_for(cells_col_segment(0, 0, 32), None), 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! The "layered" data structure of Section 3.1.1: blocks sorted into
+//! contiguous sub-blocks, "where each sub-block is of a predefined
+//! (cache-aware) size.  This can go on for several such layers of
+//! sub-blocks.  This 'layered' data structure may fit a machine with
+//! several types of memories, ranging from slow and large to fast and
+//! small."
+//!
+//! A [`Layered`] layout is given a descending chain of block sizes
+//! `b_1 > b_2 > ... > b_d` (each dividing the previous, the first
+//! dividing `n`): the matrix is tiled by `b_1`-blocks in column-major
+//! block order; each block is tiled by `b_2`-sub-blocks; and so on, with
+//! element order column-major inside the innermost layer.  Every aligned
+//! block of every configured size is contiguous — the cache-aware
+//! analogue of what the Morton layout achieves obliviously.
+
+use crate::Layout;
+
+/// Multi-layer block-contiguous storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layered {
+    n: usize,
+    sizes: Vec<usize>,
+}
+
+impl Layered {
+    /// A layered layout for an `n x n` matrix with the given descending
+    /// block sizes.  Each size must divide the previous one (and the
+    /// first must divide `n`).
+    pub fn new(n: usize, sizes: Vec<usize>) -> Self {
+        assert!(!sizes.is_empty(), "need at least one layer");
+        assert!(n % sizes[0] == 0, "outer block size must divide n");
+        for w in sizes.windows(2) {
+            assert!(
+                w[1] < w[0] && w[0] % w[1] == 0,
+                "sizes must be strictly descending and nested"
+            );
+        }
+        Layered { n, sizes }
+    }
+
+    /// The configured layer sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+}
+
+impl Layout for Layered {
+    fn len(&self) -> usize {
+        self.n * self.n
+    }
+    fn rows(&self) -> usize {
+        self.n
+    }
+    fn cols(&self) -> usize {
+        self.n
+    }
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n);
+        let mut addr = 0usize;
+        let mut dim = self.n; // current enclosing block edge
+        let (mut i, mut j) = (i, j);
+        for &b in &self.sizes {
+            let per_block = b * b;
+            let blocks_per_edge = dim / b;
+            let (bi, bj) = (i / b, j / b);
+            // Column-major order of blocks within the enclosing block.
+            addr += (bi + bj * blocks_per_edge) * per_block;
+            i %= b;
+            j %= b;
+            dim = b;
+        }
+        // Innermost layer: column-major elements.
+        addr + i + j * dim
+    }
+    fn name(&self) -> &'static str {
+        "layered blocks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::cells_block;
+    use std::collections::HashSet;
+
+    #[test]
+    fn layered_is_a_bijection() {
+        for sizes in [vec![8usize], vec![8, 4], vec![16, 8, 2]] {
+            let l = Layered::new(16, sizes.clone());
+            let mut seen = HashSet::new();
+            for j in 0..16 {
+                for i in 0..16 {
+                    let a = l.addr(i, j);
+                    assert!(a < l.len(), "{sizes:?} ({i},{j})");
+                    assert!(seen.insert(a), "{sizes:?} collision at ({i},{j})");
+                }
+            }
+            assert_eq!(seen.len(), 256);
+        }
+    }
+
+    #[test]
+    fn every_configured_layer_is_contiguous() {
+        let l = Layered::new(32, vec![16, 4]);
+        for &b in &[16usize, 4] {
+            for bi in (0..32).step_by(b) {
+                for bj in (0..32).step_by(b) {
+                    let runs = l.runs_for(cells_block(bi, bj, b, b));
+                    assert_eq!(runs.len(), 1, "aligned {b}-block at ({bi},{bj})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intermediate_unconfigured_sizes_are_not_contiguous() {
+        // An 8-block is NOT an aligned unit of a (16, 4) layering.
+        let l = Layered::new(32, vec![16, 4]);
+        let runs = l.runs_for(cells_block(0, 0, 8, 8));
+        assert!(runs.len() > 1);
+    }
+
+    #[test]
+    fn single_layer_equals_blocked_contiguity() {
+        let l = Layered::new(12, vec![4]);
+        let runs = l.runs_for(cells_block(4, 8, 4, 4));
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_outer_size_panics() {
+        Layered::new(10, vec![4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "descending")]
+    fn non_nested_sizes_panic() {
+        Layered::new(16, vec![8, 3]);
+    }
+}

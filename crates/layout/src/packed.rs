@@ -1,0 +1,103 @@
+//! "Old packed" lower-triangular storage (Figure 2, top middle): columns of
+//! the lower triangle stored consecutively, saving half the space of full
+//! storage.
+
+use crate::Layout;
+
+/// Packed lower-triangular column-major storage for an `n x n` symmetric
+/// matrix: column `j` stores rows `j..n` contiguously, columns back to
+/// back.  `addr(i, j) = j*n - j(j-1)/2 + (i - j)` for `i >= j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedLower {
+    n: usize,
+}
+
+impl PackedLower {
+    /// Packed layout for an `n x n` lower triangle.
+    pub fn new(n: usize) -> Self {
+        PackedLower { n }
+    }
+
+    /// Offset of the first stored element of column `j`.
+    fn col_offset(&self, j: usize) -> usize {
+        // sum_{k < j} (n - k) = j*n - j*(j-1)/2
+        j * self.n - j * j.saturating_sub(1) / 2
+    }
+}
+
+impl Layout for PackedLower {
+    fn len(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+    fn rows(&self) -> usize {
+        self.n
+    }
+    fn cols(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j && i < self.n, "packed stores only the lower triangle");
+        self.col_offset(j) + (i - j)
+    }
+    fn stores(&self, i: usize, j: usize) -> bool {
+        i < self.n && j < self.n && i >= j
+    }
+    fn name(&self) -> &'static str {
+        "old packed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{cells_block, cells_col_segment};
+    use std::collections::HashSet;
+
+    #[test]
+    fn packed_is_a_bijection_onto_len() {
+        let n = 9;
+        let l = PackedLower::new(n);
+        let mut seen = HashSet::new();
+        for j in 0..n {
+            for i in j..n {
+                let a = l.addr(i, j);
+                assert!(a < l.len(), "address in range");
+                assert!(seen.insert(a), "no collision at ({i},{j})");
+            }
+        }
+        assert_eq!(seen.len(), l.len());
+    }
+
+    #[test]
+    fn packed_columns_are_contiguous() {
+        let l = PackedLower::new(10);
+        let runs = l.runs_for(cells_col_segment(4, 4, 10));
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 6);
+    }
+
+    #[test]
+    fn adjacent_columns_are_adjacent_in_memory() {
+        let l = PackedLower::new(6);
+        assert_eq!(l.addr(5, 0) + 1, l.addr(1, 1));
+    }
+
+    #[test]
+    fn off_diagonal_block_costs_width_messages() {
+        let l = PackedLower::new(16);
+        let runs = l.runs_for(cells_block(8, 2, 4, 4));
+        assert_eq!(runs.len(), 4, "column-major class behaviour");
+    }
+
+    #[test]
+    fn upper_triangle_not_stored() {
+        let l = PackedLower::new(5);
+        assert!(!l.stores(1, 3));
+        assert!(l.stores(3, 1));
+        // runs_for silently skips unstored cells
+        let runs = l.runs_for(cells_block(0, 0, 2, 2));
+        let total: usize = runs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 3);
+    }
+}

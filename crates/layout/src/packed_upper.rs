@@ -1,0 +1,103 @@
+//! Upper-triangular packed storage — the paper notes every packed format
+//! has "versions that are indexed to efficiently store the lower ... and
+//! upper triangular part of a matrix".  Storing `U = L^T` column-wise
+//! packs the *rows* of `L` contiguously, which is exactly what the
+//! row-wise ("up-looking") algorithms want.
+
+use crate::Layout;
+
+/// Packed upper-triangular column-major storage for an `n x n` symmetric
+/// matrix: column `j` stores rows `0..=j` contiguously, columns back to
+/// back; `addr(i, j) = j(j+1)/2 + i` for `i <= j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackedUpper {
+    n: usize,
+}
+
+impl PackedUpper {
+    /// Packed layout for an `n x n` upper triangle.
+    pub fn new(n: usize) -> Self {
+        PackedUpper { n }
+    }
+}
+
+impl Layout for PackedUpper {
+    fn len(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+    fn rows(&self) -> usize {
+        self.n
+    }
+    fn cols(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < self.n, "packed-upper stores only i <= j");
+        j * (j + 1) / 2 + i
+    }
+    fn stores(&self, i: usize, j: usize) -> bool {
+        j < self.n && i <= j
+    }
+    fn name(&self) -> &'static str {
+        "old packed (upper)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::PackedLower;
+    use std::collections::HashSet;
+
+    #[test]
+    fn packed_upper_is_a_tight_bijection() {
+        for n in [1usize, 2, 5, 9, 16] {
+            let l = PackedUpper::new(n);
+            let mut seen = HashSet::new();
+            for j in 0..n {
+                for i in 0..=j {
+                    let a = l.addr(i, j);
+                    assert!(a < l.len(), "n={n} ({i},{j})");
+                    assert!(seen.insert(a), "n={n} collision at ({i},{j})");
+                }
+            }
+            assert_eq!(seen.len(), l.len());
+        }
+    }
+
+    #[test]
+    fn upper_columns_are_contiguous() {
+        let l = PackedUpper::new(10);
+        let cells: Vec<_> = (0..=6).map(|i| (i, 6)).collect();
+        let runs = l.runs_for(cells);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 7);
+    }
+
+    #[test]
+    fn transpose_duality_with_packed_lower() {
+        // addr_upper(i, j) of U equals addr_lower(j, i) of L only up to
+        // the column-vs-row packing order; what matters is the *class*:
+        // the transposed cell set of a lower column is an upper row, and
+        // both are fragmentation duals.
+        let up = PackedUpper::new(8);
+        let lo = PackedLower::new(8);
+        // A row segment of the upper triangle (row 2, cols 2..8) is
+        // strided in upper packing...
+        let row_cells: Vec<_> = (2..8).map(|j| (2usize, j)).collect();
+        assert!(up.runs_for(row_cells.clone()).len() > 1);
+        // ...while its transpose (column 2, rows 2..8) is one run in
+        // lower packing.
+        let col_cells: Vec<_> = (2..8).map(|i| (i, 2usize)).collect();
+        assert_eq!(lo.runs_for(col_cells).len(), 1);
+    }
+
+    #[test]
+    fn lower_cells_are_not_stored() {
+        let l = PackedUpper::new(4);
+        assert!(!l.stores(3, 1));
+        assert!(l.stores(1, 3));
+        assert!(l.stores(2, 2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Cell-set helpers and address-run coalescing.
+
+use std::ops::Range;
+
+/// A maximal contiguous address run — one candidate message.
+pub type Run = Range<usize>;
+
+/// Coalesce a sorted, deduplicated address list into maximal contiguous
+/// runs.
+pub fn coalesce_sorted(addrs: &[usize]) -> Vec<Run> {
+    let mut runs = Vec::new();
+    let mut iter = addrs.iter().copied();
+    let Some(first) = iter.next() else {
+        return runs;
+    };
+    let mut start = first;
+    let mut end = first + 1;
+    for a in iter {
+        if a == end {
+            end += 1;
+        } else {
+            runs.push(start..end);
+            start = a;
+            end = a + 1;
+        }
+    }
+    runs.push(start..end);
+    runs
+}
+
+/// Cells of the `h x w` submatrix with top-left corner `(i0, j0)`,
+/// enumerated column by column.
+pub fn cells_block(i0: usize, j0: usize, h: usize, w: usize) -> impl Iterator<Item = (usize, usize)> {
+    (0..w).flat_map(move |dj| (0..h).map(move |di| (i0 + di, j0 + dj)))
+}
+
+/// Cells of a column segment: rows `i0..i1` of column `j`.
+pub fn cells_col_segment(j: usize, i0: usize, i1: usize) -> impl Iterator<Item = (usize, usize)> {
+    (i0..i1).map(move |i| (i, j))
+}
+
+/// Cells of the lower-triangular part (`i >= j` in *global* coordinates)
+/// of the `h x w` submatrix at `(i0, j0)`.  Used when only the referenced
+/// half of a symmetric matrix should be charged.
+pub fn cells_lower_block(
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    cells_block(i0, j0, h, w).filter(|&(i, j)| i >= j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_empty() {
+        assert!(coalesce_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn coalesce_single_run() {
+        assert_eq!(coalesce_sorted(&[3, 4, 5]), vec![3..6]);
+    }
+
+    #[test]
+    fn coalesce_gaps() {
+        assert_eq!(coalesce_sorted(&[1, 2, 5, 6, 9]), vec![1..3, 5..7, 9..10]);
+    }
+
+    #[test]
+    fn block_cells_count() {
+        assert_eq!(cells_block(2, 3, 4, 5).count(), 20);
+        let v: Vec<_> = cells_block(1, 1, 2, 2).collect();
+        assert_eq!(v, vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn col_segment_cells() {
+        let v: Vec<_> = cells_col_segment(4, 2, 5).collect();
+        assert_eq!(v, vec![(2, 4), (3, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn lower_block_filters() {
+        // 2x2 block at the diagonal keeps 3 of 4 cells.
+        assert_eq!(cells_lower_block(0, 0, 2, 2).count(), 3);
+        // Fully below-diagonal block keeps all.
+        assert_eq!(cells_lower_block(5, 0, 2, 2).count(), 4);
+        // Fully above-diagonal block keeps none.
+        assert_eq!(cells_lower_block(0, 5, 2, 2).count(), 0);
+    }
+}

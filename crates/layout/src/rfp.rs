@@ -1,0 +1,105 @@
+//! Rectangular Full Packed storage (Figure 2, top right).
+//!
+//! RFP packs the `n(n+1)/2` entries of a lower triangle into a dense
+//! `(n+1) x (n/2)` column-major rectangle with *uniform indexing* — the
+//! paper highlights it as the packed format with fast addressing.  This is
+//! the lower/'N'/even-`n` variant: the first `n/2` columns of the triangle
+//! are stored in place (shifted down one row), and the trailing triangle is
+//! stored transposed in the freed upper-left corner.
+
+use crate::Layout;
+
+/// Rectangular Full Packed layout for the lower triangle of an even-order
+/// `n x n` symmetric matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rfp {
+    n: usize,
+    k: usize, // n / 2
+}
+
+impl Rfp {
+    /// RFP layout for an `n x n` lower triangle.  `n` must be even (odd
+    /// orders have an analogous scheme; callers pad by one when needed).
+    pub fn new(n: usize) -> Self {
+        assert!(n % 2 == 0, "Rfp requires even n (pad odd orders)");
+        Rfp { n, k: n / 2 }
+    }
+}
+
+impl Layout for Rfp {
+    fn len(&self) -> usize {
+        (self.n + 1) * self.k
+    }
+    fn rows(&self) -> usize {
+        self.n
+    }
+    fn cols(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn addr(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i >= j && i < self.n, "RFP stores only the lower triangle");
+        let ld = self.n + 1; // leading dimension of the RFP rectangle
+        if j < self.k {
+            // A(i, j) -> R(i + 1, j)
+            (i + 1) + j * ld
+        } else {
+            // A(i, j), i >= j >= k  ->  R(j - k, i - k)  (stored transposed)
+            (j - self.k) + (i - self.k) * ld
+        }
+    }
+    fn stores(&self, i: usize, j: usize) -> bool {
+        i < self.n && j < self.n && i >= j
+    }
+    fn name(&self) -> &'static str {
+        "rectangular full packed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::cells_col_segment;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rfp_is_a_bijection_onto_len_minus_padding() {
+        for n in [2usize, 4, 6, 8, 12, 20] {
+            let l = Rfp::new(n);
+            let mut seen = HashSet::new();
+            for j in 0..n {
+                for i in j..n {
+                    let a = l.addr(i, j);
+                    assert!(a < l.len(), "n={n} ({i},{j}) addr {a} < {}", l.len());
+                    assert!(seen.insert(a), "n={n} collision at ({i},{j})");
+                }
+            }
+            // Exactly n(n+1)/2 distinct addresses; the rectangle has
+            // (n+1)(n/2) = n(n+1)/2 slots, so the packing is tight.
+            assert_eq!(seen.len(), l.len());
+        }
+    }
+
+    #[test]
+    fn leading_columns_are_contiguous() {
+        let l = Rfp::new(8);
+        let runs = l.runs_for(cells_col_segment(1, 1, 8));
+        assert_eq!(runs.len(), 1, "in-place stored column is one run");
+    }
+
+    #[test]
+    fn trailing_columns_are_rows_of_the_rectangle() {
+        // A trailing-triangle column is stored as a *row* of the RFP
+        // rectangle: strided, one message per element — the indexing is
+        // uniform but the contiguity direction flips.
+        let l = Rfp::new(8);
+        let runs = l.runs_for(cells_col_segment(6, 6, 8));
+        assert_eq!(runs.len(), 2);
+    }
+
+    #[test]
+    fn odd_order_panics() {
+        let r = std::panic::catch_unwind(|| Rfp::new(5));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! A matrix stored *in* a layout: the value container the instrumented
+//! algorithms operate on.
+
+use crate::Layout;
+use cholcomm_matrix::{Matrix, Scalar};
+
+/// A matrix laid out in memory according to `L`.  This is the "slow
+/// memory" image of the operand: algorithms index it through the layout's
+/// address map, and the tracers charge communication for the very same
+/// addresses.
+#[derive(Debug, Clone)]
+pub struct Laid<S, L: Layout> {
+    data: Vec<S>,
+    layout: L,
+}
+
+impl<S: Scalar, L: Layout> Laid<S, L> {
+    /// Zero-filled storage for the given layout.
+    pub fn zeros(layout: L) -> Self {
+        Laid {
+            data: vec![S::zero(); layout.len()],
+            layout,
+        }
+    }
+
+    /// Lay out a dense matrix.  Cells the format does not store (e.g. the
+    /// strict upper triangle of a packed format) are dropped.
+    pub fn from_matrix(m: &Matrix<S>, layout: L) -> Self {
+        assert_eq!(m.rows(), layout.rows(), "row mismatch");
+        assert_eq!(m.cols(), layout.cols(), "col mismatch");
+        let mut s = Self::zeros(layout);
+        for j in 0..m.cols() {
+            for i in 0..m.rows() {
+                if s.layout.stores(i, j) {
+                    let a = s.layout.addr(i, j);
+                    s.data[a] = m[(i, j)];
+                }
+            }
+        }
+        s
+    }
+
+    /// Read the matrix back out.  Unstored cells come back as zero (so a
+    /// packed factor returns the lower-triangular `L` with an explicit
+    /// zero upper triangle).
+    pub fn to_matrix(&self) -> Matrix<S> {
+        Matrix::from_fn(self.layout.rows(), self.layout.cols(), |i, j| {
+            if self.layout.stores(i, j) {
+                self.data[self.layout.addr(i, j)]
+            } else {
+                S::zero()
+            }
+        })
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> &L {
+        &self.layout
+    }
+
+    /// Element read through the address map.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> S {
+        self.data[self.layout.addr(i, j)]
+    }
+
+    /// Element write through the address map.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: S) {
+        let a = self.layout.addr(i, j);
+        self.data[a] = v;
+    }
+
+    /// In-place update through the address map.
+    #[inline]
+    pub fn update(&mut self, i: usize, j: usize, f: impl FnOnce(S) -> S) {
+        let a = self.layout.addr(i, j);
+        self.data[a] = f(self.data[a]);
+    }
+
+    /// Raw backing storage (for checksums and conversion).
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Blocked, ColMajor, Morton, PackedLower};
+    use cholcomm_matrix::spd;
+
+    #[test]
+    fn roundtrip_through_every_full_layout() {
+        let mut rng = spd::test_rng(5);
+        let a = spd::random_spd(12, &mut rng);
+        let cm = Laid::from_matrix(&a, ColMajor::square(12));
+        assert_eq!(cm.to_matrix(), a);
+        let bl = Laid::from_matrix(&a, Blocked::square(12, 5));
+        assert_eq!(bl.to_matrix(), a);
+        let mo = Laid::from_matrix(&a, Morton::square(12));
+        assert_eq!(mo.to_matrix(), a);
+    }
+
+    #[test]
+    fn packed_roundtrip_preserves_lower_triangle() {
+        let mut rng = spd::test_rng(6);
+        let a = spd::random_spd(9, &mut rng);
+        let p = Laid::from_matrix(&a, PackedLower::new(9));
+        let back = p.to_matrix();
+        for j in 0..9 {
+            for i in 0..9 {
+                if i >= j {
+                    assert_eq!(back[(i, j)], a[(i, j)]);
+                } else {
+                    assert_eq!(back[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn get_set_update() {
+        let mut s = Laid::<f64, _>::zeros(ColMajor::square(4));
+        s.set(2, 3, 7.0);
+        assert_eq!(s.get(2, 3), 7.0);
+        s.update(2, 3, |v| v + 1.0);
+        assert_eq!(s.get(2, 3), 8.0);
+    }
+}

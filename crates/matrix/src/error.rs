@@ -1,0 +1,70 @@
+//! Error types for matrix construction and factorization.
+
+use std::fmt;
+
+/// Errors surfaced by matrix operations and factorizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// An operation requiring a square matrix received an `rows x cols` one.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the violated constraint.
+        context: &'static str,
+    },
+    /// A Cholesky factorization encountered a non-positive pivot, so the
+    /// input was not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Index of the failing pivot (0-based).
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            MatrixError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            MatrixError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot} <= 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            MatrixError::NotSquare { rows: 2, cols: 3 }.to_string(),
+            "matrix must be square, got 2x3"
+        );
+        assert_eq!(
+            MatrixError::NotPositiveDefinite { pivot: 4 }.to_string(),
+            "matrix is not positive definite (pivot 4 <= 0)"
+        );
+        assert!(MatrixError::DimensionMismatch { context: "gemm" }
+            .to_string()
+            .contains("gemm"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_e: E) {}
+        takes_err(MatrixError::NotSquare { rows: 1, cols: 2 });
+    }
+}

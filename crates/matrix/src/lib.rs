@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # cholcomm-matrix
+//!
+//! Dense-matrix substrate for the `cholcomm` reproduction of
+//! *Communication-Optimal Parallel and Sequential Cholesky Decomposition*
+//! (Ballard, Demmel, Holtz, Schwartz — SPAA 2009).
+//!
+//! This crate provides everything the algorithm zoo sits on:
+//!
+//! * [`Scalar`] — the arithmetic abstraction shared by `f64`, `f32` and the
+//!   paper's "starred" values (`0*`/`1*`, implemented in `cholcomm-starred`).
+//!   The paper's Algorithm 1 runs an *unmodified* Cholesky routine over the
+//!   extended value set, so every kernel here is generic over [`Scalar`].
+//! * [`Matrix`] — a plain column-major dense matrix (the reference storage
+//!   against which the exotic layouts of `cholcomm-layout` are validated).
+//! * [`spd`] — generators for symmetric positive definite test and workload
+//!   matrices (random Gram matrices, RBF kernel matrices, classic examples).
+//! * [`kernels`] — reference BLAS-3-like kernels (`gemm`, `syrk`, `trsm`,
+//!   unblocked `potf2`) written exactly from Equations (5)–(6) of the paper.
+//! * [`tri`] — triangular solves and SPD system solution via the factor.
+//! * [`norms`] — Frobenius norms and factorization residuals used by every
+//!   correctness test in the workspace.
+
+pub mod dense;
+pub mod error;
+pub mod kernels;
+pub mod norms;
+pub mod scalar;
+pub mod spd;
+pub mod tri;
+
+pub use dense::Matrix;
+pub use error::MatrixError;
+pub use scalar::Scalar;

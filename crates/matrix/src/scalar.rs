@@ -1,0 +1,158 @@
+//! The scalar abstraction shared by real floating-point numbers and the
+//! paper's "starred" values.
+//!
+//! Section 2 of the paper extends the reals with two new quantities, `0*`
+//! and `1*`, whose arithmetic is given in Table 3, and observes that any
+//! classical Cholesky algorithm can be run unmodified over the extended
+//! value set ("attach an extra bit to every numerical value ... and modify
+//! every arithmetic operation to first check this bit").  Making the whole
+//! algorithm zoo generic over this trait is the Rust realisation of that
+//! observation: `f64` instantiates the ordinary algorithms, while the
+//! `Star` type in `cholcomm-starred` instantiates the reduction of
+//! Algorithm 1.
+
+use std::fmt::Debug;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Arithmetic required by every Cholesky kernel in the workspace.
+///
+/// The operation set is exactly what Equations (5) and (6) of the paper
+/// consume: `+`, `-`, `*`, `/`, square root, and the constants zero and
+/// one.  No comparison or ordering is required by the classical algorithm
+/// (there is no pivoting), which is what makes the starred extension work.
+pub trait Scalar:
+    Copy
+    + Clone
+    + PartialEq
+    + Debug
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Additive identity.
+    fn zero() -> Self;
+
+    /// Multiplicative identity.
+    fn one() -> Self;
+
+    /// Embed a real number into the scalar set.
+    fn from_f64(x: f64) -> Self;
+
+    /// Square root, as used on the diagonal in Equation (5).
+    fn sqrt(self) -> Self;
+
+    /// Magnitude used by norm computations.  Starred values, which carry no
+    /// real payload, report `0.0` so that norms measure only the real part
+    /// of a mixed matrix.
+    fn magnitude(self) -> f64;
+
+    /// `true` when the value is an ordinary finite real (used by
+    /// positive-definiteness checks, which only make sense for reals).
+    fn is_finite_real(self) -> bool;
+
+    /// Fused multiply-subtract accumulation `self - a * b`, the inner-loop
+    /// operation of both Equations (5) and (6).  Provided so exotic scalars
+    /// can keep the same operation count as the reals.
+    #[inline]
+    fn mul_sub(self, a: Self, b: Self) -> Self {
+        self - a * b
+    }
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn is_finite_real(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        f64::from(self.abs())
+    }
+    #[inline]
+    fn is_finite_real(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_axioms<S: Scalar>() {
+        let two = S::from_f64(2.0);
+        let four = S::from_f64(4.0);
+        assert_eq!(S::zero() + two, two);
+        assert_eq!(two * S::one(), two);
+        assert_eq!(four.sqrt(), two);
+        assert_eq!(four / two, two);
+        assert_eq!(-(-two), two);
+        assert_eq!(four.mul_sub(two, S::one()), two);
+        assert!(two.is_finite_real());
+    }
+
+    #[test]
+    fn f64_axioms() {
+        generic_axioms::<f64>();
+    }
+
+    #[test]
+    fn f32_axioms() {
+        generic_axioms::<f32>();
+    }
+
+    #[test]
+    fn magnitude_is_abs() {
+        assert_eq!((-3.5f64).magnitude(), 3.5);
+        assert_eq!((-3.5f32).magnitude(), 3.5);
+    }
+
+    #[test]
+    fn non_finite_reals_detected() {
+        assert!(!f64::NAN.is_finite_real());
+        assert!(!f64::INFINITY.is_finite_real());
+    }
+}

@@ -1,0 +1,257 @@
+//! Out-of-core blocked Cholesky: Algorithm 4 against the file, through a
+//! bounded tile cache.
+
+use crate::filemat::FileMatrix;
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use std::collections::HashMap;
+
+/// An LRU cache of tiles standing in for fast memory: at most
+/// `capacity_tiles` tiles resident; dirty tiles are written back on
+/// eviction and at the end.
+#[derive(Debug)]
+pub struct TileCache {
+    capacity_tiles: usize,
+    tiles: HashMap<(usize, usize), (Matrix<f64>, bool, u64)>, // (tile, dirty, last use)
+    tick: u64,
+}
+
+impl TileCache {
+    /// Cache holding at most `capacity_tiles` tiles.
+    pub fn new(capacity_tiles: usize) -> Self {
+        assert!(capacity_tiles >= 3, "Algorithm 4 needs three tiles resident");
+        TileCache {
+            capacity_tiles,
+            tiles: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn evict_if_full(&mut self, fm: &mut FileMatrix) -> std::io::Result<()> {
+        while self.tiles.len() >= self.capacity_tiles {
+            let (&key, _) = self
+                .tiles
+                .iter()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .expect("cache non-empty");
+            let (tile, dirty, _) = self.tiles.remove(&key).expect("just found");
+            if dirty {
+                fm.write_tile(key.0, key.1, &tile)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch a tile (from cache or disk).
+    pub fn get(&mut self, fm: &mut FileMatrix, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
+        self.tick += 1;
+        if let Some((t, _, last)) = self.tiles.get_mut(&(bi, bj)) {
+            *last = self.tick;
+            return Ok(t.clone());
+        }
+        self.evict_if_full(fm)?;
+        let t = fm.read_tile(bi, bj)?;
+        self.tiles.insert((bi, bj), (t.clone(), false, self.tick));
+        Ok(t)
+    }
+
+    /// Install an updated tile (marks it dirty).
+    pub fn put(&mut self, fm: &mut FileMatrix, bi: usize, bj: usize, tile: Matrix<f64>) -> std::io::Result<()> {
+        self.tick += 1;
+        if let Some(slot) = self.tiles.get_mut(&(bi, bj)) {
+            *slot = (tile, true, self.tick);
+            return Ok(());
+        }
+        self.evict_if_full(fm)?;
+        self.tiles.insert((bi, bj), (tile, true, self.tick));
+        Ok(())
+    }
+
+    /// Write every dirty tile back.
+    pub fn flush(&mut self, fm: &mut FileMatrix) -> std::io::Result<()> {
+        let mut keys: Vec<(usize, usize)> = self.tiles.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if let Some((tile, dirty, _)) = self.tiles.get(&key) {
+                if *dirty {
+                    fm.write_tile(key.0, key.1, tile)?;
+                }
+            }
+            if let Some(slot) = self.tiles.get_mut(&key) {
+                slot.1 = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Currently resident tiles.
+    pub fn resident(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+/// Out-of-core blocked right-looking Cholesky on the file, with a cache
+/// of `capacity_tiles` tiles.  Returns the I/O-visible error or the
+/// factorization error.
+pub fn ooc_potrf(fm: &mut FileMatrix, capacity_tiles: usize) -> Result<(), OocError> {
+    let nb = fm.nb();
+    let b = fm.b();
+    let n = fm.n();
+    let mut cache = TileCache::new(capacity_tiles);
+
+    for k in 0..nb {
+        // Factor the diagonal tile (edge tiles are zero-padded on disk;
+        // factor only the live part).
+        let mut diag = cache.get(fm, k, k)?;
+        let live = (n - k * b).min(b);
+        let mut live_part = diag.submatrix(0, 0, live, live);
+        if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(&mut live_part) {
+            return Err(OocError::NotPositiveDefinite { pivot: k * b + pivot });
+        }
+        diag.set_submatrix(0, 0, &live_part);
+        cache.put(fm, k, k, diag.clone())?;
+
+        // Panel solve.
+        for i in (k + 1)..nb {
+            let mut t = cache.get(fm, i, k)?;
+            // Solve against the live part of the diagonal tile; padded
+            // columns of the tile are zero and stay zero.
+            let mut x = t.submatrix(0, 0, b, live);
+            let l = diag.submatrix(0, 0, live, live);
+            trsm_right_lower_transpose(&mut x, &l);
+            t.set_submatrix(0, 0, &x);
+            cache.put(fm, i, k, t)?;
+        }
+
+        // Trailing update.
+        for j in (k + 1)..nb {
+            let lj = cache.get(fm, j, k)?;
+            for i in j..nb {
+                let li = cache.get(fm, i, k)?;
+                let mut t = cache.get(fm, i, j)?;
+                gemm_nt(&mut t, -1.0, &li, &lj);
+                cache.put(fm, i, j, t)?;
+            }
+        }
+    }
+    cache.flush(fm)?;
+    Ok(())
+}
+
+/// Errors from the out-of-core factorization.
+#[derive(Debug)]
+pub enum OocError {
+    /// Not positive definite at the given global pivot.
+    NotPositiveDefinite {
+        /// 0-based failing pivot.
+        pivot: usize,
+    },
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for OocError {
+    fn from(e: std::io::Error) -> Self {
+        OocError::Io(e)
+    }
+}
+
+impl std::fmt::Display for OocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OocError::NotPositiveDefinite { pivot } => {
+                write!(f, "not positive definite at pivot {pivot}")
+            }
+            OocError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filemat::scratch_path;
+    use cholcomm_matrix::{kernels, norms, spd};
+
+    #[test]
+    fn ooc_factors_match_in_memory() {
+        let mut rng = spd::test_rng(195);
+        for (n, b, cap) in [(32usize, 8usize, 4usize), (24, 8, 3), (40, 8, 6)] {
+            let a = spd::random_spd(n, &mut rng);
+            let path = scratch_path("factor");
+            let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+            ooc_potrf(&mut fm, cap).unwrap();
+            let got = fm.to_matrix().unwrap().lower_triangle().unwrap();
+            let mut want = a.clone();
+            kernels::potf2(&mut want).unwrap();
+            let want = want.lower_triangle().unwrap();
+            let diff = norms::max_abs_diff(&got, &want);
+            assert!(diff < 1e-9, "n={n} b={b} cap={cap}: {diff}");
+        }
+    }
+
+    #[test]
+    fn smaller_cache_means_more_real_io() {
+        let mut rng = spd::test_rng(196);
+        let n = 64;
+        let b = 8;
+        let a = spd::random_spd(n, &mut rng);
+
+        let mut io = Vec::new();
+        for cap in [3usize, 8, 40] {
+            let path = scratch_path(&format!("cap{cap}"));
+            let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+            ooc_potrf(&mut fm, cap).unwrap();
+            io.push(fm.stats().bytes_read);
+        }
+        assert!(io[0] > io[1], "cap 3 reads {} > cap 8 reads {}", io[0], io[1]);
+        assert!(io[1] > io[2], "cap 8 reads {} > cap 40 reads {}", io[1], io[2]);
+        // With the whole matrix cached, reads are compulsory only.
+        let tiles = (n / b) * (n / b);
+        assert!(io[2] <= (tiles * b * b * 8) as u64);
+    }
+
+    #[test]
+    fn seeks_follow_the_latency_story() {
+        // Block-contiguous on disk: tile moves are one seek + one stream,
+        // so seeks track the simulator's message counts.
+        let mut rng = spd::test_rng(197);
+        let n = 48;
+        let a = spd::random_spd(n, &mut rng);
+        let path = scratch_path("seeks");
+        let mut fm = FileMatrix::create(&path, &a, 8).unwrap();
+        ooc_potrf(&mut fm, 4).unwrap();
+        let s = fm.stats();
+        assert!(
+            s.seeks <= s.reads + s.writes + 1,
+            "each transfer is at most one seek: {s:?}"
+        );
+        assert!(s.reads > 0 && s.writes > 0);
+    }
+
+    #[test]
+    fn indefinite_detected_through_the_file() {
+        let mut m = cholcomm_matrix::Matrix::<f64>::identity(16);
+        m[(9, 9)] = -4.0;
+        let path = scratch_path("indef");
+        let mut fm = FileMatrix::create(&path, &m, 4).unwrap();
+        match ooc_potrf(&mut fm, 4) {
+            Err(OocError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 9),
+            other => panic!("expected pivot failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_sizes_work() {
+        let mut rng = spd::test_rng(198);
+        let a = spd::random_spd(21, &mut rng);
+        let path = scratch_path("ragged");
+        let mut fm = FileMatrix::create(&path, &a, 8).unwrap();
+        ooc_potrf(&mut fm, 5).unwrap();
+        let got = fm.to_matrix().unwrap();
+        let r = norms::cholesky_residual(&a, &got);
+        assert!(r < norms::residual_tolerance(21), "residual {r}");
+    }
+}

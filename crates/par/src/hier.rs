@@ -1,0 +1,270 @@
+//! Parallelism x memory hierarchy — the paper's explicit *future work*:
+//! "A 'real' computer may be more complicated than any model we have
+//! discussed so far, with both parallelism and multiple levels of memory
+//! hierarchy (where each sequential processor making up a parallel
+//! computer has multiple levels of cache) ... We leave lower and upper
+//! communication bounds on such processors for future work."
+//!
+//! This module takes the step the paper sketches: the same `PxPOTRF`
+//! schedule, but every processor additionally owns a *local* two-level
+//! memory (an LRU of `m_local` words over its block-contiguous local
+//! store), and each local tile operation touches it.  The report then
+//! carries both communication regimes at once: network words/messages on
+//! the critical path, and the worst per-processor local (DAM) traffic —
+//! which, with the blocked kernels, lands on the familiar
+//! `flops_per_proc / sqrt(m_local)` bandwidth curve.
+
+use crate::blockcyclic::DistMatrix;
+use cholcomm_cachesim::{Access, LruTracer, Tracer};
+use cholcomm_distsim::{CostModel, CriticalPath, Machine, ProcGrid};
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Outcome of a hierarchical run.
+#[derive(Debug)]
+pub struct HierReport {
+    /// The factor (verified by tests against the sequential reference).
+    pub factor: Matrix<f64>,
+    /// Network critical path (as in the flat model).
+    pub critical: CriticalPath,
+    /// Worst per-processor local memory traffic (words, messages).
+    pub max_local_words: u64,
+    /// See [`HierReport::max_local_words`].
+    pub max_local_messages: u64,
+}
+
+/// Per-processor local address space: every block a processor ever holds
+/// (owned or received) gets a stable contiguous `b*b`-word extent.
+struct LocalSpace {
+    base_of: HashMap<(usize, usize), usize>,
+    next: usize,
+    tile_words: usize,
+}
+
+impl LocalSpace {
+    fn new(tile_words: usize) -> Self {
+        LocalSpace {
+            base_of: HashMap::new(),
+            next: 0,
+            tile_words,
+        }
+    }
+    fn extent(&mut self, key: (usize, usize)) -> std::ops::Range<usize> {
+        let words = self.tile_words;
+        let base = *self.base_of.entry(key).or_insert_with(|| {
+            let b = self.next;
+            self.next += words;
+            b
+        });
+        base..base + words
+    }
+}
+
+/// `PxPOTRF` with per-processor local caches of `m_local` words.
+pub fn pxpotrf_hier(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+    m_local: usize,
+) -> Result<HierReport, MatrixError> {
+    assert!(
+        m_local >= 3 * b * b,
+        "local memory must hold three tiles (3 b^2 <= m_local)"
+    );
+    let grid = ProcGrid::square(p);
+    let mut dist = DistMatrix::distribute(a, b, grid);
+    let mut machine = Machine::new(p, model);
+    let nb = dist.nb();
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let tile_words = b * b;
+    let mut spaces: Vec<LocalSpace> = (0..p).map(|_| LocalSpace::new(tile_words)).collect();
+    let mut caches: Vec<LruTracer> = (0..p).map(|_| LruTracer::new(m_local)).collect();
+
+    // Touch helper: proc `q` moves tile `key` through its local cache.
+    let touch = |spaces: &mut Vec<LocalSpace>,
+                     caches: &mut Vec<LruTracer>,
+                     q: usize,
+                     key: (usize, usize),
+                     mode: Access| {
+        let r = spaces[q].extent(key);
+        caches[q].touch_runs(&[r], mode);
+    };
+
+    for bj in 0..nb {
+        let gcol = bj % pc;
+        let diag_owner = dist.owner(bj, bj);
+        {
+            let blk = dist.block_mut(bj, bj);
+            let h = blk.rows() as u64;
+            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(blk) {
+                return Err(MatrixError::NotPositiveDefinite { pivot: bj * b + pivot });
+            }
+            machine.compute(diag_owner, h * h * h / 3 + h * h);
+            touch(&mut spaces, &mut caches, diag_owner, (bj, bj), Access::Read);
+            touch(&mut spaces, &mut caches, diag_owner, (bj, bj), Access::Write);
+        }
+
+        let col_members = grid.col_ranks(gcol);
+        let h = dist.block(bj, bj).rows();
+        machine.broadcast(diag_owner, &col_members, h * (h + 1) / 2);
+        let diag_copy = dist.block(bj, bj).clone();
+        for &m in &col_members {
+            if m != diag_owner {
+                dist.deposit(m, bj, bj, diag_copy.clone());
+                // Receiving lands the tile in local memory.
+                touch(&mut spaces, &mut caches, m, (bj, bj), Access::Write);
+            }
+        }
+
+        for r in 0..pr {
+            let panel_proc = grid.rank(r, gcol);
+            let owned = dist.owned_panel_blocks(panel_proc, bj);
+            if owned.is_empty() {
+                continue;
+            }
+            let mut payload_words = 0usize;
+            let mut updated: Vec<(usize, Matrix<f64>)> = Vec::new();
+            for &bi in &owned {
+                let l_diag = dist.visible(panel_proc, bj, bj).clone();
+                touch(&mut spaces, &mut caches, panel_proc, (bj, bj), Access::Read);
+                let blk = dist.block_mut(bi, bj);
+                trsm_right_lower_transpose(blk, &l_diag);
+                let (bh, bw) = (blk.rows() as u64, blk.cols() as u64);
+                machine.compute(panel_proc, bh * bw * bw);
+                touch(&mut spaces, &mut caches, panel_proc, (bi, bj), Access::Read);
+                touch(&mut spaces, &mut caches, panel_proc, (bi, bj), Access::Write);
+                payload_words += (bh * bw) as usize;
+                updated.push((bi, blk.clone()));
+            }
+            let row_members = grid.row_ranks(r);
+            machine.broadcast(panel_proc, &row_members, payload_words);
+            for &m in &row_members {
+                if m != panel_proc {
+                    for (bi, blk) in &updated {
+                        dist.deposit(m, *bi, bj, blk.clone());
+                        touch(&mut spaces, &mut caches, m, (*bi, bj), Access::Write);
+                    }
+                }
+            }
+        }
+
+        let mut regroups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for bl in (bj + 1)..nb {
+            regroups.entry(dist.owner(bl, bl)).or_default().push(bl);
+        }
+        for (reproc, bls) in regroups {
+            let gc = bls[0] % pc;
+            let payload: usize = bls.iter().map(|&l| dist.block_words(l, bj)).sum();
+            let members = grid.col_ranks(gc);
+            machine.broadcast(reproc, &members, payload);
+            for &l in &bls {
+                touch(&mut spaces, &mut caches, reproc, (l, bj), Access::Read);
+                let blk = dist.visible(reproc, l, bj).clone();
+                for &m in &members {
+                    if m != reproc {
+                        dist.deposit(m, l, bj, blk.clone());
+                        touch(&mut spaces, &mut caches, m, (l, bj), Access::Write);
+                    }
+                }
+            }
+        }
+
+        for bl in (bj + 1)..nb {
+            for bk in bl..nb {
+                let q = dist.owner(bk, bl);
+                let lk = dist.visible(q, bk, bj).clone();
+                let ll = dist.visible(q, bl, bj).clone();
+                touch(&mut spaces, &mut caches, q, (bk, bj), Access::Read);
+                touch(&mut spaces, &mut caches, q, (bl, bj), Access::Read);
+                touch(&mut spaces, &mut caches, q, (bk, bl), Access::Read);
+                let blk = dist.block_mut(bk, bl);
+                gemm_nt(blk, -1.0, &lk, &ll);
+                let (bh, bw, kk) = (blk.rows() as u64, blk.cols() as u64, lk.cols() as u64);
+                machine.compute(q, 2 * bh * bw * kk);
+                touch(&mut spaces, &mut caches, q, (bk, bl), Access::Write);
+            }
+        }
+        dist.evict_received_panel(bj);
+    }
+
+    let (mut max_w, mut max_m) = (0u64, 0u64);
+    for c in &mut caches {
+        c.flush();
+        let s = c.total_stats();
+        max_w = max_w.max(s.words);
+        max_m = max_m.max(s.messages);
+    }
+    Ok(HierReport {
+        factor: dist.gather(),
+        critical: machine.critical_path(),
+        max_local_words: max_w,
+        max_local_messages: max_m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cholcomm_matrix::{kernels, norms, spd};
+
+    #[test]
+    fn hier_factors_match_sequential() {
+        let mut rng = spd::test_rng(210);
+        let n = 32;
+        let a = spd::random_spd(n, &mut rng);
+        let rep = pxpotrf_hier(&a, 8, 4, CostModel::counting(), 512).unwrap();
+        let mut want = a.clone();
+        kernels::potf2(&mut want).unwrap();
+        let d = norms::max_abs_diff(&rep.factor, &want.lower_triangle().unwrap());
+        assert!(d < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn bigger_local_memory_cuts_local_traffic() {
+        let mut rng = spd::test_rng(211);
+        let n = 64;
+        let b = 8;
+        let a = spd::random_spd(n, &mut rng);
+        let small = pxpotrf_hier(&a, b, 4, CostModel::counting(), 3 * b * b).unwrap();
+        let big = pxpotrf_hier(&a, b, 4, CostModel::counting(), 64 * b * b).unwrap();
+        assert!(
+            big.max_local_words < small.max_local_words,
+            "local cache should help: {} vs {}",
+            big.max_local_words,
+            small.max_local_words
+        );
+        // Network side is unchanged by the local hierarchy.
+        assert_eq!(small.critical.words, big.critical.words);
+        assert_eq!(small.critical.messages, big.critical.messages);
+    }
+
+    #[test]
+    fn local_traffic_is_bounded_by_the_dam_curve() {
+        // Per-proc local words should sit near
+        // flops_per_proc / sqrt(m_local) * O(1) — the sequential bandwidth
+        // law applied inside each node.
+        let mut rng = spd::test_rng(212);
+        let n = 64;
+        let b = 8;
+        let p = 4;
+        let a = spd::random_spd(n, &mut rng);
+        let m_local = 3 * b * b;
+        let rep = pxpotrf_hier(&a, b, p, CostModel::counting(), m_local).unwrap();
+        let flops_per_proc = (n as f64).powi(3) / (3.0 * p as f64);
+        let dam_scale = flops_per_proc / (m_local as f64).sqrt();
+        let ratio = rep.max_local_words as f64 / dam_scale;
+        assert!(ratio < 12.0, "local words {} vs DAM scale {dam_scale:.0} (ratio {ratio:.1})", rep.max_local_words);
+    }
+
+    #[test]
+    fn rejects_local_memory_smaller_than_three_tiles() {
+        let a = Matrix::<f64>::identity(16);
+        let r = std::panic::catch_unwind(|| {
+            pxpotrf_hier(&a, 8, 4, CostModel::counting(), 100)
+        });
+        assert!(r.is_err());
+    }
+}

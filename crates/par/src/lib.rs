@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # cholcomm-par
+//!
+//! Parallel Cholesky, two ways:
+//!
+//! * [`pxpotrf`] — ScaLAPACK's `PxPOTRF` (Algorithm 9 of the paper) over
+//!   the block-cyclically distributed matrix of Figure 6, running on the
+//!   deterministic message-passing simulator of `cholcomm-distsim`.  Real
+//!   block payloads move along real broadcast trees, so the factor is
+//!   numerically verifiable while critical-path words, messages, and
+//!   flops are metered — this regenerates Table 2.
+//! * [`shared`] — an actual shared-memory parallel Cholesky built on
+//!   rayon: a tiled right-looking factorization with data-parallel panel
+//!   and trailing updates, and a fork-join recursive (AP00-shaped)
+//!   factorization.  These demonstrate that the communication-optimal
+//!   *schedules* of the paper are also the natural parallel ones.
+
+pub mod blockcyclic;
+pub mod hier;
+pub mod matmul25d;
+pub mod onedim;
+pub mod pxpotrf;
+pub mod shared;
+pub mod spmd;
+pub mod wavefront;
+
+pub use blockcyclic::DistMatrix;
+pub use hier::{pxpotrf_hier, HierReport};
+pub use matmul25d::{matmul_25d, Mm25dReport};
+pub use onedim::pxpotrf_1d;
+pub use pxpotrf::{pxpotrf, PxPotrfReport};
+pub use shared::{par_recursive_potrf, par_tiled_potrf};
+pub use spmd::{spmd_pxpotrf, SpmdReport};
+pub use wavefront::wavefront_potrf;

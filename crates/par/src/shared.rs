@@ -1,0 +1,415 @@
+//! Real shared-memory parallel Cholesky on rayon.
+//!
+//! Two schedules, mirroring the two communication-optimal sequential
+//! shapes of the paper:
+//!
+//! * [`par_tiled_potrf`] — the ScaLAPACK/LAPACK shape: a right-looking
+//!   tiled factorization whose panel solves and trailing rank-`b` updates
+//!   are data-parallel over tiles (safe, clone-a-panel design).
+//! * [`par_recursive_potrf`] — the Ahmed–Pingali shape: fork-join
+//!   recursion where the recursive TRSM splits its rows and the recursive
+//!   SYRK/GEMM splits its output block, each half running on its own
+//!   rayon task.  Disjointness of the output regions is guaranteed by the
+//!   recursion structure (the same argument that makes the sequential
+//!   algorithm correct), which is what licenses the small unsafe shared
+//!   pointer underneath.
+
+use cholcomm_matrix::kernels::{potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use rayon::join;
+
+/// Parallel tiled right-looking Cholesky with tile size `b`.
+pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    assert!(b > 0);
+    let nb = n.div_ceil(b);
+    let idx = |bi: usize, bj: usize| bi * (bi + 1) / 2 + bj;
+
+    // Tile-ize the lower triangle.
+    let mut tiles: Vec<Matrix<f64>> = Vec::with_capacity(nb * (nb + 1) / 2);
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            let (i0, j0) = (bi * b, bj * b);
+            tiles.push(a.submatrix(i0, j0, (n - i0).min(b), (n - j0).min(b)));
+        }
+    }
+
+    for k in 0..nb {
+        // Diagonal factorization (sequential; O(b^3) work).
+        {
+            let t = &mut tiles[idx(k, k)];
+            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(t) {
+                return Err(MatrixError::NotPositiveDefinite {
+                    pivot: k * b + pivot,
+                });
+            }
+        }
+        let diag = tiles[idx(k, k)].clone();
+
+        // Panel solve: tiles (i, k), i > k, in parallel.
+        use rayon::prelude::*;
+        tiles.par_iter_mut().enumerate().for_each(|(t_idx, tile)| {
+            let (bi, bj) = tile_coords(t_idx);
+            if bj == k && bi > k {
+                trsm_right_lower_transpose(tile, &diag);
+            }
+        });
+
+        // Snapshot the factored panel for the trailing update.
+        let panel: Vec<Option<Matrix<f64>>> = (0..nb)
+            .map(|bi| {
+                if bi > k {
+                    Some(tiles[idx(bi, k)].clone())
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Trailing update: tiles (i, j) with j > k, i >= j, in parallel.
+        tiles.par_iter_mut().enumerate().for_each(|(t_idx, tile)| {
+            let (bi, bj) = tile_coords(t_idx);
+            if bj > k && bi >= bj {
+                let (li, lj) = (
+                    panel[bi].as_ref().expect("panel tile"),
+                    panel[bj].as_ref().expect("panel tile"),
+                );
+                cholcomm_matrix::kernels::gemm_nt(tile, -1.0, li, lj);
+            }
+        });
+    }
+
+    // Write the factored tiles back (zeroing the strict upper triangle).
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            a.set_submatrix(bi * b, bj * b, &tiles[idx(bi, bj)]);
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Inverse of the triangular tile index.
+fn tile_coords(t_idx: usize) -> (usize, usize) {
+    // Largest bi with bi(bi+1)/2 <= t_idx.
+    let mut bi = ((((8 * t_idx + 1) as f64).sqrt() - 1.0) / 2.0) as usize;
+    while (bi + 1) * (bi + 2) / 2 <= t_idx {
+        bi += 1;
+    }
+    while bi * (bi + 1) / 2 > t_idx {
+        bi -= 1;
+    }
+    (bi, t_idx - bi * (bi + 1) / 2)
+}
+
+/// A raw shared view of a square column-major matrix, for the fork-join
+/// recursion.
+///
+/// # Safety contract
+/// Tasks created through [`join`] write only to pairwise-disjoint index
+/// regions (the recursion splits its *output* block and hands each half
+/// to one task), and never write a region another live task reads.  This
+/// is the same disjointness argument that proves the sequential recursion
+/// correct; the wrapper merely lets both halves proceed concurrently.
+#[derive(Clone, Copy)]
+struct SharedMat {
+    ptr: *mut f64,
+    n: usize,
+}
+
+unsafe impl Send for SharedMat {}
+unsafe impl Sync for SharedMat {}
+
+impl SharedMat {
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        unsafe { *self.ptr.add(i + j * self.n) }
+    }
+    #[inline]
+    fn set(&self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n && j < self.n);
+        unsafe { *self.ptr.add(i + j * self.n) = v }
+    }
+}
+
+/// Fork-join recursive Cholesky (the parallel rendition of Algorithm 6).
+/// `cutoff` is the sequential base-case size.
+pub fn par_recursive_potrf(a: &mut Matrix<f64>, cutoff: usize) -> Result<(), MatrixError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    assert!(cutoff >= 1);
+    let m = SharedMat {
+        ptr: a.as_mut_slice().as_mut_ptr(),
+        n,
+    };
+    rchol(m, 0, n, cutoff)?;
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+fn rchol(m: SharedMat, o: usize, n: usize, cutoff: usize) -> Result<(), MatrixError> {
+    if n == 0 {
+        return Ok(());
+    }
+    if n <= cutoff {
+        return leaf_chol(m, o, n);
+    }
+    let n1 = n / 2;
+    let n2 = n - n1;
+    rchol(m, o, n1, cutoff)?;
+    par_rtrsm(m, (o + n1, o), n2, n1, (o, o), cutoff);
+    par_gemm_nt(m, (o + n1, o + n1), (o + n1, o), (o + n1, o), n2, n2, n1, true, cutoff);
+    rchol(m, o + n1, n2, cutoff)
+}
+
+fn leaf_chol(m: SharedMat, o: usize, n: usize) -> Result<(), MatrixError> {
+    for j in 0..n {
+        let mut d = m.get(o + j, o + j);
+        for k in 0..j {
+            let v = m.get(o + j, o + k);
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(MatrixError::NotPositiveDefinite { pivot: o + j });
+        }
+        let ljj = d.sqrt();
+        m.set(o + j, o + j, ljj);
+        for i in (j + 1)..n {
+            let mut v = m.get(o + i, o + j);
+            for k in 0..j {
+                v -= m.get(o + i, o + k) * m.get(o + j, o + k);
+            }
+            m.set(o + i, o + j, v / ljj);
+        }
+    }
+    Ok(())
+}
+
+/// Parallel recursive solve `X * L^T = X` (rows of `X` split across
+/// tasks; both halves write disjoint rows).
+fn par_rtrsm(m: SharedMat, x0: (usize, usize), rows: usize, nc: usize, l0: (usize, usize), cutoff: usize) {
+    if rows == 0 || nc == 0 {
+        return;
+    }
+    if rows <= cutoff && nc <= cutoff {
+        for j in 0..nc {
+            for k in 0..j {
+                let ljk = m.get(l0.0 + j, l0.1 + k);
+                for i in 0..rows {
+                    let v = m.get(x0.0 + i, x0.1 + j) - m.get(x0.0 + i, x0.1 + k) * ljk;
+                    m.set(x0.0 + i, x0.1 + j, v);
+                }
+            }
+            let ljj = m.get(l0.0 + j, l0.1 + j);
+            for i in 0..rows {
+                let v = m.get(x0.0 + i, x0.1 + j) / ljj;
+                m.set(x0.0 + i, x0.1 + j, v);
+            }
+        }
+        return;
+    }
+    if rows > nc || nc <= cutoff {
+        let r1 = rows / 2;
+        // The two row-halves write disjoint regions and share read-only L.
+        join(
+            || par_rtrsm(m, x0, r1, nc, l0, cutoff),
+            || par_rtrsm(m, (x0.0 + r1, x0.1), rows - r1, nc, l0, cutoff),
+        );
+    } else {
+        let n1 = nc / 2;
+        let n2 = nc - n1;
+        par_rtrsm(m, x0, rows, n1, l0, cutoff);
+        par_gemm_nt(m, (x0.0, x0.1 + n1), x0, (l0.0 + n1, l0.1), rows, n2, n1, false, cutoff);
+        par_rtrsm(m, (x0.0, x0.1 + n1), rows, n2, (l0.0 + n1, l0.1 + n1), cutoff);
+    }
+}
+
+/// Parallel recursive `C -= A * B^T` over regions of the shared matrix;
+/// splits of the output block fork, splits of the inner dimension stay
+/// sequential (both halves write the same `C`).
+#[allow(clippy::too_many_arguments)]
+fn par_gemm_nt(
+    m: SharedMat,
+    c0: (usize, usize),
+    a0: (usize, usize),
+    b0: (usize, usize),
+    rows: usize,
+    cols: usize,
+    inner: usize,
+    lower_only: bool,
+    cutoff: usize,
+) {
+    if rows == 0 || cols == 0 || inner == 0 {
+        return;
+    }
+    if lower_only && c0.0 + rows <= c0.1 {
+        return;
+    }
+    if rows.max(cols).max(inner) <= cutoff {
+        for j in 0..cols {
+            for k in 0..inner {
+                let bjk = m.get(b0.0 + j, b0.1 + k);
+                for i in 0..rows {
+                    if lower_only && c0.0 + i < c0.1 + j {
+                        continue;
+                    }
+                    let v = m.get(c0.0 + i, c0.1 + j) - m.get(a0.0 + i, a0.1 + k) * bjk;
+                    m.set(c0.0 + i, c0.1 + j, v);
+                }
+            }
+        }
+        return;
+    }
+    if rows >= cols && rows >= inner {
+        let r1 = rows / 2;
+        join(
+            || par_gemm_nt(m, c0, a0, b0, r1, cols, inner, lower_only, cutoff),
+            || {
+                par_gemm_nt(
+                    m,
+                    (c0.0 + r1, c0.1),
+                    (a0.0 + r1, a0.1),
+                    b0,
+                    rows - r1,
+                    cols,
+                    inner,
+                    lower_only,
+                    cutoff,
+                )
+            },
+        );
+    } else if inner >= cols {
+        let k1 = inner / 2;
+        par_gemm_nt(m, c0, a0, b0, rows, cols, k1, lower_only, cutoff);
+        par_gemm_nt(
+            m,
+            c0,
+            (a0.0, a0.1 + k1),
+            (b0.0, b0.1 + k1),
+            rows,
+            cols,
+            inner - k1,
+            lower_only,
+            cutoff,
+        );
+    } else {
+        let c1 = cols / 2;
+        join(
+            || par_gemm_nt(m, c0, a0, b0, rows, c1, inner, lower_only, cutoff),
+            || {
+                par_gemm_nt(
+                    m,
+                    (c0.0, c0.1 + c1),
+                    a0,
+                    (b0.0 + c1, b0.1),
+                    rows,
+                    cols - c1,
+                    inner,
+                    lower_only,
+                    cutoff,
+                )
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cholcomm_matrix::{norms, spd};
+
+    #[test]
+    fn tiled_matches_sequential() {
+        let mut rng = spd::test_rng(120);
+        for (n, b) in [(16usize, 4usize), (33, 8), (40, 7), (12, 16)] {
+            let a = spd::random_spd(n, &mut rng);
+            let mut f = a.clone();
+            par_tiled_potrf(&mut f, b).unwrap();
+            let r = norms::cholesky_residual(&a, &f);
+            assert!(r < norms::residual_tolerance(n), "n={n} b={b}: {r}");
+        }
+    }
+
+    #[test]
+    fn recursive_matches_sequential() {
+        let mut rng = spd::test_rng(121);
+        for (n, cutoff) in [(16usize, 4usize), (33, 8), (64, 16), (10, 1)] {
+            let a = spd::random_spd(n, &mut rng);
+            let mut f = a.clone();
+            par_recursive_potrf(&mut f, cutoff).unwrap();
+            let r = norms::cholesky_residual(&a, &f);
+            assert!(r < norms::residual_tolerance(n), "n={n} cutoff={cutoff}: {r}");
+        }
+    }
+
+    #[test]
+    fn both_agree_with_each_other() {
+        let mut rng = spd::test_rng(122);
+        let n = 48;
+        let a = spd::random_spd(n, &mut rng);
+        let mut f1 = a.clone();
+        par_tiled_potrf(&mut f1, 8).unwrap();
+        let mut f2 = a.clone();
+        par_recursive_potrf(&mut f2, 8).unwrap();
+        assert!(norms::max_abs_diff(&f1, &f2) < 1e-8);
+    }
+
+    #[test]
+    fn tile_coords_roundtrip() {
+        let idx = |bi: usize, bj: usize| bi * (bi + 1) / 2 + bj;
+        for bi in 0..20 {
+            for bj in 0..=bi {
+                assert_eq!(tile_coords(idx(bi, bj)), (bi, bj));
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_detects_indefinite() {
+        let mut m = Matrix::<f64>::identity(8);
+        m[(5, 5)] = -2.0;
+        let err = par_tiled_potrf(&mut m, 4).unwrap_err();
+        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 5 });
+    }
+
+    #[test]
+    fn recursive_detects_indefinite() {
+        let mut m = Matrix::<f64>::identity(8);
+        m[(6, 6)] = -2.0;
+        let err = par_recursive_potrf(&mut m, 2).unwrap_err();
+        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 6 });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Fork-join changes scheduling, not the arithmetic DAG: results
+        // must be bit-identical run to run.
+        let mut rng = spd::test_rng(123);
+        let a = spd::random_spd(32, &mut rng);
+        let mut f1 = a.clone();
+        par_recursive_potrf(&mut f1, 4).unwrap();
+        let mut f2 = a.clone();
+        par_recursive_potrf(&mut f2, 4).unwrap();
+        assert_eq!(f1, f2);
+    }
+}

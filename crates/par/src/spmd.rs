@@ -1,0 +1,303 @@
+//! `PxPOTRF` as a true SPMD program: every rank runs the same
+//! per-processor code on its own OS thread, exchanging real block
+//! payloads through the channel mesh of
+//! [`cholcomm_distsim::threaded`] — the same Algorithm 9 schedule as
+//! [`crate::pxpotrf`], but with genuine concurrency instead of a
+//! sequential simulation.
+//!
+//! Every rank derives the global communication schedule independently
+//! from `(n, b, P)` (who owns which block, who broadcasts when), which is
+//! exactly how a ScaLAPACK process behaves: the schedule is a pure
+//! function of the problem geometry, so no coordination messages are
+//! needed beyond the data itself.
+
+use cholcomm_distsim::threaded::{run_spmd, ProcCtx, SpmdOutcome};
+use cholcomm_distsim::{CostModel, ProcGrid};
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use std::collections::HashMap;
+
+/// Outcome of the SPMD run.
+#[derive(Debug)]
+pub struct SpmdReport {
+    /// The gathered factor.
+    pub factor: Matrix<f64>,
+    /// Critical path of the slowest rank.
+    pub critical: cholcomm_distsim::CriticalPath,
+    /// Simulated makespan.
+    pub makespan: f64,
+}
+
+fn pack(m: &Matrix<f64>) -> Vec<f64> {
+    m.as_slice().to_vec()
+}
+
+fn unpack(v: &[f64], rows: usize, cols: usize) -> Matrix<f64> {
+    assert_eq!(v.len(), rows * cols);
+    // Column-major, matching Matrix's internal layout.
+    Matrix::from_fn(rows, cols, |i, j| v[i + j * rows])
+}
+
+/// Block dimensions of `(bi, bj)` for an `n`-order matrix with block
+/// size `b`.
+fn dims(n: usize, b: usize, bi: usize, bj: usize) -> (usize, usize) {
+    ((n - bi * b).min(b), (n - bj * b).min(b))
+}
+
+/// Run Algorithm 9 as an SPMD program on `p` threads.
+pub fn spmd_pxpotrf(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+) -> Result<SpmdReport, MatrixError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    let grid = ProcGrid::square(p);
+    let nb = n.div_ceil(b);
+    let (pr, pc) = (grid.rows(), grid.cols());
+
+    // Each rank's program; returns (owned blocks, first failed pivot).
+    type RankOut = (HashMap<(usize, usize), Matrix<f64>>, Option<usize>);
+    let program = |ctx: &mut ProcCtx| -> RankOut {
+        let me = ctx.rank();
+        let (my_row, my_col) = grid.coords(me);
+        // Local state: my owned blocks (from the input), plus a cache of
+        // received blocks keyed like the sequential DistMatrix.
+        let mut owned: HashMap<(usize, usize), Matrix<f64>> = HashMap::new();
+        for bj in 0..nb {
+            for bi in bj..nb {
+                if grid.block_owner(bi, bj) == me {
+                    let (h, w) = dims(n, b, bi, bj);
+                    owned.insert((bi, bj), a.submatrix(bi * b, bj * b, h, w));
+                }
+            }
+        }
+        let mut cache: HashMap<(usize, usize), Matrix<f64>> = HashMap::new();
+        let mut failed: Option<usize> = None;
+
+        for bj in 0..nb {
+            let gcol = bj % pc;
+            let (dh, _) = dims(n, b, bj, bj);
+            let diag_owner = grid.block_owner(bj, bj);
+
+            // Factor the diagonal block.
+            if me == diag_owner {
+                let blk = owned.get_mut(&(bj, bj)).expect("owner holds diag");
+                if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(blk) {
+                    failed.get_or_insert(bj * b + pivot);
+                }
+                ctx.compute((dh as u64).pow(3) / 3 + (dh as u64).pow(2));
+            }
+
+            // Column broadcast of the factored diagonal block.
+            if my_col == gcol {
+                let members = grid.col_ranks(gcol);
+                let payload = if me == diag_owner {
+                    Some(pack(&owned[&(bj, bj)]))
+                } else {
+                    None
+                };
+                let data = ctx.bcast(diag_owner, &members, payload);
+                if me != diag_owner {
+                    cache.insert((bj, bj), unpack(&data, dh, dh));
+                }
+            }
+
+            // Panel TRSM + aggregated row broadcasts.  Every rank derives
+            // each grid row's panel-block list locally.
+            for r in 0..pr {
+                let panel_proc = grid.rank(r, gcol);
+                let blocks: Vec<usize> = ((bj + 1)..nb).filter(|bi| bi % pr == r).collect();
+                if blocks.is_empty() {
+                    continue;
+                }
+                if me == panel_proc {
+                    let diag = if me == diag_owner {
+                        owned[&(bj, bj)].clone()
+                    } else {
+                        cache[&(bj, bj)].clone()
+                    };
+                    let mut payload = Vec::new();
+                    for &bi in &blocks {
+                        let blk = owned.get_mut(&(bi, bj)).expect("panel owner");
+                        trsm_right_lower_transpose(blk, &diag);
+                        let (bh, bw) = (blk.rows() as u64, blk.cols() as u64);
+                        ctx.compute(bh * bw * bw);
+                        payload.extend_from_slice(blk.as_slice());
+                    }
+                    if pr > 1 {
+                        ctx.bcast(panel_proc, &grid.row_ranks(r), Some(payload));
+                    }
+                } else if my_row == r && pr > 1 {
+                    let data = ctx.bcast(panel_proc, &grid.row_ranks(r), None);
+                    let mut off = 0;
+                    for &bi in &blocks {
+                        let (bh, bw) = dims(n, b, bi, bj);
+                        cache.insert((bi, bj), unpack(&data[off..off + bh * bw], bh, bw));
+                        off += bh * bw;
+                    }
+                }
+            }
+
+            // Diagonal owners re-broadcast panel blocks down columns.
+            // Group trailing block-rows by their diagonal owner, exactly
+            // as the sequential driver does (BTreeMap order).
+            let mut regroups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for bl in (bj + 1)..nb {
+                regroups.entry(grid.block_owner(bl, bl)).or_default().push(bl);
+            }
+            for (reproc, bls) in regroups {
+                let gc = bls[0] % pc;
+                if my_col != gc || pc <= 1 {
+                    continue;
+                }
+                let members = grid.col_ranks(gc);
+                if me == reproc {
+                    let mut payload = Vec::new();
+                    for &l in &bls {
+                        let blk = owned
+                            .get(&(l, bj))
+                            .or_else(|| cache.get(&(l, bj)))
+                            .expect("re-broadcaster has the panel block");
+                        payload.extend_from_slice(blk.as_slice());
+                    }
+                    ctx.bcast(reproc, &members, Some(payload));
+                } else {
+                    let data = ctx.bcast(reproc, &members, None);
+                    let mut off = 0;
+                    for &l in &bls {
+                        let (bh, bw) = dims(n, b, l, bj);
+                        cache.insert((l, bj), unpack(&data[off..off + bh * bw], bh, bw));
+                        off += bh * bw;
+                    }
+                }
+            }
+
+            // Trailing update of my blocks.
+            for bl in (bj + 1)..nb {
+                for bk in bl..nb {
+                    if grid.block_owner(bk, bl) != me {
+                        continue;
+                    }
+                    let lk = owned
+                        .get(&(bk, bj))
+                        .or_else(|| cache.get(&(bk, bj)))
+                        .expect("L(k,j) available")
+                        .clone();
+                    let ll = owned
+                        .get(&(bl, bj))
+                        .or_else(|| cache.get(&(bl, bj)))
+                        .expect("L(l,j) available")
+                        .clone();
+                    let blk = owned.get_mut(&(bk, bl)).expect("trailing owner");
+                    gemm_nt(blk, -1.0, &lk, &ll);
+                    let (bh, bw, kk) = (blk.rows() as u64, blk.cols() as u64, lk.cols() as u64);
+                    ctx.compute(2 * bh * bw * kk);
+                }
+            }
+
+            // Evict the dead panel's received copies (memory scalability).
+            cache.retain(|&(_, col), _| col != bj);
+        }
+        (owned, failed)
+    };
+
+    let out: SpmdOutcome<RankOut> = run_spmd(p, model, program);
+
+    // Surface the first failing pivot, if any.
+    if let Some(pivot) = out.results.iter().filter_map(|(_, f)| *f).min() {
+        return Err(MatrixError::NotPositiveDefinite { pivot });
+    }
+
+    // Gather.
+    let mut factor = Matrix::zeros(n, n);
+    for (owned, _) in &out.results {
+        for (&(bi, bj), blk) in owned {
+            factor.set_submatrix(bi * b, bj * b, blk);
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            factor[(i, j)] = 0.0;
+        }
+    }
+    Ok(SpmdReport {
+        factor,
+        critical: out.critical_path(),
+        makespan: out.makespan(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pxpotrf::pxpotrf;
+    use cholcomm_matrix::{kernels, norms, spd};
+
+    #[test]
+    fn spmd_matches_sequential_reference() {
+        let mut rng = spd::test_rng(170);
+        for (n, b, p) in [(16usize, 4usize, 4usize), (24, 4, 9), (32, 8, 16), (20, 6, 4)] {
+            let a = spd::random_spd(n, &mut rng);
+            let rep = spmd_pxpotrf(&a, b, p, CostModel::counting()).unwrap();
+            let mut want = a.clone();
+            kernels::potf2(&mut want).unwrap();
+            let want = want.lower_triangle().unwrap();
+            let diff = norms::max_abs_diff(&rep.factor, &want);
+            assert!(diff < 1e-8, "n={n} b={b} p={p}: {diff}");
+        }
+    }
+
+    #[test]
+    fn spmd_and_simulated_machines_agree_numerically() {
+        let mut rng = spd::test_rng(171);
+        let n = 32;
+        let a = spd::random_spd(n, &mut rng);
+        let spmd = spmd_pxpotrf(&a, 8, 16, CostModel::typical()).unwrap();
+        let sim = pxpotrf(&a, 8, 16, CostModel::typical()).unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&spmd.factor, &sim.factor),
+            0.0,
+            "same dataflow, bit-identical factors"
+        );
+        // Clock models differ (rendezvous vs postal) but stay in the
+        // same ballpark.
+        let ratio = spmd.critical.messages as f64 / sim.critical.messages.max(1) as f64;
+        assert!(ratio > 0.2 && ratio < 5.0, "message ratio {ratio}");
+    }
+
+    #[test]
+    fn spmd_single_processor_works() {
+        let mut rng = spd::test_rng(172);
+        let a = spd::random_spd(12, &mut rng);
+        let rep = spmd_pxpotrf(&a, 4, 1, CostModel::typical()).unwrap();
+        assert_eq!(rep.critical.messages, 0);
+        let r = norms::cholesky_residual(&a, &rep.factor);
+        assert!(r < norms::residual_tolerance(12));
+    }
+
+    #[test]
+    fn spmd_detects_indefinite_inputs() {
+        let mut m = Matrix::<f64>::identity(16);
+        m[(5, 5)] = -1.0;
+        let err = spmd_pxpotrf(&m, 4, 4, CostModel::counting()).unwrap_err();
+        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 5 });
+    }
+
+    #[test]
+    fn spmd_is_deterministic() {
+        let mut rng = spd::test_rng(173);
+        let a = spd::random_spd(24, &mut rng);
+        let r1 = spmd_pxpotrf(&a, 6, 4, CostModel::typical()).unwrap();
+        let r2 = spmd_pxpotrf(&a, 6, 4, CostModel::typical()).unwrap();
+        assert_eq!(r1.factor, r2.factor);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.critical, r2.critical);
+    }
+}

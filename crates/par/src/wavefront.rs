@@ -1,0 +1,351 @@
+//! A task-graph ("wavefront") parallel tiled Cholesky.
+//!
+//! The tiled factorization's dependency structure is the classical
+//! partial order of Equations (7)–(8) lifted to `b x b` tiles:
+//!
+//! * `Factor(k)`      — POTF2 on tile `(k,k)`; needs `Update(k,k,k-1)`.
+//! * `Solve(i,k)`     — TRSM of tile `(i,k)`; needs `Factor(k)` and
+//!   `Update(i,k,k-1)`.
+//! * `Update(i,j,k)`  — `A(i,j) -= L(i,k) L(j,k)^T`; needs `Solve(i,k)`,
+//!   `Solve(j,k)` (one solve when `i == j`) and `Update(i,j,k-1)` — the
+//!   chain makes each tile single-writer.
+//!
+//! Tasks run on a fixed pool of worker threads fed through a crossbeam
+//! channel; atomic dependency counters release successors as their inputs
+//! complete.  Unlike the fork-join recursion, the wavefront exposes *all*
+//! inter-panel parallelism (panel `k+1` starts while trailing updates of
+//! panel `k` are still in flight) — the asynchrony modern tiled-DAG
+//! runtimes (PLASMA/DPLASMA) exploit.
+
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use crossbeam::channel;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One node of the tile DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    /// POTF2 on diagonal tile `k`.
+    Factor(usize),
+    /// TRSM of tile `(i, k)` against `Factor(k)`.
+    Solve { i: usize, k: usize },
+    /// Trailing update of tile `(i, j)` by panel `k`.
+    Update { i: usize, j: usize, k: usize },
+    /// Worker shutdown sentinel, broadcast once the last task retires.
+    Shutdown,
+}
+
+/// Shared tile array; the DAG guarantees a single writer per tile at any
+/// time and no reader of a tile concurrently being written.
+struct SharedTiles {
+    ptr: *mut Matrix<f64>,
+    len: usize,
+}
+
+unsafe impl Send for SharedTiles {}
+unsafe impl Sync for SharedTiles {}
+
+impl SharedTiles {
+    /// # Safety: caller must hold the DAG's exclusive-writer guarantee.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn tile_mut(&self, idx: usize) -> &mut Matrix<f64> {
+        debug_assert!(idx < self.len);
+        unsafe { &mut *self.ptr.add(idx) }
+    }
+    /// # Safety: caller must guarantee no concurrent writer.
+    unsafe fn tile(&self, idx: usize) -> &Matrix<f64> {
+        debug_assert!(idx < self.len);
+        unsafe { &*self.ptr.add(idx) }
+    }
+}
+
+/// The dependency counters of the whole DAG, as dense atomic arrays.
+struct Dag {
+    nb: usize,
+    /// `Factor(k)` counters.
+    factor: Vec<AtomicU32>,
+    /// `Solve(i,k)` counters, `i > k`, at `i*(i-1)/2 + k`.
+    solve: Vec<AtomicU32>,
+    /// `Update(i,j,k)` counters, `k < j <= i`, at `pair(i,j)*nb + k`.
+    update: Vec<AtomicU32>,
+}
+
+#[inline]
+fn pair(i: usize, j: usize) -> usize {
+    i * (i + 1) / 2 + j
+}
+
+impl Dag {
+    fn new(nb: usize) -> Self {
+        let factor: Vec<AtomicU32> = (0..nb)
+            .map(|k| AtomicU32::new(u32::from(k > 0)))
+            .collect();
+        let mut solve_init = vec![0u32; nb * nb.saturating_sub(1) / 2 + nb];
+        for i in 1..nb {
+            for k in 0..i {
+                solve_init[i * (i - 1) / 2 + k] = 1 + u32::from(k > 0);
+            }
+        }
+        let solve = solve_init.into_iter().map(AtomicU32::new).collect();
+        let mut update_init = vec![0u32; (nb * (nb + 1) / 2) * nb];
+        for i in 1..nb {
+            for j in 1..=i {
+                for k in 0..j {
+                    let solves = if i == j { 1 } else { 2 };
+                    update_init[pair(i, j) * nb + k] = solves + u32::from(k > 0);
+                }
+            }
+        }
+        let update = update_init.into_iter().map(AtomicU32::new).collect();
+        Dag { nb, factor, solve, update }
+    }
+
+    fn release(&self, task: Task, tx: &channel::Sender<Task>) {
+        let counter = match task {
+            Task::Factor(k) => &self.factor[k],
+            Task::Solve { i, k } => &self.solve[i * (i - 1) / 2 + k],
+            Task::Update { i, j, k } => &self.update[pair(i, j) * self.nb + k],
+            Task::Shutdown => unreachable!("shutdown is not a DAG node"),
+        };
+        let prev = counter.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "dependency underflow for {task:?}");
+        if prev == 1 {
+            let _ = tx.send(task);
+        }
+    }
+}
+
+/// DAG-scheduled parallel tiled Cholesky with tile size `b` on `workers`
+/// threads.  Overwrites `a` with the factor (zero upper triangle).
+pub fn wavefront_potrf(a: &mut Matrix<f64>, b: usize, workers: usize) -> Result<(), MatrixError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    assert!(b > 0 && workers > 0);
+    let nb = n.div_ceil(b);
+    let idx = pair;
+
+    let task_count: usize = nb // factors
+        + nb * nb.saturating_sub(1) / 2 // solves
+        + (1..nb).map(|i| (1..=i).map(|j| j).sum::<usize>()).sum::<usize>(); // updates: k < j
+
+    // Tile-ize.
+    let mut tiles: Vec<Matrix<f64>> = Vec::with_capacity(nb * (nb + 1) / 2);
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            let (i0, j0) = (bi * b, bj * b);
+            tiles.push(a.submatrix(i0, j0, (n - i0).min(b), (n - j0).min(b)));
+        }
+    }
+
+    let dag = Dag::new(nb);
+    let shared = SharedTiles {
+        ptr: tiles.as_mut_ptr(),
+        len: tiles.len(),
+    };
+    let (tx, rx) = channel::unbounded::<Task>();
+    let remaining = AtomicUsize::new(task_count);
+    let failed: Mutex<Option<MatrixError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+
+    tx.send(Task::Factor(0)).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let tx = tx.clone();
+            let shared = &shared;
+            let dag = &dag;
+            let remaining = &remaining;
+            let failed = &failed;
+            let abort = &abort;
+            scope.spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    if matches!(task, Task::Shutdown) {
+                        break;
+                    }
+                    if !abort.load(Ordering::Relaxed) {
+                        run_task(task, shared, dag, nb, b, idx, &tx, failed, abort);
+                    }
+                    if abort.load(Ordering::Relaxed) {
+                        // A failure poisons the DAG: some tasks will never
+                        // be released, so `remaining` cannot drain — wake
+                        // everyone directly and bail.
+                        for _ in 0..workers {
+                            let _ = tx.send(Task::Shutdown);
+                        }
+                        break;
+                    }
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Last DAG task retired: wake every worker to exit.
+                        for _ in 0..workers {
+                            let _ = tx.send(Task::Shutdown);
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        drop(rx);
+    });
+
+    if let Some(e) = failed.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // Write back.
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            a.set_submatrix(bi * b, bj * b, &tiles[idx(bi, bj)]);
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_task(
+    task: Task,
+    shared: &SharedTiles,
+    dag: &Dag,
+    nb: usize,
+    b: usize,
+    idx: fn(usize, usize) -> usize,
+    tx: &channel::Sender<Task>,
+    failed: &Mutex<Option<MatrixError>>,
+    abort: &AtomicBool,
+) {
+    match task {
+        Task::Factor(k) => {
+            // SAFETY: Factor(k) is the sole owner of tile (k,k) here.
+            let t = unsafe { shared.tile_mut(idx(k, k)) };
+            match potf2(t) {
+                Ok(()) => {
+                    for i in (k + 1)..nb {
+                        dag.release(Task::Solve { i, k }, tx);
+                    }
+                }
+                Err(e) => {
+                    let mapped = match e {
+                        MatrixError::NotPositiveDefinite { pivot } => {
+                            MatrixError::NotPositiveDefinite { pivot: k * b + pivot }
+                        }
+                        other => other,
+                    };
+                    *failed.lock().unwrap() = Some(mapped);
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        Task::Solve { i, k } => {
+            // SAFETY: sole writer of (i,k); (k,k) is final.
+            let diag = unsafe { shared.tile(idx(k, k)) };
+            let t = unsafe { shared.tile_mut(idx(i, k)) };
+            trsm_right_lower_transpose(t, diag);
+            // Consumers: Update(i, j, k) for k < j <= i, and
+            // Update(i2, i, k) for i2 > i.
+            for j in (k + 1)..=i {
+                dag.release(Task::Update { i, j, k }, tx);
+            }
+            for i2 in (i + 1)..nb {
+                dag.release(Task::Update { i: i2, j: i, k }, tx);
+            }
+        }
+        Task::Update { i, j, k } => {
+            // SAFETY: the (i,j) chain makes this the sole writer; the
+            // panel tiles are final.
+            let li = unsafe { shared.tile(idx(i, k)) };
+            let lj = unsafe { shared.tile(idx(j, k)) };
+            let t = unsafe { shared.tile_mut(idx(i, j)) };
+            gemm_nt(t, -1.0, li, lj);
+            if k + 1 == j {
+                // Tile fully updated: release its consumer.
+                if i == j {
+                    dag.release(Task::Factor(j), tx);
+                } else {
+                    dag.release(Task::Solve { i, k: j }, tx);
+                }
+            } else {
+                dag.release(Task::Update { i, j, k: k + 1 }, tx);
+            }
+        }
+        Task::Shutdown => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cholcomm_matrix::{norms, spd};
+
+    #[test]
+    fn wavefront_matches_reference() {
+        let mut rng = spd::test_rng(130);
+        for (n, b, w) in [(32usize, 8usize, 4usize), (48, 8, 2), (40, 16, 3), (33, 7, 4)] {
+            let a = spd::random_spd(n, &mut rng);
+            let mut f = a.clone();
+            wavefront_potrf(&mut f, b, w).unwrap();
+            let r = norms::cholesky_residual(&a, &f);
+            assert!(r < norms::residual_tolerance(n), "n={n} b={b} w={w}: {r}");
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let mut rng = spd::test_rng(131);
+        let a = spd::random_spd(24, &mut rng);
+        let mut f = a.clone();
+        wavefront_potrf(&mut f, 8, 1).unwrap();
+        let mut g = a.clone();
+        crate::shared::par_tiled_potrf(&mut g, 8).unwrap();
+        assert!(norms::max_abs_diff(&f, &g) < 1e-12);
+    }
+
+    #[test]
+    fn detects_indefinite_and_aborts() {
+        let mut m = Matrix::<f64>::identity(16);
+        m[(9, 9)] = -5.0;
+        let err = wavefront_potrf(&mut m, 4, 4).unwrap_err();
+        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 9 });
+    }
+
+    #[test]
+    fn deterministic_result_across_schedules() {
+        let mut rng = spd::test_rng(132);
+        let a = spd::random_spd(40, &mut rng);
+        let mut f1 = a.clone();
+        wavefront_potrf(&mut f1, 8, 1).unwrap();
+        let mut f2 = a.clone();
+        wavefront_potrf(&mut f2, 8, 4).unwrap();
+        assert_eq!(f1, f2, "the arithmetic DAG is schedule-independent");
+    }
+
+    #[test]
+    fn many_small_tiles_stress_the_scheduler() {
+        let mut rng = spd::test_rng(133);
+        let a = spd::random_spd(64, &mut rng);
+        let mut f = a.clone();
+        wavefront_potrf(&mut f, 4, 8).unwrap();
+        let r = norms::cholesky_residual(&a, &f);
+        assert!(r < norms::residual_tolerance(64));
+    }
+
+    #[test]
+    fn single_tile_matrix() {
+        let mut rng = spd::test_rng(134);
+        let a = spd::random_spd(8, &mut rng);
+        let mut f = a.clone();
+        wavefront_potrf(&mut f, 16, 4).unwrap();
+        let r = norms::cholesky_residual(&a, &f);
+        assert!(r < norms::residual_tolerance(8));
+    }
+}

@@ -1,0 +1,366 @@
+//! Algorithm 4: LAPACK's blocked left-looking `POTRF`.
+//!
+//! The iteration over block columns performs SYRK on the diagonal block,
+//! an unblocked `POTF2` on it in fast memory, a GEMM update of the panel
+//! below, and a TRSM against the factored diagonal block — with every tile
+//! explicitly moved between slow and fast memory.  With
+//! `b = Theta(sqrt(M))` the schedule moves `O(n^3 / sqrt(M) + n^2)` words
+//! (Conclusion 2); its latency is `O(n^3 / M^{3/2})` on block-contiguous
+//! storage but only `O(n^3 / M)` on column-major storage (Conclusion 3).
+
+use crate::tiles::{load_tile, store_tile};
+use cholcomm_cachesim::{FastMemGauge, Tracer};
+use cholcomm_layout::{Laid, Layout};
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{MatrixError, Scalar};
+
+/// Algorithm 4 with block size `b`.
+///
+/// When `fast_memory` is given, a [`FastMemGauge`] asserts the schedule's
+/// working set stays within it — enforcing the paper's `3 b^2 <= M`
+/// precondition (`1 <= b <= sqrt(M/3)`).
+pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    b: usize,
+    fast_memory: Option<usize>,
+) -> Result<(), MatrixError> {
+    let n = a.layout().rows();
+    if a.layout().cols() != n {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.layout().cols(),
+        });
+    }
+    assert!(b >= 1, "block size must be at least 1");
+    if let Some(m) = fast_memory {
+        assert!(
+            3 * b * b <= m,
+            "LAPACK blocked schedule requires 3 b^2 <= M (b = {b}, M = {m})"
+        );
+    }
+    let mut gauge = FastMemGauge::new(fast_memory.unwrap_or(usize::MAX));
+    let nb = n.div_ceil(b);
+
+    for jb in 0..nb {
+        let c0 = jb * b;
+        let bw = (n - c0).min(b);
+
+        // --- SYRK: A22 <- A22 - A21 * A21^T (line 3) ---
+        // Per the paper, the rank-b update is charged like a general
+        // matrix multiply, so the diagonal tile moves as a full (and, on
+        // block-contiguous storage, contiguous) b x b block.
+        gauge.claim(bw * bw);
+        let mut a22 = load_tile(a, tracer, c0, c0, bw, bw, false);
+        for kb in 0..jb {
+            let k0 = kb * b;
+            let kw = (n - k0).min(b);
+            gauge.claim(bw * kw);
+            let ajk = load_tile(a, tracer, c0, k0, bw, kw, false);
+            // Lower-triangle-only rank-kw update.
+            for j in 0..bw {
+                for k in 0..kw {
+                    let ajk_jk = ajk[(j, k)];
+                    for i in j..bw {
+                        a22[(i, j)] = a22[(i, j)].mul_sub(ajk[(i, k)], ajk_jk);
+                    }
+                }
+            }
+            gauge.release(bw * kw);
+        }
+
+        // --- POTF2 on the diagonal block in fast memory (line 4) ---
+        factor_lower_tile(&mut a22, c0)?;
+        store_tile(a, tracer, c0, c0, &a22, false);
+        gauge.release(bw * bw);
+
+        // --- Panel update (lines 5-6): GEMM then TRSM per tile below ---
+        for ib in (jb + 1)..nb {
+            let r0 = ib * b;
+            let bh = (n - r0).min(b);
+            gauge.claim(bh * bw);
+            let mut aij = load_tile(a, tracer, r0, c0, bh, bw, false);
+            // GEMM: A32 <- A32 - A31 * A21^T, one k-tile at a time.
+            for kb in 0..jb {
+                let k0 = kb * b;
+                let kw = (n - k0).min(b);
+                gauge.claim(bh * kw);
+                let aik = load_tile(a, tracer, r0, k0, bh, kw, false);
+                gauge.claim(bw * kw);
+                let ajk = load_tile(a, tracer, c0, k0, bw, kw, false);
+                gemm_nt(&mut aij, -S::one(), &aik, &ajk);
+                gauge.release(bh * kw + bw * kw);
+            }
+            // TRSM: A32 <- A32 * A22^{-T} against the factored diagonal
+            // block, which is re-read for each tile of the panel — the
+            // `(n/b - j) * Theta(b^2)` term of the paper's analysis.
+            gauge.claim(bw * bw);
+            let l22 = load_tile(a, tracer, c0, c0, bw, bw, false);
+            trsm_right_lower_transpose(&mut aij, &l22);
+            gauge.release(bw * bw);
+            store_tile(a, tracer, r0, c0, &aij, false);
+            gauge.release(bh * bw);
+        }
+    }
+    Ok(())
+}
+
+/// Unblocked Cholesky of a local tile, reporting the failing pivot in
+/// *global* coordinates.
+fn factor_lower_tile<S: Scalar>(tile: &mut cholcomm_matrix::Matrix<S>, global0: usize) -> Result<(), MatrixError> {
+    match potf2(tile) {
+        Ok(()) => Ok(()),
+        Err(MatrixError::NotPositiveDefinite { pivot }) => {
+            Err(MatrixError::NotPositiveDefinite {
+                pivot: global0 + pivot,
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cholcomm_cachesim::{CountingTracer, NullTracer};
+    use cholcomm_layout::{Blocked, ColMajor};
+    use cholcomm_matrix::{norms, spd};
+
+    #[test]
+    fn factors_correctly_for_many_block_sizes() {
+        let n = 24;
+        let mut rng = spd::test_rng(50);
+        let a = spd::random_spd(n, &mut rng);
+        for b in [1usize, 2, 3, 5, 8, 24, 30] {
+            let mut laid = Laid::from_matrix(&a, ColMajor::square(n));
+            potrf_blocked(&mut laid, &mut NullTracer, b, None).unwrap();
+            let r = norms::cholesky_residual(&a, &laid.to_matrix());
+            assert!(r < norms::residual_tolerance(n), "b = {b}, residual {r}");
+        }
+    }
+
+    #[test]
+    fn works_on_blocked_storage() {
+        let n = 20;
+        let mut rng = spd::test_rng(51);
+        let a = spd::random_spd(n, &mut rng);
+        let mut laid = Laid::from_matrix(&a, Blocked::square(n, 5));
+        potrf_blocked(&mut laid, &mut NullTracer, 5, None).unwrap();
+        let r = norms::cholesky_residual(&a, &laid.to_matrix());
+        assert!(r < norms::residual_tolerance(n));
+    }
+
+    #[test]
+    fn bandwidth_scales_as_n_cubed_over_b() {
+        // Doubling b should roughly halve the words moved (the n^3/b
+        // term dominates when b << n).
+        let n = 64;
+        let mut rng = spd::test_rng(52);
+        let a = spd::random_spd(n, &mut rng);
+        let mut words = Vec::new();
+        for b in [2usize, 4, 8] {
+            let mut laid = Laid::from_matrix(&a, ColMajor::square(n));
+            let mut tr = CountingTracer::uncapped();
+            potrf_blocked(&mut laid, &mut tr, b, None).unwrap();
+            words.push(tr.stats().words as f64);
+        }
+        let r01 = words[0] / words[1];
+        let r12 = words[1] / words[2];
+        assert!(r01 > 1.5 && r01 < 2.5, "ratio {r01}");
+        assert!(r12 > 1.4 && r12 < 2.5, "ratio {r12}");
+    }
+
+    #[test]
+    fn blocked_storage_saves_latency_vs_colmajor() {
+        // Conclusion 3: same words, ~b x fewer messages on tile storage.
+        let n = 32;
+        let b = 8;
+        let mut rng = spd::test_rng(53);
+        let a = spd::random_spd(n, &mut rng);
+
+        let mut cm = Laid::from_matrix(&a, ColMajor::square(n));
+        let mut tr_cm = CountingTracer::uncapped();
+        potrf_blocked(&mut cm, &mut tr_cm, b, None).unwrap();
+
+        let mut bl = Laid::from_matrix(&a, Blocked::square(n, b));
+        let mut tr_bl = CountingTracer::uncapped();
+        potrf_blocked(&mut bl, &mut tr_bl, b, None).unwrap();
+
+        assert_eq!(tr_cm.stats().words, tr_bl.stats().words, "same bandwidth");
+        let ratio = tr_cm.stats().messages as f64 / tr_bl.stats().messages as f64;
+        assert!(
+            ratio > b as f64 / 2.0,
+            "expected ~{b}x message saving, got {ratio:.2}x"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "3 b^2 <= M")]
+    fn oversized_block_is_rejected() {
+        let mut laid = Laid::<f64, _>::from_matrix(
+            &cholcomm_matrix::Matrix::identity(8),
+            ColMajor::square(8),
+        );
+        let _ = potrf_blocked(&mut laid, &mut NullTracer, 4, Some(16));
+    }
+
+    #[test]
+    fn b_equal_one_reduces_to_naive_left_bandwidth_shape() {
+        // The paper: b = 1 reduces the blocked algorithm to naive
+        // left-looking with O(n^3) bandwidth.
+        let n = 32;
+        let mut rng = spd::test_rng(54);
+        let a = spd::random_spd(n, &mut rng);
+        let mut laid = Laid::from_matrix(&a, ColMajor::square(n));
+        let mut tr = CountingTracer::uncapped();
+        potrf_blocked(&mut laid, &mut tr, 1, None).unwrap();
+        let words = tr.stats().words as f64;
+        let n3 = (n as f64).powi(3);
+        assert!(words > n3 / 4.0, "words {words} should be Θ(n^3) = {n3}");
+    }
+
+    #[test]
+    fn reports_global_pivot_on_failure() {
+        let mut m = cholcomm_matrix::Matrix::<f64>::identity(12);
+        m[(9, 9)] = -3.0;
+        let mut laid = Laid::from_matrix(&m, ColMajor::square(12));
+        let err = potrf_blocked(&mut laid, &mut NullTracer, 4, None).unwrap_err();
+        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 9 });
+    }
+}
+
+/// The *right-looking* blocked variant (LAPACK ships both; Algorithm 4 in
+/// the paper is the left-looking one).  Each iteration factors the
+/// diagonal tile, solves the panel below, and immediately applies the
+/// rank-`b` update to the whole trailing matrix — re-reading and
+/// re-writing every trailing tile once per iteration.  Asymptotically the
+/// same `Theta(n^3 / sqrt(M))` bandwidth, but with a larger constant than
+/// the left-looking schedule (the trailing matrix is written `n/b` times
+/// instead of once); the tests pin the ratio down.
+pub fn potrf_blocked_right<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    b: usize,
+    fast_memory: Option<usize>,
+) -> Result<(), MatrixError> {
+    let n = a.layout().rows();
+    if a.layout().cols() != n {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.layout().cols(),
+        });
+    }
+    assert!(b >= 1);
+    if let Some(m) = fast_memory {
+        assert!(3 * b * b <= m, "needs 3 b^2 <= M (b = {b}, M = {m})");
+    }
+    let mut gauge = FastMemGauge::new(fast_memory.unwrap_or(usize::MAX));
+    let nb = n.div_ceil(b);
+
+    for kb in 0..nb {
+        let c0 = kb * b;
+        let bw = (n - c0).min(b);
+
+        // Factor the diagonal tile.
+        gauge.claim(bw * bw);
+        let mut akk = load_tile(a, tracer, c0, c0, bw, bw, false);
+        factor_lower_tile(&mut akk, c0)?;
+        store_tile(a, tracer, c0, c0, &akk, false);
+
+        // Panel solve below the diagonal.
+        for ib in (kb + 1)..nb {
+            let r0 = ib * b;
+            let bh = (n - r0).min(b);
+            gauge.claim(bh * bw);
+            let mut aik = load_tile(a, tracer, r0, c0, bh, bw, false);
+            trsm_right_lower_transpose(&mut aik, &akk);
+            store_tile(a, tracer, r0, c0, &aik, false);
+            gauge.release(bh * bw);
+        }
+        gauge.release(bw * bw);
+
+        // Trailing update: every tile (i, j) with k < j <= i.
+        for jb in (kb + 1)..nb {
+            let j0 = jb * b;
+            let jw = (n - j0).min(b);
+            gauge.claim(jw * bw);
+            let ljk = load_tile(a, tracer, j0, c0, jw, bw, false);
+            for ib in jb..nb {
+                let r0 = ib * b;
+                let bh = (n - r0).min(b);
+                gauge.claim(bh * bw + bh * jw);
+                let lik = load_tile(a, tracer, r0, c0, bh, bw, false);
+                let mut aij = load_tile(a, tracer, r0, j0, bh, jw, false);
+                gemm_nt(&mut aij, -S::one(), &lik, &ljk);
+                store_tile(a, tracer, r0, j0, &aij, false);
+                gauge.release(bh * bw + bh * jw);
+            }
+            gauge.release(jw * bw);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod right_tests {
+    use super::*;
+    use cholcomm_cachesim::{CountingTracer, NullTracer};
+    use cholcomm_layout::{Blocked, ColMajor};
+    use cholcomm_matrix::{norms, spd};
+
+    #[test]
+    fn right_looking_blocked_factors_correctly() {
+        let n = 28;
+        let mut rng = spd::test_rng(55);
+        let a = spd::random_spd(n, &mut rng);
+        for b in [4usize, 7, 8, 28] {
+            let mut laid = Laid::from_matrix(&a, ColMajor::square(n));
+            potrf_blocked_right(&mut laid, &mut NullTracer, b, None).unwrap();
+            let r = norms::cholesky_residual(&a, &laid.to_matrix());
+            assert!(r < norms::residual_tolerance(n), "b = {b}: {r}");
+        }
+    }
+
+    #[test]
+    fn right_looking_moves_more_words_than_left_looking() {
+        // Same asymptotics, bigger constant: the trailing matrix is
+        // rewritten every panel.  The ratio sits between 1 and ~2 for
+        // square problems.
+        let n = 64;
+        let b = 8;
+        let mut rng = spd::test_rng(56);
+        let a = spd::random_spd(n, &mut rng);
+
+        let mut left = Laid::from_matrix(&a, Blocked::square(n, b));
+        let mut tl = CountingTracer::uncapped();
+        potrf_blocked(&mut left, &mut tl, b, None).unwrap();
+
+        let mut right = Laid::from_matrix(&a, Blocked::square(n, b));
+        let mut tr = CountingTracer::uncapped();
+        potrf_blocked_right(&mut right, &mut tr, b, None).unwrap();
+
+        let (wl, wr) = (tl.stats().words as f64, tr.stats().words as f64);
+        assert!(wr > wl, "right {wr} should exceed left {wl}");
+        assert!(wr / wl < 2.5, "but only by a constant: {}", wr / wl);
+        // Same factors, bit for bit.
+        assert_eq!(left.to_matrix().lower_triangle().unwrap().as_slice().len(),
+                   right.to_matrix().lower_triangle().unwrap().as_slice().len());
+    }
+
+    #[test]
+    fn both_blocked_variants_agree_numerically() {
+        let n = 24;
+        let b = 8;
+        let mut rng = spd::test_rng(57);
+        let a = spd::random_spd(n, &mut rng);
+        let mut l1 = Laid::from_matrix(&a, ColMajor::square(n));
+        potrf_blocked(&mut l1, &mut NullTracer, b, None).unwrap();
+        let mut l2 = Laid::from_matrix(&a, ColMajor::square(n));
+        potrf_blocked_right(&mut l2, &mut NullTracer, b, None).unwrap();
+        let d = norms::max_abs_diff(
+            &l1.to_matrix().lower_triangle().unwrap(),
+            &l2.to_matrix().lower_triangle().unwrap(),
+        );
+        assert!(d < 1e-10, "diff {d}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-iteration traffic profiles — the quantitative content of Figure 3:
+//! *when* each algorithm moves its words.
+//!
+//! The naïve schedules admit exact per-iteration closed forms (their
+//! total telescopes to the Section 3.1.4/3.1.5 polynomials — asserted
+//! against the measured totals), and the blocked schedule's per-panel
+//! profile shows the characteristic left-looking ramp (panel `j` reads
+//! `j` previous panels) versus the right-looking decay (panel `k` updates
+//! `(nb - k)^2 / 2` trailing tiles).
+
+/// Words moved by iteration `j` (0-based) of naïve left-looking on an
+/// `n x n` matrix: `(n - j) * (j + 2)` — the column read/write plus `j`
+/// previous-column reads, each of `n - j` rows.
+pub fn naive_left_words_at(n: u64, j: u64) -> u64 {
+    debug_assert!(j < n);
+    (n - j) * (j + 2)
+}
+
+/// Words moved by iteration `j` of naïve right-looking:
+/// `2 (n - j) + sum_{k > j} 2 (n - k)` — factor the column, then
+/// read+write every trailing column.
+pub fn naive_right_words_at(n: u64, j: u64) -> u64 {
+    debug_assert!(j < n);
+    let trailing: u64 = (j + 1..n).map(|k| 2 * (n - k)).sum();
+    2 * (n - j) + trailing
+}
+
+/// The full left-looking profile.
+pub fn naive_left_profile(n: u64) -> Vec<u64> {
+    (0..n).map(|j| naive_left_words_at(n, j)).collect()
+}
+
+/// The full right-looking profile.
+pub fn naive_right_profile(n: u64) -> Vec<u64> {
+    (0..n).map(|j| naive_right_words_at(n, j)).collect()
+}
+
+/// Iteration with the largest traffic (the profile's peak).  Left-looking
+/// peaks mid-factorization (the `(n-j)(j+2)` parabola); right-looking
+/// peaks at the first iteration (the whole trailing matrix is touched).
+pub fn peak_iteration(profile: &[u64]) -> usize {
+    profile
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &w)| w)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{left_looking_words, right_looking_words};
+
+    #[test]
+    fn left_profile_sums_to_the_closed_form() {
+        for n in [1u64, 2, 7, 16, 64, 128] {
+            let total: u64 = naive_left_profile(n).iter().sum();
+            assert_eq!(total, left_looking_words(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn right_profile_sums_to_the_closed_form() {
+        for n in [1u64, 2, 7, 16, 64, 128] {
+            let total: u64 = naive_right_profile(n).iter().sum();
+            assert_eq!(total, right_looking_words(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn left_peaks_in_the_middle_right_peaks_first() {
+        let n = 64;
+        let lp = naive_left_profile(n);
+        let rp = naive_right_profile(n);
+        let lpk = peak_iteration(&lp);
+        assert!(
+            (20..44).contains(&lpk),
+            "left-looking peak near n/2: {lpk}"
+        );
+        assert_eq!(peak_iteration(&rp), 0, "right-looking peaks immediately");
+        // And right-looking's first iteration touches ~the whole matrix.
+        assert!(rp[0] as f64 > (n * n) as f64 * 0.9);
+    }
+
+    #[test]
+    fn profiles_match_a_measured_prefix() {
+        // Measure the first iteration directly: read col 0 (n words),
+        // write col 0 (n words) — no previous columns.
+        let n = 32u64;
+        assert_eq!(naive_left_words_at(n, 0), 2 * n);
+        // Iteration 1: read col 1 (n-1), read col 0 rows 1.. (n-1),
+        // write col 1 (n-1) = 3(n-1).
+        assert_eq!(naive_left_words_at(n, 1), 3 * (n - 1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Tile movement helpers for the explicitly blocked algorithms: load a
+//! tile from "slow memory" (the [`Laid`] storage, charging the tracer) into
+//! a local [`Matrix`] standing in for fast memory, and store it back.
+
+use cholcomm_cachesim::{touch, Access, Tracer};
+use cholcomm_layout::{cells_block, cells_lower_block, Laid, Layout};
+use cholcomm_matrix::{Matrix, Scalar};
+
+/// Read the `h x w` tile at `(i0, j0)` into fast memory, charging one
+/// tile-read to the tracer.  With `lower_only`, only cells on or below the
+/// global diagonal are moved (the rest of the local tile is zero) — the
+/// "only half the matrix is referenced" rule for symmetric operands.
+pub fn load_tile<S: Scalar, L: Layout, T: Tracer>(
+    st: &Laid<S, L>,
+    tracer: &mut T,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+    lower_only: bool,
+) -> Matrix<S> {
+    if lower_only {
+        touch(tracer, st.layout(), cells_lower_block(i0, j0, h, w), Access::Read);
+    } else {
+        touch(tracer, st.layout(), cells_block(i0, j0, h, w), Access::Read);
+    }
+    Matrix::from_fn(h, w, |i, j| {
+        let (gi, gj) = (i0 + i, j0 + j);
+        if (lower_only && gi < gj) || !st.layout().stores(gi, gj) {
+            S::zero()
+        } else {
+            st.get(gi, gj)
+        }
+    })
+}
+
+/// Write a tile back to slow memory, charging one tile-write.
+pub fn store_tile<S: Scalar, L: Layout, T: Tracer>(
+    st: &mut Laid<S, L>,
+    tracer: &mut T,
+    i0: usize,
+    j0: usize,
+    tile: &Matrix<S>,
+    lower_only: bool,
+) {
+    let (h, w) = (tile.rows(), tile.cols());
+    if lower_only {
+        touch(tracer, st.layout(), cells_lower_block(i0, j0, h, w), Access::Write);
+    } else {
+        touch(tracer, st.layout(), cells_block(i0, j0, h, w), Access::Write);
+    }
+    for j in 0..w {
+        for i in 0..h {
+            let (gi, gj) = (i0 + i, j0 + j);
+            if (lower_only && gi < gj) || !st.layout().stores(gi, gj) {
+                continue;
+            }
+            st.set(gi, gj, tile[(i, j)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cholcomm_cachesim::CountingTracer;
+    use cholcomm_layout::{Blocked, ColMajor};
+    use cholcomm_matrix::spd;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut rng = spd::test_rng(40);
+        let a = spd::random_spd(8, &mut rng);
+        let mut st = Laid::from_matrix(&a, ColMajor::square(8));
+        let mut tr = CountingTracer::uncapped();
+        let t = load_tile(&st, &mut tr, 2, 2, 4, 4, false);
+        assert_eq!(t[(0, 0)], a[(2, 2)]);
+        let mut t2 = t.clone();
+        t2[(1, 1)] = 99.0;
+        store_tile(&mut st, &mut tr, 2, 2, &t2, false);
+        assert_eq!(st.get(3, 3), 99.0);
+        assert_eq!(tr.stats().words, 32, "16 read + 16 written");
+    }
+
+    #[test]
+    fn lower_only_halves_diagonal_tile_traffic() {
+        let mut rng = spd::test_rng(41);
+        let a = spd::random_spd(8, &mut rng);
+        let st = Laid::from_matrix(&a, ColMajor::square(8));
+        let mut tr = CountingTracer::uncapped();
+        let t = load_tile(&st, &mut tr, 0, 0, 4, 4, true);
+        assert_eq!(tr.stats().words, 10, "4+3+2+1 lower cells");
+        assert_eq!(t[(0, 3)], 0.0, "upper cells come back zero");
+        assert_eq!(t[(3, 0)], a[(3, 0)]);
+    }
+
+    #[test]
+    fn blocked_layout_moves_tiles_in_one_message() {
+        let mut rng = spd::test_rng(42);
+        let a = spd::random_spd(16, &mut rng);
+        let st = Laid::from_matrix(&a, Blocked::square(16, 4));
+        let mut tr = CountingTracer::uncapped();
+        load_tile(&st, &mut tr, 4, 8, 4, 4, false);
+        assert_eq!(tr.stats().messages, 1);
+        let st2 = Laid::from_matrix(&a, ColMajor::square(16));
+        let mut tr2 = CountingTracer::uncapped();
+        load_tile(&st2, &mut tr2, 4, 8, 4, 4, false);
+        assert_eq!(tr2.stats().messages, 4, "column-major pays b messages");
+    }
+}

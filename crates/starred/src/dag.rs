@@ -1,0 +1,245 @@
+//! The dependency DAG of classical Cholesky (Equations (5)–(8), Figure 1).
+//!
+//! Element `L(i,i)` depends on `S_ii = { L(i,k) : k < i }`; element
+//! `L(i,j)` (`i > j`) depends on
+//! `S_ij = { L(i,k) : k < j } ∪ { L(j,k) : k <= j }`.
+//! Any classical algorithm computes the entries in some linear extension
+//! of this partial order — Lemma 2.2's induction runs over it, and the
+//! instrumented algorithms in `cholcomm-seq` are checked against it.
+
+/// The direct dependency set `S_{i,j}` of entry `(i, j)` (0-based,
+/// `i >= j`), per Equations (7) and (8).
+pub fn dependency_set(i: usize, j: usize) -> Vec<(usize, usize)> {
+    assert!(i >= j, "only the lower triangle is computed");
+    let mut deps = Vec::new();
+    if i == j {
+        // S_ii = { (i, k) : k < i }
+        for k in 0..i {
+            deps.push((i, k));
+        }
+    } else {
+        // S_ij = { (i, k) : k < j } ∪ { (j, k) : k <= j }
+        for k in 0..j {
+            deps.push((i, k));
+        }
+        for k in 0..=j {
+            deps.push((j, k));
+        }
+    }
+    deps
+}
+
+/// The full dependency DAG for an `n x n` Cholesky, as adjacency lists
+/// `deps[(i,j)] = S_{i,j}` over lower-triangular index pairs.
+#[derive(Debug, Clone)]
+pub struct DepDag {
+    n: usize,
+}
+
+impl DepDag {
+    /// DAG for an `n x n` factorization.
+    pub fn new(n: usize) -> Self {
+        DepDag { n }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Lower-triangular entries in row-major order.
+    pub fn entries(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::with_capacity(self.n * (self.n + 1) / 2);
+        for i in 0..self.n {
+            for j in 0..=i {
+                v.push((i, j));
+            }
+        }
+        v
+    }
+
+    /// Direct dependencies of an entry.
+    pub fn deps(&self, i: usize, j: usize) -> Vec<(usize, usize)> {
+        dependency_set(i, j)
+    }
+
+    /// Total number of direct dependency edges — `Theta(n^3)`, matching
+    /// the arithmetic count of Section 3.1.3 (each dependency is consumed
+    /// by O(1) flops).
+    pub fn edge_count(&self) -> usize {
+        self.entries()
+            .iter()
+            .map(|&(i, j)| self.deps(i, j).len())
+            .sum()
+    }
+
+    /// Number of flops to compute entry `(i, j)` once its dependencies are
+    /// available.  The paper's Section 3.1.3 counts `i + 2` flops for
+    /// 1-based index `i`; in 0-based terms a diagonal entry `(j, j)` costs
+    /// `2j + 1` (j multiplies, j subtractions, one sqrt) and an
+    /// off-diagonal `(i, j)` costs `2j + 1` (j multiplies, j subtractions,
+    /// one division).
+    pub fn flops(&self, _i: usize, j: usize) -> u64 {
+        2 * j as u64 + 1
+    }
+
+    /// Total flop count `n^3/3 + Theta(n^2)` (Section 3.1.3).
+    pub fn total_flops(&self) -> u64 {
+        self.entries().iter().map(|&(i, j)| self.flops(i, j)).sum()
+    }
+
+    /// Length of the longest chain in the DAG (the *span*): the lower
+    /// bound on parallel steps at entry granularity, and the depth the
+    /// wavefront runtime's schedule cannot beat.  For Cholesky this is
+    /// `2n - 1`: the chain `L(0,0), L(1,0), L(1,1), L(2,1), L(2,2), ...`.
+    pub fn span(&self) -> usize {
+        let n = self.n;
+        if n == 0 {
+            return 0;
+        }
+        let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+        let mut depth = vec![0usize; n * (n + 1) / 2];
+        let mut best = 0;
+        for (i, j) in self.entries() {
+            let d = dependency_set(i, j)
+                .into_iter()
+                .map(|(di, dj)| depth[idx(di, dj)] + 1)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            depth[idx(i, j)] = d;
+            best = best.max(d);
+        }
+        best
+    }
+}
+
+/// Check that a recorded completion order of lower-triangular entries
+/// respects the classical partial order: every entry appears exactly once
+/// and after all of its dependencies.
+pub fn respects_partial_order(n: usize, order: &[(usize, usize)]) -> bool {
+    let idx = |i: usize, j: usize| i * (i + 1) / 2 + j;
+    let total = n * (n + 1) / 2;
+    if order.len() != total {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; total];
+    for (p, &(i, j)) in order.iter().enumerate() {
+        if i >= n || j > i || pos[idx(i, j)] != usize::MAX {
+            return false;
+        }
+        pos[idx(i, j)] = p;
+    }
+    for &(i, j) in order {
+        let p = pos[idx(i, j)];
+        for (di, dj) in dependency_set(i, j) {
+            if pos[idx(di, dj)] >= p {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dependency_sets_match_figure1() {
+        // Diagonal: everything to the left in the same row.
+        assert_eq!(dependency_set(3, 3), vec![(3, 0), (3, 1), (3, 2)]);
+        // Off-diagonal (i=4, j=2): row i left of j, plus row j through the
+        // diagonal.
+        assert_eq!(
+            dependency_set(4, 2),
+            vec![(4, 0), (4, 1), (2, 0), (2, 1), (2, 2)]
+        );
+        assert!(dependency_set(0, 0).is_empty());
+    }
+
+    #[test]
+    fn column_then_row_order_is_valid() {
+        // The left-looking order: by column, top to bottom.
+        let n = 8;
+        let mut order = Vec::new();
+        for j in 0..n {
+            for i in j..n {
+                order.push((i, j));
+            }
+        }
+        assert!(respects_partial_order(n, &order));
+    }
+
+    #[test]
+    fn row_by_row_order_is_valid() {
+        // The up-looking order: by row.
+        let n = 8;
+        let dag = DepDag::new(n);
+        assert!(respects_partial_order(n, &dag.entries()));
+    }
+
+    #[test]
+    fn violations_are_caught() {
+        // Computing (1,1) before (1,0) violates S_11 = {(1,0)}.
+        let order = vec![(0, 0), (1, 1), (1, 0)];
+        assert!(!respects_partial_order(2, &order));
+        // Missing entries are caught.
+        assert!(!respects_partial_order(2, &[(0, 0)]));
+        // Duplicates are caught.
+        assert!(!respects_partial_order(2, &[(0, 0), (0, 0), (1, 1)]));
+    }
+
+    #[test]
+    fn total_flops_is_cubic_over_three() {
+        let n = 64;
+        let dag = DepDag::new(n);
+        let total = dag.total_flops() as f64;
+        let cubic = (n as f64).powi(3) / 3.0;
+        assert!((total - cubic).abs() < 2.0 * (n as f64).powi(2), "{total} vs {cubic}");
+    }
+
+    #[test]
+    fn span_is_two_n_minus_one() {
+        for n in [1usize, 2, 4, 8, 16] {
+            assert_eq!(DepDag::new(n).span(), 2 * n - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn edge_count_is_cubic() {
+        let dag = DepDag::new(32);
+        let e = dag.edge_count() as f64;
+        // Sum over entries of |S_ij| ~ n^3/3.
+        assert!(e > 32f64.powi(3) / 4.0 && e < 32f64.powi(3) / 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn random_topological_shuffles_stay_valid(seed in 0u64..1000) {
+            // Generate a random linear extension by repeatedly picking any
+            // ready entry, then verify the checker accepts it.
+            use rand::{RngExt, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = 6;
+            let dag = DepDag::new(n);
+            let mut remaining: Vec<(usize, usize)> = dag.entries();
+            let mut done: Vec<(usize, usize)> = Vec::new();
+            while !remaining.is_empty() {
+                let ready: Vec<usize> = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(i, j))| {
+                        dependency_set(i, j).iter().all(|d| done.contains(d))
+                    })
+                    .map(|(k, _)| k)
+                    .collect();
+                prop_assert!(!ready.is_empty(), "DAG must always have a ready entry");
+                let pick = ready[rng.random_range(0..ready.len())];
+                done.push(remaining.remove(pick));
+            }
+            prop_assert!(respects_partial_order(n, &done));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The starred value set and the arithmetic of Table 3.
+
+use cholcomm_matrix::Scalar;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A real number extended with the paper's masking quantities.
+///
+/// Table 3 semantics (`x`, `y` real):
+///
+/// | op    | rule |
+/// |-------|------|
+/// | `±`   | `1*` absorbs everything; `0*` absorbs reals; reals add normally |
+/// | `*`   | `1*` is an identity; `0* * 0* = 0` (real!); `0*` times a real is `0` |
+/// | `/`   | division by `1*` is identity-like; division by `0*` is undefined; `1*/y = 1/y`, `0*/y = 0` |
+/// | `sqrt`| fixes `1*` and `0*`, reals as usual |
+///
+/// `-0* = 0*` and `-1* = 1*` for consistency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Star {
+    /// An ordinary real value.
+    Real(f64),
+    /// The masking zero `0*`.
+    ZeroStar,
+    /// The masking one `1*`.
+    OneStar,
+}
+
+pub use Star::{OneStar, Real, ZeroStar};
+
+impl Star {
+    /// The real payload, if this is a real value.
+    pub fn as_real(self) -> Option<f64> {
+        match self {
+            Real(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// `true` for `0*` or `1*`.
+    pub fn is_starred(self) -> bool {
+        !matches!(self, Real(_))
+    }
+}
+
+impl From<f64> for Star {
+    fn from(x: f64) -> Self {
+        Real(x)
+    }
+}
+
+impl Add for Star {
+    type Output = Star;
+    fn add(self, rhs: Star) -> Star {
+        match (self, rhs) {
+            (OneStar, _) | (_, OneStar) => OneStar,
+            (ZeroStar, _) | (_, ZeroStar) => ZeroStar,
+            (Real(x), Real(y)) => Real(x + y),
+        }
+    }
+}
+
+impl Sub for Star {
+    type Output = Star;
+    fn sub(self, rhs: Star) -> Star {
+        // Table 3 defines +/- identically: starred values absorb.
+        match (self, rhs) {
+            (OneStar, _) | (_, OneStar) => OneStar,
+            (ZeroStar, _) | (_, ZeroStar) => ZeroStar,
+            (Real(x), Real(y)) => Real(x - y),
+        }
+    }
+}
+
+impl Mul for Star {
+    type Output = Star;
+    fn mul(self, rhs: Star) -> Star {
+        match (self, rhs) {
+            (OneStar, v) | (v, OneStar) => v,
+            (ZeroStar, _) | (_, ZeroStar) => Real(0.0),
+            (Real(x), Real(y)) => Real(x * y),
+        }
+    }
+}
+
+impl Div for Star {
+    type Output = Star;
+    fn div(self, rhs: Star) -> Star {
+        match (self, rhs) {
+            (_, ZeroStar) => panic!("division by 0* is undefined (Table 3)"),
+            (v, OneStar) => v,
+            (OneStar, Real(y)) => Real(1.0 / y),
+            (ZeroStar, Real(_)) => Real(0.0),
+            (Real(x), Real(y)) => Real(x / y),
+        }
+    }
+}
+
+impl Neg for Star {
+    type Output = Star;
+    fn neg(self) -> Star {
+        match self {
+            Real(x) => Real(-x),
+            // -0* = 0* and -1* = 1* "for consistency".
+            s => s,
+        }
+    }
+}
+
+impl Scalar for Star {
+    fn zero() -> Self {
+        Real(0.0)
+    }
+    fn one() -> Self {
+        Real(1.0)
+    }
+    fn from_f64(x: f64) -> Self {
+        Real(x)
+    }
+    fn sqrt(self) -> Self {
+        match self {
+            Real(x) => Real(x.sqrt()),
+            s => s, // sqrt(1*) = 1*, sqrt(0*) = 0*
+        }
+    }
+    fn magnitude(self) -> f64 {
+        match self {
+            Real(x) => x.abs(),
+            _ => 0.0,
+        }
+    }
+    fn is_finite_real(self) -> bool {
+        matches!(self, Real(x) if x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn any_star() -> impl Strategy<Value = Star> {
+        prop_oneof![
+            (-100.0f64..100.0).prop_map(Real),
+            Just(ZeroStar),
+            Just(OneStar),
+        ]
+    }
+
+    #[test]
+    fn addition_table() {
+        // Row/column 1*: everything is 1*.
+        assert_eq!(OneStar + OneStar, OneStar);
+        assert_eq!(OneStar + ZeroStar, OneStar);
+        assert_eq!(OneStar + Real(7.0), OneStar);
+        assert_eq!(Real(7.0) + OneStar, OneStar);
+        // Row/column 0* vs reals: 0*.
+        assert_eq!(ZeroStar + ZeroStar, ZeroStar);
+        assert_eq!(ZeroStar + Real(3.0), ZeroStar);
+        assert_eq!(Real(3.0) - ZeroStar, ZeroStar);
+        // Reals behave.
+        assert_eq!(Real(3.0) - Real(1.0), Real(2.0));
+    }
+
+    #[test]
+    fn multiplication_table() {
+        assert_eq!(OneStar * OneStar, OneStar);
+        assert_eq!(OneStar * ZeroStar, ZeroStar, "1* is an identity even on 0*");
+        assert_eq!(OneStar * Real(5.0), Real(5.0));
+        assert_eq!(ZeroStar * ZeroStar, Real(0.0), "0* * 0* = 0, a REAL zero");
+        assert_eq!(ZeroStar * Real(5.0), Real(0.0));
+        assert_eq!(Real(2.0) * Real(3.0), Real(6.0));
+    }
+
+    #[test]
+    fn division_table() {
+        assert_eq!(OneStar / OneStar, OneStar);
+        assert_eq!(ZeroStar / OneStar, ZeroStar);
+        assert_eq!(Real(4.0) / OneStar, Real(4.0));
+        assert_eq!(OneStar / Real(4.0), Real(0.25));
+        assert_eq!(ZeroStar / Real(4.0), Real(0.0));
+        assert_eq!(Real(6.0) / Real(3.0), Real(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by 0*")]
+    fn division_by_zerostar_is_undefined() {
+        let _ = Real(1.0) / ZeroStar;
+    }
+
+    #[test]
+    fn sqrt_fixes_stars() {
+        assert_eq!(OneStar.sqrt(), OneStar);
+        assert_eq!(ZeroStar.sqrt(), ZeroStar);
+        assert_eq!(Real(9.0).sqrt(), Real(3.0));
+    }
+
+    #[test]
+    fn negation_fixes_stars() {
+        assert_eq!(-OneStar, OneStar);
+        assert_eq!(-ZeroStar, ZeroStar);
+        assert_eq!(-Real(2.0), Real(-2.0));
+    }
+
+    #[test]
+    fn distributivity_fails_as_the_paper_notes() {
+        // 1 * (1* + 1*) = 1* absorbed -> real 1;  (1*1*) + (1*1*) = 2.
+        let lhs = Real(1.0) * (OneStar + OneStar);
+        let rhs = Real(1.0) * OneStar + Real(1.0) * OneStar;
+        assert_eq!(lhs, Real(1.0));
+        assert_eq!(rhs, Real(2.0));
+        assert_ne!(lhs, rhs);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in any_star(), b in any_star()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn multiplication_commutes(a in any_star(), b in any_star()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn addition_associates(a in any_star(), b in any_star(), c in any_star()) {
+            // Associativity holds exactly for the starred lattice; real
+            // float addition is only approximately associative, so compare
+            // with tolerance on the real payload.
+            let l = (a + b) + c;
+            let r = a + (b + c);
+            match (l, r) {
+                (Real(x), Real(y)) => prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs())),
+                (l, r) => prop_assert_eq!(l, r),
+            }
+        }
+
+        #[test]
+        fn multiplication_associates(a in any_star(), b in any_star(), c in any_star()) {
+            let l = (a * b) * c;
+            let r = a * (b * c);
+            match (l, r) {
+                (Real(x), Real(y)) => prop_assert!((x - y).abs() <= 1e-9 * (1.0 + x.abs())),
+                (l, r) => prop_assert_eq!(l, r),
+            }
+        }
+
+        #[test]
+        fn one_star_is_multiplicative_identity(a in any_star()) {
+            prop_assert_eq!(OneStar * a, a);
+            prop_assert_eq!(a * OneStar, a);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's future-work machine: a cluster whose nodes each have their
+//! own memory hierarchy.  Runs PxPOTRF with a per-processor local cache
+//! and reports both communication regimes — network words/messages on the
+//! critical path, and the worst per-node local (DAM) traffic — across
+//! local-memory sizes.
+//!
+//! ```text
+//! cargo run --release --example hierarchical_cluster
+//! ```
+
+use cholcomm::distsim::CostModel;
+use cholcomm::matrix::spd;
+use cholcomm::par::pxpotrf_hier;
+
+fn main() {
+    let n = 128;
+    let b = 16;
+    let p = 16;
+    let mut rng = spd::test_rng(77);
+    let a = spd::random_spd(n, &mut rng);
+
+    println!("hierarchical machine: n = {n}, P = {p} (4x4 grid), tile b = {b}");
+    println!("network model alpha:beta:gamma = 1000:10:1; per-node LRU of m_local words\n");
+    println!(
+        "{:>10} {:>12} {:>10} {:>16} {:>16}",
+        "m_local", "net words", "net msgs", "local words/node", "local msgs/node"
+    );
+    let flops_per_proc = (n as f64).powi(3) / (3.0 * p as f64);
+    for m_local in [3 * b * b, 12 * b * b, 48 * b * b] {
+        let rep = pxpotrf_hier(&a, b, p, CostModel::typical(), m_local).expect("SPD");
+        println!(
+            "{m_local:>10} {:>12} {:>10} {:>16} {:>16}",
+            rep.critical.words, rep.critical.messages, rep.max_local_words, rep.max_local_messages
+        );
+        let dam = flops_per_proc / (m_local as f64).sqrt();
+        println!(
+            "{:>10} (per-node DAM scale flops_per_proc/sqrt(m_local) = {dam:.0})",
+            ""
+        );
+    }
+    println!();
+    println!("growing the per-node cache leaves the network critical path untouched");
+    println!("and shrinks local traffic along the sequential n^3/(P sqrt(M)) law —");
+    println!("the two communication regimes of the paper compose independently.");
+}

@@ -1,0 +1,86 @@
+//! Interactive I/O-complexity explorer: pick an algorithm, a layout, a
+//! matrix size and a fast-memory size on the command line and get the
+//! measured words/messages next to the paper's bounds.
+//!
+//! ```text
+//! cargo run --release --example io_complexity_explorer -- ap00 morton 128 768
+//! cargo run --release --example io_complexity_explorer -- lapack blocked 128 768
+//! cargo run --release --example io_complexity_explorer          # defaults
+//! ```
+
+use cholcomm::bounds;
+use cholcomm::matrix::spd;
+use cholcomm::seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: io_complexity_explorer [ALG] [LAYOUT] [N] [M]\n\
+         ALG    = naive-left | naive-right | lapack | toledo | ap00\n\
+         LAYOUT = colmajor | rowmajor | packed | rfp | blocked | morton | recpacked\n\
+         N      = matrix order (default 128)\n\
+         M      = fast memory words (default 768)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let alg_s = args.first().map(String::as_str).unwrap_or("ap00");
+    let lay_s = args.get(1).map(String::as_str).unwrap_or("morton");
+    let n: usize = args.get(2).map_or(128, |s| s.parse().unwrap_or_else(|_| usage()));
+    let m: usize = args.get(3).map_or(768, |s| s.parse().unwrap_or_else(|_| usage()));
+
+    let b = (((m / 3) as f64).sqrt() as usize).max(1);
+    let alg = match alg_s {
+        "naive-left" => Algorithm::NaiveLeft,
+        "naive-right" => Algorithm::NaiveRight,
+        "lapack" => Algorithm::LapackBlocked { b },
+        "toledo" => Algorithm::Toledo { gemm_leaf: 4 },
+        "ap00" => Algorithm::Ap00 { leaf: 4 },
+        _ => usage(),
+    };
+    let layout = match lay_s {
+        "colmajor" => LayoutKind::ColMajor,
+        "rowmajor" => LayoutKind::RowMajor,
+        "packed" => LayoutKind::PackedLower,
+        "rfp" => LayoutKind::Rfp,
+        "blocked" => LayoutKind::Blocked(b),
+        "morton" => LayoutKind::Morton,
+        "recpacked" => LayoutKind::RecursivePacked,
+        _ => usage(),
+    };
+    let model = if alg.is_cache_oblivious() {
+        ModelKind::Lru { m }
+    } else {
+        ModelKind::Counting { message_cap: Some(m) }
+    };
+
+    let mut rng = spd::test_rng(99);
+    let a = spd::random_spd(n, &mut rng);
+    let rep = run_algorithm(alg, &a, layout, &model).expect("factorization");
+    let s = rep.levels[0];
+
+    println!("algorithm : {} (b = {b} where applicable)", alg.name());
+    println!("layout    : {}", layout.name());
+    println!("model     : {model:?}");
+    println!("n = {n}, M = {m} (n^2 = {} {} M)", n * n, if n * n > m { ">" } else { "<=" });
+    println!();
+    println!("measured  : {s}");
+    println!(
+        "bandwidth : {:>12.0} words   | lower-bound scale n^3/sqrt(M) = {:>12.0}  (ratio {:.2})",
+        s.words as f64,
+        bounds::seq_bandwidth_scale(n, m),
+        s.words as f64 / bounds::seq_bandwidth_scale(n, m)
+    );
+    println!(
+        "latency   : {:>12.0} msgs    | lower-bound scale n^3/M^1.5   = {:>12.0}  (ratio {:.2})",
+        s.messages as f64,
+        bounds::seq_latency_scale(n, m),
+        s.messages as f64 / bounds::seq_latency_scale(n, m)
+    );
+    println!(
+        "Thm-2 based lower bounds: words >= {:.0}, messages >= {:.0}",
+        bounds::chol_bandwidth_lower(n, m),
+        bounds::chol_latency_lower(n, m)
+    );
+}

@@ -1,0 +1,98 @@
+//! Kalman filtering — covariance updates through the Cholesky factor of
+//! the innovation covariance, a production dense-SPD workload: track a
+//! 2-D constant-velocity target from noisy position measurements.
+//!
+//! ```text
+//! cargo run --release --example kalman_filter
+//! ```
+
+use cholcomm::matrix::kernels::matmul;
+use cholcomm::matrix::{spd, Matrix};
+use cholcomm::stability::kalman_update;
+use rand::RngExt;
+
+fn main() {
+    // State: [x, y, vx, vy]; observe position only.
+    let nx = 4;
+    let dt = 0.1;
+    let f = Matrix::from_rows(
+        4,
+        4,
+        &[
+            1.0, 0.0, dt, 0.0, //
+            0.0, 1.0, 0.0, dt, //
+            0.0, 0.0, 1.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0,
+        ],
+    );
+    let h = Matrix::from_rows(2, 4, &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    let meas_noise = 0.5;
+    let r = Matrix::from_rows(2, 2, &[meas_noise * meas_noise, 0.0, 0.0, meas_noise * meas_noise]);
+
+    let mut rng = spd::test_rng(11);
+    let mut truth = [0.0f64, 0.0, 1.0, 0.5]; // position + velocity
+    let mut est = [0.0f64; 4];
+    let mut p = Matrix::identity(nx);
+    for d in 0..nx {
+        p[(d, d)] = 10.0; // very uncertain start
+    }
+
+    println!("{:>5} {:>18} {:>18} {:>10}", "step", "truth (x, y)", "estimate (x, y)", "|err|");
+    let mut final_err = 0.0;
+    for step in 1..=60 {
+        // --- truth moves; we receive a noisy position measurement ---
+        let (x, y, vx, vy) = (truth[0], truth[1], truth[2], truth[3]);
+        truth = [x + dt * vx, y + dt * vy, vx, vy];
+        let z = [
+            truth[0] + meas_noise * rng.random_range(-1.0..1.0),
+            truth[1] + meas_noise * rng.random_range(-1.0..1.0),
+        ];
+
+        // --- predict ---
+        let est_m = Matrix::from_rows(4, 1, &est);
+        let pred = matmul(&f, &est_m);
+        let mut est_pred = [0.0f64; 4];
+        for d in 0..4 {
+            est_pred[d] = pred[(d, 0)];
+        }
+        let p_pred = {
+            let fp = matmul(&f, &p);
+            let mut fpf = matmul(&fp, &f.transpose());
+            for d in 0..4 {
+                fpf[(d, d)] += 0.01; // process noise
+            }
+            fpf
+        };
+
+        // --- update: covariance through the Cholesky-based gain ---
+        p = kalman_update(&p_pred, &h, &r).expect("innovation covariance SPD");
+        // State update with the same gain structure (recomputed simply).
+        let innov = [z[0] - est_pred[0], z[1] - est_pred[1]];
+        // Scalar-ish gain approximation consistent with kalman_update's
+        // covariance: use the exact gain K = P_pred H^T S^{-1}.
+        let ph_t = matmul(&p_pred, &h.transpose());
+        let mut s = matmul(&h, &ph_t);
+        for d in 0..2 {
+            s[(d, d)] += meas_noise * meas_noise;
+        }
+        let mut fac = s.clone();
+        cholcomm::matrix::kernels::potf2(&mut fac).unwrap();
+        for d in 0..4 {
+            let rhs = [ph_t[(d, 0)], ph_t[(d, 1)]];
+            let k_row = cholcomm::matrix::tri::solve_with_factor(&fac, &rhs);
+            est_pred[d] += k_row[0] * innov[0] + k_row[1] * innov[1];
+        }
+        est = est_pred;
+
+        let err = ((est[0] - truth[0]).powi(2) + (est[1] - truth[1]).powi(2)).sqrt();
+        final_err = err;
+        if step % 10 == 0 {
+            println!(
+                "{step:>5} ({:>7.3}, {:>7.3}) ({:>7.3}, {:>7.3}) {err:>10.4}",
+                truth[0], truth[1], est[0], est[1]
+            );
+        }
+    }
+    assert!(final_err < 1.0, "filter should converge: {final_err}");
+    println!("\nconverged: the covariance stayed SPD through 60 Cholesky-based updates.");
+}

@@ -1,0 +1,85 @@
+//! Out-of-core Cholesky: when "slow memory" is a disk, latency dominates
+//! — the paper's [B08] reference compares loop-based vs recursive
+//! out-of-core factorizations, and this example replays that comparison
+//! on the simulator: same matrix, same fast memory, three algorithms,
+//! modelled wall-clock under disk-like alpha/beta (a seek costs as much
+//! as ~100k streamed words).
+//!
+//! ```text
+//! cargo run --release --example out_of_core
+//! ```
+
+use cholcomm::matrix::spd;
+use cholcomm::seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+
+fn main() {
+    let n = 128;
+    let m = 768; // "RAM" in words; the n^2 = 16384-word matrix lives on "disk"
+    // Disk-like costs: alpha = 5 ms seek, beta = 50 ns/word, in seconds.
+    let (alpha, beta) = (5e-3, 5e-8);
+
+    let b = (((m / 3) as f64).sqrt() as usize).max(1);
+    let mut rng = spd::test_rng(64);
+    let a = spd::random_spd(n, &mut rng);
+
+    println!("out-of-core Cholesky: n = {n} (matrix {} words on disk), RAM M = {m} words", n * n);
+    println!("disk model: alpha = {alpha} s/seek, beta = {beta} s/word\n");
+    println!(
+        "{:>34} {:>20} {:>10} {:>10} {:>12}",
+        "algorithm", "layout", "words", "seeks", "modelled s"
+    );
+
+    let cases = [
+        (
+            Algorithm::NaiveLeft,
+            LayoutKind::ColMajor,
+            ModelKind::Counting { message_cap: Some(m) },
+        ),
+        (
+            Algorithm::LapackBlocked { b },
+            LayoutKind::ColMajor,
+            ModelKind::Counting { message_cap: Some(m) },
+        ),
+        (
+            Algorithm::LapackBlocked { b },
+            LayoutKind::Blocked(b),
+            ModelKind::Counting { message_cap: Some(m) },
+        ),
+        (
+            Algorithm::Toledo { gemm_leaf: 4 },
+            LayoutKind::Morton,
+            ModelKind::Lru { m },
+        ),
+        (
+            Algorithm::Ap00 { leaf: 4 },
+            LayoutKind::Morton,
+            ModelKind::Lru { m },
+        ),
+    ];
+    let mut times = Vec::new();
+    for (alg, layout, model) in cases {
+        let rep = run_algorithm(alg, &a, layout, &model).expect("SPD");
+        let s = rep.levels[0];
+        let t = s.time(alpha, beta);
+        times.push((alg.name(), layout.name(), t));
+        println!(
+            "{:>34} {:>20} {:>10} {:>10} {:>12.3}",
+            alg.name(),
+            layout.name(),
+            s.words,
+            s.messages,
+            t
+        );
+    }
+    println!();
+    let best = times
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .unwrap();
+    println!(
+        "winner: {} on {} — out of core, seeks rule, so the latency-optimal\n\
+         combination (recursive algorithm + recursive layout, or LAPACK on\n\
+         contiguous blocks) wins by an order of magnitude over column-major.",
+        best.0, best.1
+    );
+}

@@ -1,0 +1,10 @@
+//! # cholcomm
+//!
+//! Umbrella crate for the `cholcomm` workspace — a production-grade Rust
+//! reproduction of *Communication-Optimal Parallel and Sequential
+//! Cholesky Decomposition* (Ballard, Demmel, Holtz, Schwartz; SPAA 2009).
+//!
+//! Everything re-exports from [`cholcomm_core`]; see the workspace README
+//! for the architecture and `examples/` for entry points.
+
+pub use cholcomm_core::*;

@@ -1,0 +1,145 @@
+//! Workspace-wide property tests: random sizes, random data, every
+//! algorithm and layout, checked against the reference factorization and
+//! the model invariants.
+
+use cholcomm::cachesim::{CountingTracer, LruTracer, Tracer};
+use cholcomm::layout::{cells_block, Blocked, ColMajor, Laid, Layout, Morton, RecursivePacked};
+use cholcomm::matrix::{kernels, norms, spd, Matrix};
+use cholcomm::seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use proptest::prelude::*;
+
+fn spd_strategy(max_n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    (1usize..=max_n, 0u64..10_000).prop_map(|(n, seed)| {
+        let mut rng = spd::test_rng(seed);
+        spd::random_spd(n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn every_algorithm_factors_random_sizes(a in spd_strategy(24)) {
+        let n = a.rows();
+        let mut reference = a.clone();
+        kernels::potf2(&mut reference).unwrap();
+        for alg in [
+            Algorithm::NaiveLeft,
+            Algorithm::NaiveRight,
+            Algorithm::LapackBlocked { b: (n / 3).max(1) },
+            Algorithm::Toledo { gemm_leaf: 3 },
+            Algorithm::Ap00 { leaf: 3 },
+        ] {
+            let rep = run_algorithm(alg, &a, LayoutKind::Morton, &ModelKind::Lru { m: 32 })
+                .unwrap();
+            for j in 0..n {
+                for i in j..n {
+                    prop_assert!(
+                        (rep.factor[(i, j)] - reference[(i, j)]).abs() < 1e-8,
+                        "{alg:?} n={n} at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lru_totals_bounded_by_explicit_totals(
+        a in spd_strategy(20),
+        m in 8usize..256,
+    ) {
+        // Fetch misses can never exceed the explicitly declared traffic.
+        let n = a.rows();
+        let mut explicit = CountingTracer::uncapped();
+        let mut l1 = Laid::from_matrix(&a, ColMajor::square(n));
+        cholcomm::seq::naive::right_looking(&mut l1, &mut explicit).unwrap();
+        let mut lru = LruTracer::with_writebacks(m, false);
+        let mut l2 = Laid::from_matrix(&a, ColMajor::square(n));
+        cholcomm::seq::naive::right_looking(&mut l2, &mut lru).unwrap();
+        prop_assert!(lru.fetch_stats().words <= explicit.stats().words);
+    }
+
+    #[test]
+    fn layouts_cover_blocks_exactly_once(
+        n in 2usize..24,
+        bi in 0usize..4,
+        bj in 0usize..4,
+        bsz in 1usize..6,
+    ) {
+        // The runs covering any in-bounds block partition its stored
+        // cells exactly: total run length == number of stored cells.
+        let i0 = (bi * 3) % n;
+        let j0 = (bj * 3) % n;
+        let h = bsz.min(n - i0);
+        let w = bsz.min(n - j0);
+        macro_rules! check {
+            ($l:expr) => {{
+                let l = $l;
+                let stored = cells_block(i0, j0, h, w)
+                    .filter(|&(i, j)| l.stores(i, j))
+                    .count();
+                let runs = l.runs_for(cells_block(i0, j0, h, w));
+                let total: usize = runs.iter().map(|r| r.len()).sum();
+                prop_assert_eq!(total, stored, "{} block ({},{}) {}x{}", l.name(), i0, j0, h, w);
+                // Runs are disjoint and sorted.
+                for ws in runs.windows(2) {
+                    prop_assert!(ws[0].end <= ws[1].start);
+                }
+            }};
+        }
+        check!(ColMajor::square(n));
+        check!(Morton::square(n));
+        check!(Blocked::square(n, 4));
+        check!(RecursivePacked::new(n));
+    }
+
+    #[test]
+    fn factors_bitwise_equal_across_storage(a in spd_strategy(18)) {
+        // Same algorithm + same arithmetic order => identical bits, no
+        // matter where the words live.
+        let n = a.rows();
+        let model = ModelKind::Counting { message_cap: Some(64) };
+        let base = run_algorithm(Algorithm::NaiveRight, &a, LayoutKind::ColMajor, &model)
+            .unwrap()
+            .factor;
+        for layout in [LayoutKind::RowMajor, LayoutKind::Morton, LayoutKind::PackedLower] {
+            let f = run_algorithm(Algorithm::NaiveRight, &a, layout, &model)
+                .unwrap()
+                .factor;
+            for j in 0..n {
+                for i in j..n {
+                    prop_assert_eq!(f[(i, j)].to_bits(), base[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_roundtrips_for_random_systems(a in spd_strategy(20), seed in 0u64..1000) {
+        let n = a.rows();
+        let mut rng = spd::test_rng(seed);
+        use rand::RngExt;
+        let x_true: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| a[(i, j)] * x_true[j]).sum())
+            .collect();
+        let x = cholcomm::matrix::tri::solve_spd(&a, &b).unwrap();
+        for (got, want) in x.iter().zip(&x_true) {
+            prop_assert!((got - want).abs() < 1e-6 * (1.0 + want.abs()) * n as f64);
+        }
+    }
+
+    #[test]
+    fn residual_scales_with_n_not_with_data(a in spd_strategy(28)) {
+        let n = a.rows();
+        let rep = run_algorithm(
+            Algorithm::Ap00 { leaf: 4 },
+            &a,
+            LayoutKind::ColMajor,
+            &ModelKind::Lru { m: 64 },
+        )
+        .unwrap();
+        let r = norms::cholesky_residual(&a, &rep.factor);
+        prop_assert!(r < norms::residual_tolerance(n.max(2)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the Theorem 1 reduction: Algorithm 1 must produce
+//! `A * B` exactly (up to floating-point rounding) for *random* inputs
+//! through *every* classical algorithm, and the starred values must never
+//! leak into the product block (Lemma 2.2).
+
+use cholcomm::matrix::{kernels, norms, Matrix};
+use cholcomm::seq::zoo::{run_alg, Algorithm};
+use cholcomm::cachesim::NullTracer;
+use cholcomm::layout::{ColMajor, Morton};
+use cholcomm::starred::{build_t_prime, dependency_set, extract_product, respects_partial_order};
+use proptest::prelude::*;
+
+fn mat_strategy(n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-3.0f64..3.0, n * n)
+        .prop_map(move |v| Matrix::from_rows(n, n, &v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reduction_is_exact_through_naive_right(
+        (a, b) in (2usize..6).prop_flat_map(|n| (mat_strategy(n), mat_strategy(n)))
+    ) {
+        let n = a.rows();
+        let t = build_t_prime(&a, &b);
+        let f = run_alg(Algorithm::NaiveRight, &t, ColMajor::square(3 * n), &mut NullTracer)
+            .expect("classical Cholesky on T' cannot fail");
+        let product = extract_product(&f, n).expect("no starred contamination");
+        let want = kernels::matmul(&a, &b);
+        prop_assert!(norms::max_abs_diff(&product, &want) < 1e-9);
+    }
+
+    #[test]
+    fn reduction_is_exact_through_ap00_on_morton(
+        (a, b) in (2usize..6).prop_flat_map(|n| (mat_strategy(n), mat_strategy(n)))
+    ) {
+        let n = a.rows();
+        let t = build_t_prime(&a, &b);
+        let f = run_alg(Algorithm::Ap00 { leaf: 2 }, &t, Morton::square(3 * n), &mut NullTracer)
+            .expect("classical Cholesky on T' cannot fail");
+        let product = extract_product(&f, n).expect("no starred contamination");
+        let want = kernels::matmul(&a, &b);
+        prop_assert!(norms::max_abs_diff(&product, &want) < 1e-9);
+    }
+
+    #[test]
+    fn reduction_is_exact_through_lapack_blocked(
+        (a, b) in (2usize..5).prop_flat_map(|n| (mat_strategy(n), mat_strategy(n))),
+        blk in 1usize..4,
+    ) {
+        let n = a.rows();
+        let t = build_t_prime(&a, &b);
+        let f = run_alg(
+            Algorithm::LapackBlocked { b: blk },
+            &t,
+            ColMajor::square(3 * n),
+            &mut NullTracer,
+        )
+        .expect("classical Cholesky on T' cannot fail");
+        let product = extract_product(&f, n).expect("no starred contamination");
+        let want = kernels::matmul(&a, &b);
+        prop_assert!(norms::max_abs_diff(&product, &want) < 1e-9);
+    }
+
+    #[test]
+    fn column_order_is_always_a_linear_extension(n in 1usize..12) {
+        // The order every left-looking algorithm completes entries in.
+        let mut order = Vec::new();
+        for j in 0..n {
+            for i in j..n {
+                order.push((i, j));
+            }
+        }
+        prop_assert!(respects_partial_order(n, &order));
+    }
+
+    #[test]
+    fn dependency_sets_stay_in_the_computed_region(i in 0usize..24, extra in 0usize..24) {
+        let j = i.min(extra);
+        let i = i.max(extra);
+        for (di, dj) in dependency_set(i, j) {
+            prop_assert!(di >= dj, "dependencies are lower-triangular");
+            prop_assert!(di <= i, "no forward row dependencies");
+        }
+    }
+}
+
+#[test]
+fn reduction_handles_special_inputs() {
+    // Zero and identity inputs exercise the 0*/1* edge cases of Table 3.
+    for n in [1usize, 2, 4] {
+        let z = Matrix::<f64>::zeros(n, n);
+        let id = Matrix::<f64>::identity(n);
+        for (a, b) in [(&z, &id), (&id, &z), (&id, &id), (&z, &z)] {
+            let t = build_t_prime(a, b);
+            let f = run_alg(Algorithm::NaiveLeft, &t, ColMajor::square(3 * n), &mut NullTracer)
+                .unwrap();
+            let product = extract_product(&f, n).unwrap();
+            let want = kernels::matmul(a, b);
+            assert!(norms::max_abs_diff(&product, &want) < 1e-12);
+        }
+    }
+}
