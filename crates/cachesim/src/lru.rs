@@ -234,6 +234,7 @@ impl Tracer for LruTracer {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // touch_runs takes &[Range]; one-run slices are the point
 mod tests {
     use super::*;
     use crate::tracer::touch;
@@ -339,6 +340,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // touch_runs takes &[Range]; one-run slices are the point
 mod model_tests {
     //! Model-based testing: the arena-linked-list LRU must agree, access
     //! for access, with a brutally simple reference implementation.

@@ -75,6 +75,7 @@ impl Tracer for RecordingTracer {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // touch_runs takes &[Range]; one-run slices are the point
 mod tests {
     use super::*;
     use crate::counting::CountingTracer;

@@ -95,6 +95,7 @@ impl Tracer for SetAssocTracer {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // touch_runs takes &[Range]; one-run slices are the point
 mod tests {
     use super::*;
     use crate::lru::LruTracer;

@@ -205,6 +205,7 @@ impl Tracer for StackDistanceTracer {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // touch_runs takes &[Range]; one-run slices are the point
 mod tests {
     use super::*;
     use crate::lru::LruTracer;

@@ -41,6 +41,7 @@ pub mod verify;
 
 pub use cholcomm_cachesim as cachesim;
 pub use cholcomm_distsim as distsim;
+pub use cholcomm_faults as faults;
 pub use cholcomm_layout as layout;
 pub use cholcomm_matrix as matrix;
 pub use cholcomm_ooc as ooc;

@@ -307,10 +307,10 @@ pub fn run_table1_extended(cfg: Table1Config, a: &Matrix<f64>) -> Vec<(String, u
         let mut tr = LruTracer::new(m);
         ap00::cache_aware_rchol(&mut laid, &mut tr, m).expect("SPD");
         tr.flush();
-        rows.push((format!("AP00 tuned (b=sqrt(M/3)) / recursive"), tr.total_stats().words, tr.total_stats().messages));
+        rows.push(("AP00 tuned (b=sqrt(M/3)) / recursive".to_string(), tr.total_stats().words, tr.total_stats().messages));
     }
     // LAPACK on layered storage (configured to its own block size).
-    if n % b == 0 {
+    if n.is_multiple_of(b) {
         let mut laid = Laid::from_matrix(a, Layered::new(n, vec![b]));
         let mut tr = CountingTracer::new(m);
         lapack::potrf_blocked(&mut laid, &mut tr, b, None).expect("SPD");

@@ -107,7 +107,7 @@ mod tests {
         assert_eq!(g.block_owner(0, 0), g.block_owner(0, 3));
         assert_ne!(g.block_owner(0, 0), g.block_owner(1, 0));
         // Each processor owns exactly 4 of the 36 blocks.
-        let mut counts = vec![0usize; 9];
+        let mut counts = [0usize; 9];
         for bi in 0..6 {
             for bj in 0..6 {
                 counts[g.block_owner(bi, bj)] += 1;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 //! # cholcomm-distsim
 //!
 //! A deterministic distributed-memory machine simulator for the paper's
@@ -19,6 +20,12 @@
 //! * **critical-path tuples** propagated with the same `max` rule as the
 //!   simulated clock, giving the paper's "words and messages communicated
 //!   along the critical path".
+//!
+//! The SPMD mode additionally implements a *reliable transport* over
+//! lossy links ([`threaded`]): sequence numbers, checksums, receiver
+//! dedup, and timeout/backoff retransmission driven by a deterministic
+//! [`cholcomm_faults::FaultPlan`], with recovery traffic accounted
+//! separately from algorithmic traffic.
 
 pub mod cost;
 pub mod grid;
@@ -28,4 +35,4 @@ pub mod threaded;
 pub use cost::{Clock, CostModel, CriticalPath};
 pub use grid::ProcGrid;
 pub use machine::Machine;
-pub use threaded::{run_spmd, ProcCtx, RankClock, SpmdOutcome};
+pub use threaded::{run_spmd, run_spmd_faulty, FaultReport, ProcCtx, RankClock, SpmdOutcome};

@@ -288,7 +288,7 @@ mod tests {
         let members: Vec<usize> = (0..8).collect();
         let edges = m.broadcast(3, &members, 4);
         assert_eq!(edges.len(), 7, "7 receivers");
-        let mut got = vec![false; 8];
+        let mut got = [false; 8];
         got[3] = true;
         for (s, d) in edges {
             assert!(got[s], "sender must already have the data");

@@ -9,20 +9,57 @@
 //! Numerical results are deterministic (the dataflow is fixed); the
 //! simulated clocks are too, because every receive names its sender.
 //!
+//! # Reliable transport under injected faults
+//!
+//! Links are *lossy* when a [`FaultPlan`] says so: transmission attempts
+//! can be dropped, duplicated, delayed, or corrupted.  The transport
+//! recovers with the classic stop-and-wait machinery — per-link sequence
+//! numbers, payload checksums, receiver-side deduplication, and
+//! timeout-based retransmission with exponential backoff on the
+//! *simulated* clock.  Because fault decisions are pure functions of
+//! `(link, sequence, attempt)`, a faulted run is exactly as
+//! deterministic as a clean one: same factors bit for bit, same clocks.
+//!
+//! Traffic is accounted twice: the **clean** counts are the algorithmic
+//! words/messages the program asked for (what the paper's tables count),
+//! while `words_sent`/`messages_sent` tally everything that crossed the
+//! wire, including retransmissions, duplicate copies, and corrupted
+//! arrivals.  [`SpmdOutcome::fault_report`] reports both plus the
+//! overhead factor.  Acknowledgements are tracked in
+//! [`FaultStats::acks`] but kept out of the word/message totals so a
+//! clean run's overhead factor is exactly 1.
+//!
 //! The sequential [`Machine`](crate::Machine) remains the reference for
 //! the paper's tables; this mode exists to show the same algorithm and
-//! the same counts survive genuine concurrency (and to exercise the
-//! channel-based plumbing a real deployment would use).
+//! the same counts survive genuine concurrency (and now genuine fault
+//! recovery) on the channel-based plumbing a real deployment would use.
 
 use crate::cost::{CostModel, CriticalPath};
+use cholcomm_faults::{FaultPlan, FaultStats, MessageFault};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
-/// A message between ranks: payload plus the sender's clock state.
+/// A message between ranks: payload plus transport metadata and the
+/// sender's clock state.
 struct Msg {
     words: usize,
     send_time: f64,
+    /// Extra simulated latency injected by a `Delay` fault.
+    extra_latency: f64,
+    /// Per-link sequence number (starts at 1).
+    seq: u64,
+    /// Checksum over the payload; receivers discard on mismatch.
+    checksum: u64,
     path: CriticalPath,
     payload: Vec<f64>,
+}
+
+fn payload_checksum(payload: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in payload {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Per-rank context handed to the SPMD program.
@@ -30,11 +67,22 @@ pub struct ProcCtx {
     rank: usize,
     procs: usize,
     model: CostModel,
+    plan: FaultPlan,
     time: f64,
     path: CriticalPath,
+    /// Everything that crossed the wire (retransmits and duplicates
+    /// included) — the "faulted" totals.
     words_sent: u64,
     messages_sent: u64,
+    /// What the program asked to send — the algorithmic totals.
+    clean_words: u64,
+    clean_messages: u64,
     flops: u64,
+    fstats: FaultStats,
+    /// `next_seq[dst]` — next sequence number on my link to `dst`.
+    next_seq: Vec<u64>,
+    /// `last_seen[src]` — highest sequence accepted from `src`.
+    last_seen: Vec<u64>,
     /// `senders[dst]` — my outgoing channel to each destination.
     senders: Vec<Sender<Msg>>,
     /// `receivers[src]` — my inbox from each source.
@@ -59,39 +107,158 @@ impl ProcCtx {
         self.path.flops += flops;
     }
 
-    /// Send `payload` to `dst` (one message).
-    pub fn send(&mut self, dst: usize, payload: Vec<f64>) {
-        assert_ne!(dst, self.rank, "no self-sends in the SPMD mode");
-        let words = payload.len();
-        let msg = Msg {
-            words,
-            send_time: self.time,
-            path: self.path,
-            payload,
-        };
-        self.words_sent += words as u64;
+    /// Retransmission timeout before attempt `attempt + 1`: one message
+    /// round trip, doubling per failed attempt.
+    fn rto(&self, words: usize, attempt: u32) -> f64 {
+        let round_trip = self.model.message_time(words) + self.model.message_time(1);
+        round_trip * (1u64 << (attempt - 1).min(16)) as f64
+    }
+
+    fn push_to_wire(&mut self, dst: usize, msg: Msg) {
+        self.words_sent += msg.words as u64;
         self.messages_sent += 1;
         self.senders[dst].send(msg).expect("receiver alive");
     }
 
-    /// Blocking receive of the next message from `src`.
-    pub fn recv(&mut self, src: usize) -> Vec<f64> {
-        let msg = self.receivers[src].recv().expect("sender alive");
-        let arrival = msg.send_time + self.model.message_time(msg.words);
-        if arrival >= self.time {
-            // The message chain is the critical path into this event.
-            self.path = CriticalPath {
-                words: msg.path.words + msg.words as u64,
-                messages: msg.path.messages + 1,
-                flops: msg.path.flops,
-            };
-        } else {
-            // Local work dominates; the message only adds its own cost.
-            self.path.words += msg.words as u64;
-            self.path.messages += 1;
+    /// Send `payload` to `dst` (one logical message).  Under a fault
+    /// plan this may take several wire attempts; the call returns once
+    /// an intact copy is on the wire and is guaranteed to terminate by
+    /// the plan's attempt cap.
+    pub fn send(&mut self, dst: usize, payload: Vec<f64>) {
+        assert_ne!(dst, self.rank, "no self-sends in the SPMD mode");
+        let words = payload.len();
+        let seq = self.next_seq[dst];
+        self.next_seq[dst] += 1;
+        self.clean_words += words as u64;
+        self.clean_messages += 1;
+
+        let checksum = payload_checksum(&payload);
+        let mut attempt: u32 = 1;
+        loop {
+            match self.plan.message_fault(self.rank, dst, seq, attempt) {
+                Some(MessageFault::Drop) => {
+                    // The attempt vanishes: it still cost us wire words
+                    // (count it) but never reaches the receiver, so no
+                    // physical send.  Wait out the ack timeout, back off,
+                    // retransmit.
+                    self.words_sent += words as u64;
+                    self.messages_sent += 1;
+                    self.fstats.drops += 1;
+                    self.fstats.retransmits += 1;
+                    self.time += self.rto(words, attempt);
+                    attempt += 1;
+                }
+                Some(MessageFault::Corrupt) => {
+                    // The attempt arrives, but mangled: flip a payload
+                    // bit so the checksum genuinely fails at the far
+                    // end, then time out and retransmit.
+                    let mut bad = payload.clone();
+                    if let Some(first) = bad.first_mut() {
+                        *first = f64::from_bits(first.to_bits() ^ 1);
+                    }
+                    let msg = Msg {
+                        words,
+                        send_time: self.time,
+                        extra_latency: 0.0,
+                        seq,
+                        checksum,
+                        path: self.path,
+                        payload: bad,
+                    };
+                    self.push_to_wire(dst, msg);
+                    self.fstats.corruptions += 1;
+                    self.fstats.retransmits += 1;
+                    self.time += self.rto(words, attempt);
+                    attempt += 1;
+                }
+                Some(MessageFault::Delay { extra }) => {
+                    let msg = Msg {
+                        words,
+                        send_time: self.time,
+                        extra_latency: extra,
+                        seq,
+                        checksum,
+                        path: self.path,
+                        payload,
+                    };
+                    self.push_to_wire(dst, msg);
+                    self.fstats.delays += 1;
+                    return;
+                }
+                Some(MessageFault::Duplicate) => {
+                    for copy in 0..2 {
+                        let msg = Msg {
+                            words,
+                            send_time: self.time,
+                            extra_latency: 0.0,
+                            seq,
+                            checksum,
+                            path: self.path,
+                            payload: payload.clone(),
+                        };
+                        self.push_to_wire(dst, msg);
+                        if copy == 1 {
+                            self.fstats.duplicates += 1;
+                        }
+                    }
+                    return;
+                }
+                None => {
+                    let msg = Msg {
+                        words,
+                        send_time: self.time,
+                        extra_latency: 0.0,
+                        seq,
+                        checksum,
+                        path: self.path,
+                        payload,
+                    };
+                    self.push_to_wire(dst, msg);
+                    return;
+                }
+            }
         }
-        self.time = self.time.max(arrival);
-        msg.payload
+    }
+
+    /// Blocking receive of the next accepted message from `src`:
+    /// corrupted arrivals and stale duplicates are discarded here, so
+    /// the program only ever sees clean in-order payloads.
+    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+        loop {
+            let msg = self.receivers[src].recv().expect("sender alive");
+            let arrival = msg.send_time + self.model.message_time(msg.words) + msg.extra_latency;
+            if payload_checksum(&msg.payload) != msg.checksum {
+                // Corrupted on the wire: occupy the link, discard, keep
+                // waiting for the retransmit.
+                self.time = self.time.max(arrival);
+                self.fstats.discarded += 1;
+                continue;
+            }
+            if msg.seq <= self.last_seen[src] {
+                // Duplicate of something already delivered.
+                self.time = self.time.max(arrival);
+                self.fstats.discarded += 1;
+                continue;
+            }
+            self.last_seen[src] = msg.seq;
+            // The ack travels back on the simulated wire; tracked as a
+            // count only (see module docs).
+            self.fstats.acks += 1;
+            if arrival >= self.time {
+                // The message chain is the critical path into this event.
+                self.path = CriticalPath {
+                    words: msg.path.words + msg.words as u64,
+                    messages: msg.path.messages + 1,
+                    flops: msg.path.flops,
+                };
+            } else {
+                // Local work dominates; the message only adds its own cost.
+                self.path.words += msg.words as u64;
+                self.path.messages += 1;
+            }
+            self.time = self.time.max(arrival);
+            return msg.payload;
+        }
     }
 
     /// Binomial-tree broadcast among `members` (which must contain both
@@ -132,7 +299,10 @@ impl ProcCtx {
             path: self.path,
             words_sent: self.words_sent,
             messages_sent: self.messages_sent,
+            clean_words: self.clean_words,
+            clean_messages: self.clean_messages,
             flops: self.flops,
+            fault_stats: self.fstats,
         }
     }
 }
@@ -144,12 +314,68 @@ pub struct RankClock {
     pub time: f64,
     /// Critical path into this rank's final event.
     pub path: CriticalPath,
-    /// Total words sent.
+    /// Total words that crossed the wire (retries included).
     pub words_sent: u64,
-    /// Total messages sent.
+    /// Total messages that crossed the wire (retries included).
     pub messages_sent: u64,
+    /// Algorithmic words (what a perfect network would have carried).
+    pub clean_words: u64,
+    /// Algorithmic messages.
+    pub clean_messages: u64,
     /// Local flops.
     pub flops: u64,
+    /// Fault and recovery tallies for this rank.
+    pub fault_stats: FaultStats,
+}
+
+/// Aggregate clean/faulted traffic for a whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultReport {
+    /// Algorithmic words across all ranks.
+    pub clean_words: u64,
+    /// Algorithmic messages across all ranks.
+    pub clean_messages: u64,
+    /// Wire words across all ranks (retries and duplicates included).
+    pub faulted_words: u64,
+    /// Wire messages across all ranks.
+    pub faulted_messages: u64,
+    /// `faulted_words / clean_words` (1.0 when nothing was injected).
+    pub word_overhead: f64,
+    /// `faulted_messages / clean_messages`.
+    pub message_overhead: f64,
+    /// Merged per-rank fault tallies.
+    pub stats: FaultStats,
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "clean traffic:   {} words, {} messages",
+            self.clean_words, self.clean_messages
+        )?;
+        writeln!(
+            f,
+            "faulted traffic: {} words, {} messages",
+            self.faulted_words, self.faulted_messages
+        )?;
+        writeln!(
+            f,
+            "retry overhead:  {:.3}x words, {:.3}x messages",
+            self.word_overhead, self.message_overhead
+        )?;
+        write!(
+            f,
+            "faults: {} drops, {} duplicates, {} corruptions, {} delays; {} retransmits, {} discarded, {} acks",
+            self.stats.drops,
+            self.stats.duplicates,
+            self.stats.corruptions,
+            self.stats.delays,
+            self.stats.retransmits,
+            self.stats.discarded,
+            self.stats.acks
+        )
+    }
 }
 
 /// Outcome of an SPMD run: per-rank results and clocks.
@@ -175,13 +401,47 @@ impl<T> SpmdOutcome<T> {
             .map(|c| c.path)
             .unwrap_or_default()
     }
+
+    /// Clean vs. faulted traffic totals and the retry overhead factor.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut stats = FaultStats::new();
+        let (mut cw, mut cm, mut fw, mut fm) = (0u64, 0u64, 0u64, 0u64);
+        for c in &self.clocks {
+            stats.merge(&c.fault_stats);
+            cw += c.clean_words;
+            cm += c.clean_messages;
+            fw += c.words_sent;
+            fm += c.messages_sent;
+        }
+        FaultReport {
+            clean_words: cw,
+            clean_messages: cm,
+            faulted_words: fw,
+            faulted_messages: fm,
+            word_overhead: if cw == 0 { 1.0 } else { fw as f64 / cw as f64 },
+            message_overhead: if cm == 0 { 1.0 } else { fm as f64 / cm as f64 },
+            stats,
+        }
+    }
 }
 
-/// Run `program` on `p` OS threads under `model`; each rank gets its own
-/// [`ProcCtx`] with a full mesh of channels.
+/// Run `program` on `p` OS threads under `model` with a perfect network.
 pub fn run_spmd<T: Send>(
     p: usize,
     model: CostModel,
+    program: impl Fn(&mut ProcCtx) -> T + Sync,
+) -> SpmdOutcome<T> {
+    run_spmd_faulty(p, model, FaultPlan::none(), program)
+}
+
+/// Run `program` on `p` OS threads under `model`, with every link
+/// subjected to `plan`.  Each rank gets its own [`ProcCtx`] with a full
+/// mesh of channels; the reliable transport guarantees the program sees
+/// the same payloads it would on a perfect network.
+pub fn run_spmd_faulty<T: Send>(
+    p: usize,
+    model: CostModel,
+    plan: FaultPlan,
     program: impl Fn(&mut ProcCtx) -> T + Sync,
 ) -> SpmdOutcome<T> {
     assert!(p > 0);
@@ -208,11 +468,17 @@ pub fn run_spmd<T: Send>(
             rank,
             procs: p,
             model,
+            plan: plan.clone(),
             time: 0.0,
             path: CriticalPath::default(),
             words_sent: 0,
             messages_sent: 0,
+            clean_words: 0,
+            clean_messages: 0,
             flops: 0,
+            fstats: FaultStats::new(),
+            next_seq: vec![1; p],
+            last_seen: vec![0; p],
             senders: out_row,
             receivers: rx_row.into_iter().map(|r| r.expect("mesh built")).collect(),
         });
@@ -220,14 +486,18 @@ pub fn run_spmd<T: Send>(
     drop(senders);
 
     let program = &program;
-    let mut slots: Vec<Option<(T, RankClock)>> = (0..p).map(|_| None).collect();
+    let mut slots: Vec<Option<(T, ProcCtx)>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = ctxs
             .into_iter()
             .map(|mut ctx| {
                 scope.spawn(move || {
                     let out = program(&mut ctx);
-                    (out, ctx.into_clock())
+                    // Return the ctx itself: its receivers must stay
+                    // alive until every rank has joined, or a late
+                    // duplicate/retransmit to an already-finished rank
+                    // would hit a hung-up channel.
+                    (out, ctx)
                 })
             })
             .collect();
@@ -239,14 +509,15 @@ pub fn run_spmd<T: Send>(
     let mut results = Vec::with_capacity(p);
     let mut clocks = Vec::with_capacity(p);
     for s in slots {
-        let (r, c) = s.expect("all ranks joined");
+        let (r, ctx) = s.expect("all ranks joined");
         results.push(r);
-        clocks.push(c);
+        clocks.push(ctx.into_clock());
     }
     SpmdOutcome { results, clocks }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -318,5 +589,130 @@ mod tests {
         let (m2, c2) = run();
         assert_eq!(m1, m2);
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn clean_plan_has_unit_overhead() {
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1.0; 8]);
+            } else {
+                ctx.recv(0);
+            }
+        });
+        let rep = out.fault_report();
+        assert_eq!(rep.clean_words, 8);
+        assert_eq!(rep.faulted_words, 8);
+        assert_eq!(rep.word_overhead, 1.0);
+        assert_eq!(rep.message_overhead, 1.0);
+        assert_eq!(rep.stats.acks, 1);
+        assert_eq!(rep.stats.message_faults(), 0);
+    }
+
+    #[test]
+    fn payload_survives_heavy_loss() {
+        // 40% of attempts dropped, plus duplication and corruption: the
+        // program must still observe exactly the sent payloads, in order.
+        let plan = FaultPlan::builder(11)
+            .drop_rate(0.4)
+            .duplicate_rate(0.1)
+            .corrupt_rate(0.1)
+            .build();
+        let rounds = 50usize;
+        let out = run_spmd_faulty(2, CostModel::typical(), plan, |ctx| {
+            let mut sum = 0.0;
+            for i in 0..rounds {
+                if ctx.rank() == 0 {
+                    ctx.send(1, vec![i as f64; 3]);
+                } else {
+                    let v = ctx.recv(0);
+                    assert_eq!(v, vec![i as f64; 3], "round {i} payload intact and in order");
+                    sum += v[0];
+                }
+            }
+            sum
+        });
+        let want: f64 = (0..rounds).map(|i| i as f64).sum();
+        assert_eq!(out.results[1], want);
+        let rep = out.fault_report();
+        assert!(rep.stats.drops > 0, "plan should have dropped something");
+        assert!(rep.word_overhead > 1.0, "retries must show up as overhead");
+        assert_eq!(rep.clean_messages, rounds as u64);
+        assert!(rep.faulted_messages > rep.clean_messages);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let mk = || {
+            let plan = FaultPlan::builder(21)
+                .drop_rate(0.3)
+                .duplicate_rate(0.1)
+                .delay(0.2, 500.0)
+                .build();
+            run_spmd_faulty(4, CostModel::typical(), plan, |ctx| {
+                let members: Vec<usize> = (0..4).collect();
+                let data = if ctx.rank() == 1 {
+                    Some(vec![3.25; 9])
+                } else {
+                    None
+                };
+                let got = ctx.bcast(1, &members, data);
+                got[0]
+            })
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.fault_report().faulted_words, b.fault_report().faulted_words);
+        assert_eq!(a.fault_report().stats, b.fault_report().stats);
+    }
+
+    #[test]
+    fn drops_slow_the_simulated_clock() {
+        let clean = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1.0; 4]);
+            } else {
+                ctx.recv(0);
+            }
+        })
+        .makespan();
+        let plan = FaultPlan::builder(0)
+            .inject_message_fault(0, 1, 1, 1, MessageFault::Drop)
+            .build();
+        let lossy = run_spmd_faulty(2, CostModel::typical(), plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1.0; 4]);
+            } else {
+                ctx.recv(0);
+            }
+        })
+        .makespan();
+        assert!(
+            lossy > clean,
+            "a retransmission timeout must cost simulated time: {lossy} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn explicit_duplicate_is_discarded_by_seq() {
+        let plan = FaultPlan::builder(0)
+            .inject_message_fault(0, 1, 1, 1, MessageFault::Duplicate)
+            .build();
+        let out = run_spmd_faulty(2, CostModel::typical(), plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![5.0]);
+                ctx.send(1, vec![6.0]);
+                0.0
+            } else {
+                let a = ctx.recv(0)[0];
+                let b = ctx.recv(0)[0];
+                a * 10.0 + b
+            }
+        });
+        assert_eq!(out.results[1], 56.0, "duplicate must not displace the next message");
+        let rep = out.fault_report();
+        assert_eq!(rep.stats.duplicates, 1);
+        assert_eq!(rep.stats.discarded, 1);
     }
 }

@@ -1,0 +1,426 @@
+//! The fault plan: a seeded, deterministic schedule of injected faults.
+
+use crate::{coord_hash, unit};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What happens to one transmission attempt of a message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MessageFault {
+    /// The attempt vanishes in the network; the sender must time out and
+    /// retransmit.
+    Drop,
+    /// The attempt is delivered twice; the receiver must deduplicate by
+    /// sequence number.
+    Duplicate,
+    /// The attempt arrives with its payload corrupted; the receiver
+    /// detects the bad checksum, discards it, and waits for the
+    /// retransmit.
+    Corrupt,
+    /// The attempt arrives intact but late by `extra` simulated seconds.
+    Delay {
+        /// Additional simulated latency.
+        extra: f64,
+    },
+}
+
+/// What happens to one attempt of a file I/O operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The operation fails with a transient `EIO`-style error.
+    TransientEio,
+    /// A read returns fewer bytes than requested (surfaces as an
+    /// `UnexpectedEof` error from the backend).
+    ShortRead,
+}
+
+/// Kind of disk operation, for keying fault decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiskOp {
+    /// A tile read.
+    Read,
+    /// A tile write.
+    Write,
+}
+
+/// Where the process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash immediately after the `n`-th counted disk operation
+    /// completes (0-based), typically mid-panel.
+    AfterDiskOps(u64),
+    /// Crash immediately after panel `k` of the factorization completes
+    /// but before its checkpoint is written.
+    AfterPanel(usize),
+}
+
+/// Builder for a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    drop_rate: f64,
+    duplicate_rate: f64,
+    corrupt_rate: f64,
+    delay_rate: f64,
+    delay_extra: f64,
+    disk_transient_rate: f64,
+    disk_short_read_rate: f64,
+    max_fault_attempts: u32,
+    message_injections: HashMap<(usize, usize, u64, u32), MessageFault>,
+    disk_injections: HashMap<(u64, u32), DiskFault>,
+    crash: Option<CrashPoint>,
+}
+
+impl FaultPlanBuilder {
+    fn new(seed: u64) -> Self {
+        FaultPlanBuilder {
+            seed,
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            corrupt_rate: 0.0,
+            delay_rate: 0.0,
+            delay_extra: 0.0,
+            disk_transient_rate: 0.0,
+            disk_short_read_rate: 0.0,
+            max_fault_attempts: 6,
+            message_injections: HashMap::new(),
+            disk_injections: HashMap::new(),
+            crash: None,
+        }
+    }
+
+    /// Fraction of message attempts that are dropped.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Fraction of messages delivered twice.
+    pub fn duplicate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Fraction of message attempts that arrive corrupted.
+    pub fn corrupt_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Fraction of messages delayed, and the extra simulated latency
+    /// each delayed message suffers.
+    pub fn delay(mut self, rate: f64, extra: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        assert!(extra >= 0.0);
+        self.delay_rate = rate;
+        self.delay_extra = extra;
+        self
+    }
+
+    /// Fraction of disk operations that fail with a transient error.
+    pub fn disk_transient_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.disk_transient_rate = rate;
+        self
+    }
+
+    /// Fraction of disk reads that come up short.
+    pub fn disk_short_read_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.disk_short_read_rate = rate;
+        self
+    }
+
+    /// Never fault the same message or disk operation more than `n`
+    /// consecutive attempts (liveness bound for bounded retry).
+    /// Clamped to at least 1.
+    pub fn max_fault_attempts(mut self, n: u32) -> Self {
+        self.max_fault_attempts = n.max(1);
+        self
+    }
+
+    /// Explicitly fault attempt `attempt` (1-based) of the message with
+    /// per-link sequence number `seq` on the link `src -> dst`.
+    pub fn inject_message_fault(
+        mut self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+        fault: MessageFault,
+    ) -> Self {
+        self.message_injections.insert((src, dst, seq, attempt), fault);
+        self
+    }
+
+    /// Explicitly fault attempt `attempt` (1-based) of the `op_index`-th
+    /// counted disk operation (0-based).
+    pub fn inject_disk_fault(mut self, op_index: u64, attempt: u32, fault: DiskFault) -> Self {
+        self.disk_injections.insert((op_index, attempt), fault);
+        self
+    }
+
+    /// Kill the process at the given point.
+    pub fn crash_at(mut self, point: CrashPoint) -> Self {
+        self.crash = Some(point);
+        self
+    }
+
+    /// Finish the plan.
+    pub fn build(self) -> FaultPlan {
+        let total = self.drop_rate + self.duplicate_rate + self.corrupt_rate + self.delay_rate;
+        assert!(
+            total <= 1.0,
+            "message fault rates sum to {total} > 1"
+        );
+        let disk_total = self.disk_transient_rate + self.disk_short_read_rate;
+        assert!(disk_total <= 1.0, "disk fault rates sum to {disk_total} > 1");
+        FaultPlan {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// A seeded, deterministic fault schedule.  Cheap to clone (the plan is
+/// shared behind an `Arc`), and safe to consult concurrently from every
+/// rank: decisions are pure functions of the seed and the fault site.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<FaultPlanBuilder>,
+}
+
+impl FaultPlan {
+    /// Start building a plan with the given seed.
+    pub fn builder(seed: u64) -> FaultPlanBuilder {
+        FaultPlanBuilder::new(seed)
+    }
+
+    /// The empty plan: no faults ever.
+    pub fn none() -> FaultPlan {
+        FaultPlanBuilder::new(0).build()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// `true` when this plan can never inject anything.
+    pub fn is_clean(&self) -> bool {
+        let p = &*self.inner;
+        p.drop_rate == 0.0
+            && p.duplicate_rate == 0.0
+            && p.corrupt_rate == 0.0
+            && p.delay_rate == 0.0
+            && p.disk_transient_rate == 0.0
+            && p.disk_short_read_rate == 0.0
+            && p.message_injections.is_empty()
+            && p.disk_injections.is_empty()
+            && p.crash.is_none()
+    }
+
+    /// Liveness bound: no site is faulted more than this many attempts.
+    pub fn max_fault_attempts(&self) -> u32 {
+        self.inner.max_fault_attempts
+    }
+
+    /// The fate of transmission attempt `attempt` (1-based) of the
+    /// message with per-link sequence `seq` on the link `src -> dst`.
+    ///
+    /// Returns `None` for a clean delivery.  Attempts beyond
+    /// [`max_fault_attempts`](Self::max_fault_attempts) are always clean.
+    pub fn message_fault(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        attempt: u32,
+    ) -> Option<MessageFault> {
+        let p = &*self.inner;
+        if let Some(&f) = p.message_injections.get(&(src, dst, seq, attempt)) {
+            return Some(f);
+        }
+        if attempt > p.max_fault_attempts {
+            return None;
+        }
+        let h = coord_hash(
+            p.seed,
+            &[0x4D53u64, src as u64, dst as u64, seq, attempt as u64],
+        );
+        let u = unit(h);
+        let mut edge = p.drop_rate;
+        if u < edge {
+            return Some(MessageFault::Drop);
+        }
+        edge += p.duplicate_rate;
+        if u < edge {
+            // Duplicating a retransmission adds nothing new; only first
+            // attempts are duplicated.
+            if attempt == 1 {
+                return Some(MessageFault::Duplicate);
+            }
+            return None;
+        }
+        edge += p.corrupt_rate;
+        if u < edge {
+            return Some(MessageFault::Corrupt);
+        }
+        edge += p.delay_rate;
+        if u < edge {
+            return Some(MessageFault::Delay {
+                extra: p.delay_extra,
+            });
+        }
+        None
+    }
+
+    /// The fate of attempt `attempt` (1-based) of the `op_index`-th
+    /// counted disk operation.  Attempts beyond
+    /// [`max_fault_attempts`](Self::max_fault_attempts) are always clean.
+    pub fn disk_fault(&self, op: DiskOp, op_index: u64, attempt: u32) -> Option<DiskFault> {
+        let p = &*self.inner;
+        if let Some(&f) = p.disk_injections.get(&(op_index, attempt)) {
+            return Some(f);
+        }
+        if attempt > p.max_fault_attempts {
+            return None;
+        }
+        let tag = match op {
+            DiskOp::Read => 0x5244u64,
+            DiskOp::Write => 0x5752u64,
+        };
+        let h = coord_hash(p.seed, &[tag, op_index, attempt as u64]);
+        let u = unit(h);
+        let mut edge = p.disk_transient_rate;
+        if u < edge {
+            return Some(DiskFault::TransientEio);
+        }
+        if op == DiskOp::Read {
+            edge += p.disk_short_read_rate;
+            if u < edge {
+                return Some(DiskFault::ShortRead);
+            }
+        }
+        None
+    }
+
+    /// Where (if anywhere) the process crashes.
+    pub fn crash_point(&self) -> Option<CrashPoint> {
+        self.inner.crash
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || {
+            FaultPlan::builder(99)
+                .drop_rate(0.2)
+                .duplicate_rate(0.1)
+                .corrupt_rate(0.05)
+                .delay(0.1, 123.0)
+                .disk_transient_rate(0.1)
+                .build()
+        };
+        let (a, b) = (mk(), mk());
+        for src in 0..4 {
+            for dst in 0..4 {
+                for seq in 0..200u64 {
+                    for attempt in 1..=4u32 {
+                        assert_eq!(
+                            a.message_fault(src, dst, seq, attempt),
+                            b.message_fault(src, dst, seq, attempt)
+                        );
+                    }
+                }
+            }
+        }
+        for i in 0..500u64 {
+            assert_eq!(
+                a.disk_fault(DiskOp::Read, i, 1),
+                b.disk_fault(DiskOp::Read, i, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::builder(1).drop_rate(0.3).build();
+        let b = FaultPlan::builder(2).drop_rate(0.3).build();
+        let differs = (0..500u64)
+            .any(|seq| a.message_fault(0, 1, seq, 1) != b.message_fault(0, 1, seq, 1));
+        assert!(differs, "seeds 1 and 2 produced identical schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::builder(7).drop_rate(0.25).build();
+        let n = 10_000u64;
+        let drops = (0..n)
+            .filter(|&seq| plan.message_fault(2, 3, seq, 1) == Some(MessageFault::Drop))
+            .count();
+        let frac = drops as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn liveness_no_faults_past_the_attempt_cap() {
+        let plan = FaultPlan::builder(5)
+            .drop_rate(0.9)
+            .corrupt_rate(0.1)
+            .max_fault_attempts(3)
+            .build();
+        for seq in 0..200u64 {
+            assert_eq!(plan.message_fault(0, 1, seq, 4), None);
+            assert_eq!(plan.disk_fault(DiskOp::Write, seq, 4), None);
+        }
+    }
+
+    #[test]
+    fn explicit_injections_fire_exactly_where_placed() {
+        let plan = FaultPlan::builder(0)
+            .inject_message_fault(1, 2, 7, 1, MessageFault::Drop)
+            .inject_disk_fault(42, 1, DiskFault::ShortRead)
+            .inject_disk_fault(42, 2, DiskFault::TransientEio)
+            .build();
+        assert_eq!(plan.message_fault(1, 2, 7, 1), Some(MessageFault::Drop));
+        assert_eq!(plan.message_fault(1, 2, 8, 1), None);
+        assert_eq!(plan.message_fault(2, 1, 7, 1), None);
+        assert_eq!(
+            plan.disk_fault(DiskOp::Read, 42, 1),
+            Some(DiskFault::ShortRead)
+        );
+        assert_eq!(
+            plan.disk_fault(DiskOp::Read, 42, 2),
+            Some(DiskFault::TransientEio)
+        );
+        assert_eq!(plan.disk_fault(DiskOp::Read, 42, 3), None);
+    }
+
+    #[test]
+    fn clean_plan_is_clean() {
+        assert!(FaultPlan::none().is_clean());
+        let plan = FaultPlan::none();
+        for seq in 0..100 {
+            assert_eq!(plan.message_fault(0, 1, seq, 1), None);
+            assert_eq!(plan.disk_fault(DiskOp::Read, seq, 1), None);
+        }
+        assert!(!FaultPlan::builder(0).drop_rate(0.1).build().is_clean());
+    }
+
+    #[test]
+    fn short_reads_never_hit_writes() {
+        let plan = FaultPlan::builder(3).disk_short_read_rate(1.0).build();
+        for i in 0..100u64 {
+            assert_eq!(plan.disk_fault(DiskOp::Read, i, 1), Some(DiskFault::ShortRead));
+            assert_eq!(plan.disk_fault(DiskOp::Write, i, 1), None);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Counters separating algorithmic traffic from recovery traffic.
+
+/// Tallies of injected faults and the recovery work they triggered.
+///
+/// "Clean" counts are what the algorithm would have communicated on a
+/// perfect machine; everything else is protocol overhead.  Consumers
+/// (the SPMD transport, the faulty I/O backend) fill one of these per
+/// rank or per backend and merge with [`merge`](Self::merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Message attempts dropped by the plan.
+    pub drops: u64,
+    /// Messages delivered twice.
+    pub duplicates: u64,
+    /// Attempts that arrived corrupted and were discarded.
+    pub corruptions: u64,
+    /// Messages that arrived late.
+    pub delays: u64,
+    /// Retransmissions performed (excludes the first attempt).
+    pub retransmits: u64,
+    /// Duplicate or corrupt arrivals the receiver discarded.
+    pub discarded: u64,
+    /// Acknowledgements accounted.
+    pub acks: u64,
+    /// Transient disk errors observed.
+    pub disk_transients: u64,
+    /// Short reads observed.
+    pub disk_short_reads: u64,
+    /// Disk operations retried (excludes the first attempt).
+    pub disk_retries: u64,
+}
+
+impl FaultStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.drops += other.drops;
+        self.duplicates += other.duplicates;
+        self.corruptions += other.corruptions;
+        self.delays += other.delays;
+        self.retransmits += other.retransmits;
+        self.discarded += other.discarded;
+        self.acks += other.acks;
+        self.disk_transients += other.disk_transients;
+        self.disk_short_reads += other.disk_short_reads;
+        self.disk_retries += other.disk_retries;
+    }
+
+    /// Total injected message-level faults.
+    pub fn message_faults(&self) -> u64 {
+        self.drops + self.duplicates + self.corruptions + self.delays
+    }
+
+    /// Total injected disk-level faults.
+    pub fn disk_faults(&self) -> u64 {
+        self.disk_transients + self.disk_short_reads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = FaultStats {
+            drops: 1,
+            retransmits: 2,
+            acks: 3,
+            ..Default::default()
+        };
+        let b = FaultStats {
+            drops: 10,
+            disk_retries: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.drops, 11);
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.disk_retries, 5);
+        assert_eq!(a.message_faults(), 11);
+        assert_eq!(a.disk_faults(), 0);
+    }
+}

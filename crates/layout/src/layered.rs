@@ -28,7 +28,7 @@ impl Layered {
     /// first must divide `n`).
     pub fn new(n: usize, sizes: Vec<usize>) -> Self {
         assert!(!sizes.is_empty(), "need at least one layer");
-        assert!(n % sizes[0] == 0, "outer block size must divide n");
+        assert!(n.is_multiple_of(sizes[0]), "outer block size must divide n");
         for w in sizes.windows(2) {
             assert!(
                 w[1] < w[0] && w[0] % w[1] == 0,

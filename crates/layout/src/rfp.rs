@@ -21,7 +21,7 @@ impl Rfp {
     /// RFP layout for an `n x n` lower triangle.  `n` must be even (odd
     /// orders have an analogous scheme; callers pad by one when needed).
     pub fn new(n: usize) -> Self {
-        assert!(n % 2 == 0, "Rfp requires even n (pad odd orders)");
+        assert!(n.is_multiple_of(2), "Rfp requires even n (pad odd orders)");
         Rfp { n, k: n / 2 }
     }
 }

@@ -1,0 +1,468 @@
+//! Panel-granularity checkpoint/restart for the out-of-core Cholesky.
+//!
+//! After each completed panel the driver flushes the tile cache and
+//! snapshots the backing file next to a small manifest recording the
+//! next panel to run (and `n`, `b` for validation).  Both are written
+//! atomically (temp file + rename), so a crash at any instant leaves
+//! either the previous checkpoint or the new one — never a torn one.
+//!
+//! A *full* snapshot per checkpoint is deliberate: the factorization is
+//! right-looking, so panel `k` mutates the whole trailing submatrix.
+//! Restarting mid-panel from the live data file would double-apply
+//! updates from tiles that were flushed before the crash; restoring the
+//! last panel-boundary snapshot is the only state that is both cheap to
+//! reason about and bitwise reproducible.  Checkpoint I/O is charged to
+//! its own counters ([`CheckpointReport`]), not to the algorithm's
+//! [`IoStats`](crate::IoStats), and is not subject to tile-level fault
+//! injection — the fault model targets the data path, recovery targets
+//! the recovery path.
+
+use crate::backend::IoBackend;
+use crate::potrf::{factor_panel, OocError, TileCache};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+const MANIFEST_MAGIC: &str = "cholcomm-ooc-checkpoint v1";
+
+/// A checkpoint location: `<prefix>.data` holds the matrix snapshot,
+/// `<prefix>.manifest` the restart metadata.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    data_path: PathBuf,
+    manifest_path: PathBuf,
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// First panel that still needs to run.
+    pub next_panel: usize,
+    /// Matrix order the snapshot belongs to.
+    pub n: usize,
+    /// Tile size the snapshot belongs to.
+    pub b: usize,
+}
+
+/// What a checkpointed run did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointReport {
+    /// Panel the run started at (0 for a fresh start).
+    pub start_panel: usize,
+    /// Panels completed by this run.
+    pub panels_done: usize,
+    /// Checkpoints written.
+    pub checkpoints_written: usize,
+    /// Bytes of checkpoint snapshot traffic (separate from the
+    /// algorithm's tile I/O).
+    pub checkpoint_bytes: u64,
+}
+
+impl Checkpoint {
+    /// Checkpoint files rooted at `prefix` (two siblings are created:
+    /// `<prefix>.data` and `<prefix>.manifest`).
+    pub fn at(prefix: &Path) -> Self {
+        let mut data = prefix.as_os_str().to_owned();
+        data.push(".data");
+        let mut manifest = prefix.as_os_str().to_owned();
+        manifest.push(".manifest");
+        Checkpoint {
+            data_path: PathBuf::from(data),
+            manifest_path: PathBuf::from(manifest),
+        }
+    }
+
+    /// Read the manifest, if a complete checkpoint exists.
+    pub fn load(&self) -> std::io::Result<Option<CheckpointState>> {
+        if !self.manifest_path.exists() || !self.data_path.exists() {
+            return Ok(None);
+        }
+        let mut text = String::new();
+        std::fs::File::open(&self.manifest_path)?.read_to_string(&mut text)?;
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_MAGIC) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "unrecognised checkpoint manifest",
+            ));
+        }
+        let mut next_panel = None;
+        let mut n = None;
+        let mut b = None;
+        for line in lines {
+            let Some((key, val)) = line.split_once('=') else {
+                continue;
+            };
+            let val: usize = val.parse().map_err(|_| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad manifest value: {line}"),
+                )
+            })?;
+            match key {
+                "next_panel" => next_panel = Some(val),
+                "n" => n = Some(val),
+                "b" => b = Some(val),
+                _ => {}
+            }
+        }
+        match (next_panel, n, b) {
+            (Some(next_panel), Some(n), Some(b)) => Ok(Some(CheckpointState { next_panel, n, b })),
+            _ => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "incomplete checkpoint manifest",
+            )),
+        }
+    }
+
+    /// Snapshot the backing file and record that panels `0..next_panel`
+    /// are done.  The data snapshot lands before the manifest, and both
+    /// are renamed into place, so [`load`](Self::load) never observes a
+    /// manifest without its data.
+    pub fn save<B: IoBackend>(&self, fm: &B, next_panel: usize) -> std::io::Result<u64> {
+        let src = fm.path().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "backend has no backing file to snapshot",
+            )
+        })?;
+        let tmp_data = self.data_path.with_extension("data.tmp");
+        let bytes = std::fs::copy(src, &tmp_data)?;
+        std::fs::rename(&tmp_data, &self.data_path)?;
+
+        let tmp_manifest = self.manifest_path.with_extension("manifest.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp_manifest)?;
+            writeln!(f, "{MANIFEST_MAGIC}")?;
+            writeln!(f, "next_panel={next_panel}")?;
+            writeln!(f, "n={}", fm.n())?;
+            writeln!(f, "b={}", fm.b())?;
+        }
+        std::fs::rename(&tmp_manifest, &self.manifest_path)?;
+        Ok(bytes)
+    }
+
+    /// Copy the snapshot back over the backing file (discarding whatever
+    /// a crashed run left there) and tell the backend its storage moved
+    /// under it.
+    pub fn restore<B: IoBackend>(&self, fm: &mut B) -> std::io::Result<u64> {
+        let dst = fm
+            .path()
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "backend has no backing file to restore into",
+                )
+            })?
+            .to_path_buf();
+        let bytes = std::fs::copy(&self.data_path, dst)?;
+        fm.storage_restored();
+        Ok(bytes)
+    }
+
+    /// Delete the checkpoint files (after a completed run).
+    pub fn remove(&self) -> std::io::Result<()> {
+        for p in [&self.data_path, &self.manifest_path] {
+            match std::fs::remove_file(p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Out-of-core Cholesky with a checkpoint after every panel.  If `ckpt`
+/// already holds a (validated) checkpoint for this matrix, the data file
+/// is restored from the snapshot and the run resumes at the recorded
+/// panel; otherwise it starts from scratch.  On success the checkpoint
+/// files are removed.
+///
+/// A crash injected by the backend surfaces as [`OocError::Io`]; the
+/// caller "restarts the process" by reopening the file
+/// ([`FileMatrix::open`](crate::FileMatrix::open)) and calling this
+/// again with the same `ckpt`.  The resumed run recomputes only the
+/// panels after the last checkpoint, and — because the schedule is
+/// deterministic — produces a factor bit-identical to an uninterrupted
+/// run's.
+pub fn ooc_potrf_checkpointed<B: IoBackend>(
+    fm: &mut B,
+    capacity_tiles: usize,
+    ckpt: &Checkpoint,
+) -> Result<CheckpointReport, OocError> {
+    let nb = fm.nb();
+    let mut report = CheckpointReport::default();
+    let start = match ckpt.load()? {
+        Some(state) => {
+            if state.n != fm.n() || state.b != fm.b() {
+                return Err(OocError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint is for n={} b={}, matrix has n={} b={}",
+                        state.n,
+                        state.b,
+                        fm.n(),
+                        fm.b()
+                    ),
+                )));
+            }
+            report.checkpoint_bytes += ckpt.restore(fm)?;
+            state.next_panel
+        }
+        None => {
+            // Snapshot the pristine input before any tile is mutated:
+            // a crash inside panel 0 leaves partially-updated tiles on
+            // disk, and without this baseline the resume would factor
+            // corrupted input.
+            report.checkpoint_bytes += ckpt.save(fm, 0)?;
+            report.checkpoints_written += 1;
+            0
+        }
+    };
+    report.start_panel = start;
+
+    let mut cache = TileCache::new(capacity_tiles);
+    for k in start..nb {
+        match factor_panel(fm, &mut cache, k) {
+            Ok(()) => {}
+            Err(e @ OocError::NotPositiveDefinite { .. }) => {
+                cache.flush(fm)?;
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+        if fm.crash_after_panel(k) {
+            // The plan kills us after the panel but before its
+            // checkpoint: dirty cached tiles die with the process.
+            return Err(OocError::Io(std::io::Error::other(
+                "simulated crash: process killed after panel",
+            )));
+        }
+        cache.flush(fm)?;
+        report.checkpoint_bytes += ckpt.save(fm, k + 1)?;
+        report.checkpoints_written += 1;
+        report.panels_done += 1;
+    }
+    ckpt.remove()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::backend::FaultyBackend;
+    use crate::filemat::{scratch_path, FileMatrix};
+    use crate::potrf::ooc_potrf;
+    use cholcomm_faults::{CrashPoint, FaultPlan};
+    use cholcomm_matrix::{norms, spd};
+
+    fn ckpt_prefix(tag: &str) -> PathBuf {
+        scratch_path(tag).with_extension("ckpt")
+    }
+
+    #[test]
+    fn uninterrupted_checkpointed_run_matches_plain() {
+        let mut rng = spd::test_rng(220);
+        let a = spd::random_spd(32, &mut rng);
+        let p1 = scratch_path("ckpt-plain");
+        let mut plain = FileMatrix::create(&p1, &a, 8).unwrap();
+        ooc_potrf(&mut plain, 4).unwrap();
+        let want = plain.to_matrix().unwrap();
+
+        let p2 = scratch_path("ckpt-run");
+        let mut fm = FileMatrix::create(&p2, &a, 8).unwrap();
+        let ckpt = Checkpoint::at(&ckpt_prefix("uninterrupted"));
+        let rep = ooc_potrf_checkpointed(&mut fm, 4, &ckpt).unwrap();
+        let got = fm.to_matrix().unwrap();
+        assert_eq!(norms::max_abs_diff(&got, &want), 0.0, "bit-identical");
+        assert_eq!(rep.start_panel, 0);
+        assert_eq!(rep.panels_done, 4);
+        // One baseline snapshot of the input plus one per panel.
+        assert_eq!(rep.checkpoints_written, 5);
+        assert!(rep.checkpoint_bytes > 0);
+        assert!(ckpt.load().unwrap().is_none(), "checkpoint cleaned up");
+    }
+
+    #[test]
+    fn crash_mid_factorization_then_resume_is_bit_identical() {
+        let mut rng = spd::test_rng(221);
+        let a = spd::random_spd(40, &mut rng);
+
+        // Reference: uninterrupted factorization.
+        let pref = scratch_path("ckpt-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        // Crashing run: die somewhere in the middle of the tile traffic.
+        let data_path = scratch_path("ckpt-crash");
+        let ckpt = Checkpoint::at(&ckpt_prefix("crash"));
+        let n = a.rows();
+        {
+            let mut fm = FileMatrix::create(&data_path, &a, 8).unwrap();
+            fm.set_persist(true);
+            let plan = FaultPlan::builder(42)
+                .crash_at(CrashPoint::AfterDiskOps(60))
+                .build();
+            let mut fb = FaultyBackend::new(fm, plan);
+            let err = ooc_potrf_checkpointed(&mut fb, 4, &ckpt).unwrap_err();
+            assert!(matches!(err, OocError::Io(_)), "crash surfaces as I/O death");
+            assert!(fb.crashed());
+        }
+
+        // "New process": reopen the file, resume from the checkpoint.
+        let state = ckpt.load().unwrap().expect("a checkpoint was written");
+        assert!(state.next_panel > 0, "at least one panel completed pre-crash");
+        assert!(state.next_panel < 5, "crash happened before the end");
+        let mut fm = FileMatrix::open(&data_path, n, 8).unwrap();
+        fm.set_persist(false); // test scratch: clean up on drop
+        let rep = ooc_potrf_checkpointed(&mut fm, 4, &ckpt).unwrap();
+        assert_eq!(rep.start_panel, state.next_panel, "resumed, not restarted");
+
+        let got = fm.to_matrix().unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&got, &want),
+            0.0,
+            "resumed factor must be bit-identical to the uninterrupted one"
+        );
+        let r = norms::cholesky_residual(&a, &got.lower_triangle().unwrap());
+        assert!(r < norms::residual_tolerance(n), "residual {r}");
+    }
+
+    #[test]
+    fn crash_inside_first_panel_restores_the_pristine_input() {
+        // The nastiest case: the process dies before the first panel
+        // checkpoint ever lands, with partially-updated tiles already on
+        // disk.  The baseline checkpoint written at startup must roll
+        // the file back to the untouched input, or the resume factors
+        // corrupted data.
+        let mut rng = spd::test_rng(224);
+        let a = spd::random_spd(32, &mut rng);
+        let pref = scratch_path("ckpt-p0-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        let data_path = scratch_path("ckpt-p0");
+        let ckpt = Checkpoint::at(&ckpt_prefix("panel0"));
+        {
+            let mut fm = FileMatrix::create(&data_path, &a, 8).unwrap();
+            fm.set_persist(true);
+            // With the minimum cache capacity the panel-0 trailing
+            // update evicts (and writes back) tiles long before the
+            // panel completes; a few ops in, the file is neither A nor
+            // a finished panel.
+            let plan = FaultPlan::builder(5)
+                .crash_at(CrashPoint::AfterDiskOps(10))
+                .build();
+            let mut fb = FaultyBackend::new(fm, plan);
+            ooc_potrf_checkpointed(&mut fb, 3, &ckpt).unwrap_err();
+        }
+        let state = ckpt.load().unwrap().expect("baseline checkpoint exists");
+        assert_eq!(state.next_panel, 0, "no panel completed before the crash");
+
+        let mut fm = FileMatrix::open(&data_path, 32, 8).unwrap();
+        fm.set_persist(false); // test scratch: clean up on drop
+        let rep = ooc_potrf_checkpointed(&mut fm, 3, &ckpt).unwrap();
+        assert_eq!(rep.start_panel, 0);
+        let got = fm.to_matrix().unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&got, &want),
+            0.0,
+            "resume after a panel-0 crash must factor the original input"
+        );
+    }
+
+    #[test]
+    fn crash_after_panel_loses_dirty_tiles_but_resume_recovers() {
+        let mut rng = spd::test_rng(222);
+        let a = spd::random_spd(32, &mut rng);
+        let pref = scratch_path("ckpt-ap-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        let data_path = scratch_path("ckpt-ap");
+        let ckpt = Checkpoint::at(&ckpt_prefix("after-panel"));
+        {
+            let mut fm = FileMatrix::create(&data_path, &a, 8).unwrap();
+            fm.set_persist(true);
+            let plan = FaultPlan::builder(1)
+                .crash_at(CrashPoint::AfterPanel(2))
+                .build();
+            let mut fb = FaultyBackend::new(fm, plan);
+            ooc_potrf_checkpointed(&mut fb, 4, &ckpt).unwrap_err();
+        }
+        let state = ckpt.load().unwrap().expect("checkpoints up to panel 2");
+        assert_eq!(state.next_panel, 2, "panel 2's checkpoint never landed");
+
+        let mut fm = FileMatrix::open(&data_path, 32, 8).unwrap();
+        fm.set_persist(false); // test scratch: clean up on drop
+        let rep = ooc_potrf_checkpointed(&mut fm, 4, &ckpt).unwrap();
+        assert_eq!(rep.start_panel, 2);
+        assert_eq!(rep.panels_done, 2);
+        let got = fm.to_matrix().unwrap();
+        assert_eq!(norms::max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn flaky_disk_plus_crash_still_converges() {
+        // The acceptance-style scenario: transient disk faults on top of
+        // a mid-run crash; resume under a (different) flaky plan.
+        let mut rng = spd::test_rng(223);
+        let a = spd::random_spd(40, &mut rng);
+        let pref = scratch_path("ckpt-flaky-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        let data_path = scratch_path("ckpt-flaky");
+        let ckpt = Checkpoint::at(&ckpt_prefix("flaky"));
+        let transients;
+        {
+            let mut fm = FileMatrix::create(&data_path, &a, 8).unwrap();
+            fm.set_persist(true);
+            let plan = FaultPlan::builder(9)
+                .disk_transient_rate(0.1)
+                .disk_short_read_rate(0.05)
+                .crash_at(CrashPoint::AfterDiskOps(70))
+                .build();
+            let mut fb = FaultyBackend::new(fm, plan);
+            ooc_potrf_checkpointed(&mut fb, 4, &ckpt).unwrap_err();
+            transients = fb.fault_stats();
+            assert!(transients.disk_faults() >= 3, "flaky disk must have bitten: {transients:?}");
+        }
+
+        let mut fm = FileMatrix::open(&data_path, 40, 8).unwrap();
+        fm.set_persist(false); // test scratch: clean up on drop
+        let plan = FaultPlan::builder(10).disk_transient_rate(0.1).build();
+        let mut fb = FaultyBackend::new(fm, plan);
+        ooc_potrf_checkpointed(&mut fb, 4, &ckpt).unwrap();
+        let got = fb.inner_mut().to_matrix().unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&got, &want),
+            0.0,
+            "flaky disk + crash + resume must not change a single bit"
+        );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let mut rng = spd::test_rng(224);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-mismatch");
+        let mut fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let ckpt = Checkpoint::at(&ckpt_prefix("mismatch"));
+        ckpt.save(&fm, 1).unwrap();
+        // Same files, wrong geometry.
+        let a2 = spd::random_spd(24, &mut rng);
+        let p2 = scratch_path("ckpt-mismatch2");
+        let mut fm2 = FileMatrix::create(&p2, &a2, 8).unwrap();
+        let err = ooc_potrf_checkpointed(&mut fm2, 4, &ckpt).unwrap_err();
+        assert!(matches!(err, OocError::Io(_)));
+        ckpt.remove().unwrap();
+        // The original still factors fine from scratch after cleanup.
+        ooc_potrf(&mut fm, 4).unwrap();
+    }
+}

@@ -34,6 +34,7 @@ pub struct FileMatrix {
     nb: usize,
     cursor: u64,
     stats: IoStats,
+    persist: bool,
 }
 
 impl FileMatrix {
@@ -60,6 +61,7 @@ impl FileMatrix {
             nb,
             cursor: 0,
             stats: IoStats::default(),
+            persist: false,
         };
         // Initial population is not charged (the paper assumes the input
         // starts in slow memory).
@@ -78,6 +80,58 @@ impl FileMatrix {
         }
         fm.stats = IoStats::default();
         Ok(fm)
+    }
+
+    /// Reopen an existing backing file written by [`create`](Self::create)
+    /// with the same `n` and `b` — the crash-recovery path: the process
+    /// that created the file died, a new one picks the data back up.
+    /// The file length must match the expected tile layout.  Unlike
+    /// [`create`](Self::create), the handle persists the file on drop
+    /// (call [`set_persist(false)`](Self::set_persist) for scratch
+    /// semantics).
+    pub fn open(path: &Path, n: usize, b: usize) -> std::io::Result<Self> {
+        assert!(b > 0);
+        let nb = n.div_ceil(b);
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let expect = ((nb * nb * b * b) as u64) * 8;
+        let actual = file.metadata()?.len();
+        if actual != expect {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "backing file {} has {actual} bytes, expected {expect} for n={n} b={b}",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(FileMatrix {
+            file,
+            path: path.to_path_buf(),
+            n,
+            b,
+            nb,
+            // Force a real seek before the first transfer.
+            cursor: u64::MAX,
+            stats: IoStats::default(),
+            // A file we merely opened belongs to whoever created it; a
+            // recovery handle must never unlink the data it was trying
+            // to recover (even if it fails and drops early).
+            persist: true,
+        })
+    }
+
+    /// Keep (or stop keeping) the backing file when this handle drops.
+    /// Crash/restart tests need the file to outlive the "dead" process's
+    /// handle.
+    pub fn set_persist(&mut self, persist: bool) {
+        self.persist = persist;
+    }
+
+    /// The file cursor can no longer be trusted (someone rewrote the
+    /// file behind our back, e.g. a checkpoint restore); force a seek
+    /// before the next transfer.
+    pub(crate) fn invalidate_cursor(&mut self) {
+        self.cursor = u64::MAX;
     }
 
     /// Matrix order.
@@ -192,7 +246,9 @@ impl FileMatrix {
 
 impl Drop for FileMatrix {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if !self.persist {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
@@ -210,6 +266,7 @@ pub fn scratch_path(tag: &str) -> PathBuf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::spd;

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 //! # cholcomm-ooc
 //!
 //! Out-of-core Cholesky with a *real* slow memory: the matrix lives in a
@@ -14,9 +15,20 @@
 //! The measured seek counts land on the same `Theta(n^3 / M^{3/2})`
 //! curve as the simulator's message counts — see the paper's [B08]
 //! citation for the out-of-core framing.
+//!
+//! The disk can also be made *flaky* on purpose: [`FaultyBackend`]
+//! injects transient `EIO`s, short reads, and crash points from a
+//! deterministic `cholcomm_faults::FaultPlan`, recovering transients
+//! with bounded retry, while [`checkpoint`] adds panel-granularity
+//! checkpoint/restart so a killed factorization resumes from its last
+//! completed panel with a bit-identical result.
 
+pub mod backend;
+pub mod checkpoint;
 pub mod filemat;
 pub mod potrf;
 
+pub use backend::{FaultyBackend, IoBackend};
+pub use checkpoint::{ooc_potrf_checkpointed, Checkpoint, CheckpointReport, CheckpointState};
 pub use filemat::{FileMatrix, IoStats};
-pub use potrf::{ooc_potrf, TileCache};
+pub use potrf::{ooc_potrf, OocError, TileCache};

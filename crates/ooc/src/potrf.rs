@@ -1,7 +1,7 @@
-//! Out-of-core blocked Cholesky: Algorithm 4 against the file, through a
-//! bounded tile cache.
+//! Out-of-core blocked Cholesky: Algorithm 4 against the backing store,
+//! through a bounded tile cache.
 
-use crate::filemat::FileMatrix;
+use crate::backend::IoBackend;
 use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
 use cholcomm_matrix::{Matrix, MatrixError};
 use std::collections::HashMap;
@@ -9,11 +9,24 @@ use std::collections::HashMap;
 /// An LRU cache of tiles standing in for fast memory: at most
 /// `capacity_tiles` tiles resident; dirty tiles are written back on
 /// eviction and at the end.
+///
+/// # Error guarantee
+///
+/// If a write-back fails (eviction or [`flush`](Self::flush)), the
+/// cache **poisons itself**: the failed tile and every other dirty tile
+/// stay marked dirty, and all further operations return
+/// [`OocError::CachePoisoned`].  Nothing is silently dropped — the
+/// caller knows the file no longer matches the computation and must
+/// discard or re-create it.  Errors in the *computation* (a
+/// [`NotPositiveDefinite`](OocError::NotPositiveDefinite) pivot) do not
+/// poison the cache; [`ooc_potrf`] flushes before reporting them, so
+/// the file then holds every update completed before the bad pivot.
 #[derive(Debug)]
 pub struct TileCache {
     capacity_tiles: usize,
     tiles: HashMap<(usize, usize), (Matrix<f64>, bool, u64)>, // (tile, dirty, last use)
     tick: u64,
+    poisoned: bool,
 }
 
 impl TileCache {
@@ -24,26 +37,49 @@ impl TileCache {
             capacity_tiles,
             tiles: HashMap::new(),
             tick: 0,
+            poisoned: false,
         }
     }
 
-    fn evict_if_full(&mut self, fm: &mut FileMatrix) -> std::io::Result<()> {
+    fn check_poison(&self) -> Result<(), OocError> {
+        if self.poisoned {
+            Err(OocError::CachePoisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn evict_if_full<B: IoBackend>(&mut self, fm: &mut B) -> Result<(), OocError> {
         while self.tiles.len() >= self.capacity_tiles {
-            let (&key, _) = self
+            let key = self
                 .tiles
                 .iter()
                 .min_by_key(|(_, (_, _, t))| *t)
-                .expect("cache non-empty");
-            let (tile, dirty, _) = self.tiles.remove(&key).expect("just found");
-            if dirty {
-                fm.write_tile(key.0, key.1, &tile)?;
+                .map(|(&key, _)| key)
+                .ok_or(OocError::CachePoisoned)?;
+            // Write back *before* removing: if the write fails the tile
+            // stays resident and dirty, and the cache is poisoned.
+            if let Some((tile, dirty, _)) = self.tiles.get(&key) {
+                if *dirty {
+                    if let Err(e) = fm.write_tile(key.0, key.1, tile) {
+                        self.poisoned = true;
+                        return Err(OocError::Io(e));
+                    }
+                }
             }
+            self.tiles.remove(&key);
         }
         Ok(())
     }
 
-    /// Fetch a tile (from cache or disk).
-    pub fn get(&mut self, fm: &mut FileMatrix, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
+    /// Fetch a tile (from cache or the backing store).
+    pub fn get<B: IoBackend>(
+        &mut self,
+        fm: &mut B,
+        bi: usize,
+        bj: usize,
+    ) -> Result<Matrix<f64>, OocError> {
+        self.check_poison()?;
         self.tick += 1;
         if let Some((t, _, last)) = self.tiles.get_mut(&(bi, bj)) {
             *last = self.tick;
@@ -56,7 +92,14 @@ impl TileCache {
     }
 
     /// Install an updated tile (marks it dirty).
-    pub fn put(&mut self, fm: &mut FileMatrix, bi: usize, bj: usize, tile: Matrix<f64>) -> std::io::Result<()> {
+    pub fn put<B: IoBackend>(
+        &mut self,
+        fm: &mut B,
+        bi: usize,
+        bj: usize,
+        tile: Matrix<f64>,
+    ) -> Result<(), OocError> {
+        self.check_poison()?;
         self.tick += 1;
         if let Some(slot) = self.tiles.get_mut(&(bi, bj)) {
             *slot = (tile, true, self.tick);
@@ -67,14 +110,19 @@ impl TileCache {
         Ok(())
     }
 
-    /// Write every dirty tile back.
-    pub fn flush(&mut self, fm: &mut FileMatrix) -> std::io::Result<()> {
+    /// Write every dirty tile back.  On failure the cache is poisoned
+    /// and every not-yet-written tile remains dirty.
+    pub fn flush<B: IoBackend>(&mut self, fm: &mut B) -> Result<(), OocError> {
+        self.check_poison()?;
         let mut keys: Vec<(usize, usize)> = self.tiles.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
             if let Some((tile, dirty, _)) = self.tiles.get(&key) {
                 if *dirty {
-                    fm.write_tile(key.0, key.1, tile)?;
+                    if let Err(e) = fm.write_tile(key.0, key.1, tile) {
+                        self.poisoned = true;
+                        return Err(OocError::Io(e));
+                    }
                 }
             }
             if let Some(slot) = self.tiles.get_mut(&key) {
@@ -88,50 +136,90 @@ impl TileCache {
     pub fn resident(&self) -> usize {
         self.tiles.len()
     }
+
+    /// Has a failed write-back poisoned this cache?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Drop all cached state (used when restarting from a checkpoint:
+    /// everything in RAM is stale by definition).
+    pub fn clear(&mut self) {
+        self.tiles.clear();
+        self.poisoned = false;
+    }
 }
 
-/// Out-of-core blocked right-looking Cholesky on the file, with a cache
-/// of `capacity_tiles` tiles.  Returns the I/O-visible error or the
-/// factorization error.
-pub fn ooc_potrf(fm: &mut FileMatrix, capacity_tiles: usize) -> Result<(), OocError> {
+/// One panel step `k` of the right-looking blocked Cholesky: factor the
+/// diagonal tile, solve the panel below it, update the trailing
+/// submatrix.  Shared by [`ooc_potrf`] and the checkpointed driver.
+pub(crate) fn factor_panel<B: IoBackend>(
+    fm: &mut B,
+    cache: &mut TileCache,
+    k: usize,
+) -> Result<(), OocError> {
     let nb = fm.nb();
     let b = fm.b();
     let n = fm.n();
+
+    // Factor the diagonal tile (edge tiles are zero-padded on disk;
+    // factor only the live part).
+    let mut diag = cache.get(fm, k, k)?;
+    let live = (n - k * b).min(b);
+    let mut live_part = diag.submatrix(0, 0, live, live);
+    if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(&mut live_part) {
+        return Err(OocError::NotPositiveDefinite { pivot: k * b + pivot });
+    }
+    diag.set_submatrix(0, 0, &live_part);
+    cache.put(fm, k, k, diag.clone())?;
+
+    // Panel solve.
+    for i in (k + 1)..nb {
+        let mut t = cache.get(fm, i, k)?;
+        // Solve against the live part of the diagonal tile; padded
+        // columns of the tile are zero and stay zero.
+        let mut x = t.submatrix(0, 0, b, live);
+        let l = diag.submatrix(0, 0, live, live);
+        trsm_right_lower_transpose(&mut x, &l);
+        t.set_submatrix(0, 0, &x);
+        cache.put(fm, i, k, t)?;
+    }
+
+    // Trailing update.
+    for j in (k + 1)..nb {
+        let lj = cache.get(fm, j, k)?;
+        for i in j..nb {
+            let li = cache.get(fm, i, k)?;
+            let mut t = cache.get(fm, i, j)?;
+            gemm_nt(&mut t, -1.0, &li, &lj);
+            cache.put(fm, i, j, t)?;
+        }
+    }
+    Ok(())
+}
+
+/// Out-of-core blocked right-looking Cholesky on the backing store,
+/// with a cache of `capacity_tiles` tiles.  Returns the I/O-visible
+/// error or the factorization error.
+///
+/// On [`OocError::NotPositiveDefinite`] the cache is flushed before the
+/// error is returned, so the file holds every update that completed
+/// before the failing pivot (a partially factored matrix, documented —
+/// not a torn one).
+pub fn ooc_potrf<B: IoBackend>(fm: &mut B, capacity_tiles: usize) -> Result<(), OocError> {
+    let nb = fm.nb();
     let mut cache = TileCache::new(capacity_tiles);
-
     for k in 0..nb {
-        // Factor the diagonal tile (edge tiles are zero-padded on disk;
-        // factor only the live part).
-        let mut diag = cache.get(fm, k, k)?;
-        let live = (n - k * b).min(b);
-        let mut live_part = diag.submatrix(0, 0, live, live);
-        if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(&mut live_part) {
-            return Err(OocError::NotPositiveDefinite { pivot: k * b + pivot });
-        }
-        diag.set_submatrix(0, 0, &live_part);
-        cache.put(fm, k, k, diag.clone())?;
-
-        // Panel solve.
-        for i in (k + 1)..nb {
-            let mut t = cache.get(fm, i, k)?;
-            // Solve against the live part of the diagonal tile; padded
-            // columns of the tile are zero and stay zero.
-            let mut x = t.submatrix(0, 0, b, live);
-            let l = diag.submatrix(0, 0, live, live);
-            trsm_right_lower_transpose(&mut x, &l);
-            t.set_submatrix(0, 0, &x);
-            cache.put(fm, i, k, t)?;
-        }
-
-        // Trailing update.
-        for j in (k + 1)..nb {
-            let lj = cache.get(fm, j, k)?;
-            for i in j..nb {
-                let li = cache.get(fm, i, k)?;
-                let mut t = cache.get(fm, i, j)?;
-                gemm_nt(&mut t, -1.0, &li, &lj);
-                cache.put(fm, i, j, t)?;
+        match factor_panel(fm, &mut cache, k) {
+            Ok(()) => {}
+            Err(e @ OocError::NotPositiveDefinite { .. }) => {
+                // Leave the file in a well-defined state: everything up
+                // to the bad pivot is written back.  A flush failure
+                // outranks the pivot failure.
+                cache.flush(fm)?;
+                return Err(e);
             }
+            Err(e) => return Err(e),
         }
     }
     cache.flush(fm)?;
@@ -148,11 +236,25 @@ pub enum OocError {
     },
     /// Underlying file I/O failed.
     Io(std::io::Error),
+    /// A numerical kernel failed for a reason other than definiteness.
+    Matrix(MatrixError),
+    /// A previous dirty write-back failed; cached state no longer
+    /// matches the file and all further cache operations are refused.
+    CachePoisoned,
 }
 
 impl From<std::io::Error> for OocError {
     fn from(e: std::io::Error) -> Self {
         OocError::Io(e)
+    }
+}
+
+impl From<MatrixError> for OocError {
+    fn from(e: MatrixError) -> Self {
+        match e {
+            MatrixError::NotPositiveDefinite { pivot } => OocError::NotPositiveDefinite { pivot },
+            other => OocError::Matrix(other),
+        }
     }
 }
 
@@ -163,16 +265,29 @@ impl std::fmt::Display for OocError {
                 write!(f, "not positive definite at pivot {pivot}")
             }
             OocError::Io(e) => write!(f, "I/O error: {e}"),
+            OocError::Matrix(e) => write!(f, "matrix error: {e}"),
+            OocError::CachePoisoned => {
+                write!(f, "tile cache poisoned by an earlier failed write-back")
+            }
         }
     }
 }
 
-impl std::error::Error for OocError {}
+impl std::error::Error for OocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OocError::Io(e) => Some(e),
+            OocError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use crate::filemat::scratch_path;
+    use crate::filemat::{scratch_path, FileMatrix};
     use cholcomm_matrix::{kernels, norms, spd};
 
     #[test]
@@ -244,6 +359,27 @@ mod tests {
     }
 
     #[test]
+    fn indefinite_leaves_completed_updates_on_disk() {
+        // The documented guarantee: on a pivot failure the cache is
+        // flushed, so the first panels (factored before the bad pivot)
+        // are on disk, not lost in RAM.
+        let n = 16;
+        let mut m = cholcomm_matrix::Matrix::<f64>::identity(n);
+        for i in 0..n {
+            m[(i, i)] = 4.0;
+        }
+        m[(12, 12)] = -1.0; // tile (3,3) with b=4 goes bad
+        let path = scratch_path("indef-flush");
+        let mut fm = FileMatrix::create(&path, &m, 4).unwrap();
+        match ooc_potrf(&mut fm, 3) {
+            Err(OocError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 12),
+            other => panic!("expected pivot failure, got {other:?}"),
+        }
+        let back = fm.to_matrix().unwrap();
+        assert_eq!(back[(0, 0)], 2.0, "first diagonal tile was factored and flushed");
+    }
+
+    #[test]
     fn ragged_sizes_work() {
         let mut rng = spd::test_rng(198);
         let a = spd::random_spd(21, &mut rng);
@@ -253,5 +389,41 @@ mod tests {
         let got = fm.to_matrix().unwrap();
         let r = norms::cholesky_residual(&a, &got);
         assert!(r < norms::residual_tolerance(21), "residual {r}");
+    }
+
+    #[test]
+    fn poisoned_cache_refuses_everything() {
+        use crate::backend::FaultyBackend;
+        use cholcomm_faults::{DiskFault, FaultPlan};
+
+        let mut rng = spd::test_rng(199);
+        let a = spd::random_spd(16, &mut rng);
+        let path = scratch_path("poison");
+        let fm = FileMatrix::create(&path, &a, 8).unwrap();
+        // Ops 0..=2 are the three cache-fill reads; op 3 is the first
+        // flush write-back.  Fail it on every attempt up to the cap so
+        // the flush error is permanent.
+        let mut builder = FaultPlan::builder(0).max_fault_attempts(3);
+        for attempt in 1..=4 {
+            builder = builder.inject_disk_fault(3, attempt, DiskFault::TransientEio);
+        }
+        let mut fb = FaultyBackend::new(fm, builder.build());
+        let mut cache = TileCache::new(3);
+        for (bi, bj) in [(0, 0), (1, 0), (0, 1)] {
+            let t = cache.get(&mut fb, bi, bj).unwrap();
+            cache.put(&mut fb, bi, bj, t).unwrap();
+        }
+        assert!(matches!(cache.flush(&mut fb), Err(OocError::Io(_))));
+        assert!(cache.is_poisoned());
+        assert!(matches!(
+            cache.get(&mut fb, 0, 0),
+            Err(OocError::CachePoisoned)
+        ));
+        assert!(matches!(
+            cache.flush(&mut fb),
+            Err(OocError::CachePoisoned)
+        ));
+        cache.clear();
+        assert!(!cache.is_poisoned(), "clear() is the recovery path");
     }
 }

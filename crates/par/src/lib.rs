@@ -30,5 +30,5 @@ pub use matmul25d::{matmul_25d, Mm25dReport};
 pub use onedim::pxpotrf_1d;
 pub use pxpotrf::{pxpotrf, PxPotrfReport};
 pub use shared::{par_recursive_potrf, par_tiled_potrf};
-pub use spmd::{spmd_pxpotrf, SpmdReport};
+pub use spmd::{spmd_pxpotrf, spmd_pxpotrf_faulty, SpmdReport};
 pub use wavefront::wavefront_potrf;

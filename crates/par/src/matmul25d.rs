@@ -52,8 +52,8 @@ pub fn matmul_25d(
         });
     }
     assert!(q > 0 && c > 0, "grid dimensions must be positive");
-    assert!(n % q == 0, "n must be divisible by q");
-    assert!(q % c == 0, "q must be divisible by c (k-slices per layer)");
+    assert!(n.is_multiple_of(q), "n must be divisible by q");
+    assert!(q.is_multiple_of(c), "q must be divisible by c (k-slices per layer)");
     let p = c * q * q;
     let nb = n / q;
     let rank = |i: usize, j: usize, l: usize| i + j * q + l * q * q;

@@ -11,8 +11,9 @@
 //! function of the problem geometry, so no coordination messages are
 //! needed beyond the data itself.
 
-use cholcomm_distsim::threaded::{run_spmd, ProcCtx, SpmdOutcome};
+use cholcomm_distsim::threaded::{run_spmd_faulty, FaultReport, ProcCtx, SpmdOutcome};
 use cholcomm_distsim::{CostModel, ProcGrid};
+use cholcomm_faults::FaultPlan;
 use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
 use cholcomm_matrix::{Matrix, MatrixError};
 use std::collections::HashMap;
@@ -26,6 +27,9 @@ pub struct SpmdReport {
     pub critical: cholcomm_distsim::CriticalPath,
     /// Simulated makespan.
     pub makespan: f64,
+    /// Clean vs. faulted traffic totals for the run (overheads are 1.0
+    /// on a perfect network).
+    pub fault: FaultReport,
 }
 
 fn pack(m: &Matrix<f64>) -> Vec<f64> {
@@ -44,12 +48,27 @@ fn dims(n: usize, b: usize, bi: usize, bj: usize) -> (usize, usize) {
     ((n - bi * b).min(b), (n - bj * b).min(b))
 }
 
-/// Run Algorithm 9 as an SPMD program on `p` threads.
+/// Run Algorithm 9 as an SPMD program on `p` threads (perfect network).
 pub fn spmd_pxpotrf(
     a: &Matrix<f64>,
     b: usize,
     p: usize,
     model: CostModel,
+) -> Result<SpmdReport, MatrixError> {
+    spmd_pxpotrf_faulty(a, b, p, model, FaultPlan::none())
+}
+
+/// Run Algorithm 9 as an SPMD program on `p` threads with every link
+/// subjected to `plan`.  The reliable transport in
+/// [`cholcomm_distsim::threaded`] recovers from drops, duplicates,
+/// corruption, and delays, so the returned factor is bit-identical to
+/// the clean run's; only the clocks and the traffic totals differ.
+pub fn spmd_pxpotrf_faulty(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+    plan: FaultPlan,
 ) -> Result<SpmdReport, MatrixError> {
     let n = a.rows();
     if !a.is_square() {
@@ -208,7 +227,7 @@ pub fn spmd_pxpotrf(
         (owned, failed)
     };
 
-    let out: SpmdOutcome<RankOut> = run_spmd(p, model, program);
+    let out: SpmdOutcome<RankOut> = run_spmd_faulty(p, model, plan, program);
 
     // Surface the first failing pivot, if any.
     if let Some(pivot) = out.results.iter().filter_map(|(_, f)| *f).min() {
@@ -231,6 +250,7 @@ pub fn spmd_pxpotrf(
         factor,
         critical: out.critical_path(),
         makespan: out.makespan(),
+        fault: out.fault_report(),
     })
 }
 
@@ -288,6 +308,44 @@ mod tests {
         m[(5, 5)] = -1.0;
         let err = spmd_pxpotrf(&m, 4, 4, CostModel::counting()).unwrap_err();
         assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 5 });
+    }
+
+    #[test]
+    fn spmd_faulty_factor_is_bit_identical_to_clean() {
+        let mut rng = spd::test_rng(174);
+        let a = spd::random_spd(24, &mut rng);
+        let clean = spmd_pxpotrf(&a, 6, 4, CostModel::typical()).unwrap();
+        let plan = FaultPlan::builder(99)
+            .drop_rate(0.15)
+            .duplicate_rate(0.05)
+            .corrupt_rate(0.05)
+            .delay(0.05, 1000.0)
+            .build();
+        let lossy = spmd_pxpotrf_faulty(&a, 6, 4, CostModel::typical(), plan).unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&clean.factor, &lossy.factor),
+            0.0,
+            "recovery must not perturb the dataflow"
+        );
+        assert!(lossy.fault.stats.drops > 0, "plan should have bitten");
+        assert!(lossy.fault.word_overhead > 1.0);
+        assert!(lossy.makespan > clean.makespan, "retries cost simulated time");
+        assert_eq!(clean.fault.word_overhead, 1.0);
+    }
+
+    #[test]
+    fn spmd_faulty_is_deterministic() {
+        let mut rng = spd::test_rng(175);
+        let a = spd::random_spd(20, &mut rng);
+        let mk = || {
+            let plan = FaultPlan::builder(7).drop_rate(0.25).corrupt_rate(0.1).build();
+            spmd_pxpotrf_faulty(&a, 5, 4, CostModel::typical(), plan).unwrap()
+        };
+        let (r1, r2) = (mk(), mk());
+        assert_eq!(r1.factor, r2.factor);
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.fault.faulted_words, r2.fault.faulted_words);
+        assert_eq!(r1.fault.stats, r2.fault.stats);
     }
 
     #[test]

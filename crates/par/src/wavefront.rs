@@ -132,7 +132,7 @@ pub fn wavefront_potrf(a: &mut Matrix<f64>, b: usize, workers: usize) -> Result<
 
     let task_count: usize = nb // factors
         + nb * nb.saturating_sub(1) / 2 // solves
-        + (1..nb).map(|i| (1..=i).map(|j| j).sum::<usize>()).sum::<usize>(); // updates: k < j
+        + (1..nb).map(|i| (1..=i).sum::<usize>()).sum::<usize>(); // updates: k < j
 
     // Tile-ize.
     let mut tiles: Vec<Matrix<f64>> = Vec::with_capacity(nb * (nb + 1) / 2);

@@ -258,13 +258,13 @@ mod tests {
 
     #[test]
     fn left_looking_factors_correctly() {
-        let r = factor_and_residual(20, |a, t| left_looking(a, t));
+        let r = factor_and_residual(20, left_looking);
         assert!(r < norms::residual_tolerance(20), "residual {r}");
     }
 
     #[test]
     fn right_looking_factors_correctly() {
-        let r = factor_and_residual(20, |a, t| right_looking(a, t));
+        let r = factor_and_residual(20, right_looking);
         assert!(r < norms::residual_tolerance(20), "residual {r}");
     }
 

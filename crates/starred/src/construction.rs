@@ -170,7 +170,7 @@ mod tests {
     fn algorithm1_with_potf2_multiplies() {
         for n in [1usize, 2, 3, 5, 8] {
             let (a, b) = random_pair(n, 7 + n as u64);
-            let c = matmul_by_cholesky(&a, &b, |t| potf2(t)).unwrap();
+            let c = matmul_by_cholesky(&a, &b, potf2).unwrap();
             let reference = kernels::matmul(&a, &b);
             assert!(
                 norms::max_abs_diff(&c, &reference) < 1e-10,

@@ -28,7 +28,7 @@ fn main() {
         println!("  {}", cells.join(" "));
     }
 
-    let product = matmul_by_cholesky(&a, &b, |m| kernels::potf2(m)).expect("classical Cholesky");
+    let product = matmul_by_cholesky(&a, &b, kernels::potf2).expect("classical Cholesky");
     println!("\nA*B extracted from L_32^T:");
     for i in 0..2 {
         println!("  {:>6.1} {:>6.1}", product[(i, 0)], product[(i, 1)]);

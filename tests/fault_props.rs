@@ -1,0 +1,95 @@
+//! Property tests for the fault layer: a plan's schedule is a pure
+//! function of its seed, and the SPMD Cholesky's result is invariant
+//! under message duplication, delay (reordering pressure), loss, and
+//! corruption.
+
+use cholcomm::distsim::CostModel;
+use cholcomm::faults::{DiskOp, FaultPlan};
+use cholcomm::matrix::{kernels, norms, spd};
+use cholcomm::par::spmd::{spmd_pxpotrf, spmd_pxpotrf_faulty};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_seed_means_same_fault_schedule(
+        seed in 0u64..10_000,
+        drop in 0.0f64..0.3,
+        dup in 0.0f64..0.2,
+        transient in 0.0f64..0.4,
+    ) {
+        let build = || {
+            FaultPlan::builder(seed)
+                .drop_rate(drop)
+                .duplicate_rate(dup)
+                .disk_transient_rate(transient)
+                .build()
+        };
+        let (p1, p2) = (build(), build());
+        // The schedule is sampled, not stored: equality must hold at
+        // every coordinate we probe, across links, sequences, attempts,
+        // and disk operations.
+        for src in 0..3usize {
+            for dst in 0..3usize {
+                for seq in 1..20u64 {
+                    for attempt in 1..4u32 {
+                        prop_assert_eq!(
+                            p1.message_fault(src, dst, seq, attempt),
+                            p2.message_fault(src, dst, seq, attempt)
+                        );
+                    }
+                }
+            }
+        }
+        for op_index in 0..200u64 {
+            for attempt in 1..4u32 {
+                prop_assert_eq!(
+                    p1.disk_fault(DiskOp::Read, op_index, attempt),
+                    p2.disk_fault(DiskOp::Read, op_index, attempt)
+                );
+                prop_assert_eq!(
+                    p1.disk_fault(DiskOp::Write, op_index, attempt),
+                    p2.disk_fault(DiskOp::Write, op_index, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmd_factor_is_invariant_under_message_faults(
+        seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        nb in 2usize..5,
+        b in 2usize..6,
+        grid in 1usize..3,
+    ) {
+        let n = nb * b;
+        let p = grid * grid;
+        let mut rng = spd::test_rng(seed);
+        let a = spd::random_spd(n, &mut rng);
+
+        let clean = spmd_pxpotrf(&a, b, p, CostModel::typical()).unwrap();
+        // Duplication plus large delays is maximal reordering pressure
+        // on the transport; drops and corruption exercise retransmit.
+        let plan = FaultPlan::builder(plan_seed)
+            .drop_rate(0.2)
+            .duplicate_rate(0.15)
+            .corrupt_rate(0.05)
+            .delay(0.1, 5000.0)
+            .build();
+        let lossy = spmd_pxpotrf_faulty(&a, b, p, CostModel::typical(), plan).unwrap();
+
+        // Bit-identical to the clean SPMD run...
+        prop_assert_eq!(
+            norms::max_abs_diff(&clean.factor, &lossy.factor),
+            0.0
+        );
+        // ...and the clean run itself matches the sequential reference.
+        let mut want = a.clone();
+        kernels::potf2(&mut want).unwrap();
+        let want = want.lower_triangle().unwrap();
+        let diff = norms::max_abs_diff(&lossy.factor, &want);
+        prop_assert!(diff < 1e-8, "n={} b={} p={}: {}", n, b, p, diff);
+    }
+}

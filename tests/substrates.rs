@@ -4,7 +4,7 @@
 //! must produce the same factorization; layouts must convert losslessly
 //! in every direction; recorded schedules must be data-independent.
 
-use cholcomm::cachesim::{LruTracer, NullTracer, RecordingTracer, Tracer};
+use cholcomm::cachesim::{LruTracer, NullTracer, RecordingTracer};
 use cholcomm::distsim::CostModel;
 use cholcomm::layout::convert::convert_counted;
 use cholcomm::layout::{Blocked, ColMajor, Laid, Layered, Morton, RowMajor};

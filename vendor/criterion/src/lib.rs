@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! A tiny timing harness with the same surface the workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, and `Bencher::iter`.  Each benchmark
+//! is run for a fixed warm-up plus a handful of timed samples and the
+//! mean/min wall-clock per iteration is printed — no statistics, plots,
+//! or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbench group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.into(), self.sample_size.max(10), f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f`'s `iter` closure and print a one-line summary.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.min(10),
+        total: Duration::ZERO,
+        iters: 0,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {id}: no iterations recorded");
+        return;
+    }
+    let mean = b.total / b.iters as u32;
+    println!("  {id}: mean {mean:?}/iter, min {:?}/iter ({} iters)", b.min, b.iters);
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing each run.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warm-up, then the timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.finish();
+        assert!(count >= 3, "bench closure must actually run");
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_benches() {
+        benches();
+    }
+}

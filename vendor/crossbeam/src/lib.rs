@@ -1,0 +1,180 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel::unbounded`: a multi-producer
+//! multi-consumer FIFO with the same disconnect semantics the wavefront
+//! runtime relies on — `recv` blocks while the queue is empty and at
+//! least one `Sender` is alive, and returns `Err(RecvError)` once the
+//! queue is drained and every `Sender` has been dropped.
+
+/// MPMC channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error from [`Sender::send`]: every receiver is gone.  The
+    /// stand-in never produces it (it does not track receiver counts),
+    /// matching how this workspace uses the API — send results are
+    /// ignored on the shutdown path.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`]: channel empty and disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// An unbounded MPMC FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut q = self.shared.queue.lock().expect("channel lock");
+            q.push_back(value);
+            drop(q);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake every blocked receiver so they
+                // can observe the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next value, blocking while the channel is empty
+        /// and senders remain.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.shared.queue.lock().expect("channel lock");
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.shared.ready.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Dequeue without blocking; `None` when empty right now.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().expect("channel lock").pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn mpmc_across_threads_delivers_everything_once() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        let n = 1000;
+        let counted = std::sync::Mutex::new(vec![0u32; n]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let counted = &counted;
+                scope.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        counted.lock().unwrap()[v] += 1;
+                    }
+                });
+            }
+            for chunk in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in (chunk * n / 4)..((chunk + 1) * n / 4) {
+                        tx.send(i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            drop(rx);
+        });
+        assert!(counted.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+}

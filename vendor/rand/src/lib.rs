@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the external dependencies are replaced by minimal vendored versions
+//! (see `vendor/README.md`).  This crate implements the subset of the
+//! `rand` 0.10 API the workspace uses — `StdRng`, `SeedableRng`, `Rng` /
+//! `RngExt` with `random_range` — on top of a SplitMix64 generator.
+//! Everything is deterministic given the seed, which is all the test
+//! suite and the experiment binaries require.
+
+/// Concrete generator types.
+pub mod rngs {
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Not cryptographic, but statistically fine for generating test
+    /// workloads, and — unlike the upstream `StdRng` — guaranteed stable
+    /// across versions of this vendored crate.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            crate::splitmix64(&mut self.state)
+        }
+    }
+}
+
+/// One step of the SplitMix64 generator.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core generator interface: a source of uniform `u64`s.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges that can be sampled uniformly (the `rand` 0.10 `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                self.start.wrapping_add(draw)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                let draw = ((rng.next_u64() as u128) % span) as $t;
+                lo.wrapping_add(draw)
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods every generator gets for free (the `rand` 0.10
+/// split of convenience methods out of the core trait).
+pub trait RngExt: Rng {
+    /// Uniform sample from `range`.
+    fn random_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0usize..1000),
+                b.random_range(0usize..1000)
+            );
+        }
+    }
+
+    #[test]
+    fn ranges_land_inside_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.random_range(-2.5..3.5);
+            assert!((-2.5..3.5).contains(&f));
+            let u = rng.random_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+            let i = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..1000).map(|_| rng.random_range(0.0..1.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the subset of rayon this workspace uses with *real*
+//! parallelism on `std::thread::scope`: [`join`] runs both closures
+//! concurrently, and `par_iter_mut()` fans a mutable slice out across
+//! the machine's cores in contiguous chunks.  There is no work-stealing
+//! pool, so fine-grained workloads pay more overhead than under real
+//! rayon — acceptable for correctness tests and coarse benches.
+
+use std::num::NonZeroUsize;
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Parallel iterator traits and adaptors.
+pub mod prelude {
+    use super::default_threads;
+
+    /// Parallel mutable iteration over slices and vectors.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The element type.
+        type Item: Send + 'a;
+        /// Parallel iterator over `&mut` elements.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { slice: self }
+        }
+    }
+
+    /// A pending parallel traversal of `&mut` slice elements.
+    pub struct ParIterMut<'a, T: Send> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Pair every element with its index.
+        pub fn enumerate(self) -> EnumeratedParIterMut<'a, T> {
+            EnumeratedParIterMut { slice: self.slice }
+        }
+
+        /// Apply `f` to every element, in parallel chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut T) + Sync + Send,
+        {
+            self.enumerate().for_each(|(_, t)| f(t));
+        }
+    }
+
+    /// An enumerated parallel traversal.
+    pub struct EnumeratedParIterMut<'a, T: Send> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> EnumeratedParIterMut<'a, T> {
+        /// Apply `f` to every `(index, element)` pair, in parallel chunks.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut T)) + Sync + Send,
+        {
+            let len = self.slice.len();
+            if len == 0 {
+                return;
+            }
+            let threads = default_threads().min(len);
+            let chunk = len.div_ceil(threads);
+            let f = &f;
+            std::thread::scope(|scope| {
+                for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (off, item) in part.iter_mut().enumerate() {
+                            f((c * chunk + off, item));
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Builder for a thread pool.  The stand-in has no real pool — `install`
+/// just runs the closure on the caller's thread and the slice adaptors
+/// always use the machine's cores — but the type signatures match what
+/// the benches need.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request `n` threads (recorded, not enforced).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the
+/// stand-in, kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle standing in for a rayon thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` "inside" the pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().enumerate().for_each(|(i, x)| {
+            assert_eq!(*x, i as u64);
+            *x += 1;
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}
