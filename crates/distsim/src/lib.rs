@@ -35,4 +35,4 @@ pub mod threaded;
 pub use cost::{Clock, CostModel, CriticalPath};
 pub use grid::ProcGrid;
 pub use machine::Machine;
-pub use threaded::{run_spmd, run_spmd_faulty, FaultReport, ProcCtx, RankClock, SpmdOutcome};
+pub use threaded::{run_spmd, run_spmd_faulty, DistError, FaultReport, ProcCtx, RankClock, SpmdOutcome};

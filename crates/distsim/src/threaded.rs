@@ -29,6 +29,14 @@
 //! [`FaultStats::acks`] but kept out of the word/message totals so a
 //! clean run's overhead factor is exactly 1.
 //!
+//! Rank death is *fail-stop*: a rank that dies ([`ProcCtx::die`]) drops
+//! its channel endpoints, so peers that need something from it observe a
+//! disconnect — surfaced as the typed [`DistError::RankLost`] instead of
+//! a panic — once its buffered messages are drained.  Survivor-side
+//! recovery (who adopts the dead rank's blocks, and from what state) is
+//! policy and lives with the algorithms, e.g. the ABFT driver in
+//! `cholcomm-par`.
+//!
 //! The sequential [`Machine`](crate::Machine) remains the reference for
 //! the paper's tables; this mode exists to show the same algorithm and
 //! the same counts survive genuine concurrency (and now genuine fault
@@ -61,6 +69,37 @@ fn payload_checksum(payload: &[f64]) -> u64 {
     }
     h
 }
+
+/// Typed failures of the SPMD message path.
+///
+/// Since PR 2 the transport never panics on a dead peer: every
+/// `send`/`recv`/`bcast` returns one of these instead, so a single lost
+/// rank degrades gracefully and the caller decides whether to abort,
+/// ignore, or recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistError {
+    /// The peer's channel endpoints are gone: it died (fail-stop) and
+    /// any messages it had buffered have been drained.
+    RankLost {
+        /// The rank that is no longer reachable.
+        rank: usize,
+    },
+    /// A protocol invariant was violated — a bug in the SPMD program
+    /// (e.g. a broadcast whose member list omits the caller), not an
+    /// injected fault.
+    Protocol(&'static str),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::RankLost { rank } => write!(f, "rank {rank} is lost (fail-stop)"),
+            DistError::Protocol(what) => write!(f, "SPMD protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
 
 /// Per-rank context handed to the SPMD program.
 pub struct ProcCtx {
@@ -114,17 +153,20 @@ impl ProcCtx {
         round_trip * (1u64 << (attempt - 1).min(16)) as f64
     }
 
-    fn push_to_wire(&mut self, dst: usize, msg: Msg) {
+    fn push_to_wire(&mut self, dst: usize, msg: Msg) -> Result<(), DistError> {
         self.words_sent += msg.words as u64;
         self.messages_sent += 1;
-        self.senders[dst].send(msg).expect("receiver alive");
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| DistError::RankLost { rank: dst })
     }
 
     /// Send `payload` to `dst` (one logical message).  Under a fault
     /// plan this may take several wire attempts; the call returns once
     /// an intact copy is on the wire and is guaranteed to terminate by
-    /// the plan's attempt cap.
-    pub fn send(&mut self, dst: usize, payload: Vec<f64>) {
+    /// the plan's attempt cap.  Errors with
+    /// [`DistError::RankLost`] if `dst` has died.
+    pub fn send(&mut self, dst: usize, payload: Vec<f64>) -> Result<(), DistError> {
         assert_ne!(dst, self.rank, "no self-sends in the SPMD mode");
         let words = payload.len();
         let seq = self.next_seq[dst];
@@ -165,7 +207,7 @@ impl ProcCtx {
                         path: self.path,
                         payload: bad,
                     };
-                    self.push_to_wire(dst, msg);
+                    self.push_to_wire(dst, msg)?;
                     self.fstats.corruptions += 1;
                     self.fstats.retransmits += 1;
                     self.time += self.rto(words, attempt);
@@ -181,9 +223,9 @@ impl ProcCtx {
                         path: self.path,
                         payload,
                     };
-                    self.push_to_wire(dst, msg);
+                    self.push_to_wire(dst, msg)?;
                     self.fstats.delays += 1;
-                    return;
+                    return Ok(());
                 }
                 Some(MessageFault::Duplicate) => {
                     for copy in 0..2 {
@@ -196,12 +238,12 @@ impl ProcCtx {
                             path: self.path,
                             payload: payload.clone(),
                         };
-                        self.push_to_wire(dst, msg);
+                        self.push_to_wire(dst, msg)?;
                         if copy == 1 {
                             self.fstats.duplicates += 1;
                         }
                     }
-                    return;
+                    return Ok(());
                 }
                 None => {
                     let msg = Msg {
@@ -213,8 +255,8 @@ impl ProcCtx {
                         path: self.path,
                         payload,
                     };
-                    self.push_to_wire(dst, msg);
-                    return;
+                    self.push_to_wire(dst, msg)?;
+                    return Ok(());
                 }
             }
         }
@@ -222,10 +264,14 @@ impl ProcCtx {
 
     /// Blocking receive of the next accepted message from `src`:
     /// corrupted arrivals and stale duplicates are discarded here, so
-    /// the program only ever sees clean in-order payloads.
-    pub fn recv(&mut self, src: usize) -> Vec<f64> {
+    /// the program only ever sees clean in-order payloads.  Errors with
+    /// [`DistError::RankLost`] once `src` has died and its buffered
+    /// messages are exhausted.
+    pub fn recv(&mut self, src: usize) -> Result<Vec<f64>, DistError> {
         loop {
-            let msg = self.receivers[src].recv().expect("sender alive");
+            let msg = self.receivers[src]
+                .recv()
+                .map_err(|_| DistError::RankLost { rank: src })?;
             let arrival = msg.send_time + self.model.message_time(msg.words) + msg.extra_latency;
             if payload_checksum(&msg.payload) != msg.checksum {
                 // Corrupted on the wire: occupy the link, discard, keep
@@ -257,21 +303,27 @@ impl ProcCtx {
                 self.path.messages += 1;
             }
             self.time = self.time.max(arrival);
-            return msg.payload;
+            return Ok(msg.payload);
         }
     }
 
     /// Binomial-tree broadcast among `members` (which must contain both
     /// `root` and this rank).  The root passes `Some(payload)`; everyone
-    /// receives the payload back.
-    pub fn bcast(&mut self, root: usize, members: &[usize], payload: Option<Vec<f64>>) -> Vec<f64> {
+    /// receives the payload back.  A dead peer anywhere along the tree
+    /// surfaces as [`DistError::RankLost`].
+    pub fn bcast(
+        &mut self,
+        root: usize,
+        members: &[usize],
+        payload: Option<Vec<f64>>,
+    ) -> Result<Vec<f64>, DistError> {
         let mut order: Vec<usize> = Vec::with_capacity(members.len());
         order.push(root);
         order.extend(members.iter().copied().filter(|&m| m != root));
         let me = order
             .iter()
             .position(|&r| r == self.rank)
-            .expect("caller must be a member");
+            .ok_or(DistError::Protocol("broadcast caller must be a member"))?;
         let k = order.len();
         let mut data = payload;
         let mut have = 1usize;
@@ -280,17 +332,39 @@ impl ProcCtx {
                 // I already have the data; maybe I forward this round.
                 let peer = me + have;
                 if peer < k {
-                    let d = data.as_ref().expect("holder has data").clone();
-                    self.send(order[peer], d);
+                    let d = data
+                        .as_ref()
+                        .ok_or(DistError::Protocol("broadcast holder has no data"))?
+                        .clone();
+                    self.send(order[peer], d)?;
                 }
             } else if me < 2 * have {
                 // I receive this round.
                 let from = order[me - have];
-                data = Some(self.recv(from));
+                data = Some(self.recv(from)?);
             }
             have *= 2;
         }
-        data.expect("broadcast delivers to every member")
+        data.ok_or(DistError::Protocol("broadcast must deliver to every member"))
+    }
+
+    /// Fail-stop death of this rank: every channel endpoint is replaced
+    /// with a dangling one, so the originals drop here and now.  Peers
+    /// that try to reach this rank afterwards observe a disconnect
+    /// ([`DistError::RankLost`]) — after draining whatever this rank had
+    /// already buffered onto each link, exactly like a crashed MPI
+    /// process whose in-flight packets still arrive.
+    pub fn die(&mut self) {
+        let (dead_tx, _) = channel();
+        for s in self.senders.iter_mut() {
+            *s = dead_tx.clone();
+        }
+        self.receivers = (0..self.procs)
+            .map(|_| {
+                let (_tx, rx) = channel();
+                rx
+            })
+            .collect();
     }
 
     fn into_clock(self) -> RankClock {
@@ -527,12 +601,12 @@ mod tests {
         let out = run_spmd(p, CostModel::typical(), |ctx| {
             let r = ctx.rank();
             if r == 0 {
-                ctx.send(1, vec![1.0; 10]);
+                ctx.send(1, vec![1.0; 10]).unwrap();
                 0.0
             } else {
-                let v = ctx.recv(r - 1);
+                let v = ctx.recv(r - 1).unwrap();
                 if r + 1 < ctx.procs() {
-                    ctx.send(r + 1, v.clone());
+                    ctx.send(r + 1, v.clone()).unwrap();
                 }
                 v[0]
             }
@@ -553,7 +627,7 @@ mod tests {
             } else {
                 None
             };
-            ctx.bcast(0, &members, data)[0]
+            ctx.bcast(0, &members, data).unwrap()[0]
         });
         assert!(out.results.iter().all(|&v| v == 42.0));
         let cp = out.critical_path();
@@ -565,9 +639,9 @@ mod tests {
         let out = run_spmd(2, CostModel::typical(), |ctx| {
             if ctx.rank() == 0 {
                 ctx.compute(5000);
-                ctx.send(1, vec![0.0]);
+                ctx.send(1, vec![0.0]).unwrap();
             } else {
-                ctx.recv(0);
+                ctx.recv(0).unwrap();
             }
             ctx.rank()
         });
@@ -580,7 +654,7 @@ mod tests {
             let out = run_spmd(4, CostModel::typical(), |ctx| {
                 let members: Vec<usize> = (0..4).collect();
                 let data = if ctx.rank() == 2 { Some(vec![1.0; 7]) } else { None };
-                ctx.bcast(2, &members, data);
+                ctx.bcast(2, &members, data).unwrap();
                 ctx.compute(10 * (ctx.rank() as u64 + 1));
             });
             (out.makespan(), out.critical_path())
@@ -595,9 +669,9 @@ mod tests {
     fn clean_plan_has_unit_overhead() {
         let out = run_spmd(2, CostModel::typical(), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, vec![1.0; 8]);
+                ctx.send(1, vec![1.0; 8]).unwrap();
             } else {
-                ctx.recv(0);
+                ctx.recv(0).unwrap();
             }
         });
         let rep = out.fault_report();
@@ -623,9 +697,9 @@ mod tests {
             let mut sum = 0.0;
             for i in 0..rounds {
                 if ctx.rank() == 0 {
-                    ctx.send(1, vec![i as f64; 3]);
+                    ctx.send(1, vec![i as f64; 3]).unwrap();
                 } else {
-                    let v = ctx.recv(0);
+                    let v = ctx.recv(0).unwrap();
                     assert_eq!(v, vec![i as f64; 3], "round {i} payload intact and in order");
                     sum += v[0];
                 }
@@ -656,7 +730,7 @@ mod tests {
                 } else {
                     None
                 };
-                let got = ctx.bcast(1, &members, data);
+                let got = ctx.bcast(1, &members, data).unwrap();
                 got[0]
             })
         };
@@ -671,9 +745,9 @@ mod tests {
     fn drops_slow_the_simulated_clock() {
         let clean = run_spmd(2, CostModel::typical(), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, vec![1.0; 4]);
+                ctx.send(1, vec![1.0; 4]).unwrap();
             } else {
-                ctx.recv(0);
+                ctx.recv(0).unwrap();
             }
         })
         .makespan();
@@ -682,9 +756,9 @@ mod tests {
             .build();
         let lossy = run_spmd_faulty(2, CostModel::typical(), plan, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, vec![1.0; 4]);
+                ctx.send(1, vec![1.0; 4]).unwrap();
             } else {
-                ctx.recv(0);
+                ctx.recv(0).unwrap();
             }
         })
         .makespan();
@@ -701,12 +775,12 @@ mod tests {
             .build();
         let out = run_spmd_faulty(2, CostModel::typical(), plan, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, vec![5.0]);
-                ctx.send(1, vec![6.0]);
+                ctx.send(1, vec![5.0]).unwrap();
+                ctx.send(1, vec![6.0]).unwrap();
                 0.0
             } else {
-                let a = ctx.recv(0)[0];
-                let b = ctx.recv(0)[0];
+                let a = ctx.recv(0).unwrap()[0];
+                let b = ctx.recv(0).unwrap()[0];
                 a * 10.0 + b
             }
         });
@@ -714,5 +788,76 @@ mod tests {
         let rep = out.fault_report();
         assert_eq!(rep.stats.duplicates, 1);
         assert_eq!(rep.stats.discarded, 1);
+    }
+
+    #[test]
+    fn dead_rank_surfaces_as_rank_lost_not_a_panic() {
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.die();
+                Ok(vec![])
+            } else {
+                // Rank 1 died without sending: the recv must fail with a
+                // typed error instead of poisoning the mesh.
+                ctx.recv(1)
+            }
+        });
+        assert_eq!(out.results[0], Err(DistError::RankLost { rank: 1 }));
+        assert_eq!(out.results[1], Ok(vec![]));
+    }
+
+    #[test]
+    fn send_to_dead_rank_fails_typed() {
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 1 {
+                // Handshake so rank 0 only sends after rank 1 is dead.
+                ctx.send(0, vec![1.0]).unwrap();
+                ctx.die();
+                Ok(())
+            } else {
+                ctx.recv(1).unwrap();
+                // The endpoint may linger until the thread drops it;
+                // retry until the disconnect is observed.
+                loop {
+                    match ctx.send(1, vec![2.0]) {
+                        Err(e) => break Err(e),
+                        Ok(()) => std::thread::yield_now(),
+                    }
+                }
+            }
+        });
+        assert_eq!(out.results[0], Err(DistError::RankLost { rank: 1 }));
+    }
+
+    #[test]
+    fn buffered_messages_drain_before_rank_lost() {
+        // A rank that sends useful data *then* dies: peers still receive
+        // everything it buffered, and only then observe the loss.
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 1 {
+                ctx.send(0, vec![7.0; 3]).unwrap();
+                ctx.die();
+                (vec![], None)
+            } else {
+                let got = ctx.recv(1).unwrap();
+                let lost = ctx.recv(1).unwrap_err();
+                (got, Some(lost))
+            }
+        });
+        assert_eq!(out.results[0].0, vec![7.0; 3]);
+        assert_eq!(out.results[0].1, Some(DistError::RankLost { rank: 1 }));
+    }
+
+    #[test]
+    fn bcast_member_violation_is_a_protocol_error() {
+        let out = run_spmd(2, CostModel::typical(), |ctx| {
+            if ctx.rank() == 0 {
+                // Member list without the caller.
+                ctx.bcast(1, &[1], None).unwrap_err()
+            } else {
+                DistError::Protocol("unused")
+            }
+        });
+        assert!(matches!(out.results[0], DistError::Protocol(_)));
     }
 }

@@ -17,7 +17,8 @@
 //!
 //! Every decision is a pure function of the plan's seed and the fault
 //! site's stable coordinates (link and per-link sequence number for
-//! messages, global operation index for disk I/O).  Concurrent ranks
+//! messages, global operation index for disk I/O, panel step and tile
+//! coordinates for silent bit flips).  Concurrent ranks
 //! therefore observe the *same* fault schedule on every run, regardless
 //! of thread interleaving — which is what makes "bit-identical factor
 //! under any plan" a testable property rather than a hope.
@@ -29,7 +30,9 @@
 mod plan;
 mod stats;
 
-pub use plan::{CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, MessageFault};
+pub use plan::{
+    BitFlip, CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, MessageFault, RankKill,
+};
 pub use stats::FaultStats;
 
 /// One step of SplitMix64: the workspace's stable, dependency-free mixer.

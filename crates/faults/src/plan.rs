@@ -54,6 +54,34 @@ pub enum CrashPoint {
     AfterPanel(usize),
 }
 
+/// A silent data corruption: at the start of panel step `step`, XOR
+/// `mask` into the `f64` bit pattern of element `elem` of tile `tile` —
+/// the memory-resident (or at-rest, for the out-of-core path) model of
+/// a cosmic-ray upset.  The checksums guarding the tile are *not*
+/// updated, which is exactly what makes the corruption silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Panel step (0-based) at whose start the flip lands.
+    pub step: usize,
+    /// Target tile as `(block_row, block_col)`.
+    pub tile: (usize, usize),
+    /// Target element within the tile as `(row, col)`.
+    pub elem: (usize, usize),
+    /// XOR mask applied to the element's 64-bit pattern (nonzero).
+    pub mask: u64,
+}
+
+/// A fail-stop rank death: rank `rank` dies at the start of panel step
+/// `step`, dropping its channel endpoints so peers observe disconnects
+/// instead of hangs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankKill {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Panel step (0-based) at whose start it dies.
+    pub step: usize,
+}
+
 /// Builder for a [`FaultPlan`].
 #[derive(Debug, Clone)]
 pub struct FaultPlanBuilder {
@@ -65,9 +93,12 @@ pub struct FaultPlanBuilder {
     delay_extra: f64,
     disk_transient_rate: f64,
     disk_short_read_rate: f64,
+    bit_flip_rate: f64,
     max_fault_attempts: u32,
     message_injections: HashMap<(usize, usize, u64, u32), MessageFault>,
     disk_injections: HashMap<(u64, u32), DiskFault>,
+    bit_flip_injections: Vec<BitFlip>,
+    rank_kill: Option<RankKill>,
     crash: Option<CrashPoint>,
 }
 
@@ -82,9 +113,12 @@ impl FaultPlanBuilder {
             delay_extra: 0.0,
             disk_transient_rate: 0.0,
             disk_short_read_rate: 0.0,
+            bit_flip_rate: 0.0,
             max_fault_attempts: 6,
             message_injections: HashMap::new(),
             disk_injections: HashMap::new(),
+            bit_flip_injections: Vec::new(),
+            rank_kill: None,
             crash: None,
         }
     }
@@ -169,6 +203,40 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Fraction of `(step, tile)` sites struck by a seeded single-bit
+    /// flip (element and bit derived deterministically from the seed;
+    /// query with [`FaultPlan::random_bit_flip`]).
+    pub fn bit_flip_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.bit_flip_rate = rate;
+        self
+    }
+
+    /// Explicitly corrupt element `elem` of tile `tile` at the start of
+    /// panel step `step`, XORing `mask` into its bit pattern.
+    pub fn inject_bit_flip(
+        mut self,
+        step: usize,
+        tile: (usize, usize),
+        elem: (usize, usize),
+        mask: u64,
+    ) -> Self {
+        assert!(mask != 0, "a zero mask flips nothing");
+        self.bit_flip_injections.push(BitFlip {
+            step,
+            tile,
+            elem,
+            mask,
+        });
+        self
+    }
+
+    /// Kill rank `rank` at the start of panel step `step` (fail-stop).
+    pub fn inject_rank_kill(mut self, rank: usize, step: usize) -> Self {
+        self.rank_kill = Some(RankKill { rank, step });
+        self
+    }
+
     /// Finish the plan.
     pub fn build(self) -> FaultPlan {
         let total = self.drop_rate + self.duplicate_rate + self.corrupt_rate + self.delay_rate;
@@ -217,8 +285,11 @@ impl FaultPlan {
             && p.delay_rate == 0.0
             && p.disk_transient_rate == 0.0
             && p.disk_short_read_rate == 0.0
+            && p.bit_flip_rate == 0.0
             && p.message_injections.is_empty()
             && p.disk_injections.is_empty()
+            && p.bit_flip_injections.is_empty()
+            && p.rank_kill.is_none()
             && p.crash.is_none()
     }
 
@@ -310,6 +381,69 @@ impl FaultPlan {
     /// Where (if anywhere) the process crashes.
     pub fn crash_point(&self) -> Option<CrashPoint> {
         self.inner.crash
+    }
+
+    /// Explicitly injected bit flips landing at the start of `step`, in
+    /// injection order.
+    pub fn bit_flips(&self, step: usize) -> Vec<BitFlip> {
+        self.inner
+            .bit_flip_injections
+            .iter()
+            .filter(|f| f.step == step)
+            .copied()
+            .collect()
+    }
+
+    /// Explicitly injected bit flips for one `(step, tile)` site.
+    pub fn bit_flips_at(&self, step: usize, tile: (usize, usize)) -> Vec<BitFlip> {
+        self.inner
+            .bit_flip_injections
+            .iter()
+            .filter(|f| f.step == step && f.tile == tile)
+            .copied()
+            .collect()
+    }
+
+    /// The seeded random flip (if any) striking tile `tile` (of shape
+    /// `rows x cols`) at the start of `step`.  A pure function of the
+    /// seed and the site, like every other decision in the plan; the
+    /// flipped element and bit are derived from the same hash.
+    pub fn random_bit_flip(
+        &self,
+        step: usize,
+        tile: (usize, usize),
+        rows: usize,
+        cols: usize,
+    ) -> Option<BitFlip> {
+        let p = &*self.inner;
+        if p.bit_flip_rate == 0.0 || rows == 0 || cols == 0 {
+            return None;
+        }
+        let h = coord_hash(
+            p.seed,
+            &[0x4246u64, step as u64, tile.0 as u64, tile.1 as u64],
+        );
+        if unit(h) >= p.bit_flip_rate {
+            return None;
+        }
+        let sel = coord_hash(
+            p.seed,
+            &[0x4247u64, step as u64, tile.0 as u64, tile.1 as u64],
+        );
+        let i = (sel as usize) % rows;
+        let j = ((sel >> 20) as usize) % cols;
+        let bit = (sel >> 40) % 64;
+        Some(BitFlip {
+            step,
+            tile,
+            elem: (i, j),
+            mask: 1u64 << bit,
+        })
+    }
+
+    /// The rank death (if any) scheduled by this plan.
+    pub fn rank_kill(&self) -> Option<RankKill> {
+        self.inner.rank_kill
     }
 }
 
@@ -413,6 +547,47 @@ mod tests {
             assert_eq!(plan.disk_fault(DiskOp::Read, seq, 1), None);
         }
         assert!(!FaultPlan::builder(0).drop_rate(0.1).build().is_clean());
+    }
+
+    #[test]
+    fn bit_flips_and_rank_kills_are_plan_kinds() {
+        let plan = FaultPlan::builder(11)
+            .inject_bit_flip(2, (1, 0), (3, 3), 1 << 52)
+            .inject_bit_flip(2, (1, 0), (0, 1), 0b1)
+            .inject_bit_flip(4, (0, 0), (0, 0), 1 << 63)
+            .inject_rank_kill(3, 1)
+            .build();
+        assert!(!plan.is_clean());
+        assert_eq!(plan.bit_flips(2).len(), 2);
+        assert_eq!(plan.bit_flips_at(2, (1, 0)).len(), 2);
+        assert_eq!(plan.bit_flips_at(2, (0, 0)).len(), 0);
+        assert_eq!(plan.bit_flips(0).len(), 0);
+        assert_eq!(plan.rank_kill(), Some(RankKill { rank: 3, step: 1 }));
+        assert_eq!(FaultPlan::none().rank_kill(), None);
+    }
+
+    #[test]
+    fn random_bit_flips_are_seeded_and_in_range() {
+        let mk = |seed| FaultPlan::builder(seed).bit_flip_rate(0.3).build();
+        let (a, b) = (mk(4), mk(4));
+        let mut hits = 0;
+        for step in 0..8 {
+            for bi in 0..6 {
+                for bj in 0..6 {
+                    let fa = a.random_bit_flip(step, (bi, bj), 5, 7);
+                    assert_eq!(fa, b.random_bit_flip(step, (bi, bj), 5, 7));
+                    if let Some(f) = fa {
+                        hits += 1;
+                        assert!(f.elem.0 < 5 && f.elem.1 < 7);
+                        assert_eq!(f.mask.count_ones(), 1, "single-bit upset");
+                    }
+                }
+            }
+        }
+        assert!(hits > 30, "rate 0.3 over 288 sites should strike often: {hits}");
+        assert!(mk(5).random_bit_flip(0, (0, 0), 5, 7) != a.random_bit_flip(0, (0, 0), 5, 7)
+            || mk(5).random_bit_flip(1, (2, 1), 5, 7) != a.random_bit_flip(1, (2, 1), 5, 7));
+        assert_eq!(FaultPlan::none().random_bit_flip(0, (0, 0), 4, 4), None);
     }
 
     #[test]

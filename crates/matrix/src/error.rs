@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Errors surfaced by matrix operations and factorizations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum MatrixError {
     /// An operation requiring a square matrix received an `rows x cols` one.
     NotSquare {
@@ -18,10 +18,16 @@ pub enum MatrixError {
         context: &'static str,
     },
     /// A Cholesky factorization encountered a non-positive pivot, so the
-    /// input was not (numerically) positive definite.
-    NotPositiveDefinite {
-        /// Index of the failing pivot (0-based).
+    /// input was not (numerically) symmetric positive definite.  Carries
+    /// the offending pivot value so callers can pick a diagonal shift
+    /// (e.g. `shift > -value`) and retry.
+    NotSpd {
+        /// Index of the failing pivot (0-based, in the coordinates of the
+        /// full matrix the caller handed in).
         pivot: usize,
+        /// The non-positive pivot value (`A(j,j) - sum L(j,k)^2` at the
+        /// failing step).
+        value: f64,
     },
 }
 
@@ -34,8 +40,11 @@ impl fmt::Display for MatrixError {
             MatrixError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
             }
-            MatrixError::NotPositiveDefinite { pivot } => {
-                write!(f, "matrix is not positive definite (pivot {pivot} <= 0)")
+            MatrixError::NotSpd { pivot, value } => {
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot {pivot} = {value} <= 0)"
+                )
             }
         }
     }
@@ -54,8 +63,12 @@ mod tests {
             "matrix must be square, got 2x3"
         );
         assert_eq!(
-            MatrixError::NotPositiveDefinite { pivot: 4 }.to_string(),
-            "matrix is not positive definite (pivot 4 <= 0)"
+            MatrixError::NotSpd {
+                pivot: 4,
+                value: -0.5
+            }
+            .to_string(),
+            "matrix is not positive definite (pivot 4 = -0.5 <= 0)"
         );
         assert!(MatrixError::DimensionMismatch { context: "gemm" }
             .to_string()

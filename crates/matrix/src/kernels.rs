@@ -119,7 +119,12 @@ pub fn potf2<S: Scalar>(a: &mut Matrix<S>) -> Result<(), MatrixError> {
         // scalars `is_finite_real` is false and the value passes through
         // (Table 3: sqrt(1*) = 1*).
         if d.is_finite_real() && real_is_nonpositive(d) {
-            return Err(MatrixError::NotPositiveDefinite { pivot: j });
+            // `d <= 0`, so its real embedding is `-|d|` — exact for the
+            // real scalar types this branch is reachable for.
+            return Err(MatrixError::NotSpd {
+                pivot: j,
+                value: -d.magnitude(),
+            });
         }
         let ljj = d.sqrt();
         a[(j, j)] = ljj;
@@ -250,9 +255,14 @@ mod tests {
     #[test]
     fn potf2_rejects_indefinite() {
         let mut a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        // Pivot 1 is 1 - 2^2 = -3, reported with its value for
+        // diagonal-shift retries.
         assert_eq!(
             potf2(&mut a).unwrap_err(),
-            MatrixError::NotPositiveDefinite { pivot: 1 }
+            MatrixError::NotSpd {
+                pivot: 1,
+                value: -3.0
+            }
         );
     }
 
@@ -281,7 +291,10 @@ pub fn getrf_nopiv<S: Scalar>(a: &mut Matrix<S>) -> Result<(), MatrixError> {
     for k in 0..n {
         let pivot = a[(k, k)];
         if pivot.is_finite_real() && pivot.magnitude() == 0.0 {
-            return Err(MatrixError::NotPositiveDefinite { pivot: k });
+            return Err(MatrixError::NotSpd {
+                pivot: k,
+                value: 0.0,
+            });
         }
         for i in (k + 1)..n {
             let lik = a[(i, k)] / pivot;

@@ -21,6 +21,7 @@
 //! * [`norms`] — Frobenius norms and factorization residuals used by every
 //!   correctness test in the workspace.
 
+pub mod abft;
 pub mod dense;
 pub mod error;
 pub mod kernels;
@@ -29,6 +30,7 @@ pub mod scalar;
 pub mod spd;
 pub mod tri;
 
+pub use abft::{verify_and_heal, AbftMatrix, AbftStats, TileChecksum, TileHealth};
 pub use dense::Matrix;
 pub use error::MatrixError;
 pub use scalar::Scalar;

@@ -45,6 +45,17 @@ pub trait IoBackend {
     fn fault_stats(&self) -> FaultStats {
         FaultStats::new()
     }
+    /// Panel step `k` is about to run.  Integrity layers use this to
+    /// schedule at-rest corruptions and to timestamp verification work;
+    /// plain storage ignores it.
+    fn begin_panel(&mut self, _k: usize) {}
+    /// Verify the integrity of every stored tile, healing what the
+    /// encoding can correct.  Storage without integrity metadata has
+    /// nothing to check.  An unhealable tile surfaces as
+    /// [`std::io::ErrorKind::InvalidData`].
+    fn scrub(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 impl IoBackend for FileMatrix {
@@ -223,6 +234,12 @@ impl<B: IoBackend> IoBackend for FaultyBackend<B> {
         let mut s = self.stats;
         s.merge(&self.inner.fault_stats());
         s
+    }
+    fn begin_panel(&mut self, k: usize) {
+        self.inner.begin_panel(k);
+    }
+    fn scrub(&mut self) -> std::io::Result<()> {
+        self.inner.scrub()
     }
 }
 

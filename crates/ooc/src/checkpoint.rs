@@ -22,7 +22,19 @@ use crate::potrf::{factor_panel, OocError, TileCache};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
-const MANIFEST_MAGIC: &str = "cholcomm-ooc-checkpoint v1";
+const MANIFEST_MAGIC: &str = "cholcomm-ooc-checkpoint v2";
+
+/// FNV-1a over a byte string: the checkpoint integrity hash.  Not
+/// cryptographic — it guards against truncation and bit rot, the same
+/// threat model as the tile checksums.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// A checkpoint location: `<prefix>.data` holds the matrix snapshot,
 /// `<prefix>.manifest` the restart metadata.
@@ -55,6 +67,9 @@ pub struct CheckpointReport {
     /// Bytes of checkpoint snapshot traffic (separate from the
     /// algorithm's tile I/O).
     pub checkpoint_bytes: u64,
+    /// In-run rollbacks to the last checkpoint (unhealable tile
+    /// corruption answered by restore-and-retry).
+    pub restores: usize,
 }
 
 impl Checkpoint {
@@ -71,53 +86,92 @@ impl Checkpoint {
         }
     }
 
-    /// Read the manifest, if a complete checkpoint exists.
+    /// Read and *validate* the manifest, if a complete checkpoint
+    /// exists.  Validation covers the manifest itself (its trailing
+    /// `manifest_fnv` must hash the preceding lines) and the data
+    /// snapshot (recorded length and FNV must match the file on disk),
+    /// so a truncated or bit-rotted checkpoint is rejected with
+    /// [`std::io::ErrorKind::InvalidData`] instead of silently feeding
+    /// a resumed run corrupt state.
     pub fn load(&self) -> std::io::Result<Option<CheckpointState>> {
         if !self.manifest_path.exists() || !self.data_path.exists() {
             return Ok(None);
         }
         let mut text = String::new();
         std::fs::File::open(&self.manifest_path)?.read_to_string(&mut text)?;
-        let mut lines = text.lines();
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+        // The manifest's last line authenticates everything before it.
+        let body_end = text
+            .rfind("manifest_fnv=")
+            .ok_or_else(|| bad("checkpoint manifest has no integrity line".into()))?;
+        let (body, fnv_line) = text.split_at(body_end);
+        let recorded: u64 = fnv_line
+            .trim()
+            .strip_prefix("manifest_fnv=")
+            .and_then(|v| u64::from_str_radix(v, 16).ok())
+            .ok_or_else(|| bad("bad manifest integrity line".into()))?;
+        if fnv1a(body.as_bytes()) != recorded {
+            return Err(bad("checkpoint manifest failed its integrity check".into()));
+        }
+
+        let mut lines = body.lines();
         if lines.next() != Some(MANIFEST_MAGIC) {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "unrecognised checkpoint manifest",
-            ));
+            return Err(bad("unrecognised checkpoint manifest".into()));
         }
         let mut next_panel = None;
         let mut n = None;
         let mut b = None;
+        let mut data_len = None;
+        let mut data_fnv = None;
         for line in lines {
             let Some((key, val)) = line.split_once('=') else {
                 continue;
             };
-            let val: usize = val.parse().map_err(|_| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad manifest value: {line}"),
-                )
-            })?;
+            if key == "data_fnv" {
+                data_fnv = Some(
+                    u64::from_str_radix(val, 16)
+                        .map_err(|_| bad(format!("bad manifest value: {line}")))?,
+                );
+                continue;
+            }
+            let val: usize = val
+                .parse()
+                .map_err(|_| bad(format!("bad manifest value: {line}")))?;
             match key {
                 "next_panel" => next_panel = Some(val),
                 "n" => n = Some(val),
                 "b" => b = Some(val),
+                "data_len" => data_len = Some(val as u64),
                 _ => {}
             }
         }
-        match (next_panel, n, b) {
-            (Some(next_panel), Some(n), Some(b)) => Ok(Some(CheckpointState { next_panel, n, b })),
-            _ => Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "incomplete checkpoint manifest",
-            )),
+        let (Some(next_panel), Some(n), Some(b), Some(data_len), Some(data_fnv)) =
+            (next_panel, n, b, data_len, data_fnv)
+        else {
+            return Err(bad("incomplete checkpoint manifest".into()));
+        };
+
+        // Validate the data snapshot against the manifest's record.
+        let data = std::fs::read(&self.data_path)?;
+        if data.len() as u64 != data_len {
+            return Err(bad(format!(
+                "checkpoint data is {} bytes, manifest records {data_len} (truncated?)",
+                data.len()
+            )));
         }
+        if fnv1a(&data) != data_fnv {
+            return Err(bad("checkpoint data failed its integrity check".into()));
+        }
+        Ok(Some(CheckpointState { next_panel, n, b }))
     }
 
     /// Snapshot the backing file and record that panels `0..next_panel`
     /// are done.  The data snapshot lands before the manifest, and both
     /// are renamed into place, so [`load`](Self::load) never observes a
-    /// manifest without its data.
+    /// manifest without its data.  The manifest records the snapshot's
+    /// length and FNV-1a hash (and hashes itself), so `load` can reject
+    /// truncation or bit rot in either file.
     pub fn save<B: IoBackend>(&self, fm: &B, next_panel: usize) -> std::io::Result<u64> {
         let src = fm.path().ok_or_else(|| {
             std::io::Error::new(
@@ -125,20 +179,29 @@ impl Checkpoint {
                 "backend has no backing file to snapshot",
             )
         })?;
+        let data = std::fs::read(src)?;
+        let data_fnv = fnv1a(&data);
         let tmp_data = self.data_path.with_extension("data.tmp");
-        let bytes = std::fs::copy(src, &tmp_data)?;
+        std::fs::write(&tmp_data, &data)?;
         std::fs::rename(&tmp_data, &self.data_path)?;
 
+        let mut body = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(body, "{MANIFEST_MAGIC}");
+        let _ = writeln!(body, "next_panel={next_panel}");
+        let _ = writeln!(body, "n={}", fm.n());
+        let _ = writeln!(body, "b={}", fm.b());
+        let _ = writeln!(body, "data_len={}", data.len());
+        let _ = writeln!(body, "data_fnv={data_fnv:016x}");
+        let manifest_fnv = fnv1a(body.as_bytes());
         let tmp_manifest = self.manifest_path.with_extension("manifest.tmp");
         {
             let mut f = std::fs::File::create(&tmp_manifest)?;
-            writeln!(f, "{MANIFEST_MAGIC}")?;
-            writeln!(f, "next_panel={next_panel}")?;
-            writeln!(f, "n={}", fm.n())?;
-            writeln!(f, "b={}", fm.b())?;
+            f.write_all(body.as_bytes())?;
+            writeln!(f, "manifest_fnv={manifest_fnv:016x}")?;
         }
         std::fs::rename(&tmp_manifest, &self.manifest_path)?;
-        Ok(bytes)
+        Ok(data.len() as u64)
     }
 
     /// Copy the snapshot back over the backing file (discarding whatever
@@ -221,15 +284,36 @@ pub fn ooc_potrf_checkpointed<B: IoBackend>(
     };
     report.start_panel = start;
 
+    // Unhealable multi-element corruption (a checksumming backend's
+    // `InvalidData`) is answered in-run: roll the file back to the last
+    // panel checkpoint and retry the panel.  A corruption strikes only
+    // once (the backend remembers landed faults across restores), so
+    // each retry makes progress; the cap is a safety net, not a policy.
+    const MAX_RESTORE_RETRIES: usize = 4;
+    let unhealable = |e: &OocError| {
+        matches!(e, OocError::Io(io) if io.kind() == std::io::ErrorKind::InvalidData)
+    };
+
     let mut cache = TileCache::new(capacity_tiles);
     for k in start..nb {
-        match factor_panel(fm, &mut cache, k) {
-            Ok(()) => {}
-            Err(e @ OocError::NotPositiveDefinite { .. }) => {
-                cache.flush(fm)?;
-                return Err(e);
+        let mut retries = 0;
+        loop {
+            match factor_panel(fm, &mut cache, k) {
+                Ok(()) => break,
+                Err(e @ OocError::NotSpd { .. }) => {
+                    cache.flush(fm)?;
+                    return Err(e);
+                }
+                Err(e) if unhealable(&e) && retries < MAX_RESTORE_RETRIES => {
+                    retries += 1;
+                    report.restores += 1;
+                    // Everything in RAM reflects the poisoned panel run;
+                    // the snapshot on disk is the last trustworthy state.
+                    cache.clear();
+                    report.checkpoint_bytes += ckpt.restore(fm)?;
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
         if fm.crash_after_panel(k) {
             // The plan kills us after the panel but before its
@@ -243,6 +327,25 @@ pub fn ooc_potrf_checkpointed<B: IoBackend>(
         report.checkpoints_written += 1;
         report.panels_done += 1;
     }
+
+    // Final integrity scrub, with the same restore-retry answer: the
+    // last checkpoint (written after the final panel) holds the
+    // finished factor, so rolling back and re-scrubbing converges.
+    let mut retries = 0;
+    loop {
+        match fm.scrub() {
+            Ok(()) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData
+                && retries < MAX_RESTORE_RETRIES =>
+            {
+                retries += 1;
+                report.restores += 1;
+                report.checkpoint_bytes += ckpt.restore(fm)?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+
     ckpt.remove()?;
     Ok(report)
 }
@@ -445,6 +548,163 @@ mod tests {
             0.0,
             "flaky disk + crash + resume must not change a single bit"
         );
+    }
+
+    #[test]
+    fn unhealable_corruption_mid_run_restores_and_retries() {
+        use crate::abft::AbftBackend;
+
+        let mut rng = spd::test_rng(226);
+        let a = spd::random_spd(32, &mut rng);
+        let pref = scratch_path("ckpt-abft-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        // Two elements of one tile struck in the same panel: beyond the
+        // checksums, so the driver must roll back to the panel
+        // checkpoint and retry.  A second, healable flip rides along.
+        let plan = FaultPlan::builder(50)
+            .inject_bit_flip(1, (2, 1), (0, 0), 1 << 44)
+            .inject_bit_flip(1, (2, 1), (6, 3), 1 << 45)
+            .inject_bit_flip(2, (3, 2), (1, 1), 1 << 63)
+            .build();
+        let fm = FileMatrix::create(&scratch_path("ckpt-abft"), &a, 8).unwrap();
+        let mut ab = AbftBackend::new(fm, plan);
+        let ckpt = Checkpoint::at(&ckpt_prefix("abft"));
+        let rep = ooc_potrf_checkpointed(&mut ab, 3, &ckpt).unwrap();
+        assert!(rep.restores >= 1, "multi-element corruption forced a rollback");
+        assert_eq!(ab.abft_stats().unrecoverable, 1);
+        assert_eq!(ab.abft_stats().corrections, 1);
+        let got = ab.inner_mut().to_matrix().unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&got, &want),
+            0.0,
+            "restored-and-retried factor must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn corruption_after_a_tiles_last_read_is_caught_by_the_scrub() {
+        use crate::abft::AbftBackend;
+
+        let mut rng = spd::test_rng(227);
+        let a = spd::random_spd(32, &mut rng);
+        let pref = scratch_path("ckpt-scrub-ref");
+        let mut reference = FileMatrix::create(&pref, &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        // Strike a long-finished panel tile at the final step: no kernel
+        // ever reads it again, so only the end-of-run scrub can see it.
+        let plan = FaultPlan::builder(51)
+            .inject_bit_flip(3, (1, 0), (2, 2), 1 << 40)
+            .inject_bit_flip(3, (2, 0), (0, 0), 1 << 41)
+            .inject_bit_flip(3, (2, 0), (5, 5), 1 << 42)
+            .build();
+        let fm = FileMatrix::create(&scratch_path("ckpt-scrub"), &a, 8).unwrap();
+        let mut ab = AbftBackend::new(fm, plan);
+        let ckpt = Checkpoint::at(&ckpt_prefix("scrub"));
+        let rep = ooc_potrf_checkpointed(&mut ab, 3, &ckpt).unwrap();
+        assert!(
+            ab.abft_stats().corrections >= 1,
+            "the single-element flip heals in the scrub"
+        );
+        assert!(
+            rep.restores >= 1,
+            "the multi-element flip forces a scrub rollback"
+        );
+        let got = ab.inner_mut().to_matrix().unwrap();
+        assert_eq!(norms::max_abs_diff(&got, &want), 0.0);
+    }
+
+    #[test]
+    fn truncated_checkpoint_data_is_rejected() {
+        let mut rng = spd::test_rng(228);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-trunc");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let prefix = ckpt_prefix("trunc");
+        let ckpt = Checkpoint::at(&prefix);
+        ckpt.save(&fm, 1).unwrap();
+        assert!(ckpt.load().unwrap().is_some(), "intact checkpoint loads");
+
+        // Lop bytes off the snapshot, as a torn copy or dying disk would.
+        let data_path = prefix.with_extension("ckpt.data");
+        let bytes = std::fs::read(&data_path).unwrap();
+        std::fs::write(&data_path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = ckpt.load().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        ckpt.remove().unwrap();
+    }
+
+    #[test]
+    fn bit_rotted_checkpoint_data_is_rejected() {
+        let mut rng = spd::test_rng(229);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-rot");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let prefix = ckpt_prefix("rot");
+        let ckpt = Checkpoint::at(&prefix);
+        ckpt.save(&fm, 1).unwrap();
+
+        // Same length, one bit flipped.
+        let data_path = prefix.with_extension("ckpt.data");
+        let mut bytes = std::fs::read(&data_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&data_path, &bytes).unwrap();
+        let err = ckpt.load().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        ckpt.remove().unwrap();
+    }
+
+    #[test]
+    fn corrupted_manifest_is_rejected() {
+        let mut rng = spd::test_rng(230);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-badman");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let prefix = ckpt_prefix("badman");
+        let ckpt = Checkpoint::at(&prefix);
+        ckpt.save(&fm, 2).unwrap();
+
+        // Tamper with the recorded panel: the manifest hash must catch it.
+        let man_path = prefix.with_extension("ckpt.manifest");
+        let text = std::fs::read_to_string(&man_path).unwrap();
+        std::fs::write(&man_path, text.replace("next_panel=2", "next_panel=4")).unwrap();
+        let err = ckpt.load().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        ckpt.remove().unwrap();
+    }
+
+    #[test]
+    fn crash_during_save_leaves_the_previous_checkpoint_loadable() {
+        let mut rng = spd::test_rng(231);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-torn");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let prefix = ckpt_prefix("torn");
+        let ckpt = Checkpoint::at(&prefix);
+        ckpt.save(&fm, 1).unwrap();
+
+        // A crash mid-save leaves only temp files behind — the rename
+        // never happened.  The previous checkpoint must stay valid.
+        let data_path = prefix.with_extension("ckpt.data");
+        let bytes = std::fs::read(&data_path).unwrap();
+        std::fs::write(
+            prefix.with_extension("ckpt.data.tmp"),
+            &bytes[..bytes.len() / 3],
+        )
+        .unwrap();
+        std::fs::write(prefix.with_extension("ckpt.manifest.tmp"), b"garbage").unwrap();
+
+        let state = ckpt.load().unwrap().expect("previous checkpoint intact");
+        assert_eq!(state.next_panel, 1);
+        ckpt.remove().unwrap();
+        std::fs::remove_file(prefix.with_extension("ckpt.data.tmp")).unwrap();
+        std::fs::remove_file(prefix.with_extension("ckpt.manifest.tmp")).unwrap();
     }
 
     #[test]

@@ -22,12 +22,21 @@
 //! with bounded retry, while [`checkpoint`] adds panel-granularity
 //! checkpoint/restart so a killed factorization resumes from its last
 //! completed panel with a bit-identical result.
+//!
+//! Silent *data* corruption is covered too: [`AbftBackend`] keeps a
+//! Huang–Abraham checksum beside every tile and verifies each read,
+//! healing single-element bit flips in place; unhealable multi-element
+//! corruption rolls the run back to the last panel checkpoint.
+//! Checkpoints themselves carry FNV integrity hashes, so truncated or
+//! bit-rotted snapshots are rejected instead of resumed from.
 
+pub mod abft;
 pub mod backend;
 pub mod checkpoint;
 pub mod filemat;
 pub mod potrf;
 
+pub use abft::AbftBackend;
 pub use backend::{FaultyBackend, IoBackend};
 pub use checkpoint::{ooc_potrf_checkpointed, Checkpoint, CheckpointReport, CheckpointState};
 pub use filemat::{FileMatrix, IoStats};

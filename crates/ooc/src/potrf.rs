@@ -18,7 +18,7 @@ use std::collections::HashMap;
 /// [`OocError::CachePoisoned`].  Nothing is silently dropped — the
 /// caller knows the file no longer matches the computation and must
 /// discard or re-create it.  Errors in the *computation* (a
-/// [`NotPositiveDefinite`](OocError::NotPositiveDefinite) pivot) do not
+/// [`NotSpd`](OocError::NotSpd) pivot) do not
 /// poison the cache; [`ooc_potrf`] flushes before reporting them, so
 /// the file then holds every update completed before the bad pivot.
 #[derive(Debug)]
@@ -161,14 +161,18 @@ pub(crate) fn factor_panel<B: IoBackend>(
     let nb = fm.nb();
     let b = fm.b();
     let n = fm.n();
+    fm.begin_panel(k);
 
     // Factor the diagonal tile (edge tiles are zero-padded on disk;
     // factor only the live part).
     let mut diag = cache.get(fm, k, k)?;
     let live = (n - k * b).min(b);
     let mut live_part = diag.submatrix(0, 0, live, live);
-    if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(&mut live_part) {
-        return Err(OocError::NotPositiveDefinite { pivot: k * b + pivot });
+    if let Err(MatrixError::NotSpd { pivot, value }) = potf2(&mut live_part) {
+        return Err(OocError::NotSpd {
+            pivot: k * b + pivot,
+            value,
+        });
     }
     diag.set_submatrix(0, 0, &live_part);
     cache.put(fm, k, k, diag.clone())?;
@@ -202,7 +206,7 @@ pub(crate) fn factor_panel<B: IoBackend>(
 /// with a cache of `capacity_tiles` tiles.  Returns the I/O-visible
 /// error or the factorization error.
 ///
-/// On [`OocError::NotPositiveDefinite`] the cache is flushed before the
+/// On [`OocError::NotSpd`] the cache is flushed before the
 /// error is returned, so the file holds every update that completed
 /// before the failing pivot (a partially factored matrix, documented —
 /// not a torn one).
@@ -212,7 +216,7 @@ pub fn ooc_potrf<B: IoBackend>(fm: &mut B, capacity_tiles: usize) -> Result<(), 
     for k in 0..nb {
         match factor_panel(fm, &mut cache, k) {
             Ok(()) => {}
-            Err(e @ OocError::NotPositiveDefinite { .. }) => {
+            Err(e @ OocError::NotSpd { .. }) => {
                 // Leave the file in a well-defined state: everything up
                 // to the bad pivot is written back.  A flush failure
                 // outranks the pivot failure.
@@ -223,6 +227,12 @@ pub fn ooc_potrf<B: IoBackend>(fm: &mut B, capacity_tiles: usize) -> Result<(), 
         }
     }
     cache.flush(fm)?;
+    // Integrity scrub: a checksumming backend re-verifies every stored
+    // tile, so a corruption landing after a tile's last algorithmic
+    // read still cannot escape into the output.  Unhealable corruption
+    // surfaces as an I/O error here; recovering from *that* needs the
+    // checkpointed driver.
+    fm.scrub()?;
     Ok(())
 }
 
@@ -230,9 +240,11 @@ pub fn ooc_potrf<B: IoBackend>(fm: &mut B, capacity_tiles: usize) -> Result<(), 
 #[derive(Debug)]
 pub enum OocError {
     /// Not positive definite at the given global pivot.
-    NotPositiveDefinite {
+    NotSpd {
         /// 0-based failing pivot.
         pivot: usize,
+        /// The non-positive pivot value.
+        value: f64,
     },
     /// Underlying file I/O failed.
     Io(std::io::Error),
@@ -252,7 +264,7 @@ impl From<std::io::Error> for OocError {
 impl From<MatrixError> for OocError {
     fn from(e: MatrixError) -> Self {
         match e {
-            MatrixError::NotPositiveDefinite { pivot } => OocError::NotPositiveDefinite { pivot },
+            MatrixError::NotSpd { pivot, value } => OocError::NotSpd { pivot, value },
             other => OocError::Matrix(other),
         }
     }
@@ -261,8 +273,8 @@ impl From<MatrixError> for OocError {
 impl std::fmt::Display for OocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OocError::NotPositiveDefinite { pivot } => {
-                write!(f, "not positive definite at pivot {pivot}")
+            OocError::NotSpd { pivot, value } => {
+                write!(f, "not positive definite at pivot {pivot} (value {value})")
             }
             OocError::Io(e) => write!(f, "I/O error: {e}"),
             OocError::Matrix(e) => write!(f, "matrix error: {e}"),
@@ -353,7 +365,10 @@ mod tests {
         let path = scratch_path("indef");
         let mut fm = FileMatrix::create(&path, &m, 4).unwrap();
         match ooc_potrf(&mut fm, 4) {
-            Err(OocError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 9),
+            Err(OocError::NotSpd { pivot, value }) => {
+                assert_eq!(pivot, 9);
+                assert!(value < 0.0);
+            }
             other => panic!("expected pivot failure, got {other:?}"),
         }
     }
@@ -372,7 +387,7 @@ mod tests {
         let path = scratch_path("indef-flush");
         let mut fm = FileMatrix::create(&path, &m, 4).unwrap();
         match ooc_potrf(&mut fm, 3) {
-            Err(OocError::NotPositiveDefinite { pivot }) => assert_eq!(pivot, 12),
+            Err(OocError::NotSpd { pivot, .. }) => assert_eq!(pivot, 12),
             other => panic!("expected pivot failure, got {other:?}"),
         }
         let back = fm.to_matrix().unwrap();

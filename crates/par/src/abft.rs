@@ -1,0 +1,686 @@
+//! ABFT-protected SPMD `PxPOTRF`: the Algorithm 9 schedule of
+//! [`crate::spmd`], hardened against silent data corruption and
+//! fail-stop rank loss.
+//!
+//! Three mechanisms compose:
+//!
+//! 1. **Huang–Abraham checksums per block.**  Every rank keeps a GF(2)
+//!    checksum row/column ([`TileChecksum`]) beside each block it owns,
+//!    refreshed after every `potrf`/`trsm`/`syrk` tile operation.  At
+//!    the start of each panel step, after the fault plan's
+//!    [`BitFlip`](cholcomm_faults::BitFlip)s land, every owned block is
+//!    verified: a single corrupted element is *located and corrected in
+//!    place* (bit-exactly — the encoding is over bit patterns, see
+//!    `cholcomm_matrix::abft`), and a multi-element corruption falls
+//!    back to the epoch checkpoint.
+//! 2. **Epoch checkpoints.**  At the start of panel step `k` (the
+//!    *epoch*), each rank deposits its owned blocks into a shared store
+//!    keyed `(block, epoch)`.  History is kept, not overwritten: ranks
+//!    skew (one may be two panels ahead of another), so recovery needs
+//!    the state of *every* block at one common epoch.
+//! 3. **Survivor-side rank-loss recovery.**  A
+//!    [`RankKill`](cholcomm_faults::RankKill) makes the victim
+//!    checkpoint its epoch, then drop its channel endpoints
+//!    ([`ProcCtx::die`]).  Survivors observe typed
+//!    [`DistError::RankLost`] errors (never a panic), die in cascade,
+//!    and the driver restarts one recovery round: the dead rank's
+//!    *logical role* is adopted by a survivor (the ownership map is
+//!    composed with a `logical -> physical` substitution), every block
+//!    is reloaded from the kill epoch's checkpoints, and the
+//!    factorization finishes.  Because each block undergoes the same
+//!    kernel operations in the same order regardless of which physical
+//!    rank executes them, the recovered factor is **bit-identical** to
+//!    a fault-free run's.
+//!
+//! All ABFT work — checksum words and flops, verifications, corrections,
+//! checkpoint traffic — is tallied in [`AbftStats`], strictly separate
+//! from the clean algorithmic traffic of [`FaultReport`], so the *cost
+//! of resilience* is measurable against the paper's lower bounds.
+//!
+//! Determinism: under message-fault-only plans everything (factor bits,
+//! clocks, traffic) is reproducible.  Under a `RankKill`, the aborted
+//! round's traffic depends on send-vs-death races, so only the *factor*
+//! (and the recovery outcome) is guaranteed deterministic.
+
+use crate::spmd::{dims, pack, unpack, SpmdError};
+use cholcomm_distsim::threaded::{
+    run_spmd_faulty, DistError, FaultReport, ProcCtx, RankClock, SpmdOutcome,
+};
+use cholcomm_distsim::{CostModel, ProcGrid};
+use cholcomm_faults::{FaultPlan, RankKill};
+use cholcomm_matrix::abft::{verify_and_heal, AbftStats, TileChecksum, TileHealth};
+use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
+use cholcomm_matrix::{Matrix, MatrixError};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Shared epoch-checkpoint store: block `(bi, bj)` as it stood at the
+/// start of panel step `epoch`, keyed `(bi, bj, epoch)`.  History is
+/// retained because ranks skew; recovery reads one common epoch.
+type BlockStore = Arc<Mutex<HashMap<(usize, usize, usize), Matrix<f64>>>>;
+
+/// Per-rank outcome of one round: owned blocks, first failed pivot (and
+/// its value), and the rank's ABFT tallies — or the typed reason the
+/// rank aborted.
+type RoundState = (
+    HashMap<(usize, usize), Matrix<f64>>,
+    Option<(usize, f64)>,
+    AbftStats,
+);
+type RoundOut = Result<RoundState, DistError>;
+
+/// Outcome of an ABFT-protected SPMD run.
+#[derive(Debug)]
+pub struct AbftSpmdReport {
+    /// The gathered factor (bit-identical to a fault-free run's).
+    pub factor: Matrix<f64>,
+    /// Simulated makespan, summed over rounds (a recovery round runs
+    /// after the aborted one).
+    pub makespan: f64,
+    /// Clean vs. wire traffic across *all* rounds, aborted work
+    /// included.
+    pub fault: FaultReport,
+    /// ABFT work (checksums, verifications, corrections, checkpoint
+    /// traffic), kept separate from the clean counts above.
+    pub abft: AbftStats,
+    /// Recovery rounds run (0 when no rank was lost).
+    pub recovery_rounds: usize,
+    /// The rank that died, if any.
+    pub lost_rank: Option<usize>,
+}
+
+/// Map a logical member list to physical ranks, deduplicated.  After a
+/// rank death several logical roles share one physical rank; a
+/// single-member "broadcast" is satisfied locally and skipped.
+fn phys_members(logical: Vec<usize>, phys_of: &[usize]) -> Vec<usize> {
+    let mut v: Vec<usize> = logical.into_iter().map(|l| phys_of[l]).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Re-encode the checksum of `blk` after a kernel mutated it.
+fn refresh_checksum(
+    cks: &mut HashMap<(usize, usize), TileChecksum>,
+    stats: &mut AbftStats,
+    key: (usize, usize),
+    blk: &Matrix<f64>,
+) {
+    let ck = TileChecksum::of(blk);
+    stats.checksum_updates += 1;
+    stats.checksum_words += ck.words();
+    stats.checksum_flops += (blk.rows() * blk.cols()) as u64;
+    cks.insert(key, ck);
+}
+
+/// One rank's program for one round, with ownership remapped through
+/// `phys_of` and the panel loop starting at `start`.
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    ctx: &mut ProcCtx,
+    grid: &ProcGrid,
+    phys_of: &[usize],
+    a: &Matrix<f64>,
+    b: usize,
+    start: usize,
+    kill: Option<RankKill>,
+    plan: &FaultPlan,
+    store: &BlockStore,
+    init_from_store: bool,
+) -> RoundOut {
+    let me = ctx.rank();
+    let n = a.rows();
+    let nb = n.div_ceil(b);
+    let (pr, pc) = (grid.rows(), grid.cols());
+    let mut stats = AbftStats::new();
+
+    // Blocks whose logical owner maps to me — loaded from the input on
+    // a fresh round, or from the restart epoch's checkpoints during
+    // recovery (charged as checkpoint traffic).
+    let mut owned: HashMap<(usize, usize), Matrix<f64>> = HashMap::new();
+    for bj in 0..nb {
+        for bi in bj..nb {
+            if phys_of[grid.block_owner(bi, bj)] != me {
+                continue;
+            }
+            let blk = if init_from_store {
+                let guard = store.lock().expect("checkpoint store lock");
+                let blk = guard
+                    .get(&(bi, bj, start))
+                    .expect("every block is checkpointed at the restart epoch")
+                    .clone();
+                stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
+                blk
+            } else {
+                let (h, w) = dims(n, b, bi, bj);
+                a.submatrix(bi * b, bj * b, h, w)
+            };
+            owned.insert((bi, bj), blk);
+        }
+    }
+
+    // Huang–Abraham encode every owned block.
+    let mut cks: HashMap<(usize, usize), TileChecksum> = HashMap::new();
+    for (&key, blk) in &owned {
+        let ck = TileChecksum::of(blk);
+        stats.encodes += 1;
+        stats.checksum_words += ck.words();
+        stats.checksum_flops += (blk.rows() * blk.cols()) as u64;
+        cks.insert(key, ck);
+    }
+
+    let mut cache: HashMap<(usize, usize), Matrix<f64>> = HashMap::new();
+    let mut failed: Option<(usize, f64)> = None;
+    let mut keys: Vec<(usize, usize)> = owned.keys().copied().collect();
+    keys.sort_unstable();
+
+    for bj in start..nb {
+        // --- Epoch checkpoint: deposit every owned block as it stands
+        // at the start of this step.  Written before the kill and before
+        // any flip lands, so the store always holds clean state.
+        {
+            let mut guard = store.lock().expect("checkpoint store lock");
+            for &key in &keys {
+                let blk = &owned[&key];
+                stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
+                guard.insert((key.0, key.1, bj), blk.clone());
+            }
+        }
+
+        // --- Fail-stop kill (the caller's wrapper drops our endpoints).
+        if let Some(k) = kill {
+            if me == k.rank && bj == k.step {
+                return Err(DistError::RankLost { rank: me });
+            }
+        }
+
+        // --- Silent corruption lands now; detect, locate, heal.
+        for &key in &keys {
+            let blk = owned.get_mut(&key).expect("owned block");
+            let mut flips = plan.bit_flips_at(bj, key);
+            if let Some(f) = plan.random_bit_flip(bj, key, blk.rows(), blk.cols()) {
+                flips.push(f);
+            }
+            let struck = !flips.is_empty();
+            for f in flips {
+                let (i, j) = f.elem;
+                if i < blk.rows() && j < blk.cols() {
+                    blk[(i, j)] = f64::from_bits(blk[(i, j)].to_bits() ^ f.mask);
+                }
+            }
+            if !struck {
+                continue;
+            }
+            stats.verifications += 1;
+            stats.checksum_flops += (blk.rows() * blk.cols()) as u64;
+            match verify_and_heal(blk, &cks[&key]) {
+                TileHealth::Clean => {}
+                TileHealth::Corrected { .. } => stats.corrections += 1,
+                TileHealth::Unrecoverable { .. } => {
+                    // Multi-element corruption: recompute-from-checkpoint
+                    // fallback, reading this epoch's (pre-flip) snapshot.
+                    stats.unrecoverable += 1;
+                    let guard = store.lock().expect("checkpoint store lock");
+                    *blk = guard
+                        .get(&(key.0, key.1, bj))
+                        .expect("epoch snapshot exists")
+                        .clone();
+                    stats.restores += 1;
+                    stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
+                }
+            }
+        }
+
+        // --- The Algorithm 9 step, with logical roles mapped through
+        // `phys_of`.  Identical dataflow to `spmd_pxpotrf` when the map
+        // is the identity.
+        let gcol = bj % pc;
+        let (dh, _) = dims(n, b, bj, bj);
+        let diag_owner = phys_of[grid.block_owner(bj, bj)];
+
+        if me == diag_owner {
+            let blk = owned
+                .get_mut(&(bj, bj))
+                .ok_or(DistError::Protocol("owner holds diag"))?;
+            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(blk) {
+                failed.get_or_insert((bj * b + pivot, value));
+            }
+            ctx.compute((dh as u64).pow(3) / 3 + (dh as u64).pow(2));
+            let blk = owned[&(bj, bj)].clone();
+            refresh_checksum(&mut cks, &mut stats, (bj, bj), &blk);
+        }
+
+        // Column broadcast of the factored diagonal block.
+        let col_members = phys_members(grid.col_ranks(gcol), phys_of);
+        if col_members.contains(&me) && col_members.len() > 1 {
+            let payload = if me == diag_owner {
+                Some(pack(&owned[&(bj, bj)]))
+            } else {
+                None
+            };
+            let data = ctx.bcast(diag_owner, &col_members, payload)?;
+            if me != diag_owner {
+                cache.insert((bj, bj), unpack(&data, dh, dh));
+            }
+        }
+
+        // Panel TRSM + aggregated row broadcasts.
+        for r in 0..pr {
+            let panel_proc = phys_of[grid.rank(r, gcol)];
+            let blocks: Vec<usize> = ((bj + 1)..nb).filter(|bi| bi % pr == r).collect();
+            if blocks.is_empty() {
+                continue;
+            }
+            let row_members = phys_members(grid.row_ranks(r), phys_of);
+            if me == panel_proc {
+                let diag = if me == diag_owner {
+                    owned[&(bj, bj)].clone()
+                } else {
+                    cache
+                        .get(&(bj, bj))
+                        .ok_or(DistError::Protocol("panel proc received the diag"))?
+                        .clone()
+                };
+                let mut payload = Vec::new();
+                for &bi in &blocks {
+                    let blk = owned
+                        .get_mut(&(bi, bj))
+                        .ok_or(DistError::Protocol("panel owner holds its blocks"))?;
+                    trsm_right_lower_transpose(blk, &diag);
+                    let (bh, bw) = (blk.rows() as u64, blk.cols() as u64);
+                    ctx.compute(bh * bw * bw);
+                    payload.extend_from_slice(blk.as_slice());
+                    let blk = owned[&(bi, bj)].clone();
+                    refresh_checksum(&mut cks, &mut stats, (bi, bj), &blk);
+                }
+                if row_members.len() > 1 {
+                    ctx.bcast(panel_proc, &row_members, Some(payload))?;
+                }
+            } else if row_members.contains(&me) && row_members.len() > 1 {
+                let data = ctx.bcast(panel_proc, &row_members, None)?;
+                let mut off = 0;
+                for &bi in &blocks {
+                    let (bh, bw) = dims(n, b, bi, bj);
+                    cache.insert((bi, bj), unpack(&data[off..off + bh * bw], bh, bw));
+                    off += bh * bw;
+                }
+            }
+        }
+
+        // Diagonal owners re-broadcast panel blocks down columns,
+        // grouped by their *logical* diagonal owner (BTreeMap order).
+        let mut regroups: BTreeMap<usize, Vec<usize>> = Default::default();
+        for bl in (bj + 1)..nb {
+            regroups.entry(grid.block_owner(bl, bl)).or_default().push(bl);
+        }
+        for (lreproc, bls) in regroups {
+            let reproc = phys_of[lreproc];
+            let gc = bls[0] % pc;
+            let members = phys_members(grid.col_ranks(gc), phys_of);
+            if !members.contains(&me) || members.len() <= 1 {
+                continue;
+            }
+            if me == reproc {
+                let mut payload = Vec::new();
+                for &l in &bls {
+                    let blk = owned
+                        .get(&(l, bj))
+                        .or_else(|| cache.get(&(l, bj)))
+                        .ok_or(DistError::Protocol("re-broadcaster has the panel block"))?;
+                    payload.extend_from_slice(blk.as_slice());
+                }
+                ctx.bcast(reproc, &members, Some(payload))?;
+            } else {
+                let data = ctx.bcast(reproc, &members, None)?;
+                let mut off = 0;
+                for &l in &bls {
+                    let (bh, bw) = dims(n, b, l, bj);
+                    cache.insert((l, bj), unpack(&data[off..off + bh * bw], bh, bw));
+                    off += bh * bw;
+                }
+            }
+        }
+
+        // Trailing update of my blocks.
+        for bl in (bj + 1)..nb {
+            for bk in bl..nb {
+                if phys_of[grid.block_owner(bk, bl)] != me {
+                    continue;
+                }
+                let lk = owned
+                    .get(&(bk, bj))
+                    .or_else(|| cache.get(&(bk, bj)))
+                    .ok_or(DistError::Protocol("L(k,j) available"))?
+                    .clone();
+                let ll = owned
+                    .get(&(bl, bj))
+                    .or_else(|| cache.get(&(bl, bj)))
+                    .ok_or(DistError::Protocol("L(l,j) available"))?
+                    .clone();
+                let blk = owned
+                    .get_mut(&(bk, bl))
+                    .ok_or(DistError::Protocol("trailing owner holds its block"))?;
+                gemm_nt(blk, -1.0, &lk, &ll);
+                let (bh, bw, kk) = (blk.rows() as u64, blk.cols() as u64, lk.cols() as u64);
+                ctx.compute(2 * bh * bw * kk);
+                let blk = owned[&(bk, bl)].clone();
+                refresh_checksum(&mut cks, &mut stats, (bk, bl), &blk);
+            }
+        }
+
+        cache.retain(|&(_, col), _| col != bj);
+    }
+    Ok((owned, failed, stats))
+}
+
+/// Run one round of the (possibly remapped) program on `p` threads.
+#[allow(clippy::too_many_arguments)]
+fn run_round(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    grid: &ProcGrid,
+    model: CostModel,
+    plan: &FaultPlan,
+    store: &BlockStore,
+    phys_of: &[usize],
+    start: usize,
+    kill: Option<RankKill>,
+    init_from_store: bool,
+) -> SpmdOutcome<RoundOut> {
+    let program = |ctx: &mut ProcCtx| -> RoundOut {
+        if init_from_store && !phys_of.contains(&ctx.rank()) {
+            // The dead physical rank stays dead in the recovery round:
+            // it owns no role and exchanges nothing.
+            return Ok((HashMap::new(), None, AbftStats::new()));
+        }
+        let r = run_rank(
+            ctx,
+            grid,
+            phys_of,
+            a,
+            b,
+            start,
+            kill,
+            plan,
+            store,
+            init_from_store,
+        );
+        if r.is_err() {
+            // Abort cascade: drop our endpoints so peers blocked on us
+            // observe `RankLost` instead of hanging.
+            ctx.die();
+        }
+        r
+    };
+    run_spmd_faulty(p, model, plan.clone(), program)
+}
+
+/// Sum clean/wire traffic over every round's clocks (aborted rounds
+/// included — wasted retransmissions are part of the cost of the fault).
+fn aggregate_fault(rounds: &[Vec<RankClock>]) -> FaultReport {
+    let mut stats = cholcomm_faults::FaultStats::new();
+    let (mut cw, mut cm, mut fw, mut fm) = (0u64, 0u64, 0u64, 0u64);
+    for clocks in rounds {
+        for c in clocks {
+            stats.merge(&c.fault_stats);
+            cw += c.clean_words;
+            cm += c.clean_messages;
+            fw += c.words_sent;
+            fm += c.messages_sent;
+        }
+    }
+    FaultReport {
+        clean_words: cw,
+        clean_messages: cm,
+        faulted_words: fw,
+        faulted_messages: fm,
+        word_overhead: if cw == 0 { 1.0 } else { fw as f64 / cw as f64 },
+        message_overhead: if cm == 0 { 1.0 } else { fm as f64 / cm as f64 },
+        stats,
+    }
+}
+
+/// ABFT-protected SPMD `PxPOTRF` on `p` threads under `plan`.
+///
+/// Handles every fault kind the plan can carry: message faults are
+/// absorbed by the reliable transport, [`BitFlip`](cholcomm_faults::BitFlip)s
+/// are detected/located/corrected by the per-block checksums (multi-error
+/// tiles restored from the epoch checkpoint), and a
+/// [`RankKill`](cholcomm_faults::RankKill) triggers one survivor-side
+/// recovery round.  In every case the returned factor is bit-identical
+/// to a fault-free run's.
+pub fn abft_spmd_pxpotrf(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+    plan: FaultPlan,
+) -> Result<AbftSpmdReport, SpmdError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        }
+        .into());
+    }
+    let grid = ProcGrid::square(p);
+    let nb = n.div_ceil(b);
+    let kill = plan
+        .rank_kill()
+        .filter(|k| k.rank < p && k.step < nb);
+    assert!(
+        kill.is_none() || p > 1,
+        "rank-loss recovery needs at least one survivor"
+    );
+
+    let store: BlockStore = Arc::new(Mutex::new(HashMap::new()));
+    let identity: Vec<usize> = (0..p).collect();
+    let mut abft = AbftStats::new();
+    let mut round_clocks: Vec<Vec<RankClock>> = Vec::new();
+
+    let out1 = run_round(
+        a, b, p, &grid, model, &plan, &store, &identity, 0, kill, false,
+    );
+    let mut makespan = out1.makespan();
+    round_clocks.push(out1.clocks.clone());
+    for r in out1.results.iter().flatten() {
+        abft.merge(&r.2);
+    }
+
+    let lost = out1.results.iter().any(|r| r.is_err());
+    let (final_states, recovery_rounds, lost_rank) = if !lost {
+        let states: Vec<RoundState> = out1
+            .results
+            .into_iter()
+            .map(|r| r.expect("no rank was lost"))
+            .collect();
+        (states, 0, None)
+    } else {
+        // Ranks are lost only through the plan's RankKill (message
+        // faults are absorbed by the transport), so the victim and the
+        // restart epoch are known.
+        let k = kill.expect("ranks are lost only via RankKill");
+        let adopter = (k.rank + 1) % p;
+        let mut phys_of = identity.clone();
+        phys_of[k.rank] = adopter;
+        let out2 = run_round(
+            a, b, p, &grid, model, &plan, &store, &phys_of, k.step, None, true,
+        );
+        makespan += out2.makespan();
+        round_clocks.push(out2.clocks.clone());
+        let mut states = Vec::with_capacity(p);
+        for r in out2.results {
+            match r {
+                Ok(s) => {
+                    abft.merge(&s.2);
+                    states.push(s);
+                }
+                Err(e) => return Err(SpmdError::Dist(e)),
+            }
+        }
+        (states, 1, Some(k.rank))
+    };
+
+    // Surface the first failing pivot, if any.
+    if let Some((pivot, value)) = final_states
+        .iter()
+        .filter_map(|(_, f, _)| *f)
+        .min_by(|a, b| a.0.cmp(&b.0))
+    {
+        return Err(MatrixError::NotSpd { pivot, value }.into());
+    }
+
+    // Gather the factor from the final round's owners.
+    let mut factor = Matrix::zeros(n, n);
+    for (owned, _, _) in &final_states {
+        for (&(bi, bj), blk) in owned {
+            factor.set_submatrix(bi * b, bj * b, blk);
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            factor[(i, j)] = 0.0;
+        }
+    }
+
+    Ok(AbftSpmdReport {
+        factor,
+        makespan,
+        fault: aggregate_fault(&round_clocks),
+        abft,
+        recovery_rounds,
+        lost_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spmd::spmd_pxpotrf;
+    use cholcomm_matrix::{norms, spd};
+
+    #[test]
+    fn abft_clean_run_matches_plain_spmd_bit_for_bit() {
+        let mut rng = spd::test_rng(300);
+        for (n, b, p) in [(16usize, 4usize, 4usize), (24, 4, 9), (20, 6, 4)] {
+            let a = spd::random_spd(n, &mut rng);
+            let plain = spmd_pxpotrf(&a, b, p, CostModel::typical()).unwrap();
+            let abft = abft_spmd_pxpotrf(&a, b, p, CostModel::typical(), FaultPlan::none()).unwrap();
+            assert_eq!(
+                norms::max_abs_diff(&plain.factor, &abft.factor),
+                0.0,
+                "n={n} b={b} p={p}: ABFT must not perturb the dataflow"
+            );
+            assert_eq!(abft.recovery_rounds, 0);
+            assert!(abft.abft.encodes > 0 && abft.abft.checksum_updates > 0);
+            assert_eq!(abft.abft.corrections, 0);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_corrected_bit_exactly() {
+        let mut rng = spd::test_rng(301);
+        let a = spd::random_spd(24, &mut rng);
+        let clean = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), FaultPlan::none()).unwrap();
+        // One flip on a diagonal tile about to be factored, one on a
+        // trailing tile, one on an already-finished panel tile.
+        let plan = FaultPlan::builder(7)
+            .inject_bit_flip(1, (1, 1), (2, 3), 1 << 50)
+            .inject_bit_flip(2, (3, 2), (0, 0), 1 << 63)
+            .inject_bit_flip(3, (1, 0), (4, 1), 0b1)
+            .build();
+        let hit = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), plan).unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&clean.factor, &hit.factor),
+            0.0,
+            "healed factor must be bit-identical"
+        );
+        assert_eq!(hit.abft.corrections, 3, "each flip located and corrected");
+        assert_eq!(hit.abft.unrecoverable, 0);
+        assert_eq!(hit.recovery_rounds, 0);
+    }
+
+    #[test]
+    fn multi_element_corruption_restores_from_the_epoch_checkpoint() {
+        let mut rng = spd::test_rng(302);
+        let a = spd::random_spd(24, &mut rng);
+        let clean = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), FaultPlan::none()).unwrap();
+        // Two elements of the same tile at the same step: uncorrectable
+        // from one checksum pair, must fall back to the checkpoint.
+        let plan = FaultPlan::builder(8)
+            .inject_bit_flip(2, (2, 2), (0, 1), 1 << 40)
+            .inject_bit_flip(2, (2, 2), (3, 4), 1 << 41)
+            .build();
+        let hit = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), plan).unwrap();
+        assert_eq!(norms::max_abs_diff(&clean.factor, &hit.factor), 0.0);
+        assert_eq!(hit.abft.unrecoverable, 1);
+        assert_eq!(hit.abft.restores, 1);
+    }
+
+    #[test]
+    fn rank_kill_is_survived_bit_identically() {
+        let mut rng = spd::test_rng(303);
+        let a = spd::random_spd(24, &mut rng);
+        let clean = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), FaultPlan::none()).unwrap();
+        for (victim, step) in [(0usize, 1usize), (2, 0), (3, 2), (1, 3)] {
+            let plan = FaultPlan::builder(9).inject_rank_kill(victim, step).build();
+            let rep = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), plan).unwrap();
+            assert_eq!(
+                norms::max_abs_diff(&clean.factor, &rep.factor),
+                0.0,
+                "victim {victim} at step {step}: survivors must finish to the same bits"
+            );
+            assert_eq!(rep.recovery_rounds, 1);
+            assert_eq!(rep.lost_rank, Some(victim));
+        }
+    }
+
+    #[test]
+    fn rank_kill_plus_message_faults_plus_flips_all_compose() {
+        let mut rng = spd::test_rng(304);
+        let a = spd::random_spd(24, &mut rng);
+        let clean = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), FaultPlan::none()).unwrap();
+        let plan = FaultPlan::builder(10)
+            .drop_rate(0.3)
+            .corrupt_rate(0.1)
+            .bit_flip_rate(0.05)
+            .inject_rank_kill(2, 2)
+            .build();
+        let rep = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), plan).unwrap();
+        assert_eq!(
+            norms::max_abs_diff(&clean.factor, &rep.factor),
+            0.0,
+            "everything at once must still converge to the same bits"
+        );
+        assert_eq!(rep.recovery_rounds, 1);
+        assert!(rep.fault.stats.drops > 0, "message plan should have bitten");
+    }
+
+    #[test]
+    fn abft_overhead_is_reported_separately_from_clean_traffic() {
+        let mut rng = spd::test_rng(305);
+        let a = spd::random_spd(24, &mut rng);
+        let plain = spmd_pxpotrf(&a, 6, 4, CostModel::typical()).unwrap();
+        let abft = abft_spmd_pxpotrf(&a, 6, 4, CostModel::typical(), FaultPlan::none()).unwrap();
+        // The clean algorithmic traffic is untouched by ABFT ...
+        assert_eq!(abft.fault.clean_words, plain.fault.clean_words);
+        assert_eq!(abft.fault.clean_messages, plain.fault.clean_messages);
+        // ... and the resilience cost shows up only in the ABFT counters.
+        assert!(abft.abft.checksum_words > 0);
+        assert!(abft.abft.checkpoint_words > 0);
+        assert!(abft.abft.word_overhead(abft.fault.clean_words) > 1.0);
+    }
+
+    #[test]
+    fn indefinite_input_still_surfaces_not_spd() {
+        let mut m = Matrix::<f64>::identity(16);
+        m[(5, 5)] = -1.0;
+        let err = abft_spmd_pxpotrf(&m, 4, 4, CostModel::typical(), FaultPlan::none()).unwrap_err();
+        assert!(matches!(
+            err,
+            SpmdError::Matrix(MatrixError::NotSpd { pivot: 5, .. })
+        ));
+    }
+}

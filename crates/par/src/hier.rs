@@ -99,8 +99,11 @@ pub fn pxpotrf_hier(
         {
             let blk = dist.block_mut(bj, bj);
             let h = blk.rows() as u64;
-            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(blk) {
-                return Err(MatrixError::NotPositiveDefinite { pivot: bj * b + pivot });
+            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(blk) {
+                return Err(MatrixError::NotSpd {
+                    pivot: bj * b + pivot,
+                    value,
+                });
             }
             machine.compute(diag_owner, h * h * h / 3 + h * h);
             touch(&mut spaces, &mut caches, diag_owner, (bj, bj), Access::Read);

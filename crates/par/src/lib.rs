@@ -15,6 +15,7 @@
 //!   factorization.  These demonstrate that the communication-optimal
 //!   *schedules* of the paper are also the natural parallel ones.
 
+pub mod abft;
 pub mod blockcyclic;
 pub mod hier;
 pub mod matmul25d;
@@ -24,11 +25,12 @@ pub mod shared;
 pub mod spmd;
 pub mod wavefront;
 
+pub use abft::{abft_spmd_pxpotrf, AbftSpmdReport};
 pub use blockcyclic::DistMatrix;
 pub use hier::{pxpotrf_hier, HierReport};
 pub use matmul25d::{matmul_25d, Mm25dReport};
 pub use onedim::pxpotrf_1d;
 pub use pxpotrf::{pxpotrf, PxPotrfReport};
 pub use shared::{par_recursive_potrf, par_tiled_potrf};
-pub use spmd::{spmd_pxpotrf, spmd_pxpotrf_faulty, SpmdReport};
+pub use spmd::{spmd_pxpotrf, spmd_pxpotrf_faulty, SpmdError, SpmdReport};
 pub use wavefront::wavefront_potrf;

@@ -55,8 +55,11 @@ pub fn pxpotrf_1d(
         // Factor the diagonal block.
         {
             let mut diag = w.submatrix(c0, c0, bw, bw);
-            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(&mut diag) {
-                return Err(MatrixError::NotPositiveDefinite { pivot: c0 + pivot });
+            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(&mut diag) {
+                return Err(MatrixError::NotSpd {
+                    pivot: c0 + pivot,
+                    value,
+                });
             }
             w.set_submatrix(c0, c0, &diag);
             machine.compute(me, (bw as u64).pow(3) / 3 + (bw as u64).pow(2));
@@ -143,6 +146,6 @@ mod tests {
         let mut m = Matrix::<f64>::identity(12);
         m[(7, 7)] = -1.0;
         let err = pxpotrf_1d(&m, 4, 3, CostModel::counting()).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 7 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 7, .. }));
     }
 }

@@ -100,9 +100,10 @@ pub fn pxpotrf_with(
         {
             let blk = dist.block_mut(bj, bj);
             let h = blk.rows() as u64;
-            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(blk) {
-                return Err(MatrixError::NotPositiveDefinite {
+            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(blk) {
+                return Err(MatrixError::NotSpd {
                     pivot: bj * b + pivot,
+                    value,
                 });
             }
             machine.compute(diag_owner, h * h * h / 3 + h * h);
@@ -340,6 +341,6 @@ mod tests {
         let mut m = Matrix::<f64>::identity(16);
         m[(10, 10)] = -1.0;
         let err = pxpotrf(&m, 4, 4, CostModel::counting()).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 10 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 10, .. }));
     }
 }

@@ -44,9 +44,10 @@ pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError>
         // Diagonal factorization (sequential; O(b^3) work).
         {
             let t = &mut tiles[idx(k, k)];
-            if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(t) {
-                return Err(MatrixError::NotPositiveDefinite {
+            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(t) {
+                return Err(MatrixError::NotSpd {
                     pivot: k * b + pivot,
+                    value,
                 });
             }
         }
@@ -190,7 +191,10 @@ fn leaf_chol(m: SharedMat, o: usize, n: usize) -> Result<(), MatrixError> {
             d -= v * v;
         }
         if d <= 0.0 {
-            return Err(MatrixError::NotPositiveDefinite { pivot: o + j });
+            return Err(MatrixError::NotSpd {
+                pivot: o + j,
+                value: d,
+            });
         }
         let ljj = d.sqrt();
         m.set(o + j, o + j, ljj);
@@ -389,7 +393,7 @@ mod tests {
         let mut m = Matrix::<f64>::identity(8);
         m[(5, 5)] = -2.0;
         let err = par_tiled_potrf(&mut m, 4).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 5 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 5, .. }));
     }
 
     #[test]
@@ -397,7 +401,7 @@ mod tests {
         let mut m = Matrix::<f64>::identity(8);
         m[(6, 6)] = -2.0;
         let err = par_recursive_potrf(&mut m, 2).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 6 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 6, .. }));
     }
 
     #[test]

@@ -11,12 +11,53 @@
 //! function of the problem geometry, so no coordination messages are
 //! needed beyond the data itself.
 
-use cholcomm_distsim::threaded::{run_spmd_faulty, FaultReport, ProcCtx, SpmdOutcome};
+use cholcomm_distsim::threaded::{run_spmd_faulty, DistError, FaultReport, ProcCtx, SpmdOutcome};
 use cholcomm_distsim::{CostModel, ProcGrid};
 use cholcomm_faults::FaultPlan;
 use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
 use cholcomm_matrix::{Matrix, MatrixError};
 use std::collections::HashMap;
+
+/// Errors from the SPMD driver: numerical failures of the
+/// factorization, or a lost rank the plain driver cannot recover from
+/// (the ABFT driver in [`crate::abft`] can).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpmdError {
+    /// The factorization itself failed (non-SPD input, bad shapes).
+    Matrix(MatrixError),
+    /// The message path failed: a rank died mid-run.
+    Dist(DistError),
+}
+
+impl From<MatrixError> for SpmdError {
+    fn from(e: MatrixError) -> Self {
+        SpmdError::Matrix(e)
+    }
+}
+
+impl From<DistError> for SpmdError {
+    fn from(e: DistError) -> Self {
+        SpmdError::Dist(e)
+    }
+}
+
+impl std::fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmdError::Matrix(e) => write!(f, "{e}"),
+            SpmdError::Dist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpmdError::Matrix(e) => Some(e),
+            SpmdError::Dist(e) => Some(e),
+        }
+    }
+}
 
 /// Outcome of the SPMD run.
 #[derive(Debug)]
@@ -32,11 +73,11 @@ pub struct SpmdReport {
     pub fault: FaultReport,
 }
 
-fn pack(m: &Matrix<f64>) -> Vec<f64> {
+pub(crate) fn pack(m: &Matrix<f64>) -> Vec<f64> {
     m.as_slice().to_vec()
 }
 
-fn unpack(v: &[f64], rows: usize, cols: usize) -> Matrix<f64> {
+pub(crate) fn unpack(v: &[f64], rows: usize, cols: usize) -> Matrix<f64> {
     assert_eq!(v.len(), rows * cols);
     // Column-major, matching Matrix's internal layout.
     Matrix::from_fn(rows, cols, |i, j| v[i + j * rows])
@@ -44,7 +85,7 @@ fn unpack(v: &[f64], rows: usize, cols: usize) -> Matrix<f64> {
 
 /// Block dimensions of `(bi, bj)` for an `n`-order matrix with block
 /// size `b`.
-fn dims(n: usize, b: usize, bi: usize, bj: usize) -> (usize, usize) {
+pub(crate) fn dims(n: usize, b: usize, bi: usize, bj: usize) -> (usize, usize) {
     ((n - bi * b).min(b), (n - bj * b).min(b))
 }
 
@@ -54,7 +95,7 @@ pub fn spmd_pxpotrf(
     b: usize,
     p: usize,
     model: CostModel,
-) -> Result<SpmdReport, MatrixError> {
+) -> Result<SpmdReport, SpmdError> {
     spmd_pxpotrf_faulty(a, b, p, model, FaultPlan::none())
 }
 
@@ -69,20 +110,28 @@ pub fn spmd_pxpotrf_faulty(
     p: usize,
     model: CostModel,
     plan: FaultPlan,
-) -> Result<SpmdReport, MatrixError> {
+) -> Result<SpmdReport, SpmdError> {
     let n = a.rows();
     if !a.is_square() {
         return Err(MatrixError::NotSquare {
             rows: n,
             cols: a.cols(),
-        });
+        }
+        .into());
     }
+    assert!(
+        plan.rank_kill().is_none(),
+        "this driver has no rank-loss recovery; use abft::abft_spmd_pxpotrf for RankKill plans"
+    );
     let grid = ProcGrid::square(p);
     let nb = n.div_ceil(b);
     let (pr, pc) = (grid.rows(), grid.cols());
 
-    // Each rank's program; returns (owned blocks, first failed pivot).
-    type RankOut = (HashMap<(usize, usize), Matrix<f64>>, Option<usize>);
+    // Each rank's program; returns (owned blocks, first failed pivot
+    // and its value).  A dead peer surfaces as `Err(RankLost)` for this
+    // rank instead of a panic poisoning the whole mesh.
+    type RankState = (HashMap<(usize, usize), Matrix<f64>>, Option<(usize, f64)>);
+    type RankOut = Result<RankState, DistError>;
     let program = |ctx: &mut ProcCtx| -> RankOut {
         let me = ctx.rank();
         let (my_row, my_col) = grid.coords(me);
@@ -98,7 +147,7 @@ pub fn spmd_pxpotrf_faulty(
             }
         }
         let mut cache: HashMap<(usize, usize), Matrix<f64>> = HashMap::new();
-        let mut failed: Option<usize> = None;
+        let mut failed: Option<(usize, f64)> = None;
 
         for bj in 0..nb {
             let gcol = bj % pc;
@@ -107,9 +156,11 @@ pub fn spmd_pxpotrf_faulty(
 
             // Factor the diagonal block.
             if me == diag_owner {
-                let blk = owned.get_mut(&(bj, bj)).expect("owner holds diag");
-                if let Err(MatrixError::NotPositiveDefinite { pivot }) = potf2(blk) {
-                    failed.get_or_insert(bj * b + pivot);
+                let blk = owned
+                    .get_mut(&(bj, bj))
+                    .ok_or(DistError::Protocol("owner holds diag"))?;
+                if let Err(MatrixError::NotSpd { pivot, value }) = potf2(blk) {
+                    failed.get_or_insert((bj * b + pivot, value));
                 }
                 ctx.compute((dh as u64).pow(3) / 3 + (dh as u64).pow(2));
             }
@@ -122,7 +173,7 @@ pub fn spmd_pxpotrf_faulty(
                 } else {
                     None
                 };
-                let data = ctx.bcast(diag_owner, &members, payload);
+                let data = ctx.bcast(diag_owner, &members, payload)?;
                 if me != diag_owner {
                     cache.insert((bj, bj), unpack(&data, dh, dh));
                 }
@@ -144,17 +195,19 @@ pub fn spmd_pxpotrf_faulty(
                     };
                     let mut payload = Vec::new();
                     for &bi in &blocks {
-                        let blk = owned.get_mut(&(bi, bj)).expect("panel owner");
+                        let blk = owned
+                            .get_mut(&(bi, bj))
+                            .ok_or(DistError::Protocol("panel owner holds its blocks"))?;
                         trsm_right_lower_transpose(blk, &diag);
                         let (bh, bw) = (blk.rows() as u64, blk.cols() as u64);
                         ctx.compute(bh * bw * bw);
                         payload.extend_from_slice(blk.as_slice());
                     }
                     if pr > 1 {
-                        ctx.bcast(panel_proc, &grid.row_ranks(r), Some(payload));
+                        ctx.bcast(panel_proc, &grid.row_ranks(r), Some(payload))?;
                     }
                 } else if my_row == r && pr > 1 {
-                    let data = ctx.bcast(panel_proc, &grid.row_ranks(r), None);
+                    let data = ctx.bcast(panel_proc, &grid.row_ranks(r), None)?;
                     let mut off = 0;
                     for &bi in &blocks {
                         let (bh, bw) = dims(n, b, bi, bj);
@@ -183,12 +236,12 @@ pub fn spmd_pxpotrf_faulty(
                         let blk = owned
                             .get(&(l, bj))
                             .or_else(|| cache.get(&(l, bj)))
-                            .expect("re-broadcaster has the panel block");
+                            .ok_or(DistError::Protocol("re-broadcaster has the panel block"))?;
                         payload.extend_from_slice(blk.as_slice());
                     }
-                    ctx.bcast(reproc, &members, Some(payload));
+                    ctx.bcast(reproc, &members, Some(payload))?;
                 } else {
-                    let data = ctx.bcast(reproc, &members, None);
+                    let data = ctx.bcast(reproc, &members, None)?;
                     let mut off = 0;
                     for &l in &bls {
                         let (bh, bw) = dims(n, b, l, bj);
@@ -207,14 +260,16 @@ pub fn spmd_pxpotrf_faulty(
                     let lk = owned
                         .get(&(bk, bj))
                         .or_else(|| cache.get(&(bk, bj)))
-                        .expect("L(k,j) available")
+                        .ok_or(DistError::Protocol("L(k,j) available"))?
                         .clone();
                     let ll = owned
                         .get(&(bl, bj))
                         .or_else(|| cache.get(&(bl, bj)))
-                        .expect("L(l,j) available")
+                        .ok_or(DistError::Protocol("L(l,j) available"))?
                         .clone();
-                    let blk = owned.get_mut(&(bk, bl)).expect("trailing owner");
+                    let blk = owned
+                        .get_mut(&(bk, bl))
+                        .ok_or(DistError::Protocol("trailing owner holds its block"))?;
                     gemm_nt(blk, -1.0, &lk, &ll);
                     let (bh, bw, kk) = (blk.rows() as u64, blk.cols() as u64, lk.cols() as u64);
                     ctx.compute(2 * bh * bw * kk);
@@ -224,19 +279,31 @@ pub fn spmd_pxpotrf_faulty(
             // Evict the dead panel's received copies (memory scalability).
             cache.retain(|&(_, col), _| col != bj);
         }
-        (owned, failed)
+        Ok((owned, failed))
     };
 
     let out: SpmdOutcome<RankOut> = run_spmd_faulty(p, model, plan, program);
 
+    let mut states = Vec::with_capacity(p);
+    for r in &out.results {
+        match r {
+            Ok(state) => states.push(state),
+            Err(e) => return Err(SpmdError::Dist(*e)),
+        }
+    }
+
     // Surface the first failing pivot, if any.
-    if let Some(pivot) = out.results.iter().filter_map(|(_, f)| *f).min() {
-        return Err(MatrixError::NotPositiveDefinite { pivot });
+    if let Some((pivot, value)) = states
+        .iter()
+        .filter_map(|(_, f)| *f)
+        .min_by(|a, b| a.0.cmp(&b.0))
+    {
+        return Err(MatrixError::NotSpd { pivot, value }.into());
     }
 
     // Gather.
     let mut factor = Matrix::zeros(n, n);
-    for (owned, _) in &out.results {
+    for (owned, _) in &states {
         for (&(bi, bj), blk) in owned {
             factor.set_submatrix(bi * b, bj * b, blk);
         }
@@ -307,7 +374,10 @@ mod tests {
         let mut m = Matrix::<f64>::identity(16);
         m[(5, 5)] = -1.0;
         let err = spmd_pxpotrf(&m, 4, 4, CostModel::counting()).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 5 });
+        assert!(matches!(
+            err,
+            SpmdError::Matrix(MatrixError::NotSpd { pivot: 5, value }) if value == -1.0
+        ));
     }
 
     #[test]

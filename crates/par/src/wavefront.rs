@@ -236,9 +236,10 @@ fn run_task(
                 }
                 Err(e) => {
                     let mapped = match e {
-                        MatrixError::NotPositiveDefinite { pivot } => {
-                            MatrixError::NotPositiveDefinite { pivot: k * b + pivot }
-                        }
+                        MatrixError::NotSpd { pivot, value } => MatrixError::NotSpd {
+                            pivot: k * b + pivot,
+                            value,
+                        },
                         other => other,
                     };
                     *failed.lock().unwrap() = Some(mapped);
@@ -315,7 +316,7 @@ mod tests {
         let mut m = Matrix::<f64>::identity(16);
         m[(9, 9)] = -5.0;
         let err = wavefront_potrf(&mut m, 4, 4).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 9 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 9, value } if value < 0.0));
     }
 
     #[test]

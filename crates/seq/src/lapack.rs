@@ -110,11 +110,10 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
 fn factor_lower_tile<S: Scalar>(tile: &mut cholcomm_matrix::Matrix<S>, global0: usize) -> Result<(), MatrixError> {
     match potf2(tile) {
         Ok(()) => Ok(()),
-        Err(MatrixError::NotPositiveDefinite { pivot }) => {
-            Err(MatrixError::NotPositiveDefinite {
-                pivot: global0 + pivot,
-            })
-        }
+        Err(MatrixError::NotSpd { pivot, value }) => Err(MatrixError::NotSpd {
+            pivot: global0 + pivot,
+            value,
+        }),
         Err(e) => Err(e),
     }
 }
@@ -225,7 +224,7 @@ mod tests {
         m[(9, 9)] = -3.0;
         let mut laid = Laid::from_matrix(&m, ColMajor::square(12));
         let err = potrf_blocked(&mut laid, &mut NullTracer, 4, None).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 9 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 9, value } if value < 0.0));
     }
 }
 

@@ -26,6 +26,7 @@
 //! stack-distance model — they never see the cache size `M`, which is the
 //! definition of cache-oblivious.
 
+pub mod abft;
 pub mod ap00;
 pub mod lapack;
 pub mod naive;
@@ -35,4 +36,5 @@ pub mod tiles;
 pub mod toledo;
 pub mod zoo;
 
+pub use abft::{abft_potrf, AbftPotrfReport};
 pub use zoo::{run_algorithm, Algorithm};

@@ -231,7 +231,10 @@ pub(crate) fn check_pivot<S: Scalar>(d: S, j: usize) -> Result<(), MatrixError> 
         let m = d.magnitude();
         let nonpositive = m == 0.0 || (d - S::from_f64(m)).magnitude() > 0.0;
         if nonpositive {
-            return Err(MatrixError::NotPositiveDefinite { pivot: j });
+            return Err(MatrixError::NotSpd {
+                pivot: j,
+                value: -m,
+            });
         }
     }
     Ok(())
@@ -439,6 +442,6 @@ mod tests {
         m[(2, 2)] = -1.0;
         let mut laid = Laid::from_matrix(&m, ColMajor::square(4));
         let err = right_looking(&mut laid, &mut NullTracer).unwrap_err();
-        assert_eq!(err, MatrixError::NotPositiveDefinite { pivot: 2 });
+        assert!(matches!(err, MatrixError::NotSpd { pivot: 2, value } if value == -1.0));
     }
 }

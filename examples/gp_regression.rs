@@ -6,7 +6,7 @@
 //! cargo run --release --example gp_regression
 //! ```
 
-use cholcomm::matrix::{spd, tri, Matrix};
+use cholcomm::matrix::{spd, tri, Matrix, MatrixError};
 use cholcomm::par::par_recursive_potrf;
 use rand::RngExt;
 
@@ -61,13 +61,35 @@ fn main() {
     let lml = -0.5 * fit - 0.5 * logdet - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
     println!("log marginal likelihood = {lml:.2}");
 
-    // Show the conditioning story: the same pipeline on a near-singular
-    // kernel (tiny noise) still factors thanks to the jitter.
-    let k2 = spd::rbf_kernel(&xs, lengthscale, 1e-4);
+    // The conditioning story: with (near-)zero noise the kernel is
+    // numerically rank-deficient.  The factorization reports *where* it
+    // lost rank — `NotSpd { pivot, value }` — and the fix writes itself:
+    // jitter the diagonal past the reported deficit and refactor.
+    let k2 = spd::rbf_kernel(&xs, lengthscale, 0.0);
     let mut f2 = k2.clone();
     match cholcomm::matrix::kernels::potf2(&mut f2) {
-        Ok(()) => println!("tiny-jitter kernel still SPD (n = {n})"),
-        Err(e) => println!("tiny-jitter kernel failed as expected: {e}"),
+        Ok(()) => println!("zero-jitter kernel still SPD (n = {n})"),
+        Err(MatrixError::NotSpd { pivot, value }) => {
+            println!("zero-jitter kernel lost rank at pivot {pivot} (value {value:.3e})");
+            let mut jitter = (-value).max(0.0) + 1e-10;
+            loop {
+                let mut f3 = k2.clone();
+                for i in 0..n {
+                    f3[(i, i)] += jitter;
+                }
+                match cholcomm::matrix::kernels::potf2(&mut f3) {
+                    Ok(()) => break,
+                    Err(MatrixError::NotSpd { value, .. }) => {
+                        // Escalate: at least double, and always clear the
+                        // newly reported deficit.
+                        jitter = (2.0 * jitter).max(-value + jitter);
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            println!("recovered with diagonal jitter {jitter:.1e}");
+        }
+        Err(e) => panic!("unexpected error: {e}"),
     }
     let _ = Matrix::<f64>::identity(2); // keep Matrix in the public-API demo
     println!("ok");

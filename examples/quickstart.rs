@@ -8,8 +8,37 @@
 
 use cholcomm::cachesim::LruTracer;
 use cholcomm::layout::{Laid, Morton};
-use cholcomm::matrix::{norms, spd, tri};
+use cholcomm::matrix::{norms, spd, tri, Matrix, MatrixError};
 use cholcomm::seq::ap00::square_rchol;
+
+/// Factor `a` with the square recursive algorithm.  A non-SPD input is
+/// reported structurally — `NotSpd { pivot, value }` names the failing
+/// pivot and its (non-positive) value — so the caller can shift the
+/// diagonal just past the deficit and retry: the standard "jitter" fix.
+/// Returns the factor and the shift that made it work (0.0 for a
+/// genuinely SPD input).
+fn factor_with_shift(a: &Matrix<f64>, tracer: &mut LruTracer, leaf: usize) -> (Matrix<f64>, f64) {
+    let n = a.rows();
+    let mut shift = 0.0;
+    for _ in 0..8 {
+        let mut work = a.clone();
+        for i in 0..n {
+            work[(i, i)] += shift;
+        }
+        let mut laid = Laid::from_matrix(&work, Morton::square(n));
+        match square_rchol(&mut laid, tracer, leaf) {
+            Ok(()) => return (laid.to_matrix(), shift),
+            Err(MatrixError::NotSpd { pivot, value }) => {
+                // The shift must exceed -value to clear this pivot;
+                // double the deficit so repeated failures escalate.
+                shift += 2.0 * (-value) + 1e-9;
+                println!("  pivot {pivot} = {value:.3e} <= 0; retrying with diagonal shift {shift:.3e}");
+            }
+            Err(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+    panic!("matrix stayed indefinite after 8 diagonal shifts");
+}
 
 fn main() {
     let n = 128;
@@ -20,12 +49,10 @@ fn main() {
     // and factor it with the Ahmed-Pingali square recursive algorithm —
     // the combination the paper proves bandwidth- AND latency-optimal at
     // every level of the memory hierarchy (Conclusion 5).
-    let mut laid = Laid::from_matrix(&a, Morton::square(n));
     let mut tracer = LruTracer::new(1024); // simulate a 1024-word fast memory
-    square_rchol(&mut laid, &mut tracer, 8).expect("matrix is SPD");
+    let (factor, shift) = factor_with_shift(&a, &mut tracer, 8);
+    assert_eq!(shift, 0.0, "a random SPD matrix needs no shift");
     tracer.flush();
-
-    let factor = laid.to_matrix();
     let residual = norms::cholesky_residual(&a, &factor);
     println!("n = {n}, residual ||A - LL^T||_F / ||A||_F = {residual:.3e}");
     assert!(residual < norms::residual_tolerance(n));
@@ -52,5 +79,14 @@ fn main() {
     }
     println!("solve check ||Ax - b||_inf = {worst:.3e}");
     assert!(worst < 1e-6);
+
+    // The same entry point survives an indefinite input: instead of a
+    // panic, the structured error drives the shift-and-retry above.
+    let mut indef = spd::random_spd(32, &mut rng);
+    indef[(0, 0)] = -1.0; // guarantee a negative leading pivot
+    println!("factoring a deliberately indefinite 32x32 matrix:");
+    let (_lf, shift) = factor_with_shift(&indef, &mut tracer, 8);
+    assert!(shift > 1.0, "the shift must clear the -1 pivot");
+    println!("recovered with diagonal shift {shift:.3e}");
     println!("ok");
 }

@@ -1,13 +1,17 @@
 //! Property tests for the fault layer: a plan's schedule is a pure
-//! function of its seed, and the SPMD Cholesky's result is invariant
-//! under message duplication, delay (reordering pressure), loss, and
-//! corruption.
+//! function of its seed, the SPMD Cholesky's result is invariant under
+//! message duplication, delay (reordering pressure), loss, and
+//! corruption, and checkpoints fail *safe* — a crash mid-save leaves the
+//! previous snapshot loadable, and a damaged snapshot is rejected
+//! instead of resumed from.
 
 use cholcomm::distsim::CostModel;
 use cholcomm::faults::{DiskOp, FaultPlan};
 use cholcomm::matrix::{kernels, norms, spd};
+use cholcomm::ooc::{filemat::scratch_path, Checkpoint, FileMatrix};
 use cholcomm::par::spmd::{spmd_pxpotrf, spmd_pxpotrf_faulty};
 use proptest::prelude::*;
+use std::path::PathBuf;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -92,4 +96,74 @@ proptest! {
         let diff = norms::max_abs_diff(&lossy.factor, &want);
         prop_assert!(diff < 1e-8, "n={} b={} p={}: {}", n, b, p, diff);
     }
+}
+
+/// Build a matrix file and a valid checkpoint of it; returns the
+/// checkpoint, its file prefix, and the backing matrix path.
+fn saved_checkpoint(tag: &str) -> (Checkpoint, PathBuf, PathBuf) {
+    let mut rng = spd::test_rng(99);
+    let a = spd::random_spd(16, &mut rng);
+    let data_path = scratch_path(tag);
+    let fm = FileMatrix::create(&data_path, &a, 4).expect("create matrix file");
+    let prefix = scratch_path(&format!("{tag}-ckpt"));
+    let ckpt = Checkpoint::at(&prefix);
+    ckpt.save(&fm, 2).expect("save checkpoint");
+    (ckpt, prefix, data_path)
+}
+
+fn sibling(prefix: &std::path::Path, ext: &str) -> PathBuf {
+    let mut p = prefix.as_os_str().to_owned();
+    p.push(ext);
+    PathBuf::from(p)
+}
+
+#[test]
+fn crash_during_checkpoint_save_leaves_the_previous_one_loadable() {
+    let (ckpt, prefix, _data) = saved_checkpoint("fp-crash-save");
+    // A crash mid-save dies before the atomic renames: only the
+    // temporary siblings exist, holding a half-written (garbage)
+    // snapshot.  The committed checkpoint must be untouched by them.
+    std::fs::write(sibling(&prefix, ".data.tmp"), b"half-written snapshot").unwrap();
+    std::fs::write(sibling(&prefix, ".manifest.tmp"), b"half-written manifest").unwrap();
+    let state = ckpt.load().expect("previous checkpoint intact").expect("present");
+    assert_eq!((state.next_panel, state.n, state.b), (2, 16, 4));
+    std::fs::remove_file(sibling(&prefix, ".data.tmp")).ok();
+    std::fs::remove_file(sibling(&prefix, ".manifest.tmp")).ok();
+    ckpt.remove().unwrap();
+}
+
+#[test]
+fn truncated_checkpoint_data_is_rejected_not_resumed_from() {
+    let (ckpt, prefix, _data) = saved_checkpoint("fp-truncate");
+    let data = sibling(&prefix, ".data");
+    let len = std::fs::metadata(&data).unwrap().len();
+    let bytes = std::fs::read(&data).unwrap();
+    std::fs::write(&data, &bytes[..(len as usize) / 2]).unwrap();
+    let err = ckpt.load().expect_err("truncation must be detected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    ckpt.remove().unwrap();
+}
+
+#[test]
+fn bit_rotted_checkpoint_data_is_rejected_not_resumed_from() {
+    let (ckpt, prefix, _data) = saved_checkpoint("fp-bitrot");
+    let data = sibling(&prefix, ".data");
+    let mut bytes = std::fs::read(&data).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40; // one flipped bit, same length
+    std::fs::write(&data, &bytes).unwrap();
+    let err = ckpt.load().expect_err("bit rot must be detected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    ckpt.remove().unwrap();
+}
+
+#[test]
+fn tampered_checkpoint_manifest_is_rejected_not_resumed_from() {
+    let (ckpt, prefix, _data) = saved_checkpoint("fp-manifest");
+    let manifest = sibling(&prefix, ".manifest");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(&manifest, text.replace("next_panel=2", "next_panel=3")).unwrap();
+    let err = ckpt.load().expect_err("manifest tampering must be detected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    ckpt.remove().unwrap();
 }
