@@ -1,0 +1,311 @@
+//! Wall-clock comparison of the kernel engines and the repo's tracked
+//! benchmark artifact.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin kernel_bench            # full run
+//! cargo run --release -p cholcomm-bench --bin kernel_bench -- --smoke # CI smoke
+//! ```
+//!
+//! Times `gemm_nn`, `gemm_nt`, `syrk_lower`, `trsm_right_lower_transpose`,
+//! and `potf2` under all three engines: [`KernelImpl::Reference`] (the
+//! triple-loop oracle), [`KernelImpl::Fast`] (packed microkernels with
+//! FMA contraction), and [`KernelImpl::FastStrict`] (packed microkernels
+//! with reference rounding).  Two correctness gates run alongside the
+//! clock:
+//!
+//! * `fast-strict` must be **bit-identical** to the reference — it keeps
+//!   both the per-element operation order and the per-operation rounding,
+//!   so any divergence is a bug and the bench exits non-zero;
+//! * `fast` must agree to a **contraction residual** — same operation
+//!   order, but hardware FMA skips the product's intermediate rounding,
+//!   so elementwise error is bounded by a small multiple of `k * eps`
+//!   times the data scale.  Exceeding the bound also exits non-zero.
+//!
+//! Results are written as machine-readable JSON to `BENCH_kernels.json`
+//! at the repo root.  The JSON is hand-rolled — the workspace is offline
+//! and has no serde.
+//!
+//! `--smoke` shrinks the sizes and repetitions so CI can validate the
+//! binary and the JSON schema in seconds; it writes the same schema but
+//! does not overwrite a full run's artifact unless `--out` says so.
+
+use cholcomm_core::matrix::{norms, spd, KernelImpl, Matrix};
+use rand::RngExt;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed comparison: an op at a shape, all three engines.
+struct Row {
+    op: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    flops: f64,
+    reference_ms: f64,
+    fast_ms: f64,
+    strict_ms: f64,
+    /// `fast-strict` output is bitwise equal to the reference output.
+    strict_bit_identical: bool,
+    /// Max elementwise |fast - reference| over the op's output region.
+    fast_max_abs_diff: f64,
+    /// Residual bound the fused engine must stay under.
+    fast_tolerance: f64,
+}
+
+impl Row {
+    fn fast_speedup(&self) -> f64 {
+        self.reference_ms / self.fast_ms
+    }
+
+    fn strict_speedup(&self) -> f64 {
+        self.reference_ms / self.strict_ms
+    }
+
+    fn gflops(&self, ms: f64) -> f64 {
+        self.flops / (ms * 1e6)
+    }
+
+    fn fast_within_tolerance(&self) -> bool {
+        self.fast_max_abs_diff <= self.fast_tolerance
+    }
+}
+
+fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = spd::test_rng(seed);
+    Matrix::from_fn(m, n, |_, _| rng.random_range(-1.0..1.0))
+}
+
+/// Best-of-`reps` wall-clock for `f` run against a fresh clone of
+/// `input` each repetition; returns (best milliseconds, last output).
+fn time_op<F>(input: &Matrix<f64>, reps: usize, f: F) -> (f64, Matrix<f64>)
+where
+    F: Fn(&mut Matrix<f64>),
+{
+    let mut best = f64::INFINITY;
+    let mut out = input.clone();
+    for _ in 0..reps {
+        let mut work = input.clone();
+        let t0 = Instant::now();
+        f(&mut work);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = work;
+    }
+    (best, out)
+}
+
+/// Time one op under all three engines and check both correctness gates.
+/// `contraction_k` scales the fused engine's residual bound: the number
+/// of multiply-add pairs contracted per output element (the inner-product
+/// length for one update pass, or `n` for a full factorization).
+fn bench_op<F>(input: &Matrix<f64>, reps: usize, contraction_k: usize, f: F) -> BenchTimes
+where
+    F: Fn(KernelImpl, &mut Matrix<f64>),
+{
+    let (reference_ms, ref_out) = time_op(input, reps, |w| f(KernelImpl::Reference, w));
+    let (fast_ms, fast_out) = time_op(input, reps, |w| f(KernelImpl::Fast, w));
+    let (strict_ms, strict_out) = time_op(input, reps, |w| f(KernelImpl::FastStrict, w));
+    BenchTimes {
+        reference_ms,
+        fast_ms,
+        strict_ms,
+        strict_bit_identical: ref_out == strict_out,
+        fast_max_abs_diff: norms::max_abs_diff(&ref_out, &fast_out),
+        // One fewer rounding per contracted product; data is O(1) for the
+        // update ops and O(sqrt(n)) diagonally dominant for factors, so a
+        // generous constant times k*eps covers both.
+        fast_tolerance: 1e-12 * (contraction_k.max(1) as f64),
+    }
+}
+
+struct BenchTimes {
+    reference_ms: f64,
+    fast_ms: f64,
+    strict_ms: f64,
+    strict_bit_identical: bool,
+    fast_max_abs_diff: f64,
+    fast_tolerance: f64,
+}
+
+impl BenchTimes {
+    fn into_row(self, op: &'static str, m: usize, n: usize, k: usize, flops: f64) -> Row {
+        Row {
+            op,
+            m,
+            n,
+            k,
+            flops,
+            reference_ms: self.reference_ms,
+            fast_ms: self.fast_ms,
+            strict_ms: self.strict_ms,
+            strict_bit_identical: self.strict_bit_identical,
+            fast_max_abs_diff: self.fast_max_abs_diff,
+            fast_tolerance: self.fast_tolerance,
+        }
+    }
+}
+
+fn run(smoke: bool) -> Vec<Row> {
+    let (sizes, reps): (&[usize], usize) = if smoke { (&[64], 2) } else { (&[256, 512, 1024], 5) };
+    let mut rows = Vec::new();
+
+    for &n in sizes {
+        let (m, k) = (n, n);
+
+        // gemm_nn / gemm_nt: C -= A * B(^T), all n x n.
+        let a = random_matrix(m, k, 7_000 + n as u64);
+        let b = random_matrix(k, n, 8_000 + n as u64);
+        let bt = random_matrix(n, k, 8_500 + n as u64);
+        let c = random_matrix(m, n, 9_000 + n as u64);
+        let gemm_flops = 2.0 * (m * n * k) as f64;
+
+        let t = bench_op(&c, reps, k, |eng, w| eng.gemm_nn(w, -1.0, &a, &b));
+        rows.push(t.into_row("gemm_nn", m, n, k, gemm_flops));
+
+        let t = bench_op(&c, reps, k, |eng, w| eng.gemm_nt(w, -1.0, &a, &bt));
+        rows.push(t.into_row("gemm_nt", m, n, k, gemm_flops));
+
+        // syrk: C -= A * A^T on the lower triangle.
+        let t = bench_op(&c, reps, k, |eng, w| eng.syrk_lower(w, &a));
+        rows.push(t.into_row("syrk_lower", m, n, k, (m * m * k) as f64));
+
+        // trsm: X <- X L^-T against a well-conditioned lower factor.
+        let l = {
+            let mut rng = spd::test_rng(6_000 + n as u64);
+            Matrix::from_fn(n, n, |i, j| {
+                if i == j {
+                    (n as f64) + rng.random_range(0.0..1.0)
+                } else if i > j {
+                    rng.random_range(-1.0..1.0)
+                } else {
+                    0.0
+                }
+            })
+        };
+        let x = random_matrix(m, n, 9_500 + n as u64);
+        let t = bench_op(&x, reps, n, |eng, w| eng.trsm_right_lower_transpose(w, &l));
+        rows.push(t.into_row("trsm_right_lower_transpose", m, n, 0, (m * n * n) as f64));
+
+        // potf2: full Cholesky of an SPD matrix.
+        let s = {
+            let mut rng = spd::test_rng(5_000 + n as u64);
+            spd::random_spd(n, &mut rng)
+        };
+        let t = bench_op(&s, reps, n, |eng, w| {
+            eng.potf2(w).expect("bench matrix is SPD");
+        });
+        rows.push(t.into_row("potf2", n, n, 0, (n * n * n) as f64 / 3.0));
+    }
+    rows
+}
+
+/// Render the results as the `cholcomm-kernel-bench/v2` JSON document.
+fn to_json(rows: &[Row], mode: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"cholcomm-kernel-bench/v2\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        s,
+        "  \"threads\": {},",
+        std::thread::available_parallelism().map_or(1, |v| v.get())
+    );
+    s.push_str("  \"engines\": [\"reference\", \"fast\", \"fast-strict\"],\n");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"op\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"reference_ms\": {:.3}, \"fast_ms\": {:.3}, \"fast_strict_ms\": {:.3}, \
+             \"fast_speedup\": {:.2}, \"fast_strict_speedup\": {:.2}, \
+             \"reference_gflops\": {:.3}, \"fast_gflops\": {:.3}, \
+             \"strict_bit_identical\": {}, \"fast_max_abs_diff\": {:.3e}}}{}",
+            r.op,
+            r.m,
+            r.n,
+            r.k,
+            r.reference_ms,
+            r.fast_ms,
+            r.strict_ms,
+            r.fast_speedup(),
+            r.strict_speedup(),
+            r.gflops(r.reference_ms),
+            r.gflops(r.fast_ms),
+            r.strict_bit_identical,
+            r.fast_max_abs_diff,
+            comma,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            if smoke {
+                // Smoke numbers are noise; keep them out of the tracked
+                // artifact unless explicitly redirected there.
+                "BENCH_kernels.smoke.json".to_string()
+            } else {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+            }
+        });
+
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("kernel_bench: mode={mode}");
+    let rows = run(smoke);
+
+    println!(
+        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "op", "n", "ref_ms", "fast_ms", "strict_ms", "fast", "strict", "checks"
+    );
+    for r in &rows {
+        let checks = match (r.strict_bit_identical, r.fast_within_tolerance()) {
+            (true, true) => "ok",
+            (false, _) => "STRICT-DIFFER",
+            (_, false) => "FAST-DRIFT",
+        };
+        println!(
+            "{:<28} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>7.2}x {:>7.2}x {:>10}",
+            r.op,
+            r.n,
+            r.reference_ms,
+            r.fast_ms,
+            r.strict_ms,
+            r.fast_speedup(),
+            r.strict_speedup(),
+            checks,
+        );
+    }
+
+    let mut failed = false;
+    for r in &rows {
+        if !r.strict_bit_identical {
+            eprintln!(
+                "kernel_bench: {} n={} fast-strict produced different bits from reference",
+                r.op, r.n
+            );
+            failed = true;
+        }
+        if !r.fast_within_tolerance() {
+            eprintln!(
+                "kernel_bench: {} n={} fast drifted {:.3e} > tolerance {:.3e}",
+                r.op, r.n, r.fast_max_abs_diff, r.fast_tolerance
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    let json = to_json(&rows, mode);
+    std::fs::write(&out_path, &json).expect("write bench artifact");
+    eprintln!("kernel_bench: wrote {out_path}");
+}

@@ -96,6 +96,33 @@ impl<S: Scalar> Matrix<S> {
         i + j * self.rows
     }
 
+    /// Column `j` as a contiguous slice (columns are contiguous in
+    /// column-major storage).  The hot-path alternative to per-element
+    /// `Index`, which pays a bounds check on every access.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[S] {
+        let r = self.rows;
+        &self.data[j * r..(j + 1) * r]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        let r = self.rows;
+        &mut self.data[j * r..(j + 1) * r]
+    }
+
+    /// Split the storage at column `j`: the first slice holds columns
+    /// `0..j`, the second columns `j..cols`, both contiguous column-major.
+    /// Lets a kernel hold column `j` mutably while reading the already
+    /// finished columns to its left (the shape of every left-looking
+    /// update in the paper).
+    #[inline]
+    pub fn split_cols_mut(&mut self, j: usize) -> (&mut [S], &mut [S]) {
+        let r = self.rows;
+        self.data.split_at_mut(j * r)
+    }
+
     /// Transpose into a new matrix.
     pub fn transpose(&self) -> Self {
         Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)])

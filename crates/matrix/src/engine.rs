@@ -1,0 +1,227 @@
+//! Kernel engine selection: reference oracle vs. the packed fast engine.
+//!
+//! Every substrate (sequential LAPACK schedule, recursive AP00, shared-
+//! memory tiles, SPMD ranks, out-of-core tiles) does its arithmetic
+//! through a [`KernelImpl`] value.  The selector dispatches per call:
+//! [`KernelImpl::Fast`] and [`KernelImpl::FastStrict`] route `f64`
+//! operands to [`crate::kernels_fast`] (FMA-contracted and
+//! order-and-rounding-preserving respectively); every other scalar (and
+//! [`KernelImpl::Reference`]) runs the verbatim oracle in
+//! [`crate::kernels`].
+//!
+//! Two invariants, tested in `tests/cross_algorithm.rs` and
+//! `tests/kernel_engine.rs`:
+//!
+//! * **counts**: the instrumented word/message counts are charged by the
+//!   *schedules* (explicit `touch`/`bcast`/tile calls), so they are
+//!   byte-identical under every engine;
+//! * **bits**: [`KernelImpl::FastStrict`] is bit-identical to
+//!   [`KernelImpl::Reference`] on every operation.  [`KernelImpl::Fast`]
+//!   additionally lets hardware FMA contract multiply-add pairs — same
+//!   per-element operation order, one rounding fewer per product — so
+//!   it agrees to a contraction residual instead of exactly.
+
+use std::any::TypeId;
+
+use crate::dense::Matrix;
+use crate::error::MatrixError;
+use crate::kernels;
+use crate::kernels_fast;
+use crate::scalar::Scalar;
+
+/// Which arithmetic engine runs under a schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelImpl {
+    /// The verbatim triple-loop oracle ([`crate::kernels`]).  Works for
+    /// every [`Scalar`]; the baseline every optimisation is tested
+    /// against.
+    #[default]
+    Reference,
+    /// The packed, cache-blocked microkernels with FMA contraction
+    /// ([`crate::kernels_fast::fused`]).  `f64` only — other scalars
+    /// silently fall back to the reference oracle.
+    Fast,
+    /// The packed microkernels with reference rounding
+    /// ([`crate::kernels_fast`]'s strict mode): bit-identical results,
+    /// most of the speed.  `f64` only, like [`KernelImpl::Fast`].
+    FastStrict,
+}
+
+impl KernelImpl {
+    /// Read the engine from the `CHOLCOMM_KERNELS` environment variable
+    /// (`fast` selects [`KernelImpl::Fast`], `fast-strict` selects
+    /// [`KernelImpl::FastStrict`]; anything else, including an unset
+    /// variable, selects [`KernelImpl::Reference`]).
+    pub fn from_env() -> Self {
+        match std::env::var("CHOLCOMM_KERNELS") {
+            Ok(v) if v.eq_ignore_ascii_case("fast") => KernelImpl::Fast,
+            Ok(v) if v.eq_ignore_ascii_case("fast-strict") => KernelImpl::FastStrict,
+            _ => KernelImpl::Reference,
+        }
+    }
+
+    /// `true` when this engine actually dispatches scalar type `S` to the
+    /// fast path.  Recursive schedules use this to decide whether a
+    /// gather-to-tile detour at a base case buys anything: for
+    /// non-`f64` scalars (or the reference engine) it never does.
+    pub fn accelerates<S: Scalar>(self) -> bool {
+        self != KernelImpl::Reference && TypeId::of::<S>() == TypeId::of::<f64>()
+    }
+
+    /// Stable lowercase name (used in bench JSON and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelImpl::Reference => "reference",
+            KernelImpl::Fast => "fast",
+            KernelImpl::FastStrict => "fast-strict",
+        }
+    }
+
+    /// `C <- C + alpha * A * B` (see [`kernels::gemm_nn`]).
+    pub fn gemm_nn<S: Scalar>(self, c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix<S>) {
+        if self != KernelImpl::Reference {
+            if let (Some(cf), Some(af), Some(bf)) = (as_f64_mut(c), as_f64(a), as_f64(b)) {
+                match self {
+                    KernelImpl::Fast => kernels_fast::fused::gemm_nn(cf, scalar_to_f64(alpha), af, bf),
+                    _ => kernels_fast::gemm_nn(cf, scalar_to_f64(alpha), af, bf),
+                }
+                return;
+            }
+        }
+        kernels::gemm_nn(c, alpha, a, b);
+    }
+
+    /// `C <- C + alpha * A * B^T` (see [`kernels::gemm_nt`]).
+    pub fn gemm_nt<S: Scalar>(self, c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix<S>) {
+        if self != KernelImpl::Reference {
+            if let (Some(cf), Some(af), Some(bf)) = (as_f64_mut(c), as_f64(a), as_f64(b)) {
+                match self {
+                    KernelImpl::Fast => kernels_fast::fused::gemm_nt(cf, scalar_to_f64(alpha), af, bf),
+                    _ => kernels_fast::gemm_nt(cf, scalar_to_f64(alpha), af, bf),
+                }
+                return;
+            }
+        }
+        kernels::gemm_nt(c, alpha, a, b);
+    }
+
+    /// Lower-triangle `C <- C - A * A^T` (see [`kernels::syrk_lower`]).
+    pub fn syrk_lower<S: Scalar>(self, c: &mut Matrix<S>, a: &Matrix<S>) {
+        if self != KernelImpl::Reference {
+            if let (Some(cf), Some(af)) = (as_f64_mut(c), as_f64(a)) {
+                match self {
+                    KernelImpl::Fast => kernels_fast::fused::syrk_lower(cf, af),
+                    _ => kernels_fast::syrk_lower(cf, af),
+                }
+                return;
+            }
+        }
+        kernels::syrk_lower(c, a);
+    }
+
+    /// `X <- B * L^{-T}` (see [`kernels::trsm_right_lower_transpose`]).
+    pub fn trsm_right_lower_transpose<S: Scalar>(self, b: &mut Matrix<S>, l: &Matrix<S>) {
+        if self != KernelImpl::Reference {
+            if let (Some(bf), Some(lf)) = (as_f64_mut(b), as_f64(l)) {
+                match self {
+                    KernelImpl::Fast => kernels_fast::fused::trsm_right_lower_transpose(bf, lf),
+                    _ => kernels_fast::trsm_right_lower_transpose(bf, lf),
+                }
+                return;
+            }
+        }
+        kernels::trsm_right_lower_transpose(b, l);
+    }
+
+    /// In-place Cholesky of the lower triangle (see [`kernels::potf2`]).
+    pub fn potf2<S: Scalar>(self, a: &mut Matrix<S>) -> Result<(), MatrixError> {
+        if self != KernelImpl::Reference {
+            if let Some(af) = as_f64_mut(a) {
+                return match self {
+                    KernelImpl::Fast => kernels_fast::fused::potf2(af),
+                    _ => kernels_fast::potf2(af),
+                };
+            }
+        }
+        kernels::potf2(a)
+    }
+}
+
+#[inline]
+fn as_f64<S: Scalar>(m: &Matrix<S>) -> Option<&Matrix<f64>> {
+    if TypeId::of::<S>() == TypeId::of::<f64>() {
+        // SAFETY: TypeId equality proves S == f64, so Matrix<S> and
+        // Matrix<f64> are the same type.
+        Some(unsafe { &*(m as *const Matrix<S> as *const Matrix<f64>) })
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn as_f64_mut<S: Scalar>(m: &mut Matrix<S>) -> Option<&mut Matrix<f64>> {
+    if TypeId::of::<S>() == TypeId::of::<f64>() {
+        // SAFETY: TypeId equality proves S == f64.
+        Some(unsafe { &mut *(m as *mut Matrix<S> as *mut Matrix<f64>) })
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn scalar_to_f64<S: Scalar>(s: S) -> f64 {
+    debug_assert_eq!(TypeId::of::<S>(), TypeId::of::<f64>());
+    // SAFETY: only reached behind a TypeId::of::<S>() == TypeId::of::<f64>()
+    // guard, so `s` is an f64.
+    unsafe { *(&s as *const S as *const f64) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norms;
+    use crate::spd;
+
+    #[test]
+    fn env_selector_defaults_to_reference() {
+        // The test environment does not set CHOLCOMM_KERNELS.
+        if std::env::var("CHOLCOMM_KERNELS").is_err() {
+            assert_eq!(KernelImpl::from_env(), KernelImpl::Reference);
+        }
+        assert_eq!(KernelImpl::Reference.name(), "reference");
+        assert_eq!(KernelImpl::Fast.name(), "fast");
+        assert_eq!(KernelImpl::FastStrict.name(), "fast-strict");
+    }
+
+    #[test]
+    fn strict_engine_agrees_bitwise_on_f64_potf2() {
+        let mut rng = spd::test_rng(42);
+        let a = spd::random_spd(33, &mut rng);
+        let mut r = a.clone();
+        let mut f = a.clone();
+        KernelImpl::Reference.potf2(&mut r).unwrap();
+        KernelImpl::FastStrict.potf2(&mut f).unwrap();
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn fused_engine_agrees_to_contraction_residual_on_f64_potf2() {
+        let mut rng = spd::test_rng(43);
+        let a = spd::random_spd(65, &mut rng);
+        let mut r = a.clone();
+        let mut f = a.clone();
+        KernelImpl::Reference.potf2(&mut r).unwrap();
+        KernelImpl::Fast.potf2(&mut f).unwrap();
+        assert!(norms::max_abs_diff(&r, &f) <= 1e-11);
+    }
+
+    #[test]
+    fn fast_engine_falls_back_for_f32() {
+        let a = Matrix::<f32>::from_fn(5, 5, |i, j| if i == j { 6.0 } else { 1.0 });
+        let mut r = a.clone();
+        let mut f = a.clone();
+        KernelImpl::Reference.potf2(&mut r).unwrap();
+        KernelImpl::Fast.potf2(&mut f).unwrap();
+        assert_eq!(r, f);
+    }
+}

@@ -12,15 +12,21 @@ use crate::error::MatrixError;
 use crate::scalar::Scalar;
 
 /// `C <- C + alpha * A * B` (general matrix multiply, no transpose).
+///
+/// The inner loop runs over column slices (`Matrix::col`), not the
+/// bounds-checked `Index` path, but performs the identical sequence of
+/// floating-point operations per element: `j` outer, `k` middle, `i`
+/// inner, each update `c + a * (alpha * b)`.
 pub fn gemm_nn<S: Scalar>(c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix<S>) {
     assert_eq!(a.cols(), b.rows(), "gemm_nn: inner dimensions");
     assert_eq!(c.rows(), a.rows(), "gemm_nn: C rows");
     assert_eq!(c.cols(), b.cols(), "gemm_nn: C cols");
     for j in 0..c.cols() {
+        let cj = c.col_mut(j);
         for k in 0..a.cols() {
             let bkj = alpha * b[(k, j)];
-            for i in 0..c.rows() {
-                c[(i, j)] = c[(i, j)] + a[(i, k)] * bkj;
+            for (ci, &aik) in cj.iter_mut().zip(a.col(k)) {
+                *ci = *ci + aik * bkj;
             }
         }
     }
@@ -33,10 +39,11 @@ pub fn gemm_nt<S: Scalar>(c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix
     assert_eq!(c.rows(), a.rows(), "gemm_nt: C rows");
     assert_eq!(c.cols(), b.rows(), "gemm_nt: C cols");
     for j in 0..c.cols() {
+        let cj = c.col_mut(j);
         for k in 0..a.cols() {
             let bjk = alpha * b[(j, k)];
-            for i in 0..c.rows() {
-                c[(i, j)] = c[(i, j)] + a[(i, k)] * bjk;
+            for (ci, &aik) in cj.iter_mut().zip(a.col(k)) {
+                *ci = *ci + aik * bjk;
             }
         }
     }
@@ -48,10 +55,12 @@ pub fn syrk_lower<S: Scalar>(c: &mut Matrix<S>, a: &Matrix<S>) {
     assert!(c.is_square(), "syrk_lower: C square");
     assert_eq!(c.rows(), a.rows(), "syrk_lower: dimensions");
     for j in 0..c.cols() {
+        let cj = &mut c.col_mut(j)[j..];
         for k in 0..a.cols() {
-            let ajk = a[(j, k)];
-            for i in j..c.rows() {
-                c[(i, j)] = c[(i, j)] - a[(i, k)] * ajk;
+            let ak = &a.col(k)[j..];
+            let ajk = ak[0];
+            for (ci, &aik) in cj.iter_mut().zip(ak) {
+                *ci = *ci - aik * ajk;
             }
         }
     }
@@ -64,18 +73,20 @@ pub fn trsm_right_lower_transpose<S: Scalar>(b: &mut Matrix<S>, l: &Matrix<S>) {
     assert!(l.is_square(), "trsm: L square");
     assert_eq!(b.cols(), l.rows(), "trsm: dimensions");
     let n = l.rows();
+    let rows = b.rows();
     for j in 0..n {
         // X[:, j] = (B[:, j] - sum_{k<j} X[:, k] * L[j, k]) / L[j, j]
-        for k in 0..j {
+        let (done, rest) = b.split_cols_mut(j);
+        let bj = &mut rest[..rows];
+        for (k, bk) in done.chunks_exact(rows.max(1)).take(j).enumerate() {
             let ljk = l[(j, k)];
-            for i in 0..b.rows() {
-                let xik = b[(i, k)];
-                b[(i, j)] = b[(i, j)] - xik * ljk;
+            for (x, &xik) in bj.iter_mut().zip(bk) {
+                *x = *x - xik * ljk;
             }
         }
         let ljj = l[(j, j)];
-        for i in 0..b.rows() {
-            b[(i, j)] = b[(i, j)] / ljj;
+        for x in bj.iter_mut() {
+            *x = *x / ljj;
         }
     }
 }
@@ -87,19 +98,28 @@ pub fn trsm_left_lower<S: Scalar>(b: &mut Matrix<S>, l: &Matrix<S>) {
     assert_eq!(b.rows(), l.rows(), "trsm: dimensions");
     let n = l.rows();
     for j in 0..b.cols() {
+        let bj = b.col_mut(j);
         for i in 0..n {
-            let mut v = b[(i, j)];
-            for k in 0..i {
-                v = v - l[(i, k)] * b[(k, j)];
+            let mut v = bj[i];
+            for (k, &bkj) in bj[..i].iter().enumerate() {
+                v = v - l[(i, k)] * bkj;
             }
-            b[(i, j)] = v / l[(i, i)];
+            bj[i] = v / l[(i, i)];
         }
     }
 }
 
-/// Unblocked Cholesky of the lower triangle (LAPACK's `POTF2`), written
-/// verbatim from Equations (5) and (6) of the paper.  On success the lower
-/// triangle of `a` holds `L`; the strict upper triangle is left untouched.
+/// Unblocked Cholesky of the lower triangle (LAPACK's `POTF2`), computing
+/// Equations (5) and (6) of the paper.  On success the lower triangle of
+/// `a` holds `L`; the strict upper triangle is left untouched.
+///
+/// The loops run left-looking over column slices: for each column `j`,
+/// the contributions of the finished columns `k < j` are subtracted in
+/// ascending `k`, then the pivot is checked and the column scaled.  Per
+/// element this is the identical sequence of floating-point operations
+/// as the verbatim dot-product form of Equations (5)–(6) — the sums of
+/// both equations accumulate in ascending `k` either way — so the factor
+/// is bit-identical; only redundant bounds checks are gone.
 pub fn potf2<S: Scalar>(a: &mut Matrix<S>) -> Result<(), MatrixError> {
     if !a.is_square() {
         return Err(MatrixError::NotSquare {
@@ -109,12 +129,20 @@ pub fn potf2<S: Scalar>(a: &mut Matrix<S>) -> Result<(), MatrixError> {
     }
     let n = a.rows();
     for j in 0..n {
-        // Equation (5): L(j,j) = sqrt(A(j,j) - sum_{k<j} L(j,k)^2)
-        let mut d = a[(j, j)];
+        let (done, rest) = a.split_cols_mut(j);
+        // Column j, from the diagonal down: aj[0] is A(j,j).
+        let aj = &mut rest[j..n];
         for k in 0..j {
-            let ljk = a[(j, k)];
-            d = d - ljk * ljk;
+            let ak = &done[k * n + j..(k + 1) * n];
+            let ajk = ak[0];
+            // Equations (5)/(6) partial sums: A(i,j) -= L(i,k) * L(j,k),
+            // in ascending k, diagonal included.
+            for (v, &aik) in aj.iter_mut().zip(ak) {
+                *v = *v - aik * ajk;
+            }
         }
+        // Equation (5): L(j,j) = sqrt(A(j,j) - sum_{k<j} L(j,k)^2).
+        let d = aj[0];
         // For real scalars, reject non-positive pivots.  For starred
         // scalars `is_finite_real` is false and the value passes through
         // (Table 3: sqrt(1*) = 1*).
@@ -127,14 +155,10 @@ pub fn potf2<S: Scalar>(a: &mut Matrix<S>) -> Result<(), MatrixError> {
             });
         }
         let ljj = d.sqrt();
-        a[(j, j)] = ljj;
+        aj[0] = ljj;
         // Equation (6): L(i,j) = (A(i,j) - sum_{k<j} L(i,k) L(j,k)) / L(j,j)
-        for i in (j + 1)..n {
-            let mut v = a[(i, j)];
-            for k in 0..j {
-                v = v - a[(i, k)] * a[(j, k)];
-            }
-            a[(i, j)] = v / ljj;
+        for v in aj[1..].iter_mut() {
+            *v = *v / ljj;
         }
     }
     Ok(())

@@ -1,0 +1,1044 @@
+//! Packed, cache-blocked, register-tiled `f64` BLAS-3 kernels — the
+//! "fast engine" behind [`crate::engine::KernelImpl::Fast`] and
+//! [`crate::engine::KernelImpl::FastStrict`].
+//!
+//! The reference kernels in [`crate::kernels`] are deliberately verbatim
+//! triple loops; these are the same *operations in the same per-element
+//! order* restructured the way a Goto/BLIS-style GEMM restructures them:
+//!
+//! * operands are **packed** into contiguous buffers sized to the block
+//!   parameters ([`MC`]`x`[`KC`] panels of `A` in strips of [`MR`] rows,
+//!   [`KC`]`x`[`NC`] panels of `B` in strips of [`NR`] columns), so the
+//!   innermost loop streams two linear arrays with no strides and no
+//!   per-element bounds checks;
+//! * the innermost loop computes an [`MR`]`x`[`NR`] **register tile** of
+//!   `C`: hand-written AVX-512 intrinsics keep all accumulators in
+//!   vector registers (LLVM spills the generic tile body to memory),
+//!   with a portable generic fallback; the variant is selected by
+//!   runtime feature detection.
+//!
+//! The engine has two numeric modes sharing all of this machinery:
+//!
+//! * **strict** (the module-level functions, [`KernelImpl::FastStrict`]):
+//!   every multiply and add is an individually rounded IEEE-754
+//!   operation (vectors widen the loop, FMA contraction is never
+//!   enabled), and each `C` element accumulates its `k`-contributions in
+//!   ascending order with the identical `c + a * (alpha * b)` sequence
+//!   of the reference kernel — so every result is **bit-identical** to
+//!   its reference counterpart (property-tested in
+//!   `tests/kernel_engine.rs`).
+//! * **fused** (the [`fused`] submodule, [`KernelImpl::Fast`]): the same
+//!   loops with `mul_add`, letting hardware FMA contract `a*b + c` into
+//!   one rounding.  The per-element operation *order* is unchanged —
+//!   only the intermediate product's rounding is skipped — so the result
+//!   differs from the reference by a normwise-tiny contraction residual
+//!   (and is, if anything, more accurate).  On hardware without FMA the
+//!   fused mode falls back to the strict kernels and is then exactly
+//!   bit-identical too.
+//!
+//! Only `f64` is provided: the starred scalars of the paper's reduction
+//! run through the reference kernels (their arithmetic is branchy and
+//! never the wall-clock bottleneck).
+//!
+//! [`KernelImpl::Fast`]: crate::engine::KernelImpl::Fast
+//! [`KernelImpl::FastStrict`]: crate::engine::KernelImpl::FastStrict
+
+use crate::dense::Matrix;
+use crate::error::MatrixError;
+
+/// Register-tile rows (`C` micro-tile height; two AVX-512 vectors).
+pub const MR: usize = 16;
+/// Register-tile columns (`C` micro-tile width).
+pub const NR: usize = 8;
+/// Rows of the packed `A` block (`A` panel cache-resident in L2).
+pub const MC: usize = 128;
+/// Depth of the packed `A`/`B` blocks (the `k` extent per pass).
+pub const KC: usize = 256;
+/// Columns of the packed `B` block.
+pub const NC: usize = 512;
+/// Panel width of the blocked TRSM/POTRF drivers.  Kept narrow: the
+/// in-panel substitution runs at memory-bound axpy speed, so its flop
+/// share (proportional to `PB`) is minimized in favour of the packed
+/// micro-kernel doing the bulk.
+pub const PB: usize = 32;
+
+/// Numeric mode: strict keeps reference rounding, fused lets FMA
+/// contract multiply-add pairs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Strict,
+    Fused,
+}
+
+/// Which `B` element feeds `C(i, j)` at depth `k`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BOp {
+    /// `B(k, j)` — plain `C += A * B`.
+    N,
+    /// `B(j, k)` — `C += A * B^T` (the Cholesky update shape).
+    T,
+}
+
+/// A read-only column-major region: element `(i, j)` is `data[i + j * ld]`.
+#[derive(Clone, Copy)]
+struct V<'a> {
+    data: &'a [f64],
+    ld: usize,
+}
+
+impl<'a> V<'a> {
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i + j * self.ld]
+    }
+}
+
+/// Scratch buffers for the packed panels, reused across blocks of one
+/// kernel invocation — and across invocations via [`with_pack`], so
+/// recursive drivers issuing many small GEMMs do not pay a fresh
+/// 1.3 MB zero-initialised allocation per call.
+struct Pack {
+    pa: Vec<f64>,
+    pb: Vec<f64>,
+}
+
+impl Pack {
+    fn new() -> Self {
+        Pack {
+            pa: vec![0.0; MC * KC],
+            pb: vec![0.0; KC * NC],
+        }
+    }
+}
+
+std::thread_local! {
+    static PACK: std::cell::RefCell<Pack> = std::cell::RefCell::new(Pack::new());
+}
+
+/// Run `f` with this thread's packing scratch.  The pack routines fully
+/// overwrite (and zero-pad) every strip a macro-tile reads, so stale
+/// contents from a previous invocation are never observed.
+fn with_pack<R>(f: impl FnOnce(&mut Pack) -> R) -> R {
+    PACK.with(|p| f(&mut p.borrow_mut()))
+}
+
+/// Pack the `mc x kc` block of `A` at `(row0 + ic, pc)` into `MR`-row
+/// strips: strip `ir` holds `pa[ir*kc*MR + k*MR + ii] = A(ic + ir*MR + ii,
+/// pc + k)`, zero-padded past `mc`.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(pa: &mut [f64], a: V<'_>, row0: usize, ic: usize, mc: usize, pc: usize, kc: usize) {
+    let strips = mc.div_ceil(MR);
+    for ir in 0..strips {
+        let base = ir * kc * MR;
+        let i0 = ic + ir * MR;
+        let mr = (mc - ir * MR).min(MR);
+        for k in 0..kc {
+            let dst = &mut pa[base + k * MR..base + k * MR + MR];
+            let col = &a.data[row0 + (pc + k) * a.ld..];
+            for (ii, d) in dst.iter_mut().enumerate() {
+                *d = if ii < mr { col[i0 + ii] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` block of `op(B)` feeding `C` columns `jc..jc+nc`
+/// at depths `pc..pc+kc` into `NR`-column strips, scaled by `alpha`:
+/// `pb[jr*kc*NR + k*NR + jj] = alpha * op(B)(pc + k, jc + jr*NR + jj)`.
+/// The `alpha` multiply happens here, once per element, exactly as the
+/// reference kernels hoist `alpha * b` out of their inner loop.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    pb: &mut [f64],
+    b: V<'_>,
+    op: BOp,
+    row0: usize,
+    alpha: f64,
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let strips = nc.div_ceil(NR);
+    for jr in 0..strips {
+        let base = jr * kc * NR;
+        let j0 = jc + jr * NR;
+        let nr = (nc - jr * NR).min(NR);
+        for k in 0..kc {
+            let dst = &mut pb[base + k * NR..base + k * NR + NR];
+            for (jj, d) in dst.iter_mut().enumerate() {
+                *d = if jj < nr {
+                    match op {
+                        BOp::N => alpha * b.at(pc + k, j0 + jj),
+                        BOp::T => alpha * b.at(row0 + j0 + jj, pc + k),
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// The register-tiled micro-kernel: `acc += pa_strip * pb_strip` over
+/// `kc` depth steps.  `pa` strides by [`MR`], `pb` by [`NR`]; both are
+/// contiguous, so `chunks_exact` compiles to unchecked loads.  The
+/// accumulator tile is column-major (`acc[jj][ii]`), matching `C`'s
+/// layout, so the `ii` loop vectorizes over one contiguous register per
+/// column with `pb`'s element broadcast.
+#[inline(always)]
+fn micro_kernel_body<const FUSED: bool>(
+    kc: usize,
+    pa: &[f64],
+    pb: &[f64],
+    acc: &mut [[f64; MR]; NR],
+) {
+    for (av, bv) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)).take(kc) {
+        for (accj, &bkj) in acc.iter_mut().zip(bv) {
+            for (acc_e, &aik) in accj.iter_mut().zip(av) {
+                if FUSED {
+                    *acc_e = aik.mul_add(bkj, *acc_e);
+                } else {
+                    *acc_e += aik * bkj;
+                }
+            }
+        }
+    }
+}
+
+/// Hand-vectorized AVX-512 micro-kernels (LLVM keeps the generic body's
+/// accumulators in memory instead of registers, costing ~10x, so the
+/// hot variants are written with explicit intrinsics: the `C` tile is
+/// 16 accumulator `zmm` registers — two per column — with one broadcast
+/// of `pb` per column per depth step).  The strict variant multiplies
+/// and adds in two individually rounded instructions; the fused variant
+/// contracts them into one FMA.  Narrower machines fall back to the
+/// autovectorized generic body.
+///
+/// # Safety
+/// Caller must have verified the named features via
+/// `is_x86_feature_detected!`, and `pa`/`pb` must hold at least
+/// `kc * MR` / `kc * NR` elements.
+#[cfg(target_arch = "x86_64")]
+mod mk_x86 {
+    use super::{micro_kernel_body, MR, NR};
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx512f,fma")]
+    pub unsafe fn fused_avx512(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+        debug_assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+        let mut lo = [_mm512_setzero_pd(); NR];
+        let mut hi = [_mm512_setzero_pd(); NR];
+        for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            *l = _mm512_loadu_pd(acc[j].as_ptr());
+            *h = _mm512_loadu_pd(acc[j].as_ptr().add(8));
+        }
+        let mut pap = pa.as_ptr();
+        let mut pbp = pb.as_ptr();
+        for _ in 0..kc {
+            let va = _mm512_loadu_pd(pap);
+            let vb = _mm512_loadu_pd(pap.add(8));
+            for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let s = _mm512_set1_pd(*pbp.add(j));
+                *l = _mm512_fmadd_pd(va, s, *l);
+                *h = _mm512_fmadd_pd(vb, s, *h);
+            }
+            pap = pap.add(MR);
+            pbp = pbp.add(NR);
+        }
+        for (j, (l, h)) in lo.iter().zip(hi.iter()).enumerate() {
+            _mm512_storeu_pd(acc[j].as_mut_ptr(), *l);
+            _mm512_storeu_pd(acc[j].as_mut_ptr().add(8), *h);
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn strict_avx512(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+        debug_assert!(pa.len() >= kc * MR && pb.len() >= kc * NR);
+        let mut lo = [_mm512_setzero_pd(); NR];
+        let mut hi = [_mm512_setzero_pd(); NR];
+        for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            *l = _mm512_loadu_pd(acc[j].as_ptr());
+            *h = _mm512_loadu_pd(acc[j].as_ptr().add(8));
+        }
+        let mut pap = pa.as_ptr();
+        let mut pbp = pb.as_ptr();
+        for _ in 0..kc {
+            let va = _mm512_loadu_pd(pap);
+            let vb = _mm512_loadu_pd(pap.add(8));
+            for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+                let s = _mm512_set1_pd(*pbp.add(j));
+                // Separate multiply and add: each rounds individually,
+                // exactly like the reference kernel's `c + a * b`.
+                *l = _mm512_add_pd(*l, _mm512_mul_pd(va, s));
+                *h = _mm512_add_pd(*h, _mm512_mul_pd(vb, s));
+            }
+            pap = pap.add(MR);
+            pbp = pbp.add(NR);
+        }
+        for (j, (l, h)) in lo.iter().zip(hi.iter()).enumerate() {
+            _mm512_storeu_pd(acc[j].as_mut_ptr(), *l);
+            _mm512_storeu_pd(acc[j].as_mut_ptr().add(8), *h);
+        }
+    }
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn strict_avx(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+        micro_kernel_body::<false>(kc, pa, pb, acc);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fused_avx2(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+        micro_kernel_body::<true>(kc, pa, pb, acc);
+    }
+}
+
+#[inline]
+fn run_micro_kernel(mode: Mode, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f64; MR]; NR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::is_x86_feature_detected as det;
+        // SAFETY: each variant is called only after detecting its features.
+        unsafe {
+            if mode == Mode::Fused && det!("fma") {
+                if det!("avx512f") {
+                    return mk_x86::fused_avx512(kc, pa, pb, acc);
+                }
+                if det!("avx2") {
+                    return mk_x86::fused_avx2(kc, pa, pb, acc);
+                }
+            }
+            if det!("avx512f") {
+                return mk_x86::strict_avx512(kc, pa, pb, acc);
+            }
+            if det!("avx") {
+                return mk_x86::strict_avx(kc, pa, pb, acc);
+            }
+        }
+    }
+    micro_kernel_body::<false>(kc, pa, pb, acc);
+}
+
+/// Blocked `C(m x n) += A * op(B)` over column-major regions.
+///
+/// * `c` starts at its region's `(0, 0)` with leading dimension `ldc`;
+/// * `a` is read at rows `a_row0..a_row0+m`, depth columns `pc` ranging
+///   over `0..kdim`;
+/// * `b` is read per [`BOp`] (`b_row0` offsets the `T` orientation's row);
+/// * `diag` masks the update to the lower triangle: cell `(i, j)` is
+///   skipped when `i + diag < j` (global row < global column).  `None`
+///   updates the full rectangle.
+///
+/// Accumulation order per `C` element is ascending `k` throughout —
+/// `pc` blocks ascend and the micro-kernel walks its depth forward — so
+/// the strict mode is bit-identical to the reference triple loop.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    c: &mut [f64],
+    ldc: usize,
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: f64,
+    a: V<'_>,
+    a_row0: usize,
+    b: V<'_>,
+    b_op: BOp,
+    b_row0: usize,
+    diag: Option<i64>,
+    mode: Mode,
+) {
+    if m == 0 || n == 0 || kdim == 0 {
+        return;
+    }
+    with_pack(|pack| {
+        for jc in (0..n).step_by(NC) {
+            let nc = (n - jc).min(NC);
+            for pc in (0..kdim).step_by(KC) {
+                let kc = (kdim - pc).min(KC);
+                pack_b(&mut pack.pb, b, b_op, b_row0, alpha, jc, nc, pc, kc);
+                for ic in (0..m).step_by(MC) {
+                    let mc = (m - ic).min(MC);
+                    // Skip A-blocks entirely above the diagonal.
+                    if let Some(d) = diag {
+                        if (ic + mc - 1) as i64 + d < jc as i64 {
+                            continue;
+                        }
+                    }
+                    pack_a(&mut pack.pa, a, a_row0, ic, mc, pc, kc);
+                    macro_tile(c, ldc, ic, jc, mc, nc, kc, &pack.pa, &pack.pb, diag, mode);
+                }
+            }
+        }
+    });
+}
+
+/// Multiply one packed `A` block against one packed `B` block, micro-tile
+/// by micro-tile: load the `C` tile, accumulate `kc` steps, store it back.
+#[allow(clippy::too_many_arguments)]
+fn macro_tile(
+    c: &mut [f64],
+    ldc: usize,
+    ic: usize,
+    jc: usize,
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    pa: &[f64],
+    pb: &[f64],
+    diag: Option<i64>,
+    mode: Mode,
+) {
+    for jr in 0..nc.div_ceil(NR) {
+        let j0 = jc + jr * NR;
+        let nr = (nc - jr * NR).min(NR);
+        let pb_strip = &pb[jr * kc * NR..(jr + 1) * kc * NR];
+        for ir in 0..mc.div_ceil(MR) {
+            let i0 = ic + ir * MR;
+            let mr = (mc - ir * MR).min(MR);
+            // Micro-tiles entirely above the diagonal never touch C.
+            if let Some(d) = diag {
+                if (i0 + mr - 1) as i64 + d < j0 as i64 {
+                    continue;
+                }
+            }
+            let pa_strip = &pa[ir * kc * MR..(ir + 1) * kc * MR];
+            let mut acc = [[0.0f64; MR]; NR];
+            // Load C (the accumulators continue C's running sum, keeping
+            // the per-element operation sequence of the reference loop).
+            for (jj, accj) in acc.iter_mut().enumerate().take(nr) {
+                let col = &c[(j0 + jj) * ldc + i0..];
+                accj[..mr].copy_from_slice(&col[..mr]);
+            }
+            run_micro_kernel(mode, kc, pa_strip, pb_strip, &mut acc);
+            // Store back, masking cells above the diagonal.
+            for (jj, accj) in acc.iter().enumerate().take(nr) {
+                let col = &mut c[(j0 + jj) * ldc + i0..];
+                for (ii, &v) in accj.iter().enumerate().take(mr) {
+                    if let Some(d) = diag {
+                        if (i0 + ii) as i64 + d < (j0 + jj) as i64 {
+                            continue;
+                        }
+                    }
+                    col[ii] = v;
+                }
+            }
+        }
+    }
+}
+
+/// In-panel column update `dst -= src * s`, vectorized per mode (the
+/// strict variant never contracts, the fused variant lets FMA fuse
+/// `src * s` into the subtraction).
+#[inline(always)]
+fn axpy_neg_body<const FUSED: bool>(dst: &mut [f64], src: &[f64], s: f64) {
+    for (v, &x) in dst.iter_mut().zip(src) {
+        if FUSED {
+            *v = x.mul_add(-s, *v);
+        } else {
+            *v -= x * s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod axpy_x86 {
+    use super::axpy_neg_body;
+
+    /// # Safety
+    /// Caller must have detected `avx512f`.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn strict_avx512(dst: &mut [f64], src: &[f64], s: f64) {
+        axpy_neg_body::<false>(dst, src, s);
+    }
+
+    /// # Safety
+    /// Caller must have detected `avx512f` and `fma`.
+    #[target_feature(enable = "avx512f,fma")]
+    pub unsafe fn fused_avx512(dst: &mut [f64], src: &[f64], s: f64) {
+        axpy_neg_body::<true>(dst, src, s);
+    }
+
+    /// # Safety
+    /// Caller must have detected `avx2` and `fma`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn fused_avx2(dst: &mut [f64], src: &[f64], s: f64) {
+        axpy_neg_body::<true>(dst, src, s);
+    }
+}
+
+/// `dst -= src * s` with mode-appropriate vectorization.
+#[inline]
+fn axpy_neg(mode: Mode, dst: &mut [f64], src: &[f64], s: f64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::is_x86_feature_detected as det;
+        // SAFETY: each variant is called only after detecting its features.
+        unsafe {
+            if mode == Mode::Fused && det!("fma") {
+                if det!("avx512f") {
+                    return axpy_x86::fused_avx512(dst, src, s);
+                }
+                if det!("avx2") {
+                    return axpy_x86::fused_avx2(dst, src, s);
+                }
+            }
+            if det!("avx512f") {
+                return axpy_x86::strict_avx512(dst, src, s);
+            }
+        }
+    }
+    axpy_neg_body::<false>(dst, src, s);
+}
+
+fn gemm_nn_impl(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>, mode: Mode) {
+    assert_eq!(a.cols(), b.rows(), "gemm_nn: inner dimensions");
+    assert_eq!(c.rows(), a.rows(), "gemm_nn: C rows");
+    assert_eq!(c.cols(), b.cols(), "gemm_nn: C cols");
+    let (m, n, kdim) = (c.rows(), c.cols(), a.cols());
+    let (lda, ldb, ldc) = (a.rows(), b.rows(), c.rows());
+    gemm_blocked(
+        c.as_mut_slice(),
+        ldc,
+        m,
+        n,
+        kdim,
+        alpha,
+        V { data: a.as_slice(), ld: lda },
+        0,
+        V { data: b.as_slice(), ld: ldb },
+        BOp::N,
+        0,
+        None,
+        mode,
+    );
+}
+
+fn gemm_nt_impl(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>, mode: Mode) {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt: inner dimensions");
+    assert_eq!(c.rows(), a.rows(), "gemm_nt: C rows");
+    assert_eq!(c.cols(), b.rows(), "gemm_nt: C cols");
+    let (m, n, kdim) = (c.rows(), c.cols(), a.cols());
+    let (lda, ldb, ldc) = (a.rows(), b.rows(), c.rows());
+    gemm_blocked(
+        c.as_mut_slice(),
+        ldc,
+        m,
+        n,
+        kdim,
+        alpha,
+        V { data: a.as_slice(), ld: lda },
+        0,
+        V { data: b.as_slice(), ld: ldb },
+        BOp::T,
+        0,
+        None,
+        mode,
+    );
+}
+
+fn syrk_lower_impl(c: &mut Matrix<f64>, a: &Matrix<f64>, mode: Mode) {
+    assert!(c.is_square(), "syrk_lower: C square");
+    assert_eq!(c.rows(), a.rows(), "syrk_lower: dimensions");
+    let (n, kdim) = (c.rows(), a.cols());
+    let lda = a.rows();
+    let ldc = c.rows();
+    gemm_blocked(
+        c.as_mut_slice(),
+        ldc,
+        n,
+        n,
+        kdim,
+        -1.0,
+        V { data: a.as_slice(), ld: lda },
+        0,
+        V { data: a.as_slice(), ld: lda },
+        BOp::T,
+        0,
+        Some(0),
+        mode,
+    );
+}
+
+/// Split point for the recursive drivers: the smallest multiple of [`PB`]
+/// at or above the midpoint, clamped inside `(0, n)`.  Aligning splits to
+/// [`PB`] keeps every base case a full panel except the last.
+fn rec_split(n: usize) -> usize {
+    ((n / 2).div_ceil(PB) * PB).clamp(1, n - 1)
+}
+
+fn trsm_right_lower_transpose_impl(b: &mut Matrix<f64>, l: &Matrix<f64>, mode: Mode) {
+    assert!(l.is_square(), "trsm: L square");
+    assert_eq!(b.cols(), l.rows(), "trsm: dimensions");
+    let n = l.rows();
+    trsm_rec(b, l, 0, n, mode);
+}
+
+/// Recursive right-solve of `B[:, c0..c0+cn] <- B[:, c0..c0+cn] *
+/// L[c0.., c0..]^{-T}`.  Callers must have applied every update with
+/// `k < c0` already.  Splitting `L` as `[[L11, 0], [L21, L22]]`, the
+/// second column block is `X2 = (B2 - X1 * L21^T) * L22^{-T}`: the
+/// correction is one wide, full-depth GEMM instead of a thin per-panel
+/// one, so `A`-packing amortizes over many output columns.  Per-element
+/// update order stays ascending `k` (recurse left, correct, recurse
+/// right), keeping the strict mode bit-identical to the reference.
+fn trsm_rec(b: &mut Matrix<f64>, l: &Matrix<f64>, c0: usize, cn: usize, mode: Mode) {
+    let rows = b.rows();
+    if rows == 0 || cn == 0 {
+        return;
+    }
+    if cn <= PB {
+        // In-panel substitution, reference order (k < c0 was handled by
+        // the caller's correction GEMM).
+        let (_, rest) = b.split_cols_mut(c0);
+        for j in 0..cn {
+            let (pdone, prest) = rest.split_at_mut(j * rows);
+            let bj = &mut prest[..rows];
+            for k in 0..j {
+                let ljk = l.at_ref(c0 + j, c0 + k);
+                let bk = &pdone[k * rows..(k + 1) * rows];
+                axpy_neg(mode, bj, bk, ljk);
+            }
+            let ljj = l.at_ref(c0 + j, c0 + j);
+            for x in bj.iter_mut() {
+                *x /= ljj;
+            }
+        }
+        return;
+    }
+    let n1 = rec_split(cn);
+    let n2 = cn - n1;
+    trsm_rec(b, l, c0, n1, mode);
+    // X2 -= X1 * L21^T (L21 = L[c0+n1..c0+cn, c0..c0+n1]).
+    {
+        let ldl = l.rows();
+        let (done, rest) = b.split_cols_mut(c0 + n1);
+        gemm_blocked(
+            rest,
+            rows,
+            rows,
+            n2,
+            n1,
+            -1.0,
+            V { data: &done[c0 * rows..], ld: rows.max(1) },
+            0,
+            V { data: &l.as_slice()[c0 * ldl..], ld: ldl },
+            BOp::T,
+            c0 + n1,
+            None,
+            mode,
+        );
+    }
+    trsm_rec(b, l, c0 + n1, n2, mode);
+}
+
+fn potf2_impl(a: &mut Matrix<f64>, mode: Mode) -> Result<(), MatrixError> {
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let ld = n.max(1);
+    potrf_rec(a.as_mut_slice(), ld, 0, n, mode)
+}
+
+/// Recursive blocked Cholesky of the `n x n` block at `(off, off)` of
+/// column-major storage with leading dimension `ld`.  Contract: callers
+/// have already applied every update with `k < off`, and rows below
+/// `off + n` are the caller's responsibility (the standard recursive
+/// POTRF splitting).  The trailing update is one wide, full-depth SYRK
+/// per level — `A`-packing amortizes over `n2` output columns instead of
+/// a [`PB`]-wide panel.  Per-element updates arrive in ascending `k`
+/// order at every level (recurse left, solve, update, recurse right), so
+/// the strict mode stays bit-identical to the reference triple loop.
+fn potrf_rec(
+    data: &mut [f64],
+    ld: usize,
+    off: usize,
+    n: usize,
+    mode: Mode,
+) -> Result<(), MatrixError> {
+    if n <= PB {
+        return potf2_base(data, ld, off, n, mode);
+    }
+    let n1 = rec_split(n);
+    let n2 = n - n1;
+    potrf_rec(data, ld, off, n1, mode)?;
+    // L21 <- A21 * L11^{-T} (rows off+n1..off+n, cols off..off+n1).
+    trsm_region(data, ld, off + n1, n2, off, n1, mode);
+    // A22 <- A22 - L21 * L21^T on the lower triangle.
+    {
+        let (left, right) = data.split_at_mut((off + n1) * ld);
+        let lv = V { data: &left[off * ld..], ld };
+        gemm_blocked(
+            &mut right[off + n1..],
+            ld,
+            n2,
+            n2,
+            n1,
+            -1.0,
+            lv,
+            off + n1,
+            lv,
+            BOp::T,
+            off + n1,
+            Some(0),
+            mode,
+        );
+    }
+    potrf_rec(data, ld, off + n1, n2, mode)
+}
+
+/// Left-looking unblocked factorization of the `n x n` (`n <= PB`)
+/// diagonal block at `(off, off)`.  Rows below the block belong to the
+/// caller's TRSM; updates with `k < off` were already applied.
+fn potf2_base(
+    data: &mut [f64],
+    ld: usize,
+    off: usize,
+    n: usize,
+    mode: Mode,
+) -> Result<(), MatrixError> {
+    for j in 0..n {
+        let gc = off + j;
+        let (done, rest) = data.split_at_mut(gc * ld);
+        let col = &mut rest[gc..off + n];
+        for k in off..gc {
+            let src = &done[k * ld + gc..k * ld + off + n];
+            let ajk = src[0];
+            axpy_neg(mode, col, src, ajk);
+        }
+        let d = col[0];
+        // Same rejection rule as the reference kernel (non-finite
+        // pivots fall through to sqrt, producing NaN like LAPACK).
+        if d.is_finite() && d <= 0.0 {
+            return Err(MatrixError::NotSpd {
+                pivot: gc,
+                value: -d.abs(),
+            });
+        }
+        let ljj = d.sqrt();
+        col[0] = ljj;
+        for v in col[1..].iter_mut() {
+            *v /= ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Recursive in-place triangular solve `X <- X * L^{-T}` where `X` and
+/// `L` live in the same column-major storage: `X` is rows
+/// `row0..row0+rows`, columns `l_off..l_off+ln`; `L` is the
+/// lower-triangular block at `(l_off, l_off)`.  Requires
+/// `row0 >= l_off + ln` (X strictly below L); callers have applied every
+/// update with `k < l_off`.
+#[allow(clippy::too_many_arguments)]
+fn trsm_region(
+    data: &mut [f64],
+    ld: usize,
+    row0: usize,
+    rows: usize,
+    l_off: usize,
+    ln: usize,
+    mode: Mode,
+) {
+    if rows == 0 || ln == 0 {
+        return;
+    }
+    if ln <= PB {
+        // In-panel substitution, reference order.
+        for j in 0..ln {
+            let gc = l_off + j;
+            let (done, rest) = data.split_at_mut(gc * ld);
+            let ljj = rest[gc];
+            let col = &mut rest[row0..row0 + rows];
+            for k in 0..j {
+                let src = &done[(l_off + k) * ld..];
+                let ljk = src[gc];
+                axpy_neg(mode, col, &src[row0..row0 + rows], ljk);
+            }
+            for x in col.iter_mut() {
+                *x /= ljj;
+            }
+        }
+        return;
+    }
+    let n1 = rec_split(ln);
+    let n2 = ln - n1;
+    trsm_region(data, ld, row0, rows, l_off, n1, mode);
+    // X2 -= X1 * L21^T.
+    {
+        let (left, right) = data.split_at_mut((l_off + n1) * ld);
+        let lv = V { data: &left[l_off * ld..], ld };
+        gemm_blocked(
+            &mut right[row0..],
+            ld,
+            rows,
+            n2,
+            n1,
+            -1.0,
+            lv,
+            row0,
+            lv,
+            BOp::T,
+            l_off + n1,
+            None,
+            mode,
+        );
+    }
+    trsm_region(data, ld, row0, rows, l_off + n1, n2, mode);
+}
+
+/// `C <- C + alpha * A * B`, bit-identical to [`crate::kernels::gemm_nn`].
+pub fn gemm_nn(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>) {
+    gemm_nn_impl(c, alpha, a, b, Mode::Strict);
+}
+
+/// `C <- C + alpha * A * B^T`, bit-identical to [`crate::kernels::gemm_nt`].
+pub fn gemm_nt(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>) {
+    gemm_nt_impl(c, alpha, a, b, Mode::Strict);
+}
+
+/// Lower-triangle `C <- C - A * A^T`, bit-identical to
+/// [`crate::kernels::syrk_lower`] (the strict upper triangle of `C` is
+/// neither read for accumulation nor written).
+pub fn syrk_lower(c: &mut Matrix<f64>, a: &Matrix<f64>) {
+    syrk_lower_impl(c, a, Mode::Strict);
+}
+
+/// Triangular solve `X <- B * L^{-T}` (`L` lower triangular), bit-identical
+/// to [`crate::kernels::trsm_right_lower_transpose`].
+///
+/// Blocked over panels of [`PB`] columns: the contribution of the solved
+/// columns to the left of a panel is applied through the packed GEMM
+/// engine (their `k`-order is ascending either way), then the panel is
+/// finished with the reference-order in-panel substitution.
+pub fn trsm_right_lower_transpose(b: &mut Matrix<f64>, l: &Matrix<f64>) {
+    trsm_right_lower_transpose_impl(b, l, Mode::Strict);
+}
+
+/// Blocked Cholesky of the lower triangle, bit-identical to
+/// [`crate::kernels::potf2`] — left-looking over panels of [`PB`]
+/// columns, bulk panel updates through the packed GEMM engine, in-panel
+/// factorization in reference order.  The strict upper triangle is left
+/// untouched.
+pub fn potf2(a: &mut Matrix<f64>) -> Result<(), MatrixError> {
+    potf2_impl(a, Mode::Strict)
+}
+
+/// The FMA-contracted mode of the fast engine ([`KernelImpl::Fast`]).
+///
+/// Identical loop structure and per-element operation *order* as the
+/// strict module-level kernels, but multiply-add pairs are fused into
+/// single-rounding FMA instructions where the hardware has them —
+/// roughly doubling throughput.  Results therefore differ from the
+/// reference oracle by a tiny contraction residual (fused products skip
+/// one rounding each); on FMA-less hardware this mode degenerates to
+/// the strict kernels and is bit-identical.
+///
+/// [`KernelImpl::Fast`]: crate::engine::KernelImpl::Fast
+pub mod fused {
+    use super::{
+        gemm_nn_impl, gemm_nt_impl, potf2_impl, syrk_lower_impl,
+        trsm_right_lower_transpose_impl, Matrix, MatrixError, Mode,
+    };
+
+    /// `C <- C + alpha * A * B` (FMA-contracted [`super::gemm_nn`]).
+    pub fn gemm_nn(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>) {
+        gemm_nn_impl(c, alpha, a, b, Mode::Fused);
+    }
+
+    /// `C <- C + alpha * A * B^T` (FMA-contracted [`super::gemm_nt`]).
+    pub fn gemm_nt(c: &mut Matrix<f64>, alpha: f64, a: &Matrix<f64>, b: &Matrix<f64>) {
+        gemm_nt_impl(c, alpha, a, b, Mode::Fused);
+    }
+
+    /// Lower-triangle `C <- C - A * A^T` (FMA-contracted
+    /// [`super::syrk_lower`]).
+    pub fn syrk_lower(c: &mut Matrix<f64>, a: &Matrix<f64>) {
+        syrk_lower_impl(c, a, Mode::Fused);
+    }
+
+    /// `X <- B * L^{-T}` (FMA-contracted
+    /// [`super::trsm_right_lower_transpose`]).
+    pub fn trsm_right_lower_transpose(b: &mut Matrix<f64>, l: &Matrix<f64>) {
+        trsm_right_lower_transpose_impl(b, l, Mode::Fused);
+    }
+
+    /// Blocked lower Cholesky (FMA-contracted [`super::potf2`]).
+    pub fn potf2(a: &mut Matrix<f64>) -> Result<(), MatrixError> {
+        potf2_impl(a, Mode::Fused)
+    }
+}
+
+/// Convenience accessor used by the in-panel loops (`l[(i, j)]` without
+/// the tuple-index sugar, kept `#[inline]`).
+trait At {
+    fn at_ref(&self, i: usize, j: usize) -> f64;
+}
+
+impl At for Matrix<f64> {
+    #[inline]
+    fn at_ref(&self, i: usize, j: usize) -> f64 {
+        self.col(j)[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::norms;
+    use crate::spd;
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        use rand::RngExt;
+        let mut rng = spd::test_rng(seed);
+        Matrix::from_fn(m, n, |_, _| rng.random_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn gemm_nn_bit_identical_to_reference() {
+        for (m, k, n) in [(1, 1, 1), (4, 4, 4), (5, 3, 7), (130, 70, 65), (257, 300, 129)] {
+            let a = random_matrix(m, k, 1);
+            let b = random_matrix(k, n, 2);
+            let init = random_matrix(m, n, 3);
+            let mut c1 = init.clone();
+            let mut c2 = init.clone();
+            kernels::gemm_nn(&mut c1, 0.5, &a, &b);
+            gemm_nn(&mut c2, 0.5, &a, &b);
+            assert_eq!(c1, c2, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_nt_bit_identical_to_reference() {
+        for (m, k, n) in [(3, 5, 2), (64, 64, 64), (129, 257, 66)] {
+            let a = random_matrix(m, k, 4);
+            let b = random_matrix(n, k, 5);
+            let init = random_matrix(m, n, 6);
+            let mut c1 = init.clone();
+            let mut c2 = init.clone();
+            kernels::gemm_nt(&mut c1, -1.0, &a, &b);
+            gemm_nt(&mut c2, -1.0, &a, &b);
+            assert_eq!(c1, c2, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn syrk_bit_identical_and_upper_untouched() {
+        for (n, k) in [(5, 3), (66, 130), (131, 64)] {
+            let a = random_matrix(n, k, 7);
+            let init = random_matrix(n, n, 8);
+            let mut c1 = init.clone();
+            let mut c2 = init.clone();
+            kernels::syrk_lower(&mut c1, &a);
+            syrk_lower(&mut c2, &a);
+            assert_eq!(c1, c2, "n={n} k={k}");
+            for j in 1..n {
+                for i in 0..j {
+                    assert_eq!(c2[(i, j)], init[(i, j)], "upper ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_bit_identical_to_reference() {
+        for (m, n) in [(4, 4), (70, 65), (10, 130)] {
+            let mut rng = spd::test_rng(9);
+            let mut l = spd::random_spd(n, &mut rng);
+            kernels::potf2(&mut l).unwrap();
+            let init = random_matrix(m, n, 10);
+            let mut b1 = init.clone();
+            let mut b2 = init.clone();
+            kernels::trsm_right_lower_transpose(&mut b1, &l);
+            trsm_right_lower_transpose(&mut b2, &l);
+            assert_eq!(b1, b2, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn potf2_bit_identical_to_reference() {
+        for n in [1usize, 2, 7, 64, 65, 129, 200] {
+            let mut rng = spd::test_rng(11);
+            let a = spd::random_spd(n, &mut rng);
+            let mut f1 = a.clone();
+            let mut f2 = a.clone();
+            kernels::potf2(&mut f1).unwrap();
+            potf2(&mut f2).unwrap();
+            assert_eq!(f1, f2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn potf2_rejects_indefinite_with_reference_error() {
+        let mut a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(
+            potf2(&mut a).unwrap_err(),
+            MatrixError::NotSpd { pivot: 1, value: -3.0 }
+        );
+        let mut z = Matrix::<f64>::zeros(0, 0);
+        potf2(&mut z).unwrap();
+    }
+
+    #[test]
+    fn fused_gemm_agrees_with_reference_to_contraction_residual() {
+        for (m, k, n) in [(5, 3, 7), (130, 70, 65), (257, 300, 129)] {
+            let a = random_matrix(m, k, 21);
+            let b = random_matrix(k, n, 22);
+            let init = random_matrix(m, n, 23);
+            let mut c1 = init.clone();
+            let mut c2 = init.clone();
+            kernels::gemm_nn(&mut c1, -1.0, &a, &b);
+            fused::gemm_nn(&mut c2, -1.0, &a, &b);
+            let tol = 1e-13 * k as f64;
+            assert!(norms::max_abs_diff(&c1, &c2) <= tol, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn fused_potf2_factors_to_reference_accuracy() {
+        for n in [7usize, 64, 129, 200] {
+            let mut rng = spd::test_rng(24);
+            let a = spd::random_spd(n, &mut rng);
+            let mut f = a.clone();
+            fused::potf2(&mut f).unwrap();
+            // Zero the strict upper triangle (untouched input remains).
+            let l = Matrix::from_fn(n, n, |i, j| if i >= j { f[(i, j)] } else { 0.0 });
+            let residual = norms::max_abs_diff(&kernels::llt(&l), &a);
+            assert!(residual <= 1e-10 * n as f64, "n={n}: residual {residual}");
+        }
+    }
+
+    #[test]
+    fn fused_trsm_recovers_factor_panel() {
+        let n = 96;
+        let mut rng = spd::test_rng(25);
+        let mut l = spd::random_spd(n, &mut rng);
+        kernels::potf2(&mut l).unwrap();
+        let l = Matrix::from_fn(n, n, |i, j| if i >= j { l[(i, j)] } else { 0.0 });
+        // X = B L^{-T} must satisfy X L^T = B.
+        let b = random_matrix(40, n, 26);
+        let mut x = b.clone();
+        fused::trsm_right_lower_transpose(&mut x, &l);
+        let mut back = Matrix::zeros(40, n);
+        kernels::gemm_nt(&mut back, 1.0, &x, &l);
+        // gemm_nt computes X * L^T via B(j,k) reads: back = X L^T.
+        assert!(norms::max_abs_diff(&back, &b) <= 1e-9);
+    }
+
+    #[test]
+    fn fused_potf2_rejects_indefinite_with_matching_pivot() {
+        let mut a = Matrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]);
+        match fused::potf2(&mut a).unwrap_err() {
+            MatrixError::NotSpd { pivot, value } => {
+                assert_eq!(pivot, 1);
+                assert!((value - (-3.0)).abs() < 1e-12);
+            }
+            e => panic!("unexpected error {e:?}"),
+        }
+    }
+}

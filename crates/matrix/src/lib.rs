@@ -17,14 +17,19 @@
 //!   matrices (random Gram matrices, RBF kernel matrices, classic examples).
 //! * [`kernels`] — reference BLAS-3-like kernels (`gemm`, `syrk`, `trsm`,
 //!   unblocked `potf2`) written exactly from Equations (5)–(6) of the paper.
+//! * [`kernels_fast`] — packed, cache-blocked, register-tiled `f64`
+//!   microkernels, bit-identical to the reference kernels but running at
+//!   hardware speed; selected through [`engine::KernelImpl`].
 //! * [`tri`] — triangular solves and SPD system solution via the factor.
 //! * [`norms`] — Frobenius norms and factorization residuals used by every
 //!   correctness test in the workspace.
 
 pub mod abft;
 pub mod dense;
+pub mod engine;
 pub mod error;
 pub mod kernels;
+pub mod kernels_fast;
 pub mod norms;
 pub mod scalar;
 pub mod spd;
@@ -32,5 +37,6 @@ pub mod tri;
 
 pub use abft::{verify_and_heal, AbftMatrix, AbftStats, TileChecksum, TileHealth};
 pub use dense::Matrix;
+pub use engine::KernelImpl;
 pub use error::MatrixError;
 pub use scalar::Scalar;

@@ -18,7 +18,8 @@
 //! the recovery path.
 
 use crate::backend::IoBackend;
-use crate::potrf::{factor_panel, OocError, TileCache};
+use crate::potrf::{factor_panel_with, OocError, TileCache};
+use cholcomm_matrix::KernelImpl;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
@@ -253,6 +254,23 @@ pub fn ooc_potrf_checkpointed<B: IoBackend>(
     capacity_tiles: usize,
     ckpt: &Checkpoint,
 ) -> Result<CheckpointReport, OocError> {
+    ooc_potrf_checkpointed_with(fm, capacity_tiles, ckpt, KernelImpl::Reference)
+}
+
+/// [`ooc_potrf_checkpointed`] with an explicit kernel engine.  The
+/// checkpoint/restore protocol and all tile I/O are engine-independent.
+/// `FastStrict` is bit-identical to `Reference`, so a run may even
+/// crash under one of those engines and resume under the other; `Fast`
+/// contracts multiply-adds through FMA, so mixing it with the others
+/// across a restart yields a factor that differs by the (tiny)
+/// contraction residual — restart under the engine you crashed with if
+/// bit-reproducibility matters.
+pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
+    fm: &mut B,
+    capacity_tiles: usize,
+    ckpt: &Checkpoint,
+    kernel: KernelImpl,
+) -> Result<CheckpointReport, OocError> {
     let nb = fm.nb();
     let mut report = CheckpointReport::default();
     let start = match ckpt.load()? {
@@ -298,7 +316,7 @@ pub fn ooc_potrf_checkpointed<B: IoBackend>(
     for k in start..nb {
         let mut retries = 0;
         loop {
-            match factor_panel(fm, &mut cache, k) {
+            match factor_panel_with(fm, &mut cache, k, kernel) {
                 Ok(()) => break,
                 Err(e @ OocError::NotSpd { .. }) => {
                     cache.flush(fm)?;

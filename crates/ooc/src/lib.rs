@@ -38,6 +38,9 @@ pub mod potrf;
 
 pub use abft::AbftBackend;
 pub use backend::{FaultyBackend, IoBackend};
-pub use checkpoint::{ooc_potrf_checkpointed, Checkpoint, CheckpointReport, CheckpointState};
+pub use checkpoint::{
+    ooc_potrf_checkpointed, ooc_potrf_checkpointed_with, Checkpoint, CheckpointReport,
+    CheckpointState,
+};
 pub use filemat::{FileMatrix, IoStats};
-pub use potrf::{ooc_potrf, OocError, TileCache};
+pub use potrf::{ooc_potrf, ooc_potrf_with, OocError, TileCache};

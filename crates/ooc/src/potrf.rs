@@ -2,8 +2,7 @@
 //! through a bounded tile cache.
 
 use crate::backend::IoBackend;
-use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
-use cholcomm_matrix::{Matrix, MatrixError};
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
 use std::collections::HashMap;
 
 /// An LRU cache of tiles standing in for fast memory: at most
@@ -152,11 +151,15 @@ impl TileCache {
 
 /// One panel step `k` of the right-looking blocked Cholesky: factor the
 /// diagonal tile, solve the panel below it, update the trailing
-/// submatrix.  Shared by [`ooc_potrf`] and the checkpointed driver.
-pub(crate) fn factor_panel<B: IoBackend>(
+/// submatrix.  Shared by [`ooc_potrf`] and the checkpointed driver,
+/// parameterised by the kernel engine.  Tile loads and
+/// write-backs (the I/O the out-of-core analysis counts) are identical
+/// under every engine; only the in-memory tile arithmetic changes.
+pub(crate) fn factor_panel_with<B: IoBackend>(
     fm: &mut B,
     cache: &mut TileCache,
     k: usize,
+    kernel: KernelImpl,
 ) -> Result<(), OocError> {
     let nb = fm.nb();
     let b = fm.b();
@@ -168,7 +171,7 @@ pub(crate) fn factor_panel<B: IoBackend>(
     let mut diag = cache.get(fm, k, k)?;
     let live = (n - k * b).min(b);
     let mut live_part = diag.submatrix(0, 0, live, live);
-    if let Err(MatrixError::NotSpd { pivot, value }) = potf2(&mut live_part) {
+    if let Err(MatrixError::NotSpd { pivot, value }) = kernel.potf2(&mut live_part) {
         return Err(OocError::NotSpd {
             pivot: k * b + pivot,
             value,
@@ -184,7 +187,7 @@ pub(crate) fn factor_panel<B: IoBackend>(
         // columns of the tile are zero and stay zero.
         let mut x = t.submatrix(0, 0, b, live);
         let l = diag.submatrix(0, 0, live, live);
-        trsm_right_lower_transpose(&mut x, &l);
+        kernel.trsm_right_lower_transpose(&mut x, &l);
         t.set_submatrix(0, 0, &x);
         cache.put(fm, i, k, t)?;
     }
@@ -195,7 +198,7 @@ pub(crate) fn factor_panel<B: IoBackend>(
         for i in j..nb {
             let li = cache.get(fm, i, k)?;
             let mut t = cache.get(fm, i, j)?;
-            gemm_nt(&mut t, -1.0, &li, &lj);
+            kernel.gemm_nt(&mut t, -1.0, &li, &lj);
             cache.put(fm, i, j, t)?;
         }
     }
@@ -211,10 +214,20 @@ pub(crate) fn factor_panel<B: IoBackend>(
 /// before the failing pivot (a partially factored matrix, documented —
 /// not a torn one).
 pub fn ooc_potrf<B: IoBackend>(fm: &mut B, capacity_tiles: usize) -> Result<(), OocError> {
+    ooc_potrf_with(fm, capacity_tiles, KernelImpl::Reference)
+}
+
+/// [`ooc_potrf`] with an explicit kernel engine (same tile I/O, same
+/// bits; see [`cholcomm_matrix::kernels_fast`]).
+pub fn ooc_potrf_with<B: IoBackend>(
+    fm: &mut B,
+    capacity_tiles: usize,
+    kernel: KernelImpl,
+) -> Result<(), OocError> {
     let nb = fm.nb();
     let mut cache = TileCache::new(capacity_tiles);
     for k in 0..nb {
-        match factor_panel(fm, &mut cache, k) {
+        match factor_panel_with(fm, &mut cache, k, kernel) {
             Ok(()) => {}
             Err(e @ OocError::NotSpd { .. }) => {
                 // Leave the file in a well-defined state: everything up

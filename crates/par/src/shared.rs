@@ -14,12 +14,23 @@
 //!   algorithm correct), which is what licenses the small unsafe shared
 //!   pointer underneath.
 
-use cholcomm_matrix::kernels::{potf2, trsm_right_lower_transpose};
-use cholcomm_matrix::{Matrix, MatrixError};
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
 use rayon::join;
 
 /// Parallel tiled right-looking Cholesky with tile size `b`.
 pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError> {
+    par_tiled_potrf_with(a, b, KernelImpl::Reference)
+}
+
+/// [`par_tiled_potrf`] with an explicit kernel engine.  The task graph —
+/// which tiles factor/solve/update in which order — is a property of the
+/// schedule and does not depend on the engine; only the per-tile
+/// arithmetic speed changes (bit-identically).
+pub fn par_tiled_potrf_with(
+    a: &mut Matrix<f64>,
+    b: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
     let n = a.rows();
     if !a.is_square() {
         return Err(MatrixError::NotSquare {
@@ -44,7 +55,7 @@ pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError>
         // Diagonal factorization (sequential; O(b^3) work).
         {
             let t = &mut tiles[idx(k, k)];
-            if let Err(MatrixError::NotSpd { pivot, value }) = potf2(t) {
+            if let Err(MatrixError::NotSpd { pivot, value }) = kernel.potf2(t) {
                 return Err(MatrixError::NotSpd {
                     pivot: k * b + pivot,
                     value,
@@ -58,7 +69,7 @@ pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError>
         tiles.par_iter_mut().enumerate().for_each(|(t_idx, tile)| {
             let (bi, bj) = tile_coords(t_idx);
             if bj == k && bi > k {
-                trsm_right_lower_transpose(tile, &diag);
+                kernel.trsm_right_lower_transpose(tile, &diag);
             }
         });
 
@@ -81,7 +92,7 @@ pub fn par_tiled_potrf(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError>
                     panel[bi].as_ref().expect("panel tile"),
                     panel[bj].as_ref().expect("panel tile"),
                 );
-                cholcomm_matrix::kernels::gemm_nt(tile, -1.0, li, lj);
+                kernel.gemm_nt(tile, -1.0, li, lj);
             }
         });
     }
@@ -147,6 +158,18 @@ impl SharedMat {
 /// Fork-join recursive Cholesky (the parallel rendition of Algorithm 6).
 /// `cutoff` is the sequential base-case size.
 pub fn par_recursive_potrf(a: &mut Matrix<f64>, cutoff: usize) -> Result<(), MatrixError> {
+    par_recursive_potrf_with(a, cutoff, KernelImpl::Reference)
+}
+
+/// [`par_recursive_potrf`] with an explicit kernel engine: sequential
+/// base cases gather their region into a dense tile and run the engine's
+/// kernel (bit-identically), while the fork-join structure above them is
+/// untouched.
+pub fn par_recursive_potrf_with(
+    a: &mut Matrix<f64>,
+    cutoff: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
     let n = a.rows();
     if !a.is_square() {
         return Err(MatrixError::NotSquare {
@@ -159,7 +182,7 @@ pub fn par_recursive_potrf(a: &mut Matrix<f64>, cutoff: usize) -> Result<(), Mat
         ptr: a.as_mut_slice().as_mut_ptr(),
         n,
     };
-    rchol(m, 0, n, cutoff)?;
+    rchol(m, 0, n, cutoff, kernel)?;
     for j in 0..n {
         for i in 0..j {
             a[(i, j)] = 0.0;
@@ -168,22 +191,64 @@ pub fn par_recursive_potrf(a: &mut Matrix<f64>, cutoff: usize) -> Result<(), Mat
     Ok(())
 }
 
-fn rchol(m: SharedMat, o: usize, n: usize, cutoff: usize) -> Result<(), MatrixError> {
+fn rchol(
+    m: SharedMat,
+    o: usize,
+    n: usize,
+    cutoff: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
     if n == 0 {
         return Ok(());
     }
     if n <= cutoff {
-        return leaf_chol(m, o, n);
+        return leaf_chol(m, o, n, kernel);
     }
     let n1 = n / 2;
     let n2 = n - n1;
-    rchol(m, o, n1, cutoff)?;
-    par_rtrsm(m, (o + n1, o), n2, n1, (o, o), cutoff);
-    par_gemm_nt(m, (o + n1, o + n1), (o + n1, o), (o + n1, o), n2, n2, n1, true, cutoff);
-    rchol(m, o + n1, n2, cutoff)
+    rchol(m, o, n1, cutoff, kernel)?;
+    par_rtrsm(m, (o + n1, o), n2, n1, (o, o), cutoff, kernel);
+    par_gemm_nt(
+        m,
+        (o + n1, o + n1),
+        (o + n1, o),
+        (o + n1, o),
+        n2,
+        n2,
+        n1,
+        true,
+        cutoff,
+        kernel,
+    );
+    rchol(m, o + n1, n2, cutoff, kernel)
 }
 
-fn leaf_chol(m: SharedMat, o: usize, n: usize) -> Result<(), MatrixError> {
+fn leaf_chol(m: SharedMat, o: usize, n: usize, kernel: KernelImpl) -> Result<(), MatrixError> {
+    if kernel.accelerates::<f64>() {
+        let mut t = Matrix::from_fn(n, n, |i, j| {
+            if i >= j {
+                m.get(o + i, o + j)
+            } else {
+                0.0
+            }
+        });
+        match kernel.potf2(&mut t) {
+            Ok(()) => {}
+            Err(MatrixError::NotSpd { pivot, value }) => {
+                return Err(MatrixError::NotSpd {
+                    pivot: o + pivot,
+                    value,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        for j in 0..n {
+            for i in j..n {
+                m.set(o + i, o + j, t[(i, j)]);
+            }
+        }
+        return Ok(());
+    }
     for j in 0..n {
         let mut d = m.get(o + j, o + j);
         for k in 0..j {
@@ -211,11 +276,37 @@ fn leaf_chol(m: SharedMat, o: usize, n: usize) -> Result<(), MatrixError> {
 
 /// Parallel recursive solve `X * L^T = X` (rows of `X` split across
 /// tasks; both halves write disjoint rows).
-fn par_rtrsm(m: SharedMat, x0: (usize, usize), rows: usize, nc: usize, l0: (usize, usize), cutoff: usize) {
+#[allow(clippy::too_many_arguments)]
+fn par_rtrsm(
+    m: SharedMat,
+    x0: (usize, usize),
+    rows: usize,
+    nc: usize,
+    l0: (usize, usize),
+    cutoff: usize,
+    kernel: KernelImpl,
+) {
     if rows == 0 || nc == 0 {
         return;
     }
     if rows <= cutoff && nc <= cutoff {
+        if kernel.accelerates::<f64>() {
+            let mut x = Matrix::from_fn(rows, nc, |i, j| m.get(x0.0 + i, x0.1 + j));
+            let l = Matrix::from_fn(nc, nc, |i, j| {
+                if i >= j {
+                    m.get(l0.0 + i, l0.1 + j)
+                } else {
+                    0.0
+                }
+            });
+            kernel.trsm_right_lower_transpose(&mut x, &l);
+            for j in 0..nc {
+                for i in 0..rows {
+                    m.set(x0.0 + i, x0.1 + j, x[(i, j)]);
+                }
+            }
+            return;
+        }
         for j in 0..nc {
             for k in 0..j {
                 let ljk = m.get(l0.0 + j, l0.1 + k);
@@ -236,15 +327,26 @@ fn par_rtrsm(m: SharedMat, x0: (usize, usize), rows: usize, nc: usize, l0: (usiz
         let r1 = rows / 2;
         // The two row-halves write disjoint regions and share read-only L.
         join(
-            || par_rtrsm(m, x0, r1, nc, l0, cutoff),
-            || par_rtrsm(m, (x0.0 + r1, x0.1), rows - r1, nc, l0, cutoff),
+            || par_rtrsm(m, x0, r1, nc, l0, cutoff, kernel),
+            || par_rtrsm(m, (x0.0 + r1, x0.1), rows - r1, nc, l0, cutoff, kernel),
         );
     } else {
         let n1 = nc / 2;
         let n2 = nc - n1;
-        par_rtrsm(m, x0, rows, n1, l0, cutoff);
-        par_gemm_nt(m, (x0.0, x0.1 + n1), x0, (l0.0 + n1, l0.1), rows, n2, n1, false, cutoff);
-        par_rtrsm(m, (x0.0, x0.1 + n1), rows, n2, (l0.0 + n1, l0.1 + n1), cutoff);
+        par_rtrsm(m, x0, rows, n1, l0, cutoff, kernel);
+        par_gemm_nt(
+            m,
+            (x0.0, x0.1 + n1),
+            x0,
+            (l0.0 + n1, l0.1),
+            rows,
+            n2,
+            n1,
+            false,
+            cutoff,
+            kernel,
+        );
+        par_rtrsm(m, (x0.0, x0.1 + n1), rows, n2, (l0.0 + n1, l0.1 + n1), cutoff, kernel);
     }
 }
 
@@ -262,6 +364,7 @@ fn par_gemm_nt(
     inner: usize,
     lower_only: bool,
     cutoff: usize,
+    kernel: KernelImpl,
 ) {
     if rows == 0 || cols == 0 || inner == 0 {
         return;
@@ -270,6 +373,20 @@ fn par_gemm_nt(
         return;
     }
     if rows.max(cols).max(inner) <= cutoff {
+        // Leaves with no diagonal straddle run through the engine.
+        let maskless = !lower_only || c0.0 + 1 >= c0.1 + cols;
+        if maskless && kernel.accelerates::<f64>() {
+            let mut cm = Matrix::from_fn(rows, cols, |i, j| m.get(c0.0 + i, c0.1 + j));
+            let am = Matrix::from_fn(rows, inner, |i, j| m.get(a0.0 + i, a0.1 + j));
+            let bm = Matrix::from_fn(cols, inner, |i, j| m.get(b0.0 + i, b0.1 + j));
+            kernel.gemm_nt(&mut cm, -1.0, &am, &bm);
+            for j in 0..cols {
+                for i in 0..rows {
+                    m.set(c0.0 + i, c0.1 + j, cm[(i, j)]);
+                }
+            }
+            return;
+        }
         for j in 0..cols {
             for k in 0..inner {
                 let bjk = m.get(b0.0 + j, b0.1 + k);
@@ -287,7 +404,7 @@ fn par_gemm_nt(
     if rows >= cols && rows >= inner {
         let r1 = rows / 2;
         join(
-            || par_gemm_nt(m, c0, a0, b0, r1, cols, inner, lower_only, cutoff),
+            || par_gemm_nt(m, c0, a0, b0, r1, cols, inner, lower_only, cutoff, kernel),
             || {
                 par_gemm_nt(
                     m,
@@ -299,12 +416,13 @@ fn par_gemm_nt(
                     inner,
                     lower_only,
                     cutoff,
+                    kernel,
                 )
             },
         );
     } else if inner >= cols {
         let k1 = inner / 2;
-        par_gemm_nt(m, c0, a0, b0, rows, cols, k1, lower_only, cutoff);
+        par_gemm_nt(m, c0, a0, b0, rows, cols, k1, lower_only, cutoff, kernel);
         par_gemm_nt(
             m,
             c0,
@@ -315,11 +433,12 @@ fn par_gemm_nt(
             inner - k1,
             lower_only,
             cutoff,
+            kernel,
         );
     } else {
         let c1 = cols / 2;
         join(
-            || par_gemm_nt(m, c0, a0, b0, rows, c1, inner, lower_only, cutoff),
+            || par_gemm_nt(m, c0, a0, b0, rows, c1, inner, lower_only, cutoff, kernel),
             || {
                 par_gemm_nt(
                     m,
@@ -331,6 +450,7 @@ fn par_gemm_nt(
                     inner,
                     lower_only,
                     cutoff,
+                    kernel,
                 )
             },
         );

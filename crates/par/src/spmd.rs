@@ -14,8 +14,7 @@
 use cholcomm_distsim::threaded::{run_spmd_faulty, DistError, FaultReport, ProcCtx, SpmdOutcome};
 use cholcomm_distsim::{CostModel, ProcGrid};
 use cholcomm_faults::FaultPlan;
-use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
-use cholcomm_matrix::{Matrix, MatrixError};
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
 use std::collections::HashMap;
 
 /// Errors from the SPMD driver: numerical failures of the
@@ -96,7 +95,21 @@ pub fn spmd_pxpotrf(
     p: usize,
     model: CostModel,
 ) -> Result<SpmdReport, SpmdError> {
-    spmd_pxpotrf_faulty(a, b, p, model, FaultPlan::none())
+    spmd_pxpotrf_faulty_with(a, b, p, model, FaultPlan::none(), KernelImpl::Reference)
+}
+
+/// [`spmd_pxpotrf`] with an explicit kernel engine.  The per-rank
+/// program's sends, broadcasts and `ctx.compute` charges are decided by
+/// the schedule alone, so the critical-path word/message counts are
+/// identical under every engine (asserted in `tests/cross_algorithm.rs`).
+pub fn spmd_pxpotrf_with(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+    kernel: KernelImpl,
+) -> Result<SpmdReport, SpmdError> {
+    spmd_pxpotrf_faulty_with(a, b, p, model, FaultPlan::none(), kernel)
 }
 
 /// Run Algorithm 9 as an SPMD program on `p` threads with every link
@@ -110,6 +123,18 @@ pub fn spmd_pxpotrf_faulty(
     p: usize,
     model: CostModel,
     plan: FaultPlan,
+) -> Result<SpmdReport, SpmdError> {
+    spmd_pxpotrf_faulty_with(a, b, p, model, plan, KernelImpl::Reference)
+}
+
+/// [`spmd_pxpotrf_faulty`] with an explicit kernel engine.
+pub fn spmd_pxpotrf_faulty_with(
+    a: &Matrix<f64>,
+    b: usize,
+    p: usize,
+    model: CostModel,
+    plan: FaultPlan,
+    kernel: KernelImpl,
 ) -> Result<SpmdReport, SpmdError> {
     let n = a.rows();
     if !a.is_square() {
@@ -159,7 +184,7 @@ pub fn spmd_pxpotrf_faulty(
                 let blk = owned
                     .get_mut(&(bj, bj))
                     .ok_or(DistError::Protocol("owner holds diag"))?;
-                if let Err(MatrixError::NotSpd { pivot, value }) = potf2(blk) {
+                if let Err(MatrixError::NotSpd { pivot, value }) = kernel.potf2(blk) {
                     failed.get_or_insert((bj * b + pivot, value));
                 }
                 ctx.compute((dh as u64).pow(3) / 3 + (dh as u64).pow(2));
@@ -198,7 +223,7 @@ pub fn spmd_pxpotrf_faulty(
                         let blk = owned
                             .get_mut(&(bi, bj))
                             .ok_or(DistError::Protocol("panel owner holds its blocks"))?;
-                        trsm_right_lower_transpose(blk, &diag);
+                        kernel.trsm_right_lower_transpose(blk, &diag);
                         let (bh, bw) = (blk.rows() as u64, blk.cols() as u64);
                         ctx.compute(bh * bw * bw);
                         payload.extend_from_slice(blk.as_slice());
@@ -270,7 +295,7 @@ pub fn spmd_pxpotrf_faulty(
                     let blk = owned
                         .get_mut(&(bk, bl))
                         .ok_or(DistError::Protocol("trailing owner holds its block"))?;
-                    gemm_nt(blk, -1.0, &lk, &ll);
+                    kernel.gemm_nt(blk, -1.0, &lk, &ll);
                     let (bh, bw, kk) = (blk.rows() as u64, blk.cols() as u64, lk.cols() as u64);
                     ctx.compute(2 * bh * bw * kk);
                 }

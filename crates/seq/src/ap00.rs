@@ -12,7 +12,7 @@
 use crate::naive::check_pivot;
 use cholcomm_cachesim::{touch, Access, Tracer};
 use cholcomm_layout::{cells_block, cells_lower_block, Laid, Layout};
-use cholcomm_matrix::{MatrixError, Scalar};
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError, Scalar};
 
 /// Default recursion base-case edge.
 pub const DEFAULT_LEAF: usize = 4;
@@ -23,6 +23,21 @@ pub fn square_rchol<S: Scalar, L: Layout, T: Tracer>(
     tracer: &mut T,
     leaf: usize,
 ) -> Result<(), MatrixError> {
+    square_rchol_with(a, tracer, leaf, KernelImpl::Reference)
+}
+
+/// Algorithm 6 with an explicit kernel engine.  Base cases gather their
+/// index region into a dense tile, run the engine's kernel, and scatter
+/// back — the `touch` charges bracketing each base case are unchanged,
+/// so words/messages are identical under every engine.  The arithmetic
+/// is bit-identical under `FastStrict` and agrees to an FMA-contraction
+/// residual under `Fast` (see `cholcomm_matrix::kernels_fast`).
+pub fn square_rchol_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    leaf: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
     let n = a.layout().rows();
     if a.layout().cols() != n {
         return Err(MatrixError::NotSquare {
@@ -31,7 +46,7 @@ pub fn square_rchol<S: Scalar, L: Layout, T: Tracer>(
         });
     }
     assert!(leaf >= 1);
-    rchol_rec(a, tracer, 0, n, leaf)
+    rchol_rec(a, tracer, 0, n, leaf, kernel)
 }
 
 fn rchol_rec<S: Scalar, L: Layout, T: Tracer>(
@@ -40,23 +55,24 @@ fn rchol_rec<S: Scalar, L: Layout, T: Tracer>(
     o: usize,
     n: usize,
     leaf: usize,
+    kernel: KernelImpl,
 ) -> Result<(), MatrixError> {
     if n == 0 {
         return Ok(());
     }
     if n <= leaf {
-        return leaf_potf2(a, tracer, o, n);
+        return leaf_potf2(a, tracer, o, n, kernel);
     }
     let n1 = n / 2;
     let n2 = n - n1;
     // L11 = SquareRChol(A11)
-    rchol_rec(a, tracer, o, n1, leaf)?;
+    rchol_rec(a, tracer, o, n1, leaf, kernel)?;
     // L21 = RTRSM(A21, L11^T)
-    rtrsm_rec(a, tracer, (o + n1, o), n2, n1, (o, o), leaf);
+    rtrsm_rec_with(a, tracer, (o + n1, o), n2, n1, (o, o), leaf, kernel);
     // A22 = A22 - L21 * L21^T  (recursive SYRK)
-    syrk_rec(a, tracer, (o + n1, o + n1), (o + n1, o), n2, n1, leaf);
+    syrk_rec_with(a, tracer, (o + n1, o + n1), (o + n1, o), n2, n1, leaf, kernel);
     // L22 = SquareRChol(A22)
-    rchol_rec(a, tracer, o + n1, n2, leaf)
+    rchol_rec(a, tracer, o + n1, n2, leaf, kernel)
 }
 
 /// Base case: unblocked Cholesky on the `n x n` diagonal block at
@@ -66,8 +82,38 @@ fn leaf_potf2<S: Scalar, L: Layout, T: Tracer>(
     tracer: &mut T,
     o: usize,
     n: usize,
+    kernel: KernelImpl,
 ) -> Result<(), MatrixError> {
     touch(tracer, a.layout(), cells_lower_block(o, o, n, n), Access::Read);
+    if kernel.accelerates::<S>() {
+        // Gather the lower triangle into a dense tile (zeros above — the
+        // kernel never reads them), factor, scatter back.  The per-element
+        // operation order of `potf2` matches this leaf's loop exactly.
+        let mut t = Matrix::from_fn(n, n, |i, j| {
+            if i >= j {
+                a.get(o + i, o + j)
+            } else {
+                S::zero()
+            }
+        });
+        match kernel.potf2(&mut t) {
+            Ok(()) => {}
+            Err(MatrixError::NotSpd { pivot, value }) => {
+                return Err(MatrixError::NotSpd {
+                    pivot: o + pivot,
+                    value,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+        for j in 0..n {
+            for i in j..n {
+                a.set(o + i, o + j, t[(i, j)]);
+            }
+        }
+        touch(tracer, a.layout(), cells_lower_block(o, o, n, n), Access::Write);
+        return Ok(());
+    }
     for j in 0..n {
         let mut d = a.get(o + j, o + j);
         for k in 0..j {
@@ -103,6 +149,21 @@ pub fn rtrsm_rec<S: Scalar, L: Layout, T: Tracer>(
     l0: (usize, usize),
     leaf: usize,
 ) {
+    rtrsm_rec_with(a, tracer, x0, m, n, l0, leaf, KernelImpl::Reference)
+}
+
+/// [`rtrsm_rec`] with an explicit kernel engine (same touches, same bits).
+#[allow(clippy::too_many_arguments)]
+pub fn rtrsm_rec_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    x0: (usize, usize),
+    m: usize,
+    n: usize,
+    l0: (usize, usize),
+    leaf: usize,
+    kernel: KernelImpl,
+) {
     if m == 0 || n == 0 {
         return;
     }
@@ -110,6 +171,24 @@ pub fn rtrsm_rec<S: Scalar, L: Layout, T: Tracer>(
         // Base: forward-substitute the little system.
         touch(tracer, a.layout(), cells_block(x0.0, x0.1, m, n), Access::Read);
         touch(tracer, a.layout(), cells_lower_block(l0.0, l0.1, n, n), Access::Read);
+        if kernel.accelerates::<S>() {
+            let mut x = Matrix::from_fn(m, n, |i, j| a.get(x0.0 + i, x0.1 + j));
+            let l = Matrix::from_fn(n, n, |i, j| {
+                if i >= j {
+                    a.get(l0.0 + i, l0.1 + j)
+                } else {
+                    S::zero()
+                }
+            });
+            kernel.trsm_right_lower_transpose(&mut x, &l);
+            for j in 0..n {
+                for i in 0..m {
+                    a.set(x0.0 + i, x0.1 + j, x[(i, j)]);
+                }
+            }
+            touch(tracer, a.layout(), cells_block(x0.0, x0.1, m, n), Access::Write);
+            return;
+        }
         for j in 0..n {
             for k in 0..j {
                 let ljk = a.get(l0.0 + j, l0.1 + k);
@@ -130,17 +209,17 @@ pub fn rtrsm_rec<S: Scalar, L: Layout, T: Tracer>(
     if m > n || n <= leaf {
         // Row split (the X21/X22 half of Algorithm 8).
         let m1 = m / 2;
-        rtrsm_rec(a, tracer, x0, m1, n, l0, leaf);
-        rtrsm_rec(a, tracer, (x0.0 + m1, x0.1), m - m1, n, l0, leaf);
+        rtrsm_rec_with(a, tracer, x0, m1, n, l0, leaf, kernel);
+        rtrsm_rec_with(a, tracer, (x0.0 + m1, x0.1), m - m1, n, l0, leaf, kernel);
     } else {
         // Column split: X = [X1 X2], U = L^T upper triangular.
         // X1 = RTRSM(A1, U11); X2 = RTRSM(A2 - X1 * U12, U22),
         // where U12 = L21^T.
         let n1 = n / 2;
         let n2 = n - n1;
-        rtrsm_rec(a, tracer, x0, m, n1, l0, leaf);
+        rtrsm_rec_with(a, tracer, x0, m, n1, l0, leaf, kernel);
         // X2 -= X1 * L21^T : C(i,j) -= sum_k X1(i,k) * L21(j,k)
-        gemm_nt_rec(
+        gemm_nt_rec_with(
             a,
             tracer,
             (x0.0, x0.1 + n1),
@@ -151,8 +230,18 @@ pub fn rtrsm_rec<S: Scalar, L: Layout, T: Tracer>(
             n1,
             false,
             leaf,
+            kernel,
         );
-        rtrsm_rec(a, tracer, (x0.0, x0.1 + n1), m, n2, (l0.0 + n1, l0.1 + n1), leaf);
+        rtrsm_rec_with(
+            a,
+            tracer,
+            (x0.0, x0.1 + n1),
+            m,
+            n2,
+            (l0.0 + n1, l0.1 + n1),
+            leaf,
+            kernel,
+        );
     }
 }
 
@@ -168,7 +257,22 @@ pub fn syrk_rec<S: Scalar, L: Layout, T: Tracer>(
     k: usize,
     leaf: usize,
 ) {
-    gemm_nt_rec(a, tracer, c0, a0, a0, n, n, k, true, leaf);
+    syrk_rec_with(a, tracer, c0, a0, n, k, leaf, KernelImpl::Reference)
+}
+
+/// [`syrk_rec`] with an explicit kernel engine.
+#[allow(clippy::too_many_arguments)]
+pub fn syrk_rec_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    c0: (usize, usize),
+    a0: (usize, usize),
+    n: usize,
+    k: usize,
+    leaf: usize,
+    kernel: KernelImpl,
+) {
+    gemm_nt_rec_with(a, tracer, c0, a0, a0, n, n, k, true, leaf, kernel);
 }
 
 /// In-place recursive `C -= A * B^T` over regions of one storage:
@@ -193,6 +297,27 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
     lower_only: bool,
     leaf: usize,
 ) {
+    gemm_nt_rec_with(a, tracer, c0, a0, b0, m, n, k, lower_only, leaf, KernelImpl::Reference)
+}
+
+/// [`gemm_nt_rec`] with an explicit kernel engine.  Base cases with no
+/// diagonal straddle gather into dense tiles and run the engine's
+/// `gemm_nt`; straddling (masked) leaves keep the element loop, whose
+/// cells may not even all exist in packed layouts.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_nt_rec_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    c0: (usize, usize),
+    a0: (usize, usize),
+    b0: (usize, usize),
+    m: usize,
+    n: usize,
+    k: usize,
+    lower_only: bool,
+    leaf: usize,
+    kernel: KernelImpl,
+) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
@@ -212,15 +337,30 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
         touch(tracer, a.layout(), cw(m, n), Access::Read);
         touch(tracer, a.layout(), cells_block(a0.0, a0.1, m, k), Access::Read);
         touch(tracer, a.layout(), cells_block(b0.0, b0.1, n, k), Access::Read);
-        for j in 0..n {
-            for kk in 0..k {
-                let bjk = a.get(b0.0 + j, b0.1 + kk);
+        // The C leaf is maskless iff its topmost row is at or below its
+        // rightmost column (then every cell is on or under the diagonal).
+        let maskless = !lower_only || c0.0 + 1 >= c0.1 + n;
+        if maskless && kernel.accelerates::<S>() {
+            let mut cm = Matrix::from_fn(m, n, |i, j| a.get(c0.0 + i, c0.1 + j));
+            let am = Matrix::from_fn(m, k, |i, j| a.get(a0.0 + i, a0.1 + j));
+            let bm = Matrix::from_fn(n, k, |i, j| a.get(b0.0 + i, b0.1 + j));
+            kernel.gemm_nt(&mut cm, -S::one(), &am, &bm);
+            for j in 0..n {
                 for i in 0..m {
-                    if lower_only && c0.0 + i < c0.1 + j {
-                        continue;
+                    a.set(c0.0 + i, c0.1 + j, cm[(i, j)]);
+                }
+            }
+        } else {
+            for j in 0..n {
+                for kk in 0..k {
+                    let bjk = a.get(b0.0 + j, b0.1 + kk);
+                    for i in 0..m {
+                        if lower_only && c0.0 + i < c0.1 + j {
+                            continue;
+                        }
+                        let aik = a.get(a0.0 + i, a0.1 + kk);
+                        a.update(c0.0 + i, c0.1 + j, |v| v.mul_sub(aik, bjk));
                     }
-                    let aik = a.get(a0.0 + i, a0.1 + kk);
-                    a.update(c0.0 + i, c0.1 + j, |v| v.mul_sub(aik, bjk));
                 }
             }
         }
@@ -229,8 +369,8 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
     }
     if m >= n && m >= k {
         let m1 = m / 2;
-        gemm_nt_rec(a, tracer, c0, a0, b0, m1, n, k, lower_only, leaf);
-        gemm_nt_rec(
+        gemm_nt_rec_with(a, tracer, c0, a0, b0, m1, n, k, lower_only, leaf, kernel);
+        gemm_nt_rec_with(
             a,
             tracer,
             (c0.0 + m1, c0.1),
@@ -241,11 +381,12 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
             k,
             lower_only,
             leaf,
+            kernel,
         );
     } else if k >= n {
         let k1 = k / 2;
-        gemm_nt_rec(a, tracer, c0, a0, b0, m, n, k1, lower_only, leaf);
-        gemm_nt_rec(
+        gemm_nt_rec_with(a, tracer, c0, a0, b0, m, n, k1, lower_only, leaf, kernel);
+        gemm_nt_rec_with(
             a,
             tracer,
             c0,
@@ -256,11 +397,12 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
             k - k1,
             lower_only,
             leaf,
+            kernel,
         );
     } else {
         let n1 = n / 2;
-        gemm_nt_rec(a, tracer, c0, a0, b0, m, n1, k, lower_only, leaf);
-        gemm_nt_rec(
+        gemm_nt_rec_with(a, tracer, c0, a0, b0, m, n1, k, lower_only, leaf, kernel);
+        gemm_nt_rec_with(
             a,
             tracer,
             (c0.0, c0.1 + n1),
@@ -271,6 +413,7 @@ pub fn gemm_nt_rec<S: Scalar, L: Layout, T: Tracer>(
             k,
             lower_only,
             leaf,
+            kernel,
         );
     }
 }

@@ -11,10 +11,9 @@
 use crate::tiles::{load_tile, store_tile};
 use cholcomm_cachesim::{FastMemGauge, Tracer};
 use cholcomm_layout::{Laid, Layout};
-use cholcomm_matrix::kernels::{gemm_nt, potf2, trsm_right_lower_transpose};
-use cholcomm_matrix::{MatrixError, Scalar};
+use cholcomm_matrix::{KernelImpl, MatrixError, Scalar};
 
-/// Algorithm 4 with block size `b`.
+/// Algorithm 4 with block size `b`, reference kernels.
 ///
 /// When `fast_memory` is given, a [`FastMemGauge`] asserts the schedule's
 /// working set stays within it — enforcing the paper's `3 b^2 <= M`
@@ -24,6 +23,21 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
     tracer: &mut T,
     b: usize,
     fast_memory: Option<usize>,
+) -> Result<(), MatrixError> {
+    potrf_blocked_with(a, tracer, b, fast_memory, KernelImpl::Reference)
+}
+
+/// Algorithm 4 with an explicit kernel engine.  The schedule — and hence
+/// every word/message charged to `tracer` — is identical under every
+/// engine; only the arithmetic inside the fast-memory tiles changes
+/// (bit-identically under `FastStrict`, to an FMA-contraction residual
+/// under `Fast` — see `cholcomm_matrix::kernels_fast`).
+pub fn potrf_blocked_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    b: usize,
+    fast_memory: Option<usize>,
+    kernel: KernelImpl,
 ) -> Result<(), MatrixError> {
     let n = a.layout().rows();
     if a.layout().cols() != n {
@@ -58,19 +72,12 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
             gauge.claim(bw * kw);
             let ajk = load_tile(a, tracer, c0, k0, bw, kw, false);
             // Lower-triangle-only rank-kw update.
-            for j in 0..bw {
-                for k in 0..kw {
-                    let ajk_jk = ajk[(j, k)];
-                    for i in j..bw {
-                        a22[(i, j)] = a22[(i, j)].mul_sub(ajk[(i, k)], ajk_jk);
-                    }
-                }
-            }
+            kernel.syrk_lower(&mut a22, &ajk);
             gauge.release(bw * kw);
         }
 
         // --- POTF2 on the diagonal block in fast memory (line 4) ---
-        factor_lower_tile(&mut a22, c0)?;
+        factor_lower_tile(&mut a22, c0, kernel)?;
         store_tile(a, tracer, c0, c0, &a22, false);
         gauge.release(bw * bw);
 
@@ -88,7 +95,7 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
                 let aik = load_tile(a, tracer, r0, k0, bh, kw, false);
                 gauge.claim(bw * kw);
                 let ajk = load_tile(a, tracer, c0, k0, bw, kw, false);
-                gemm_nt(&mut aij, -S::one(), &aik, &ajk);
+                kernel.gemm_nt(&mut aij, -S::one(), &aik, &ajk);
                 gauge.release(bh * kw + bw * kw);
             }
             // TRSM: A32 <- A32 * A22^{-T} against the factored diagonal
@@ -96,7 +103,7 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
             // `(n/b - j) * Theta(b^2)` term of the paper's analysis.
             gauge.claim(bw * bw);
             let l22 = load_tile(a, tracer, c0, c0, bw, bw, false);
-            trsm_right_lower_transpose(&mut aij, &l22);
+            kernel.trsm_right_lower_transpose(&mut aij, &l22);
             gauge.release(bw * bw);
             store_tile(a, tracer, r0, c0, &aij, false);
             gauge.release(bh * bw);
@@ -107,8 +114,12 @@ pub fn potrf_blocked<S: Scalar, L: Layout, T: Tracer>(
 
 /// Unblocked Cholesky of a local tile, reporting the failing pivot in
 /// *global* coordinates.
-fn factor_lower_tile<S: Scalar>(tile: &mut cholcomm_matrix::Matrix<S>, global0: usize) -> Result<(), MatrixError> {
-    match potf2(tile) {
+fn factor_lower_tile<S: Scalar>(
+    tile: &mut cholcomm_matrix::Matrix<S>,
+    global0: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
+    match kernel.potf2(tile) {
         Ok(()) => Ok(()),
         Err(MatrixError::NotSpd { pivot, value }) => Err(MatrixError::NotSpd {
             pivot: global0 + pivot,
@@ -242,6 +253,18 @@ pub fn potrf_blocked_right<S: Scalar, L: Layout, T: Tracer>(
     b: usize,
     fast_memory: Option<usize>,
 ) -> Result<(), MatrixError> {
+    potrf_blocked_right_with(a, tracer, b, fast_memory, KernelImpl::Reference)
+}
+
+/// [`potrf_blocked_right`] with an explicit kernel engine (same schedule,
+/// same counts, same bits — see [`potrf_blocked_with`]).
+pub fn potrf_blocked_right_with<S: Scalar, L: Layout, T: Tracer>(
+    a: &mut Laid<S, L>,
+    tracer: &mut T,
+    b: usize,
+    fast_memory: Option<usize>,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
     let n = a.layout().rows();
     if a.layout().cols() != n {
         return Err(MatrixError::NotSquare {
@@ -263,7 +286,7 @@ pub fn potrf_blocked_right<S: Scalar, L: Layout, T: Tracer>(
         // Factor the diagonal tile.
         gauge.claim(bw * bw);
         let mut akk = load_tile(a, tracer, c0, c0, bw, bw, false);
-        factor_lower_tile(&mut akk, c0)?;
+        factor_lower_tile(&mut akk, c0, kernel)?;
         store_tile(a, tracer, c0, c0, &akk, false);
 
         // Panel solve below the diagonal.
@@ -272,7 +295,7 @@ pub fn potrf_blocked_right<S: Scalar, L: Layout, T: Tracer>(
             let bh = (n - r0).min(b);
             gauge.claim(bh * bw);
             let mut aik = load_tile(a, tracer, r0, c0, bh, bw, false);
-            trsm_right_lower_transpose(&mut aik, &akk);
+            kernel.trsm_right_lower_transpose(&mut aik, &akk);
             store_tile(a, tracer, r0, c0, &aik, false);
             gauge.release(bh * bw);
         }
@@ -290,7 +313,7 @@ pub fn potrf_blocked_right<S: Scalar, L: Layout, T: Tracer>(
                 gauge.claim(bh * bw + bh * jw);
                 let lik = load_tile(a, tracer, r0, c0, bh, bw, false);
                 let mut aij = load_tile(a, tracer, r0, j0, bh, jw, false);
-                gemm_nt(&mut aij, -S::one(), &lik, &ljk);
+                kernel.gemm_nt(&mut aij, -S::one(), &lik, &ljk);
                 store_tile(a, tracer, r0, j0, &aij, false);
                 gauge.release(bh * bw + bh * jw);
             }

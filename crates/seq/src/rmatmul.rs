@@ -10,7 +10,7 @@
 
 use cholcomm_cachesim::{touch_at, Access, Tracer};
 use cholcomm_layout::{cells_block, Laid, Layout};
-use cholcomm_matrix::Scalar;
+use cholcomm_matrix::{KernelImpl, Matrix, Scalar};
 
 /// Default recursion base-case edge (a small constant keeps the algorithm
 /// cache-oblivious; see the ablation bench for sensitivity).
@@ -25,6 +25,23 @@ pub fn recursive_matmul<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer
     tracer: &mut T,
     leaf: usize,
 ) {
+    recursive_matmul_with(c, a, b, tracer, leaf, KernelImpl::Reference)
+}
+
+/// [`recursive_matmul`] with an explicit kernel engine: base cases
+/// gather the three operand blocks into dense tiles and run the engine's
+/// `gemm_nn`.  The `touch_at` charges are identical under every engine,
+/// so the counts are invariant under the switch; the bits are too under
+/// `FastStrict` (same order, same rounding), while `Fast` agrees to an
+/// FMA-contraction residual.
+pub fn recursive_matmul_with<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
+    c: &mut Laid<S, LC>,
+    a: &Laid<S, LA>,
+    b: &Laid<S, LB>,
+    tracer: &mut T,
+    leaf: usize,
+    kernel: KernelImpl,
+) {
     let (m, k) = (a.layout().rows(), a.layout().cols());
     let r = b.layout().cols();
     assert_eq!(b.layout().rows(), k, "inner dimension");
@@ -38,7 +55,7 @@ pub fn recursive_matmul<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer
     let b_base = a.layout().len();
     let c_base = b_base + b.layout().len();
     let bases = (a_base, b_base, c_base);
-    rec(c, a, b, tracer, bases, (0, 0), (0, 0), (0, 0), m, k, r, leaf);
+    rec(c, a, b, tracer, bases, (0, 0), (0, 0), (0, 0), m, k, r, leaf, kernel);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -55,6 +72,7 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
     k: usize,
     r: usize,
     leaf: usize,
+    kernel: KernelImpl,
 ) {
     if m == 0 || k == 0 || r == 0 {
         return;
@@ -64,12 +82,24 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
         touch_at(tracer, a.layout(), bases.0, cells_block(a0.0, a0.1, m, k), Access::Read);
         touch_at(tracer, b.layout(), bases.1, cells_block(b0.0, b0.1, k, r), Access::Read);
         touch_at(tracer, c.layout(), bases.2, cells_block(c0.0, c0.1, m, r), Access::Read);
-        for j in 0..r {
-            for kk in 0..k {
-                let bkj = b.get(b0.0 + kk, b0.1 + j);
+        if kernel.accelerates::<S>() {
+            let am = Matrix::from_fn(m, k, |i, j| a.get(a0.0 + i, a0.1 + j));
+            let bm = Matrix::from_fn(k, r, |i, j| b.get(b0.0 + i, b0.1 + j));
+            let mut cm = Matrix::from_fn(m, r, |i, j| c.get(c0.0 + i, c0.1 + j));
+            kernel.gemm_nn(&mut cm, S::one(), &am, &bm);
+            for j in 0..r {
                 for i in 0..m {
-                    let prod = a.get(a0.0 + i, a0.1 + kk) * bkj;
-                    c.update(c0.0 + i, c0.1 + j, |v| v + prod);
+                    c.set(c0.0 + i, c0.1 + j, cm[(i, j)]);
+                }
+            }
+        } else {
+            for j in 0..r {
+                for kk in 0..k {
+                    let bkj = b.get(b0.0 + kk, b0.1 + j);
+                    for i in 0..m {
+                        let prod = a.get(a0.0 + i, a0.1 + kk) * bkj;
+                        c.update(c0.0 + i, c0.1 + j, |v| v + prod);
+                    }
                 }
             }
         }
@@ -79,7 +109,7 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
     if m >= k && m >= r {
         // Split rows of A and C (Algorithm 7 lines 3-5).
         let m1 = m / 2;
-        rec(c, a, b, tracer, bases, c0, a0, b0, m1, k, r, leaf);
+        rec(c, a, b, tracer, bases, c0, a0, b0, m1, k, r, leaf, kernel);
         rec(
             c,
             a,
@@ -93,12 +123,13 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
             k,
             r,
             leaf,
+            kernel,
         );
     } else if k >= r {
         // Split the inner dimension (lines 6-8): two sequential passes
         // accumulating into the same C.
         let k1 = k / 2;
-        rec(c, a, b, tracer, bases, c0, a0, b0, m, k1, r, leaf);
+        rec(c, a, b, tracer, bases, c0, a0, b0, m, k1, r, leaf, kernel);
         rec(
             c,
             a,
@@ -112,11 +143,12 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
             k - k1,
             r,
             leaf,
+            kernel,
         );
     } else {
         // Split columns of B and C (lines 9-12).
         let r1 = r / 2;
-        rec(c, a, b, tracer, bases, c0, a0, b0, m, k, r1, leaf);
+        rec(c, a, b, tracer, bases, c0, a0, b0, m, k, r1, leaf, kernel);
         rec(
             c,
             a,
@@ -130,6 +162,7 @@ fn rec<S: Scalar, LA: Layout, LB: Layout, LC: Layout, T: Tracer>(
             k,
             r - r1,
             leaf,
+            kernel,
         );
     }
 }

@@ -4,10 +4,15 @@
 //! says they must.
 
 use cholcomm::cachesim::{CountingTracer, LruTracer, Tracer};
+use cholcomm::distsim::CostModel;
 use cholcomm::layout::{ColMajor, Laid};
-use cholcomm::matrix::{kernels, norms, spd};
+use cholcomm::matrix::{kernels, norms, spd, KernelImpl};
+use cholcomm::par::spmd::spmd_pxpotrf_with;
+use cholcomm::seq::lapack::potrf_blocked_with;
 use cholcomm::seq::naive;
 use cholcomm::seq::zoo::{all_algorithms, run_algorithm, Algorithm, LayoutKind, ModelKind};
+
+const ENGINES: [KernelImpl; 3] = [KernelImpl::Reference, KernelImpl::Fast, KernelImpl::FastStrict];
 
 const LAYOUTS: [LayoutKind; 7] = [
     LayoutKind::ColMajor,
@@ -143,6 +148,64 @@ fn residuals_stay_backward_stable_across_condition_numbers() {
                 r < norms::residual_tolerance(n),
                 "cond {cond:.0e} {alg:?}: residual {r}"
             );
+        }
+    }
+}
+
+#[test]
+fn sequential_counts_are_engine_invariant() {
+    // Schedule invariance: words and messages are charged by the
+    // *schedule* (explicit tile loads and stores), never by the
+    // arithmetic inside a tile, so swapping the kernel engine cannot
+    // move a single word.  Checked byte-for-byte across all engines.
+    let n = 48;
+    let b = 8;
+    let mut rng = spd::test_rng(206);
+    let a = spd::random_spd(n, &mut rng);
+
+    let mut baseline = None;
+    for engine in ENGINES {
+        let mut tracer = CountingTracer::uncapped();
+        let mut laid = Laid::from_matrix(&a, ColMajor::square(n));
+        potrf_blocked_with(&mut laid, &mut tracer, b, Some(3 * b * b), engine)
+            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        let stats = tracer.stats();
+        match baseline {
+            None => baseline = Some(stats),
+            Some(base) => assert_eq!(
+                base,
+                stats,
+                "{} counts diverge from reference",
+                engine.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn spmd_critical_path_is_engine_invariant() {
+    // Same invariance on the distributed side: the per-rank program's
+    // sends and broadcasts are fixed by Algorithm 9's schedule, so the
+    // critical-path words/messages are identical under every engine.
+    let n = 32;
+    let b = 8;
+    let p = 4;
+    let mut rng = spd::test_rng(207);
+    let a = spd::random_spd(n, &mut rng);
+
+    let mut baseline: Option<(u64, u64)> = None;
+    for engine in ENGINES {
+        let rep = spmd_pxpotrf_with(&a, b, p, CostModel::typical(), engine)
+            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        let path = (rep.critical.words, rep.critical.messages);
+        match baseline {
+            None => baseline = Some(path),
+            Some(base) => assert_eq!(
+                base,
+                path,
+                "{} critical path diverges from reference",
+                engine.name()
+            ),
         }
     }
 }

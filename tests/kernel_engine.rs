@@ -1,0 +1,191 @@
+//! Property tests for the kernel engines: the packed, cache-blocked
+//! fast kernels against the reference oracle over random rectangular
+//! shapes, including every degenerate size class the blocking logic has
+//! to survive (empty, single row/column, prime, exact multiples of the
+//! block parameters, one-off-a-multiple).
+//!
+//! Two contracts, one per fast engine:
+//!
+//! * [`KernelImpl::FastStrict`] preserves both the per-element operation
+//!   *order* and the per-operation *rounding* of the reference triple
+//!   loop — results must be **bit-identical** on every op and shape;
+//! * [`KernelImpl::Fast`] preserves the operation order but contracts
+//!   each multiply-add through hardware FMA (one rounding fewer per
+//!   product) — results must agree to a contraction residual scaled by
+//!   the inner-product length.
+
+use cholcomm::matrix::{norms, spd, KernelImpl, Matrix};
+use proptest::prelude::*;
+
+/// Size classes that stress the blocking: 0 and 1 (empty/scalar), primes
+/// (never align with MR=16/NR=8/PB=32), exact block multiples, and
+/// one-off-a-multiple on both sides.
+const DIMS: [usize; 12] = [0, 1, 2, 7, 8, 16, 17, 31, 32, 33, 48, 67];
+
+fn dim() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+fn mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = spd::test_rng(seed);
+    Matrix::from_fn(m, n, |_, _| {
+        use rand::RngExt;
+        rng.random_range(-1.0..1.0)
+    })
+}
+
+/// A well-conditioned lower-triangular factor (diagonally dominant).
+fn lower_factor(n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = spd::test_rng(seed);
+    Matrix::from_fn(n, n, |i, j| {
+        use rand::RngExt;
+        if i == j {
+            (n as f64) + 1.0 + rng.random_range(0.0..1.0)
+        } else if i > j {
+            rng.random_range(-1.0..1.0)
+        } else {
+            0.0
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn strict_gemm_nn_is_bit_identical(m in dim(), n in dim(), k in dim(), seed in 0u64..10_000) {
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x5bd1e995);
+        let c = mat(m, n, seed ^ 0x9e3779b9);
+        let mut r = c.clone();
+        let mut s = c.clone();
+        KernelImpl::Reference.gemm_nn(&mut r, -1.0, &a, &b);
+        KernelImpl::FastStrict.gemm_nn(&mut s, -1.0, &a, &b);
+        prop_assert_eq!(r, s);
+    }
+
+    #[test]
+    fn strict_gemm_nt_is_bit_identical(m in dim(), n in dim(), k in dim(), seed in 0u64..10_000) {
+        let a = mat(m, k, seed);
+        let b = mat(n, k, seed ^ 0x5bd1e995);
+        let c = mat(m, n, seed ^ 0x9e3779b9);
+        let mut r = c.clone();
+        let mut s = c.clone();
+        KernelImpl::Reference.gemm_nt(&mut r, 2.5, &a, &b);
+        KernelImpl::FastStrict.gemm_nt(&mut s, 2.5, &a, &b);
+        prop_assert_eq!(r, s);
+    }
+
+    #[test]
+    fn strict_syrk_is_bit_identical(n in dim(), k in dim(), seed in 0u64..10_000) {
+        let a = mat(n, k, seed);
+        let c = mat(n, n, seed ^ 0x9e3779b9);
+        let mut r = c.clone();
+        let mut s = c.clone();
+        KernelImpl::Reference.syrk_lower(&mut r, &a);
+        KernelImpl::FastStrict.syrk_lower(&mut s, &a);
+        prop_assert_eq!(r, s);
+    }
+
+    #[test]
+    fn strict_trsm_is_bit_identical(m in dim(), n in dim(), seed in 0u64..10_000) {
+        let l = lower_factor(n, seed);
+        let b = mat(m, n, seed ^ 0x5bd1e995);
+        let mut r = b.clone();
+        let mut s = b.clone();
+        KernelImpl::Reference.trsm_right_lower_transpose(&mut r, &l);
+        KernelImpl::FastStrict.trsm_right_lower_transpose(&mut s, &l);
+        prop_assert_eq!(r, s);
+    }
+
+    #[test]
+    fn strict_potf2_is_bit_identical(n in dim(), seed in 0u64..10_000) {
+        let mut rng = spd::test_rng(seed);
+        let a = spd::random_spd(n, &mut rng);
+        let mut r = a.clone();
+        let mut s = a;
+        KernelImpl::Reference.potf2(&mut r).unwrap();
+        KernelImpl::FastStrict.potf2(&mut s).unwrap();
+        prop_assert_eq!(r, s);
+    }
+
+    #[test]
+    fn fused_gemms_agree_to_contraction_residual(m in dim(), n in dim(), k in dim(), seed in 0u64..10_000) {
+        // Data in [-1, 1]: each contracted product saves one rounding of
+        // magnitude <= eps, so the residual is bounded by ~k * eps.
+        let tol = 1e-13 * (k.max(1) as f64);
+        let a = mat(m, k, seed);
+        let b = mat(k, n, seed ^ 0x5bd1e995);
+        let bt = mat(n, k, seed ^ 0x5bd1e995);
+        let c = mat(m, n, seed ^ 0x9e3779b9);
+
+        let mut r = c.clone();
+        let mut f = c.clone();
+        KernelImpl::Reference.gemm_nn(&mut r, -1.0, &a, &b);
+        KernelImpl::Fast.gemm_nn(&mut f, -1.0, &a, &b);
+        prop_assert!(norms::max_abs_diff(&r, &f) <= tol);
+
+        let mut r = c.clone();
+        let mut f = c.clone();
+        KernelImpl::Reference.gemm_nt(&mut r, -1.0, &a, &bt);
+        KernelImpl::Fast.gemm_nt(&mut f, -1.0, &a, &bt);
+        prop_assert!(norms::max_abs_diff(&r, &f) <= tol);
+
+        let an = mat(n, k, seed ^ 0x6c62272e);
+        let cn = mat(n, n, seed ^ 0x01000193);
+        let mut r = cn.clone();
+        let mut f = cn.clone();
+        KernelImpl::Reference.syrk_lower(&mut r, &an);
+        KernelImpl::Fast.syrk_lower(&mut f, &an);
+        prop_assert!(norms::max_abs_diff(&r, &f) <= tol);
+    }
+
+    #[test]
+    fn fused_trsm_and_potf2_agree_to_residual(n in dim(), seed in 0u64..10_000) {
+        let tol = 1e-11 * (n.max(1) as f64);
+
+        let l = lower_factor(n, seed);
+        let b = mat(n.max(1), n, seed ^ 0x5bd1e995);
+        let mut r = b.clone();
+        let mut f = b.clone();
+        KernelImpl::Reference.trsm_right_lower_transpose(&mut r, &l);
+        KernelImpl::Fast.trsm_right_lower_transpose(&mut f, &l);
+        prop_assert!(norms::max_abs_diff(&r, &f) <= tol);
+
+        let mut rng = spd::test_rng(seed);
+        let a = spd::random_spd(n, &mut rng);
+        let mut r = a.clone();
+        let mut f = a;
+        KernelImpl::Reference.potf2(&mut r).unwrap();
+        KernelImpl::Fast.potf2(&mut f).unwrap();
+        prop_assert!(norms::max_abs_diff(&r, &f) <= tol);
+    }
+}
+
+#[test]
+fn engines_reject_the_same_indefinite_pivot() {
+    // An indefinite matrix: every engine must stop at the same pivot
+    // column (the strict engine with the same value bit-for-bit).
+    let n = 37;
+    let mut rng = spd::test_rng(7);
+    let mut a = spd::random_spd(n, &mut rng);
+    a[(20, 20)] = -4.0;
+
+    let mut r = a.clone();
+    let r_err = KernelImpl::Reference.potf2(&mut r).unwrap_err();
+    let mut s = a.clone();
+    let s_err = KernelImpl::FastStrict.potf2(&mut s).unwrap_err();
+    assert_eq!(format!("{r_err:?}"), format!("{s_err:?}"));
+
+    let mut f = a;
+    let f_err = KernelImpl::Fast.potf2(&mut f).unwrap_err();
+    // The fused pivot value may differ in the last ulps; the column may not.
+    let (rp, fp) = match (&r_err, &f_err) {
+        (
+            cholcomm::matrix::MatrixError::NotSpd { pivot: rp, .. },
+            cholcomm::matrix::MatrixError::NotSpd { pivot: fp, .. },
+        ) => (*rp, *fp),
+        other => panic!("expected NotSpd from both engines, got {other:?}"),
+    };
+    assert_eq!(rp, fp);
+}

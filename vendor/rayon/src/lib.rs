@@ -1,21 +1,325 @@
 //! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
 //!
-//! Implements the subset of rayon this workspace uses with *real*
-//! parallelism on `std::thread::scope`: [`join`] runs both closures
-//! concurrently, and `par_iter_mut()` fans a mutable slice out across
-//! the machine's cores in contiguous chunks.  There is no work-stealing
-//! pool, so fine-grained workloads pay more overhead than under real
-//! rayon — acceptable for correctness tests and coarse benches.
+//! Implements the subset of rayon this workspace uses on top of a
+//! *persistent work-stealing pool*, not spawn-per-call threads:
+//!
+//! * a lazily-initialized global pool (size from `CHOLCOMM_THREADS`,
+//!   falling back to the machine's core count) whose workers live for
+//!   the duration of the process;
+//! * [`join`] pushes the second closure onto the calling worker's
+//!   deque and runs the first inline; an idle worker may steal the
+//!   pushed half, and a worker waiting on a stolen half keeps stealing
+//!   other jobs instead of blocking — the fork-join algorithms in
+//!   `cholcomm-par` recurse thousands of times per factorization, and
+//!   under the old scoped-thread `join` every recursion paid two OS
+//!   thread spawns;
+//! * `par_iter_mut()` splits the slice recursively through [`join`],
+//!   so it reuses the same pool and inherits its stealing;
+//! * [`ThreadPoolBuilder`] builds *separate* pools with their own
+//!   workers; [`ThreadPool::install`] scopes the calling thread to
+//!   that pool so `join`/`par_iter_mut` inside route to it (this is
+//!   what the scaling bench uses to vary the thread count).
+//!
+//! Jobs are type-erased pointers to stack-allocated closures
+//! (`StackJob`); the pointer stays valid because `join` never returns
+//! before both halves have finished.  Panics in either half are caught
+//! where they happen and resumed on the joining thread, first-half
+//! first, matching real rayon.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
+/// Pool size for the global pool: `CHOLCOMM_THREADS` if set to a
+/// positive integer, otherwise the machine's available parallelism.
 fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CHOLCOMM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(4)
 }
 
+// ---------------------------------------------------------------------------
+// Latch: completion flag a joiner can wait on.
+// ---------------------------------------------------------------------------
+
+/// Set-once completion flag.  Workers poll [`Latch::probe`] between
+/// steal attempts; external threads block on the condvar.
+struct Latch {
+    done: AtomicBool,
+    lock: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch { done: AtomicBool::new(false), lock: Mutex::new(false), cond: Condvar::new() }
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let mut guard = self.lock.lock().unwrap();
+        *guard = true;
+        drop(guard);
+        self.cond.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block (no stealing) until set — for threads outside the pool.
+    fn wait_blocking(&self) {
+        let mut guard = self.lock.lock().unwrap();
+        while !*guard {
+            guard = self.cond.wait(guard).unwrap();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs: type-erased pointers to stack-allocated closures.
+// ---------------------------------------------------------------------------
+
+/// Type-erased handle to a [`StackJob`] living on some joiner's stack.
+/// The joiner keeps the job alive until its latch is set, so executing
+/// through the raw pointer is sound.
+#[derive(Clone, Copy)]
+struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// The closure inside is `Send`, and the pointee outlives the ref.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    unsafe fn execute(self) {
+        (self.exec)(self.ptr);
+    }
+}
+
+/// A closure waiting to run, allocated on the stack of the `join` that
+/// created it, together with the slot its result lands in.
+struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> Self {
+        StackJob { func: Mutex::new(Some(func)), result: Mutex::new(None), latch: Latch::new() }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute_erased<F, R>(ptr: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let job = unsafe { &*(ptr as *const StackJob<F, R>) };
+            job.run();
+        }
+        JobRef { ptr: self as *const Self as *const (), exec: execute_erased::<F, R> }
+    }
+
+    /// Run the closure (catching panics) and flip the latch.
+    fn run(&self) {
+        let func = self.func.lock().unwrap().take().expect("job executed twice");
+        let res = catch_unwind(AssertUnwindSafe(func));
+        *self.result.lock().unwrap() = Some(res);
+        self.latch.set();
+    }
+
+    fn take_result(&self) -> std::thread::Result<R> {
+        self.result.lock().unwrap().take().expect("job result taken before completion")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry: the shared state of one pool.
+// ---------------------------------------------------------------------------
+
+/// Shared state of a pool: one deque per worker (LIFO for the owner,
+/// FIFO for thieves) plus an injector queue for jobs pushed from
+/// threads outside the pool.
+struct Registry {
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    terminate: AtomicBool,
+}
+
+thread_local! {
+    /// `(registry, worker index)` when the current thread is a pool
+    /// worker; the worker's own deque lives at that index.
+    static WORKER: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+    /// Registry picked by an enclosing [`ThreadPool::install`].
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::spawn(default_threads()))
+}
+
+/// The pool the current thread should schedule onto: its own, if it is
+/// a worker; the `install`ed one, if inside [`ThreadPool::install`];
+/// the global pool otherwise.
+fn current_registry() -> Arc<Registry> {
+    if let Some(reg) = WORKER.with(|w| w.borrow().as_ref().map(|(r, _)| Arc::clone(r))) {
+        return reg;
+    }
+    if let Some(reg) = INSTALLED.with(|i| i.borrow().last().map(Arc::clone)) {
+        return reg;
+    }
+    Arc::clone(global_registry())
+}
+
+/// The current thread's worker index *in the given registry*, if any.
+fn worker_index_in(reg: &Arc<Registry>) -> Option<usize> {
+    WORKER.with(|w| {
+        w.borrow().as_ref().and_then(
+            |(r, i)| {
+                if Arc::ptr_eq(r, reg) {
+                    Some(*i)
+                } else {
+                    None
+                }
+            },
+        )
+    })
+}
+
+impl Registry {
+    /// Create a registry with `n` workers and start their threads.
+    fn spawn(n: usize) -> Arc<Registry> {
+        let n = n.max(1);
+        let reg = Arc::new(Registry {
+            deques: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            terminate: AtomicBool::new(false),
+        });
+        for index in 0..n {
+            let reg = Arc::clone(&reg);
+            std::thread::Builder::new()
+                .name(format!("cholcomm-worker-{index}"))
+                .spawn(move || {
+                    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&reg), index)));
+                    reg.worker_loop(index);
+                })
+                .expect("failed to spawn pool worker");
+        }
+        reg
+    }
+
+    fn worker_loop(&self, index: usize) {
+        loop {
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+            } else if self.terminate.load(Ordering::Acquire) {
+                return;
+            } else {
+                // Timed wait: a push may race with going to sleep, and
+                // the timeout makes a lost notification harmless.
+                let guard = self.sleep.lock().unwrap();
+                let _ = self.wake.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+            }
+        }
+    }
+
+    /// Pop from the own deque (LIFO), else steal from a sibling
+    /// (FIFO), else take from the injector.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (index + off) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.wake.notify_one();
+    }
+
+    /// Pop the top of the own deque if it is exactly `job` (it may
+    /// have been stolen in the meantime).
+    fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().is_some_and(|top| std::ptr::eq(top.ptr, job.ptr)) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push_injected(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.wake.notify_one();
+    }
+
+    /// Remove `job` from the injector if no worker has claimed it yet.
+    fn take_injected(&self, job: JobRef) -> bool {
+        let mut inj = self.injector.lock().unwrap();
+        if let Some(pos) = inj.iter().position(|j| std::ptr::eq(j.ptr, job.ptr)) {
+            inj.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wait for `latch` from inside worker `index`, executing other
+    /// jobs instead of blocking so the pool cannot starve itself.
+    fn steal_until(&self, index: usize, latch: &Latch) {
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                unsafe { job.execute() };
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
 /// Run both closures, potentially in parallel, and return both results.
+///
+/// On a pool worker this is the classic work-stealing join: `b` is
+/// pushed onto the worker's deque, `a` runs inline, and afterwards `b`
+/// is either popped back and run inline (nobody stole it) or awaited
+/// while stealing other work.  On a non-pool thread `b` is injected
+/// into the current pool instead.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -23,17 +327,48 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon::join closure panicked");
-        (ra, rb)
-    })
+    let reg = current_registry();
+    let job_b = StackJob::new(b);
+    let ref_b = job_b.as_job_ref();
+
+    let ra = match worker_index_in(&reg) {
+        Some(index) => {
+            reg.push_local(index, ref_b);
+            let ra = catch_unwind(AssertUnwindSafe(a));
+            if reg.pop_local_if(index, ref_b) {
+                job_b.run();
+            } else {
+                reg.steal_until(index, &job_b.latch);
+            }
+            ra
+        }
+        None => {
+            reg.push_injected(ref_b);
+            let ra = catch_unwind(AssertUnwindSafe(a));
+            if reg.take_injected(ref_b) {
+                job_b.run();
+            } else {
+                job_b.latch.wait_blocking();
+            }
+            ra
+        }
+    };
+
+    let rb = job_b.take_result();
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) => resume_unwind(p),
+        (_, Err(p)) => resume_unwind(p),
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
 
 /// Parallel iterator traits and adaptors.
 pub mod prelude {
-    use super::default_threads;
+    use super::{current_registry, join};
 
     /// Parallel mutable iteration over slices and vectors.
     pub trait IntoParallelRefMutIterator<'a> {
@@ -68,7 +403,8 @@ pub mod prelude {
             EnumeratedParIterMut { slice: self.slice }
         }
 
-        /// Apply `f` to every element, in parallel chunks.
+        /// Apply `f` to every element, splitting the slice through the
+        /// pool's [`join`] so chunks are stolen, not pre-assigned.
         pub fn for_each<F>(self, f: F)
         where
             F: Fn(&'a mut T) + Sync + Send,
@@ -83,7 +419,7 @@ pub mod prelude {
     }
 
     impl<'a, T: Send> EnumeratedParIterMut<'a, T> {
-        /// Apply `f` to every `(index, element)` pair, in parallel chunks.
+        /// Apply `f` to every `(index, element)` pair, in parallel.
         pub fn for_each<F>(self, f: F)
         where
             F: Fn((usize, &'a mut T)) + Sync + Send,
@@ -92,26 +428,40 @@ pub mod prelude {
             if len == 0 {
                 return;
             }
-            let threads = default_threads().min(len);
-            let chunk = len.div_ceil(threads);
-            let f = &f;
-            std::thread::scope(|scope| {
-                for (c, part) in self.slice.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        for (off, item) in part.iter_mut().enumerate() {
-                            f((c * chunk + off, item));
-                        }
-                    });
-                }
-            });
+            // Oversplit ~4x past the worker count so stolen halves
+            // keep everyone busy even when per-element cost is skewed.
+            let threads = current_registry().deques.len();
+            let grain = len.div_ceil(threads * 4).max(1);
+            for_each_rec(self.slice, 0, grain, &f);
         }
+    }
+
+    fn for_each_rec<'a, T, F>(slice: &'a mut [T], base: usize, grain: usize, f: &F)
+    where
+        T: Send,
+        F: Fn((usize, &'a mut T)) + Sync + Send,
+    {
+        if slice.len() <= grain {
+            for (off, item) in slice.iter_mut().enumerate() {
+                f((base + off, item));
+            }
+            return;
+        }
+        let mid = slice.len() / 2;
+        let (lo, hi) = slice.split_at_mut(mid);
+        join(
+            || for_each_rec(lo, base, grain, f),
+            || for_each_rec(hi, base + mid, grain, f),
+        );
     }
 }
 
-/// Builder for a thread pool.  The stand-in has no real pool — `install`
-/// just runs the closure on the caller's thread and the slice adaptors
-/// always use the machine's cores — but the type signatures match what
-/// the benches need.
+// ---------------------------------------------------------------------------
+// Explicit pools
+// ---------------------------------------------------------------------------
+
+/// Builder for a thread pool with its own workers, separate from the
+/// global pool.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -123,21 +473,16 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Request `n` threads (recorded, not enforced).
+    /// Request `n` worker threads (`0` means the default size).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Build the pool.
+    /// Build the pool, spawning its workers.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            _num_threads: if self.num_threads == 0 {
-                default_threads()
-            } else {
-                self.num_threads
-            },
-        })
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { registry: Registry::spawn(n) })
     }
 }
 
@@ -154,16 +499,41 @@ impl std::fmt::Display for ThreadPoolBuildError {
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A handle standing in for a rayon thread pool.
+/// A pool with its own worker threads.  Dropping it asks the workers
+/// to exit once their queues drain.
 #[derive(Debug)]
 pub struct ThreadPool {
-    _num_threads: usize,
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("workers", &self.deques.len()).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` "inside" the pool.
+    /// Run `f` with this pool as the current one: `join` and
+    /// `par_iter_mut` inside `f` schedule onto this pool's workers.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        INSTALLED.with(|i| i.borrow_mut().push(Arc::clone(&self.registry)));
+        struct Pop;
+        impl Drop for Pop {
+            fn drop(&mut self) {
+                INSTALLED.with(|i| {
+                    i.borrow_mut().pop();
+                });
+            }
+        }
+        let _pop = Pop;
         f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        self.registry.wake.notify_all();
     }
 }
 
@@ -180,6 +550,31 @@ mod tests {
     }
 
     #[test]
+    fn nested_joins_compute_a_recursive_sum() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 8 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let n = 10_000;
+        assert_eq!(sum(0, n), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        let err = std::panic::catch_unwind(|| join(|| panic!("left"), || 1)).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"left"));
+        let err = std::panic::catch_unwind(|| join(|| 1, || panic!("right"))).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"right"));
+        // The pool must stay usable after a panic.
+        assert_eq!(join(|| 2, || 3), (2, 3));
+    }
+
+    #[test]
     fn par_iter_mut_touches_every_element_once() {
         let mut v: Vec<u64> = (0..1000).collect();
         v.par_iter_mut().enumerate().for_each(|(i, x)| {
@@ -190,8 +585,36 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs() {
+    fn par_iter_mut_handles_empty_and_tiny_slices() {
+        let mut empty: Vec<u32> = Vec::new();
+        empty.par_iter_mut().for_each(|_| unreachable!());
+        let mut one = vec![41u32];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn pool_installs_and_runs_joins_on_its_workers() {
         let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
         assert_eq!(pool.install(|| 7), 7);
+        let total: u64 = pool.install(|| {
+            let (a, b) = join(|| (0..500u64).sum::<u64>(), || (500..1000u64).sum::<u64>());
+            a + b
+        });
+        assert_eq!(total, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn install_nests_and_restores_the_outer_pool() {
+        let outer = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        outer.install(|| {
+            inner.install(|| {
+                let (a, b) = join(|| 1, || 2);
+                assert_eq!((a, b), (1, 2));
+            });
+            let (a, b) = join(|| 3, || 4);
+            assert_eq!((a, b), (3, 4));
+        });
     }
 }
