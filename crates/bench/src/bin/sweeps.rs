@@ -10,31 +10,32 @@
 use cholcomm_core::distsim::CostModel;
 use cholcomm_core::matrix::spd;
 use cholcomm_core::par::pxpotrf::pxpotrf;
-use cholcomm_core::seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use cholcomm_core::seq::zoo::{price_trace, Algorithm, LayoutKind, ModelKind};
+use cholcomm_core::sweep::{par_map, TraceCache};
 use std::fmt::Write as _;
 
 fn seq_sweep_words_vs_n(ms: usize) -> String {
     let mut csv = String::from("n,naive_left,lapack_blocked,toledo_morton,ap00_morton\n");
+    let b = (((ms / 3) as f64).sqrt() as usize).max(1);
+    let counting = ModelKind::Counting { message_cap: Some(ms) };
+    let lru = ModelKind::Lru { m: ms };
     for n in [32usize, 64, 128, 256] {
         if n * n <= ms {
             continue;
         }
         let mut rng = spd::test_rng(7000 + n as u64);
         let a = spd::random_spd(n, &mut rng);
-        let b = (((ms / 3) as f64).sqrt() as usize).max(1);
-        let counting = ModelKind::Counting { message_cap: Some(ms) };
-        let lru = ModelKind::Lru { m: ms };
-        let w = |alg, layout, model: &ModelKind| {
-            run_algorithm(alg, &a, layout, model).unwrap().levels[0].words
-        };
-        let _ = writeln!(
-            csv,
-            "{n},{},{},{},{}",
-            w(Algorithm::NaiveLeft, LayoutKind::ColMajor, &counting),
-            w(Algorithm::LapackBlocked { b }, LayoutKind::Blocked(b), &counting),
-            w(Algorithm::Toledo { gemm_leaf: 4 }, LayoutKind::Morton, &lru),
-            w(Algorithm::Ap00 { leaf: 4 }, LayoutKind::Morton, &lru),
-        );
+        let cache = TraceCache::new();
+        let cases = [
+            (Algorithm::NaiveLeft, LayoutKind::ColMajor, &counting),
+            (Algorithm::LapackBlocked { b }, LayoutKind::Blocked(b), &counting),
+            (Algorithm::Toledo { gemm_leaf: 4 }, LayoutKind::Morton, &lru),
+            (Algorithm::Ap00 { leaf: 4 }, LayoutKind::Morton, &lru),
+        ];
+        let words = par_map(&cases, |&(alg, layout, model)| {
+            price_trace(&cache.trace(alg, layout, &a).unwrap(), model)[0].words
+        });
+        let _ = writeln!(csv, "{n},{},{},{},{}", words[0], words[1], words[2], words[3]);
     }
     csv
 }
@@ -43,24 +44,30 @@ fn seq_sweep_messages_vs_m(n: usize) -> String {
     let mut csv = String::from("M,lapack_colmajor,lapack_blocked,toledo_morton,ap00_morton\n");
     let mut rng = spd::test_rng(7100 + n as u64);
     let a = spd::random_spd(n, &mut rng);
-    for ms in [96usize, 192, 384, 768, 1536] {
-        if n * n <= ms {
-            continue;
-        }
+    // One cache across the whole M ladder: the cache-oblivious rows
+    // (Toledo, AP00) record once and replay at every M; only LAPACK,
+    // whose block size is a function of M, records per point.
+    let cache = TraceCache::new();
+    let points: Vec<usize> = [96usize, 192, 384, 768, 1536]
+        .into_iter()
+        .filter(|&ms| n * n > ms)
+        .collect();
+    let mut jobs: Vec<(Algorithm, LayoutKind, ModelKind)> = Vec::new();
+    for &ms in &points {
         let b = (((ms / 3) as f64).sqrt() as usize).max(1);
         let counting = ModelKind::Counting { message_cap: Some(ms) };
         let lru = ModelKind::Lru { m: ms };
-        let msgs = |alg, layout, model: &ModelKind| {
-            run_algorithm(alg, &a, layout, model).unwrap().levels[0].messages
-        };
-        let _ = writeln!(
-            csv,
-            "{ms},{},{},{},{}",
-            msgs(Algorithm::LapackBlocked { b }, LayoutKind::ColMajor, &counting),
-            msgs(Algorithm::LapackBlocked { b }, LayoutKind::Blocked(b), &counting),
-            msgs(Algorithm::Toledo { gemm_leaf: 4 }, LayoutKind::Morton, &lru),
-            msgs(Algorithm::Ap00 { leaf: 4 }, LayoutKind::Morton, &lru),
-        );
+        jobs.push((Algorithm::LapackBlocked { b }, LayoutKind::ColMajor, counting.clone()));
+        jobs.push((Algorithm::LapackBlocked { b }, LayoutKind::Blocked(b), counting));
+        jobs.push((Algorithm::Toledo { gemm_leaf: 4 }, LayoutKind::Morton, lru.clone()));
+        jobs.push((Algorithm::Ap00 { leaf: 4 }, LayoutKind::Morton, lru));
+    }
+    let msgs = par_map(&jobs, |(alg, layout, model)| {
+        price_trace(&cache.trace(*alg, *layout, &a).unwrap(), model)[0].messages
+    });
+    for (i, &ms) in points.iter().enumerate() {
+        let row = &msgs[4 * i..4 * i + 4];
+        let _ = writeln!(csv, "{ms},{},{},{},{}", row[0], row[1], row[2], row[3]);
     }
     csv
 }

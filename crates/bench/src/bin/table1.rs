@@ -6,16 +6,21 @@
 //! ```
 
 use cholcomm_core::matrix::spd;
+use cholcomm_core::sweep::TraceCache;
 use cholcomm_core::table1::{
-    render_table1, render_table1_extended, run_table1_extended, table1_at, Table1Config,
+    render_table1, render_table1_extended, run_table1_extended, table1_at_with, Table1Config,
 };
 
 fn main() {
     // The paper's regime: n^2 > M.  Power-of-two n keeps the recursive
-    // algorithms' blocks aligned with the Morton quadrants.
+    // algorithms' blocks aligned with the Morton quadrants.  One trace
+    // cache spans every point: n = 128 appears at two values of M, so
+    // the M-independent rows (naive, Toledo, AP00) replay their n = 128
+    // traces instead of re-running the factorization.
+    let cache = TraceCache::new();
     let points = [(64usize, 192usize), (128, 768), (128, 192), (256, 3072)];
     for (i, (n, m)) in points.iter().enumerate() {
-        let (cfg, rows) = table1_at(*n, *m, 1000 + i as u64);
+        let (cfg, rows) = table1_at_with(*n, *m, 1000 + i as u64, &cache);
         println!("{}", render_table1(cfg, &rows));
     }
     // Extended rows: the additional schedule variants this workspace

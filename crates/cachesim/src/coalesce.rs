@@ -15,6 +15,8 @@
 //! `max_streams = 0` every miss is its own message (the ablation
 //! baseline).
 
+use crate::stats::TransferStats;
+
 /// Multi-stream run coalescer.
 #[derive(Debug, Clone)]
 pub struct Coalescer {
@@ -61,9 +63,60 @@ impl Coalescer {
     }
 }
 
+/// Miss-traffic accounting: the `words += 1; maybe messages += 1`
+/// pattern shared by every cache simulator in this crate, in one place.
+///
+/// Before this helper, [`crate::LruTracer`], [`crate::SetAssocTracer`],
+/// and each [`crate::StackDistanceTracer`] level carried their own
+/// `(TransferStats, Coalescer)` pair and repeated the same three lines
+/// at every miss site; divergence between those copies is exactly how
+/// double-counting bugs slip in.
+#[derive(Debug, Clone)]
+pub struct MissAccounter {
+    coalescer: Coalescer,
+    stats: TransferStats,
+}
+
+impl MissAccounter {
+    /// Accounter forming messages of at most `max_words` words across
+    /// `streams` concurrent coalescing streams.
+    pub fn new(max_words: usize, streams: usize) -> Self {
+        MissAccounter {
+            coalescer: Coalescer::new(max_words, streams),
+            stats: TransferStats::default(),
+        }
+    }
+
+    /// Charge one missed word at `addr`: always one word, one message
+    /// exactly when the miss cannot extend an open stream.
+    #[inline]
+    pub fn charge(&mut self, addr: usize) {
+        self.stats.words += 1;
+        if self.coalescer.on_miss(addr) {
+            self.stats.messages += 1;
+        }
+    }
+
+    /// Accumulated traffic.
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn miss_accounter_charges_words_and_coalesced_messages() {
+        let mut acc = MissAccounter::new(100, 1);
+        for a in 0..10 {
+            acc.charge(a);
+        }
+        acc.charge(50);
+        assert_eq!(acc.stats().words, 11);
+        assert_eq!(acc.stats().messages, 2, "one scan + one jump");
+    }
 
     #[test]
     fn single_stream_coalesces_a_scan() {

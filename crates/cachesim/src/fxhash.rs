@@ -1,0 +1,272 @@
+//! Hashing and address-indexing primitives for the simulator hot loops.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, a keyed hash
+//! built to resist hash-flooding from untrusted input.  The simulators
+//! hash *memory addresses of a matrix we generated ourselves* — there is
+//! no adversary, and SipHash dominates the per-access profile of the LRU
+//! and stack-distance tracers.  Two replacements, both vendored here
+//! (the workspace builds offline):
+//!
+//! * [`FxHasher`] — the rustc multiply-xor hash: one rotate, one xor,
+//!   one multiply per word.  [`FxHashMap`] is a drop-in `HashMap` alias.
+//! * [`AddrMap`] — a direct dense array keyed by address.  Trace
+//!   addresses are matrix storage offsets, so the key space is the
+//!   matrix footprint: a `Vec` indexed by address beats any hash map.
+//!   Addresses past [`AddrMap::DENSE_LIMIT`] spill into an [`FxHashMap`]
+//!   so a stray huge address degrades gracefully instead of allocating
+//!   the moon.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash ("FxHash") multiply-xor hasher: fast, deterministic,
+/// not flood-resistant — exactly right for simulator-internal keys.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's 2^64 / golden-ratio multiplier, as used by rustc-hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed by the multiply-xor hash instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A map from memory address to a `u64` value, stored as a direct dense
+/// array over the matrix footprint with an [`FxHashMap`] spill for
+/// outliers.
+///
+/// The dense side is a `Vec<u64>` with `u64::MAX` as the "absent"
+/// sentinel, grown geometrically as larger addresses appear (and
+/// pre-sizable via [`AddrMap::with_footprint`] when the trace's
+/// footprint is known up front).  Values of `u64::MAX` itself cannot be
+/// stored — the simulators store access times and slot indices, both far
+/// below that.
+#[derive(Debug, Default, Clone)]
+pub struct AddrMap {
+    dense: Vec<u64>,
+    spill: FxHashMap<usize, u64>,
+    len: usize,
+}
+
+const ABSENT: u64 = u64::MAX;
+
+impl AddrMap {
+    /// Largest address served by the dense array (64 Mi entries, 512 MB
+    /// worst case); anything beyond spills to the hash map.
+    pub const DENSE_LIMIT: usize = 1 << 26;
+
+    /// Empty map; the dense array grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty map pre-sized for addresses in `[0, footprint)` — one
+    /// allocation up front instead of geometric regrowth mid-trace.
+    pub fn with_footprint(footprint: usize) -> Self {
+        AddrMap {
+            dense: vec![ABSENT; footprint.min(Self::DENSE_LIMIT)],
+            spill: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value stored at `addr`, if any.
+    #[inline]
+    pub fn get(&self, addr: usize) -> Option<u64> {
+        if addr < self.dense.len() {
+            let v = self.dense[addr];
+            if v == ABSENT {
+                None
+            } else {
+                Some(v)
+            }
+        } else if addr < Self::DENSE_LIMIT {
+            None
+        } else {
+            self.spill.get(&addr).copied()
+        }
+    }
+
+    /// Store `value` at `addr`, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, addr: usize, value: u64) -> Option<u64> {
+        debug_assert_ne!(value, ABSENT, "AddrMap cannot store u64::MAX");
+        if addr >= Self::DENSE_LIMIT {
+            let old = self.spill.insert(addr, value);
+            if old.is_none() {
+                self.len += 1;
+            }
+            return old;
+        }
+        if addr >= self.dense.len() {
+            let newcap = (addr + 1).next_power_of_two().max(1024);
+            self.dense.resize(newcap.min(Self::DENSE_LIMIT), ABSENT);
+        }
+        let old = std::mem::replace(&mut self.dense[addr], value);
+        if old == ABSENT {
+            self.len += 1;
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Remove the value at `addr`, returning it if it was present.
+    #[inline]
+    pub fn remove(&mut self, addr: usize) -> Option<u64> {
+        if addr < self.dense.len() {
+            let old = std::mem::replace(&mut self.dense[addr], ABSENT);
+            if old == ABSENT {
+                None
+            } else {
+                self.len -= 1;
+                Some(old)
+            }
+        } else if addr < Self::DENSE_LIMIT {
+            None
+        } else {
+            let old = self.spill.remove(&addr);
+            if old.is_some() {
+                self.len -= 1;
+            }
+            old
+        }
+    }
+
+    /// Iterate over `(addr, value)` pairs in ascending address order
+    /// (dense entries first, then spilled ones, sorted).
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let mut spilled: Vec<(usize, u64)> =
+            self.spill.iter().map(|(&a, &v)| (a, v)).collect();
+        spilled.sort_unstable();
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != ABSENT)
+            .map(|(a, &v)| (a, v))
+            .chain(spilled)
+    }
+
+    /// Drop every entry, keeping the dense allocation for reuse.
+    pub fn clear(&mut self) {
+        self.dense.fill(ABSENT);
+        self.spill.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = AddrMap::new();
+        assert_eq!(m.get(3), None);
+        assert_eq!(m.insert(3, 7), None);
+        assert_eq!(m.insert(3, 8), Some(7));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(3), Some(8));
+        assert_eq!(m.remove(3), Some(8));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn spill_addresses_work() {
+        let mut m = AddrMap::new();
+        let big = AddrMap::DENSE_LIMIT + 12345;
+        assert_eq!(m.insert(big, 9), None);
+        assert_eq!(m.get(big), Some(9));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(big), Some(9));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iter_sorted_merges_dense_and_spill() {
+        let mut m = AddrMap::with_footprint(16);
+        let big = AddrMap::DENSE_LIMIT + 5;
+        m.insert(big, 30);
+        m.insert(2, 20);
+        m.insert(9, 10);
+        let got: Vec<(usize, u64)> = m.iter_sorted().collect();
+        assert_eq!(got, vec![(2, 20), (9, 10), (big, 30)]);
+    }
+
+    #[test]
+    fn agrees_with_hashmap_on_random_ops() {
+        let mut fast = AddrMap::new();
+        let mut slow: HashMap<usize, u64> = HashMap::new();
+        let mut x = 12345usize;
+        for i in 0..4000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (x >> 33) % 3000;
+            match x % 3 {
+                0 => assert_eq!(fast.insert(addr, i), slow.insert(addr, i)),
+                1 => assert_eq!(fast.get(addr), slow.get(&addr).copied()),
+                _ => assert_eq!(fast.remove(addr), slow.remove(&addr)),
+            }
+            assert_eq!(fast.len(), slow.len());
+        }
+    }
+
+    #[test]
+    fn fxhashmap_basic() {
+        let mut m: FxHashMap<usize, usize> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i * 97, i);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(42 * 97)), Some(&42));
+    }
+}

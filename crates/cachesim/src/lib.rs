@@ -29,6 +29,7 @@
 
 pub mod coalesce;
 pub mod counting;
+pub mod fxhash;
 pub mod gauge;
 pub mod lru;
 pub mod pebble;
@@ -36,10 +37,12 @@ pub mod recording;
 pub mod setassoc;
 pub mod stackdist;
 pub mod stats;
+pub mod trace;
 pub mod tracer;
 
-pub use coalesce::{Coalescer, DEFAULT_STREAMS};
+pub use coalesce::{Coalescer, MissAccounter, DEFAULT_STREAMS};
 pub use counting::CountingTracer;
+pub use fxhash::{AddrMap, FxHashMap, FxHasher};
 pub use gauge::FastMemGauge;
 pub use lru::LruTracer;
 pub use pebble::{cholesky_dag, min_io, PebbleDag};
@@ -47,4 +50,5 @@ pub use recording::RecordingTracer;
 pub use setassoc::SetAssocTracer;
 pub use stackdist::StackDistanceTracer;
 pub use stats::TransferStats;
+pub use trace::CompactTrace;
 pub use tracer::{touch, touch_at, Access, NullTracer, Tracer};

@@ -6,11 +6,11 @@
 //! to `M` words per message — a maximal contiguous bundle, exactly the
 //! paper's message notion.
 
-use crate::coalesce::{Coalescer, DEFAULT_STREAMS};
+use crate::coalesce::{MissAccounter, DEFAULT_STREAMS};
+use crate::fxhash::AddrMap;
 use crate::stats::TransferStats;
 use crate::tracer::{Access, Tracer};
 use cholcomm_layout::Run;
-use std::collections::HashMap;
 
 const NIL: usize = usize::MAX;
 
@@ -36,16 +36,17 @@ struct Slot {
 #[derive(Debug)]
 pub struct LruTracer {
     capacity: usize,
-    map: HashMap<usize, usize>,
+    /// Address -> slot index.  A dense array over the matrix footprint
+    /// (with hash spill), not SipHash — this lookup is the hot loop.
+    map: AddrMap,
     slots: Vec<Slot>,
     head: usize, // most recently used
     tail: usize, // least recently used
     free: Vec<usize>,
-    stats: TransferStats,
-    wb_stats: TransferStats,
+    fetch: MissAccounter,
+    writeback: MissAccounter,
     count_writebacks: bool,
-    fetch_coalescer: Coalescer,
-    wb_coalescer: Coalescer,
+    streams: usize,
 }
 
 impl LruTracer {
@@ -62,22 +63,32 @@ impl LruTracer {
     }
 
     /// Full-control constructor: `streams` concurrent message-coalescing
-    /// streams (see [`Coalescer`]); `0` disables coalescing entirely.
+    /// streams (see [`crate::Coalescer`]); `0` disables coalescing
+    /// entirely.
     pub fn with_streams(m: usize, count_writebacks: bool, streams: usize) -> Self {
         assert!(m > 0, "cache capacity must be positive");
         LruTracer {
             capacity: m,
-            map: HashMap::new(),
+            map: AddrMap::new(),
             slots: Vec::new(),
             head: NIL,
             tail: NIL,
             free: Vec::new(),
-            stats: TransferStats::default(),
-            wb_stats: TransferStats::default(),
+            fetch: MissAccounter::new(m, streams),
+            writeback: MissAccounter::new(m, streams),
             count_writebacks,
-            fetch_coalescer: Coalescer::new(m, streams),
-            wb_coalescer: Coalescer::new(m, streams),
+            streams,
         }
+    }
+
+    /// Pre-size the address index for a trace touching `[0, footprint)`
+    /// and reserve the slot arena — one allocation up front instead of
+    /// geometric regrowth mid-replay.
+    pub fn reserve_footprint(&mut self, footprint: usize) {
+        if self.map.is_empty() {
+            self.map = AddrMap::with_footprint(footprint);
+        }
+        self.slots.reserve(self.capacity.min(footprint).saturating_sub(self.slots.len()));
     }
 
     /// Fast-memory capacity in words.
@@ -87,13 +98,13 @@ impl LruTracer {
 
     /// Fetch-only traffic (slow → fast).
     pub fn fetch_stats(&self) -> TransferStats {
-        self.stats
+        self.fetch.stats()
     }
 
     /// Write-back traffic (fast → slow), populated when write-back
     /// counting is enabled and after [`flush`](Self::flush).
     pub fn writeback_stats(&self) -> TransferStats {
-        self.wb_stats
+        self.writeback.stats()
     }
 
     fn detach(&mut self, s: usize) {
@@ -122,40 +133,33 @@ impl LruTracer {
         }
     }
 
-    fn charge_writeback(&mut self, addr: usize) {
-        self.wb_stats.words += 1;
-        if self.wb_coalescer.on_miss(addr) {
-            self.wb_stats.messages += 1;
-        }
-    }
-
     fn evict_lru(&mut self) {
         let s = self.tail;
         debug_assert_ne!(s, NIL);
         let Slot { addr, dirty, .. } = self.slots[s];
         self.detach(s);
-        self.map.remove(&addr);
+        self.map.remove(addr);
         self.free.push(s);
         if dirty && self.count_writebacks {
-            self.charge_writeback(addr);
+            self.writeback.charge(addr);
         }
     }
 
     fn access(&mut self, addr: usize, mode: Access) {
-        if let Some(&s) = self.map.get(&addr) {
+        if let Some(s) = self.map.get(addr) {
+            let s = s as usize;
             // Hit: refresh recency, maybe dirty.
-            self.detach(s);
-            self.push_front(s);
+            if s != self.head {
+                self.detach(s);
+                self.push_front(s);
+            }
             if matches!(mode, Access::Write) {
                 self.slots[s].dirty = true;
             }
             return;
         }
         // Miss: one word of fetch traffic, coalesced into a message.
-        self.stats.words += 1;
-        if self.fetch_coalescer.on_miss(addr) {
-            self.stats.messages += 1;
-        }
+        self.fetch.charge(addr);
 
         if self.map.len() >= self.capacity {
             self.evict_lru();
@@ -180,7 +184,7 @@ impl LruTracer {
                 self.slots.len() - 1
             }
         };
-        self.map.insert(addr, s);
+        self.map.insert(addr, s as u64);
         self.push_front(s);
     }
 
@@ -188,17 +192,17 @@ impl LruTracer {
     /// the end of an algorithm so the written output is fully accounted.
     pub fn flush(&mut self) {
         // Evict in address order so the flush coalesces like a real
-        // streaming write-out of the result.
-        let mut dirty_addrs: Vec<usize> = self
+        // streaming write-out of the result; the dense address index
+        // iterates in ascending address order already.
+        let dirty_addrs: Vec<usize> = self
             .map
-            .iter()
-            .filter(|&(_, &s)| self.slots[s].dirty)
-            .map(|(&a, _)| a)
+            .iter_sorted()
+            .filter(|&(_, s)| self.slots[s as usize].dirty)
+            .map(|(a, _)| a)
             .collect();
-        dirty_addrs.sort_unstable();
         if self.count_writebacks {
             for a in dirty_addrs {
-                self.charge_writeback(a);
+                self.writeback.charge(a);
             }
         }
         self.map.clear();
@@ -210,7 +214,7 @@ impl LruTracer {
 
     /// Total traffic including write-backs.
     pub fn total_stats(&self) -> TransferStats {
-        self.stats + self.wb_stats
+        self.fetch.stats() + self.writeback.stats()
     }
 }
 
@@ -228,8 +232,9 @@ impl Tracer for LruTracer {
     }
 
     fn reset(&mut self) {
-        let cw = self.count_writebacks;
-        *self = LruTracer::with_writebacks(self.capacity, cw);
+        // Preserve the full configuration — the old reset silently
+        // dropped a custom `streams` setting back to the default.
+        *self = LruTracer::with_streams(self.capacity, self.count_writebacks, self.streams);
     }
 }
 

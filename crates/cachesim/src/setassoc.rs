@@ -11,7 +11,7 @@
 //! paper's model abstracts away but that argues even more strongly for
 //! the block-contiguous formats.
 
-use crate::coalesce::{Coalescer, DEFAULT_STREAMS};
+use crate::coalesce::{MissAccounter, DEFAULT_STREAMS};
 use crate::stats::TransferStats;
 use crate::tracer::{Access, Tracer};
 use cholcomm_layout::Run;
@@ -24,8 +24,7 @@ pub struct SetAssocTracer {
     n_sets: usize,
     ways: usize,
     tick: u64,
-    stats: TransferStats,
-    coalescer: Coalescer,
+    traffic: MissAccounter,
 }
 
 impl SetAssocTracer {
@@ -40,8 +39,7 @@ impl SetAssocTracer {
             n_sets,
             ways,
             tick: 0,
-            stats: TransferStats::default(),
-            coalescer: Coalescer::new(capacity, DEFAULT_STREAMS),
+            traffic: MissAccounter::new(capacity, DEFAULT_STREAMS),
         }
     }
 
@@ -58,10 +56,7 @@ impl SetAssocTracer {
             line.1 = self.tick;
             return;
         }
-        self.stats.words += 1;
-        if self.coalescer.on_miss(addr) {
-            self.stats.messages += 1;
-        }
+        self.traffic.charge(addr);
         if lines.len() >= self.ways {
             // Evict the LRU way of this set.
             let lru = lines
@@ -86,7 +81,7 @@ impl Tracer for SetAssocTracer {
     }
 
     fn stats(&self) -> TransferStats {
-        self.stats
+        self.traffic.stats()
     }
 
     fn reset(&mut self) {

@@ -8,11 +8,11 @@
 //! exceeds `M_i` (plus cold misses) — the classic inclusion ("stack")
 //! property of LRU.
 
-use crate::coalesce::{Coalescer, DEFAULT_STREAMS};
+use crate::coalesce::{MissAccounter, DEFAULT_STREAMS};
+use crate::fxhash::AddrMap;
 use crate::stats::TransferStats;
 use crate::tracer::{Access, Tracer};
 use cholcomm_layout::Run;
-use std::collections::HashMap;
 
 /// Fenwick tree over access times; a 1 marks the *most recent* access time
 /// of some address.
@@ -20,28 +20,46 @@ use std::collections::HashMap;
 struct Fenwick {
     tree: Vec<u32>,
     active: Vec<bool>,
+    /// Number of active positions — the value of the whole-range node.
+    total: u32,
 }
 
 impl Fenwick {
+    /// Pre-sized tree covering positions `[0, n)` — replay drivers know
+    /// the trace length (one time slot per touched word) up front, so
+    /// the hot loop never grows at all.
+    fn with_capacity(n: usize) -> Self {
+        let cap = n.next_power_of_two().max(1024);
+        Fenwick {
+            tree: vec![0u32; cap],
+            active: vec![false; cap],
+            total: 0,
+        }
+    }
+
+    /// Double the index space.  The new positions are all inactive, and
+    /// for `len` a power of two every new node `k` in `(len, 2*len)`
+    /// covers a range `(k - lowbit(k), k]` that lies entirely beyond
+    /// `len` (so its value is 0); only the new whole-range root at
+    /// `2*len` covers old positions, and its value is the running
+    /// `total`.  O(len) zero-fill, no prefix-sum rebuild — the old code
+    /// re-inserted every active bit at O(len log len) per growth.
+    fn double(&mut self) {
+        let old = self.tree.len();
+        debug_assert!(old.is_power_of_two());
+        self.tree.resize(old * 2, 0);
+        self.tree[old * 2 - 1] = self.total;
+        self.active.resize(old * 2, false);
+    }
+
     fn ensure(&mut self, n: usize) {
-        if n < self.tree.len() {
+        if self.tree.is_empty() {
+            *self = Fenwick::with_capacity(n);
             return;
         }
-        let newcap = (n + 1).next_power_of_two().max(1024);
-        let mut tree = vec![0u32; newcap];
-        let mut active = vec![false; newcap];
-        active[..self.active.len()].copy_from_slice(&self.active);
-        for (i, &a) in active.iter().enumerate() {
-            if a {
-                let mut k = i + 1;
-                while k <= newcap {
-                    tree[k - 1] += 1;
-                    k += k & k.wrapping_neg();
-                }
-            }
+        while n > self.tree.len() {
+            self.double();
         }
-        self.tree = tree;
-        self.active = active;
     }
 
     fn set(&mut self, i: usize, on: bool) {
@@ -51,6 +69,7 @@ impl Fenwick {
         }
         self.active[i] = on;
         let delta: i64 = if on { 1 } else { -1 };
+        self.total = (i64::from(self.total) + delta) as u32;
         let mut k = i + 1;
         while k <= self.tree.len() {
             self.tree[k - 1] = (self.tree[k - 1] as i64 + delta) as u32;
@@ -73,8 +92,7 @@ impl Fenwick {
 #[derive(Debug, Clone)]
 struct Level {
     capacity: usize,
-    stats: TransferStats,
-    coalescer: Coalescer,
+    traffic: MissAccounter,
 }
 
 /// One-pass multi-capacity LRU simulator.
@@ -85,7 +103,10 @@ struct Level {
 #[derive(Debug)]
 pub struct StackDistanceTracer {
     time: usize,
-    last_access: HashMap<usize, usize>,
+    /// Address -> most recent access time.  Dense over the matrix
+    /// footprint (hash spill past the dense limit) — this insert is the
+    /// hot loop.
+    last_access: AddrMap,
     fen: Fenwick,
     levels: Vec<Level>,
     cold_misses: u64,
@@ -103,14 +124,13 @@ impl StackDistanceTracer {
         assert!(capacities[0] > 0);
         StackDistanceTracer {
             time: 0,
-            last_access: HashMap::new(),
+            last_access: AddrMap::new(),
             fen: Fenwick::default(),
             levels: capacities
                 .iter()
                 .map(|&c| Level {
                     capacity: c,
-                    stats: TransferStats::default(),
-                    coalescer: Coalescer::new(c, DEFAULT_STREAMS),
+                    traffic: MissAccounter::new(c, DEFAULT_STREAMS),
                 })
                 .collect(),
             cold_misses: 0,
@@ -118,12 +138,25 @@ impl StackDistanceTracer {
         }
     }
 
+    /// Simulator pre-sized for a known trace: `accesses` word touches
+    /// (sizes the time-indexed Fenwick tree once, up front) over
+    /// addresses in `[0, footprint)` (sizes the dense last-access
+    /// index).  Replay drivers get both numbers for free from a
+    /// [`crate::CompactTrace`].
+    pub fn with_trace_hint(capacities: &[usize], accesses: u64, footprint: usize) -> Self {
+        let mut t = Self::new(capacities);
+        t.fen = Fenwick::with_capacity(usize::try_from(accesses).unwrap_or(usize::MAX));
+        t.last_access = AddrMap::with_footprint(footprint);
+        t
+    }
+
     fn record(&mut self, addr: usize) {
         self.accesses += 1;
         let t = self.time;
         self.time += 1;
-        let dist: Option<u64> = match self.last_access.insert(addr, t) {
+        let dist: Option<u64> = match self.last_access.insert(addr, t as u64) {
             Some(tprev) => {
+                let tprev = tprev as usize;
                 // Distinct other addresses touched since tprev: active
                 // times in (tprev, t).
                 let others = self.fen.prefix(t.saturating_sub(1))
@@ -137,24 +170,32 @@ impl StackDistanceTracer {
             }
         };
         self.fen.set(t, true);
-        for lv in &mut self.levels {
-            let miss = match dist {
-                None => true,
-                Some(d) => d > lv.capacity as u64,
-            };
-            if miss {
-                lv.stats.words += 1;
-                if lv.coalescer.on_miss(addr) {
-                    lv.stats.messages += 1;
-                }
-            }
+        // Capacities ascend, so the levels that miss are exactly a
+        // prefix of the ladder: every level with capacity < dist (all
+        // of them on a cold miss).  One partition_point instead of a
+        // per-level comparison.
+        let missing = match dist {
+            None => self.levels.len(),
+            Some(d) => self.levels.partition_point(|lv| (lv.capacity as u64) < d),
+        };
+        for lv in &mut self.levels[..missing] {
+            lv.traffic.charge(addr);
         }
     }
 
     /// Traffic between level `i` (capacity `capacities[i]`) and level
     /// `i+1`.
     pub fn level_stats(&self, i: usize) -> TransferStats {
-        self.levels[i].stats
+        self.levels[i].traffic.stats()
+    }
+
+    /// The whole capacity ladder's miss traffic from the single pass:
+    /// `(capacity, stats)` per level, ascending.
+    pub fn ladder_stats(&self) -> Vec<(usize, TransferStats)> {
+        self.levels
+            .iter()
+            .map(|l| (l.capacity, l.traffic.stats()))
+            .collect()
     }
 
     /// Number of distinct addresses ever touched (= cold misses).
@@ -179,7 +220,7 @@ impl StackDistanceTracer {
         let acc = self.accesses.max(1) as f64;
         self.levels
             .iter()
-            .map(|l| (l.capacity, l.stats.words as f64 / acc))
+            .map(|l| (l.capacity, l.traffic.stats().words as f64 / acc))
             .collect()
     }
 }
@@ -195,7 +236,7 @@ impl Tracer for StackDistanceTracer {
 
     /// Reports the innermost level's traffic.
     fn stats(&self) -> TransferStats {
-        self.levels[0].stats
+        self.levels[0].traffic.stats()
     }
 
     fn reset(&mut self) {

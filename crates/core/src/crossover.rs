@@ -11,9 +11,10 @@
 //! `alpha / beta > (words_A - words_B) / (messages_B - messages_A)`.
 
 use crate::report::{fnum, TextTable};
+use crate::sweep::{par_map, TraceCache};
 use cholcomm_cachesim::TransferStats;
 use cholcomm_matrix::{spd, Matrix};
-use cholcomm_seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use cholcomm_seq::zoo::{price_trace, Algorithm, LayoutKind, ModelKind};
 
 /// A contender: an algorithm/layout pair with its measured counts.
 #[derive(Debug, Clone)]
@@ -63,13 +64,11 @@ pub fn measure_contenders_on(a: &Matrix<f64>, m: usize) -> Vec<Contender> {
         ("AP00 / col-major", Algorithm::Ap00 { leaf: 4 }, LayoutKind::ColMajor, &lru),
         ("AP00 / recursive", Algorithm::Ap00 { leaf: 4 }, LayoutKind::Morton, &lru),
     ];
-    cases
-        .into_iter()
-        .map(|(name, alg, layout, model)| Contender {
-            name: name.to_string(),
-            stats: run_algorithm(alg, a, layout, model).expect("SPD").levels[0],
-        })
-        .collect()
+    let cache = TraceCache::new();
+    par_map(&cases, |&(name, alg, layout, model)| Contender {
+        name: name.to_string(),
+        stats: price_trace(&cache.trace(alg, layout, a).expect("SPD"), model)[0],
+    })
 }
 
 /// The machine points the report prices each contender at:

@@ -12,6 +12,7 @@
 //!   `P = 9`).
 
 use crate::report::TextTable;
+use crate::sweep::{par_map, TraceCache};
 use cholcomm_cachesim::{CountingTracer, Tracer};
 use cholcomm_distsim::ProcGrid;
 use cholcomm_layout::{
@@ -19,7 +20,7 @@ use cholcomm_layout::{
     RecursivePacked, RowMajor, Rfp,
 };
 use cholcomm_matrix::spd;
-use cholcomm_seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use cholcomm_seq::zoo::{price_trace, Algorithm, LayoutKind, ModelKind};
 use cholcomm_starred::dag::DepDag;
 
 /// Figure 1: dependency sets and DAG statistics for an `n x n` Cholesky.
@@ -144,14 +145,18 @@ pub fn figure345(n: usize, m: usize, seed: u64) -> String {
             ModelKind::Lru { m },
         ),
     ];
-    for (alg, fig, layout, model) in cases {
-        let rep = run_algorithm(alg, &a, layout, &model).expect("SPD");
+    let cache = TraceCache::new();
+    let measured = par_map(&cases, |(alg, fig, layout, model)| {
+        let stats = price_trace(&cache.trace(*alg, *layout, &a).expect("SPD"), model)[0];
+        (*alg, *fig, *layout, stats)
+    });
+    for (alg, fig, layout, stats) in measured {
         t.row(vec![
             alg.name().to_string(),
             fig.to_string(),
             layout.name().to_string(),
-            rep.levels[0].words.to_string(),
-            rep.levels[0].messages.to_string(),
+            stats.words.to_string(),
+            stats.messages.to_string(),
         ]);
     }
     t.render()

@@ -34,6 +34,7 @@ pub mod figures;
 pub mod multilevel;
 pub mod report;
 pub mod stability;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod theorem1;

@@ -13,9 +13,10 @@
 
 use crate::bounds;
 use crate::report::{fnum, TextTable};
+use crate::sweep::{par_map, TraceCache};
 use cholcomm_cachesim::TransferStats;
 use cholcomm_matrix::spd;
-use cholcomm_seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use cholcomm_seq::zoo::{price_trace, Algorithm, LayoutKind, ModelKind};
 
 /// Per-algorithm multi-level measurement.
 #[derive(Debug, Clone)]
@@ -77,33 +78,33 @@ pub fn run_multilevel(n: usize, capacities: &[usize], seed: u64) -> Vec<MlRow> {
         ),
     ];
 
-    contenders
-        .into_iter()
-        .map(|(label, alg, layout, min_fast_words)| {
-            let rep = run_algorithm(alg, &a, layout, &model)
-                .unwrap_or_else(|e| panic!("{label}: {e}"));
-            let bw_ratios = rep
-                .levels
-                .iter()
-                .zip(capacities)
-                .map(|(s, &mi)| s.words as f64 / bounds::seq_bandwidth_scale(n, mi))
-                .collect();
-            let lat_ratios = rep
-                .levels
-                .iter()
-                .zip(capacities)
-                .map(|(s, &mi)| s.messages as f64 / bounds::seq_latency_scale(n, mi))
-                .collect();
-            MlRow {
-                label,
-                layout: layout.name(),
-                levels: rep.levels,
-                bw_ratios,
-                lat_ratios,
-                min_fast_words,
-            }
-        })
-        .collect()
+    // Record the four contenders' traces in parallel, then one
+    // stack-distance replay per contender prices the whole ladder.
+    let cache = TraceCache::new();
+    par_map(&contenders, |(label, alg, layout, min_fast_words)| {
+        let trace = cache
+            .trace(*alg, *layout, &a)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        let levels = price_trace(&trace, &model);
+        let bw_ratios = levels
+            .iter()
+            .zip(capacities)
+            .map(|(s, &mi)| s.words as f64 / bounds::seq_bandwidth_scale(n, mi))
+            .collect();
+        let lat_ratios = levels
+            .iter()
+            .zip(capacities)
+            .map(|(s, &mi)| s.messages as f64 / bounds::seq_latency_scale(n, mi))
+            .collect();
+        MlRow {
+            label: label.clone(),
+            layout: layout.name(),
+            levels,
+            bw_ratios,
+            lat_ratios,
+            min_fast_words: *min_fast_words,
+        }
+    })
 }
 
 /// Render the hierarchy experiment as text.

@@ -4,8 +4,9 @@
 
 use crate::bounds::{self, Table1Row};
 use crate::report::{fnum, TextTable};
-use cholcomm_matrix::{norms, spd, Matrix};
-use cholcomm_seq::zoo::{run_algorithm, Algorithm, LayoutKind, ModelKind};
+use crate::sweep::{par_map, TraceCache};
+use cholcomm_matrix::{spd, Matrix};
+use cholcomm_seq::zoo::{price_trace, Algorithm, LayoutKind, ModelKind};
 
 /// One measured row of the regenerated Table 1.
 #[derive(Debug, Clone)]
@@ -53,6 +54,14 @@ impl Table1Config {
 
 /// Run all nine Table 1 rows for one `(n, M)` point.
 pub fn run_table1(cfg: Table1Config, a: &Matrix<f64>) -> Vec<MeasuredRow> {
+    run_table1_with(cfg, a, &TraceCache::new())
+}
+
+/// Run all nine Table 1 rows for one `(n, M)` point, sharing recorded
+/// traces through `cache` — across points with the same `n`, the
+/// cache-oblivious rows replay an existing trace instead of re-running
+/// their arithmetic.
+pub fn run_table1_with(cfg: Table1Config, a: &Matrix<f64>, cache: &TraceCache) -> Vec<MeasuredRow> {
     assert_eq!(a.rows(), cfg.n);
     assert!(cfg.n * cfg.n > cfg.m, "Table 1 assumes n^2 > M");
     let b = cfg.lapack_b();
@@ -120,17 +129,14 @@ pub fn run_table1(cfg: Table1Config, a: &Matrix<f64>) -> Vec<MeasuredRow> {
 
     let bw_scale = bounds::seq_bandwidth_scale(cfg.n, cfg.m);
     let lat_scale = bounds::seq_latency_scale(cfg.n, cfg.m);
-    let mut rows = Vec::new();
-    for (paper_row, alg, layout, model) in spec {
-        let rep = run_algorithm(alg, a, layout, model)
+    // Record each row's trace once (residual-checked at record time),
+    // then re-price by replay — all nine rows fan out over the pool.
+    par_map(&spec, |&(paper_row, alg, layout, model)| {
+        let trace = cache
+            .trace(alg, layout, a)
             .unwrap_or_else(|e| panic!("{alg:?} on {layout:?}: {e}"));
-        let res = norms::cholesky_residual(a, &rep.factor);
-        assert!(
-            res < norms::residual_tolerance(cfg.n),
-            "{alg:?}/{layout:?} produced residual {res}"
-        );
-        let s = rep.levels[0];
-        rows.push(MeasuredRow {
+        let s = price_trace(&trace, model)[0];
+        MeasuredRow {
             row: paper_row,
             algorithm: alg.name(),
             layout: layout.name(),
@@ -141,9 +147,8 @@ pub fn run_table1(cfg: Table1Config, a: &Matrix<f64>) -> Vec<MeasuredRow> {
             words_vs_predicted: s.words as f64 / paper_row.predicted_words(cfg.n, cfg.m),
             messages_vs_predicted: s.messages as f64
                 / paper_row.predicted_messages(cfg.n, cfg.m),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Render one `(n, M)` regeneration as text.
@@ -183,10 +188,21 @@ pub fn render_table1(cfg: Table1Config, rows: &[MeasuredRow]) -> String {
 
 /// Convenience: generate the workload and run one point.
 pub fn table1_at(n: usize, m: usize, seed: u64) -> (Table1Config, Vec<MeasuredRow>) {
+    table1_at_with(n, m, seed, &TraceCache::new())
+}
+
+/// [`table1_at`] with a shared trace cache: the cache-oblivious rows'
+/// traces carry across every `(n, M)` point with the same `n`.
+pub fn table1_at_with(
+    n: usize,
+    m: usize,
+    seed: u64,
+    cache: &TraceCache,
+) -> (Table1Config, Vec<MeasuredRow>) {
     let cfg = Table1Config { n, m, leaf: 4 };
     let mut rng = spd::test_rng(seed);
     let a = spd::random_spd(n, &mut rng);
-    let rows = run_table1(cfg, &a);
+    let rows = run_table1_with(cfg, &a, cache);
     (cfg, rows)
 }
 
@@ -271,52 +287,70 @@ mod tests {
 /// `M < 2n`, right-looking blocked, cache-aware tuned recursion, layered
 /// storage), measured under the same models.
 pub fn run_table1_extended(cfg: Table1Config, a: &Matrix<f64>) -> Vec<(String, u64, u64)> {
-    use cholcomm_cachesim::{CountingTracer, LruTracer, Tracer};
+    use cholcomm_cachesim::CompactTrace;
     use cholcomm_layout::{Blocked, ColMajor, Laid, Layered, Morton, RowMajor};
     use cholcomm_seq::{ap00, lapack, naive};
 
     let n = cfg.n;
     let m = cfg.m;
     let b = cfg.lapack_b();
-    let mut rows: Vec<(String, u64, u64)> = Vec::new();
+    let counting = ModelKind::Counting { message_cap: Some(m) };
+    let lru = ModelKind::Lru { m };
 
-    // Up-looking naive on row-major.
-    {
-        let mut laid = Laid::from_matrix(a, RowMajor::square(n));
-        let mut tr = CountingTracer::new(m);
-        naive::up_looking(&mut laid, &mut tr).expect("SPD");
-        rows.push(("naive up-looking / row-major".into(), tr.stats().words, tr.stats().messages));
-    }
-    // Segmented naive (the M < 2n regime).
-    {
-        let mut laid = Laid::from_matrix(a, ColMajor::square(n));
-        let mut tr = CountingTracer::new(m);
-        naive::left_looking_segmented(&mut laid, &mut tr, m).expect("SPD");
-        rows.push((format!("naive segmented (M={m}) / col-major"), tr.stats().words, tr.stats().messages));
-    }
-    // Right-looking blocked.
-    {
-        let mut laid = Laid::from_matrix(a, Blocked::square(n, b));
-        let mut tr = CountingTracer::new(m);
-        lapack::potrf_blocked_right(&mut laid, &mut tr, b, None).expect("SPD");
-        rows.push(("LAPACK right-looking / blocked".into(), tr.stats().words, tr.stats().messages));
-    }
-    // Cache-aware tuned recursion.
-    {
-        let mut laid = Laid::from_matrix(a, Morton::square(n));
-        let mut tr = LruTracer::new(m);
-        ap00::cache_aware_rchol(&mut laid, &mut tr, m).expect("SPD");
-        tr.flush();
-        rows.push(("AP00 tuned (b=sqrt(M/3)) / recursive".to_string(), tr.total_stats().words, tr.total_stats().messages));
-    }
+    // Each variant records its schedule into a CompactTrace, then the
+    // model prices the replay — same engine path as the paper rows.
+    type RecordFn<'a> = Box<dyn Fn(&mut CompactTrace) + Sync + 'a>;
+    let mut variants: Vec<(String, &ModelKind, RecordFn)> = vec![
+        (
+            "naive up-looking / row-major".into(),
+            &counting,
+            Box::new(|tr: &mut CompactTrace| {
+                let mut laid = Laid::from_matrix(a, RowMajor::square(n));
+                naive::up_looking(&mut laid, tr).expect("SPD");
+            }),
+        ),
+        (
+            format!("naive segmented (M={m}) / col-major"),
+            &counting,
+            Box::new(|tr: &mut CompactTrace| {
+                let mut laid = Laid::from_matrix(a, ColMajor::square(n));
+                naive::left_looking_segmented(&mut laid, tr, m).expect("SPD");
+            }),
+        ),
+        (
+            "LAPACK right-looking / blocked".into(),
+            &counting,
+            Box::new(|tr: &mut CompactTrace| {
+                let mut laid = Laid::from_matrix(a, Blocked::square(n, b));
+                lapack::potrf_blocked_right(&mut laid, tr, b, None).expect("SPD");
+            }),
+        ),
+        (
+            "AP00 tuned (b=sqrt(M/3)) / recursive".into(),
+            &lru,
+            Box::new(|tr: &mut CompactTrace| {
+                let mut laid = Laid::from_matrix(a, Morton::square(n));
+                ap00::cache_aware_rchol(&mut laid, tr, m).expect("SPD");
+            }),
+        ),
+    ];
     // LAPACK on layered storage (configured to its own block size).
     if n.is_multiple_of(b) {
-        let mut laid = Laid::from_matrix(a, Layered::new(n, vec![b]));
-        let mut tr = CountingTracer::new(m);
-        lapack::potrf_blocked(&mut laid, &mut tr, b, None).expect("SPD");
-        rows.push(("LAPACK / layered".into(), tr.stats().words, tr.stats().messages));
+        variants.push((
+            "LAPACK / layered".into(),
+            &counting,
+            Box::new(|tr: &mut CompactTrace| {
+                let mut laid = Laid::from_matrix(a, Layered::new(n, vec![b]));
+                lapack::potrf_blocked(&mut laid, tr, b, None).expect("SPD");
+            }),
+        ));
     }
-    rows
+    par_map(&variants, |(name, model, record)| {
+        let mut trace = CompactTrace::new();
+        record(&mut trace);
+        let s = price_trace(&trace, model)[0];
+        (name.clone(), s.words, s.messages)
+    })
 }
 
 /// Render the extended rows.

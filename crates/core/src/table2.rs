@@ -3,6 +3,7 @@
 
 use crate::bounds;
 use crate::report::{fnum, TextTable};
+use crate::sweep::par_map;
 use cholcomm_distsim::CostModel;
 use cholcomm_matrix::{kernels, norms, spd, Matrix};
 use cholcomm_par::pxpotrf::pxpotrf;
@@ -37,13 +38,21 @@ pub struct Table2Point {
 
 /// Run one `(n, p, b)` point and verify the factor numerically.
 pub fn run_point(a: &Matrix<f64>, p: usize, b: usize) -> Table2Point {
-    let n = a.rows();
-    let rep = pxpotrf(a, b, p, CostModel::typical()).expect("SPD input");
-    // Verify against the sequential factor.
+    run_point_against(a, &reference_factor(a), p, b)
+}
+
+/// The sequential factor every `(P, b)` point is verified against —
+/// computed once per sweep, not once per point.
+fn reference_factor(a: &Matrix<f64>) -> Matrix<f64> {
     let mut want = a.clone();
     kernels::potf2(&mut want).unwrap();
-    let want = want.lower_triangle().unwrap();
-    let diff = norms::max_abs_diff(&rep.factor, &want);
+    want.lower_triangle().unwrap()
+}
+
+fn run_point_against(a: &Matrix<f64>, want: &Matrix<f64>, p: usize, b: usize) -> Table2Point {
+    let n = a.rows();
+    let rep = pxpotrf(a, b, p, CostModel::typical()).expect("SPD input");
+    let diff = norms::max_abs_diff(&rep.factor, want);
     assert!(
         diff < 1e-8 * (n as f64),
         "PxPOTRF(P={p}, b={b}) disagrees with sequential: {diff}"
@@ -69,7 +78,7 @@ pub fn run_point(a: &Matrix<f64>, p: usize, b: usize) -> Table2Point {
 pub fn run_table2(n: usize, ps: &[usize], seed: u64) -> Vec<Table2Point> {
     let mut rng = spd::test_rng(seed);
     let a = spd::random_spd(n, &mut rng);
-    let mut out = Vec::new();
+    let mut points = Vec::new();
     for &p in ps {
         let sqrt_p = (p as f64).sqrt() as usize;
         let b_opt = (n / sqrt_p).max(1);
@@ -82,10 +91,13 @@ pub fn run_table2(n: usize, ps: &[usize], seed: u64) -> Vec<Table2Point> {
         }
         bs.dedup();
         for b in bs {
-            out.push(run_point(&a, p, b));
+            points.push((p, b));
         }
     }
-    out
+    // Every (P, b) point simulates independently against the one shared
+    // reference factor — fan the whole sweep out over the pool.
+    let want = reference_factor(&a);
+    par_map(&points, |&(p, b)| run_point_against(&a, &want, p, b))
 }
 
 /// Render the sweep as text.

@@ -4,14 +4,16 @@
 //! `cholcomm-core` iterate over to regenerate Table 1.
 
 use crate::{ap00, lapack, naive, toledo};
-use cholcomm_cachesim::{CountingTracer, LruTracer, StackDistanceTracer, Tracer, TransferStats};
+use cholcomm_cachesim::{
+    CompactTrace, CountingTracer, LruTracer, StackDistanceTracer, Tracer, TransferStats,
+};
 use cholcomm_layout::{
     Blocked, ColMajor, Laid, Layout, Morton, PackedLower, RecursivePacked, RowMajor,
 };
 use cholcomm_matrix::{Matrix, MatrixError, Scalar};
 
 /// The sequential algorithms of Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Algorithm 2 — naïve left-looking.
     NaiveLeft,
@@ -54,7 +56,7 @@ impl Algorithm {
 }
 
 /// The storage formats of Figure 2, as runtime values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayoutKind {
     /// Full column-major.
     ColMajor,
@@ -192,6 +194,104 @@ fn run_with_layout<L: Layout>(
             let factor = run_alg(alg, input, layout, &mut tracer)?;
             let levels = (0..capacities.len()).map(|i| tracer.level_stats(i)).collect();
             Ok(RunReport { factor, levels })
+        }
+    }
+}
+
+/// One recorded run: the computed factor plus the compact touch trace,
+/// ready to be re-priced under any model via [`price_trace`].
+#[derive(Debug, Clone)]
+pub struct Recorded {
+    /// The computed factor (lower triangle holds `L`).
+    pub factor: Matrix<f64>,
+    /// The run-encoded touch schedule of the factorization.
+    pub trace: CompactTrace,
+}
+
+/// Record `alg` on (a copy of) `input` stored in `layout` once, keeping
+/// the touch schedule as a [`CompactTrace`].
+///
+/// Touch schedules are *data-oblivious*: the sequence of addresses an
+/// algorithm reads and writes depends only on `(alg, layout, n)`, never
+/// on the matrix values — which is what makes a trace recorded on one
+/// SPD matrix reusable for pricing every fast-memory size (and every
+/// other SPD input) at that shape.  Set `CHOLCOMM_TRACE_CHECK=1` to
+/// verify that property at record time: the algorithm is re-run on a
+/// second, different SPD matrix and the two traces must be identical.
+pub fn record_algorithm(
+    alg: Algorithm,
+    input: &Matrix<f64>,
+    layout: LayoutKind,
+) -> Result<Recorded, MatrixError> {
+    let mut trace = CompactTrace::new();
+    let factor = record_into(alg, input, layout, &mut trace)?;
+    if std::env::var_os("CHOLCOMM_TRACE_CHECK").is_some_and(|v| v != "0") {
+        // A different SPD matrix of the same shape: scale (SPD is closed
+        // under positive scaling) and grow the diagonal.
+        let mut other = input.clone();
+        other.map_inplace(|x| x * 0.5);
+        for i in 0..other.rows() {
+            other[(i, i)] += 1.0;
+        }
+        let mut second = CompactTrace::new();
+        record_into(alg, &other, layout, &mut second)?;
+        assert!(
+            trace.same_schedule(&second),
+            "data-dependent touch schedule: {:?} on {:?} (n = {}) produced \
+             different traces on two SPD inputs — its trace cannot be reused \
+             across matrices",
+            alg,
+            layout,
+            input.rows(),
+        );
+    }
+    Ok(Recorded { factor, trace })
+}
+
+fn record_into(
+    alg: Algorithm,
+    input: &Matrix<f64>,
+    layout: LayoutKind,
+    trace: &mut CompactTrace,
+) -> Result<Matrix<f64>, MatrixError> {
+    let n = input.rows();
+    match layout {
+        LayoutKind::ColMajor => run_alg(alg, input, ColMajor::square(n), trace),
+        LayoutKind::RowMajor => run_alg(alg, input, RowMajor::square(n), trace),
+        LayoutKind::PackedLower => run_alg(alg, input, PackedLower::new(n), trace),
+        LayoutKind::Rfp => run_alg(alg, input, Rfp::new(n), trace),
+        LayoutKind::Blocked(b) => run_alg(alg, input, Blocked::square(n, b), trace),
+        LayoutKind::Morton => run_alg(alg, input, Morton::square(n), trace),
+        LayoutKind::RecursivePacked => run_alg(alg, input, RecursivePacked::new(n), trace),
+    }
+}
+
+/// Re-price a recorded trace under `model` without re-running any
+/// arithmetic.  Returns the same per-level stats vector that
+/// [`run_algorithm`] puts in [`RunReport::levels`], byte-identical to a
+/// direct run of the same `(alg, layout, n)`.
+pub fn price_trace(trace: &CompactTrace, model: &ModelKind) -> Vec<TransferStats> {
+    match model {
+        ModelKind::Counting { message_cap } => {
+            let mut tracer = match message_cap {
+                Some(cap) => CountingTracer::new(*cap),
+                None => CountingTracer::uncapped(),
+            };
+            trace.replay(&mut tracer);
+            vec![tracer.stats()]
+        }
+        ModelKind::Lru { m } => {
+            let mut tracer = LruTracer::new(*m);
+            tracer.reserve_footprint(trace.footprint());
+            trace.replay(&mut tracer);
+            tracer.flush();
+            vec![tracer.total_stats()]
+        }
+        ModelKind::Hierarchy { capacities } => {
+            let mut tracer =
+                StackDistanceTracer::with_trace_hint(capacities, trace.words(), trace.footprint());
+            trace.replay(&mut tracer);
+            (0..capacities.len()).map(|i| tracer.level_stats(i)).collect()
         }
     }
 }
