@@ -1,0 +1,308 @@
+//! Availability and latency benchmark of the `cholcomm-serve`
+//! factorization service under the standard chaos scenarios, and the
+//! repo's tracked service artifact.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin serve_bench             # full run
+//! cargo run --release -p cholcomm-bench --bin serve_bench -- --smoke  # CI smoke
+//! cargo run --release -p cholcomm-bench --bin serve_bench -- --smoke --baseline BENCH_serve.json
+//! ```
+//!
+//! For every [`ChaosScenario`] (clean, bit-flip, transient-EIO,
+//! worker-crash, burst-overload) the bench drives a seeded Zipf/Pareto
+//! request stream through the service and records availability,
+//! deterministic virtual p50/p99, wall-clock p50/p99, and throughput.
+//! Each scenario runs **twice** and the canonical event-log digests must
+//! match (the replay contract); every completed response's factor digest
+//! must equal an unfaulted direct factorization of the same problem (the
+//! bit-identity contract).  Either failing is exit 1.
+//!
+//! `--baseline <path>` reads a previous artifact and fails if any
+//! scenario's *virtual* p99 regressed more than 30% above it or its
+//! availability dropped more than 30% below it — the CI regression
+//! gates, on the deterministic metrics so the gate itself cannot flake.
+//! Results are hand-rolled JSON (offline workspace, no serde) written to
+//! `BENCH_serve.json` at the repo root, or `BENCH_serve.smoke.json`
+//! under `--smoke`.
+
+use cholcomm_core::matrix::lower_digest;
+use cholcomm_core::serve::engine::{factor_resumable, Checkpoint, FactorOutcome, PanelControl};
+use cholcomm_core::serve::{
+    build, ChaosScenario, JobKind, Request, Service, ServiceConfig, Ticket,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct ScenarioResult {
+    name: &'static str,
+    requests: usize,
+    completed: u64,
+    shed_overload: u64,
+    breaker_refused: u64,
+    deadline_canceled: u64,
+    degraded_served: u64,
+    worker_restarts: u64,
+    cache_healed: u64,
+    availability: f64,
+    virt_p50_us: u64,
+    virt_p99_us: u64,
+    wall_p50_us: f64,
+    wall_p99_us: f64,
+    throughput_rps: f64,
+    bit_identical: bool,
+    replay_identical: bool,
+    log_digest: u64,
+}
+
+/// Direct, unfaulted factorization digest of a `(kind, key, n)` triple —
+/// the reference every completed response is checked against.
+fn direct_digest(
+    memo: &mut HashMap<(JobKind, u64, usize), u64>,
+    kind: JobKind,
+    key: u64,
+    n: usize,
+    block: usize,
+    kernel: cholcomm_core::matrix::KernelImpl,
+) -> u64 {
+    *memo.entry((kind, key, n)).or_insert_with(|| {
+        let problem = build(kind, key, n);
+        match factor_resumable(Checkpoint::fresh(problem.a), block, kernel, &mut |_, _| {
+            PanelControl::Continue
+        })
+        .expect("reference factorization")
+        {
+            FactorOutcome::Done(m) => lower_digest(&m),
+            FactorOutcome::Canceled { .. } => unreachable!("reference run is never cancelled"),
+        }
+    })
+}
+
+/// Per-request outcome: (req id, kind, key, n, completed factor digest).
+type Outcome = (u64, JobKind, u64, usize, Option<u64>);
+
+/// One full drive of a scenario: returns (report, responses, wall seconds).
+fn drive(
+    scenario: ChaosScenario,
+    seed: u64,
+    requests: &[Request],
+) -> (cholcomm_core::serve::ServiceReport, Vec<Outcome>, f64) {
+    let config = scenario.config();
+    let plan = scenario.plan(seed);
+    let mut service = Service::start(config, &plan);
+    let t0 = Instant::now();
+    let tickets: Vec<(Ticket, JobKind, u64, usize)> = requests
+        .iter()
+        .map(|r| (service.submit(*r), r.kind, r.key, r.n))
+        .collect();
+    let responses: Vec<Outcome> = tickets
+        .into_iter()
+        .map(|(t, kind, key, n)| {
+            let req = t.req;
+            let digest = t.wait().ok().map(|resp| resp.factor_digest);
+            (req, kind, key, n, digest)
+        })
+        .collect();
+    let wall_s = t0.elapsed().as_secs_f64();
+    (service.shutdown(), responses, wall_s)
+}
+
+fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
+    // Smoke and full run the SAME deterministic workload: the virtual
+    // metrics are machine-independent, so a CI smoke run gates exactly
+    // against the committed full artifact.  (--smoke only redirects the
+    // output so CI never clobbers the tracked baseline.)
+    let workload = scenario.workload(seed);
+    let requests = workload.generate();
+    let config = ServiceConfig::default();
+
+    let (report_a, responses, wall_s) = drive(scenario, seed, &requests);
+    let (report_b, _, _) = drive(scenario, seed, &requests);
+    let replay_identical = report_a.log_digest == report_b.log_digest
+        && report_a.metrics.counters == report_b.metrics.counters;
+
+    // Bit-identity: every completed response vs a direct unfaulted run.
+    let mut memo = HashMap::new();
+    let bit_identical = responses.iter().all(|&(_, kind, key, n, digest)| {
+        digest.is_none_or(|d| {
+            d == direct_digest(&mut memo, kind, key, n, config.shard.block, config.shard.kernel)
+        })
+    });
+
+    let c = &report_a.metrics.counters;
+    ScenarioResult {
+        name: scenario.tag(),
+        requests: requests.len(),
+        completed: c.completed,
+        shed_overload: c.shed_overload,
+        breaker_refused: c.breaker_refused,
+        deadline_canceled: c.deadline_canceled,
+        degraded_served: c.degraded_served,
+        worker_restarts: c.worker_restarts,
+        cache_healed: report_a.metrics.cache.healed,
+        availability: c.availability(),
+        virt_p50_us: report_a.metrics.virt_percentile_us(0.50),
+        virt_p99_us: report_a.metrics.virt_percentile_us(0.99),
+        wall_p50_us: report_a.metrics.wall_percentile_us(0.50),
+        wall_p99_us: report_a.metrics.wall_percentile_us(0.99),
+        throughput_rps: c.completed as f64 / wall_s.max(1e-9),
+        bit_identical,
+        replay_identical,
+        log_digest: report_a.log_digest,
+    }
+}
+
+/// Render as the `cholcomm-serve-bench/v1` JSON document.
+fn to_json(results: &[ScenarioResult], mode: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"cholcomm-serve-bench/v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        s,
+        "  \"threads\": {},",
+        std::thread::available_parallelism().map_or(1, |v| v.get())
+    );
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"requests\": {},", r.requests);
+        let _ = writeln!(s, "      \"completed\": {},", r.completed);
+        let _ = writeln!(s, "      \"shed_overload\": {},", r.shed_overload);
+        let _ = writeln!(s, "      \"breaker_refused\": {},", r.breaker_refused);
+        let _ = writeln!(s, "      \"deadline_canceled\": {},", r.deadline_canceled);
+        let _ = writeln!(s, "      \"degraded_served\": {},", r.degraded_served);
+        let _ = writeln!(s, "      \"worker_restarts\": {},", r.worker_restarts);
+        let _ = writeln!(s, "      \"cache_healed\": {},", r.cache_healed);
+        let _ = writeln!(s, "      \"availability\": {:.4},", r.availability);
+        let _ = writeln!(s, "      \"virt_p50_us\": {},", r.virt_p50_us);
+        let _ = writeln!(s, "      \"virt_p99_us\": {},", r.virt_p99_us);
+        let _ = writeln!(s, "      \"wall_p50_us\": {:.1},", r.wall_p50_us);
+        let _ = writeln!(s, "      \"wall_p99_us\": {:.1},", r.wall_p99_us);
+        let _ = writeln!(s, "      \"throughput_rps\": {:.0},", r.throughput_rps);
+        let _ = writeln!(s, "      \"bit_identical\": {},", r.bit_identical);
+        let _ = writeln!(s, "      \"replay_identical\": {},", r.replay_identical);
+        let _ = writeln!(s, "      \"log_digest\": \"{:016x}\"", r.log_digest);
+        let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Pull a numeric field out of the named scenario's object in a previous
+/// artifact.
+fn baseline_field(json: &str, scenario: &str, field: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{scenario}\""))?;
+    let obj = &json[at..];
+    let end = obj.find('}').unwrap_or(obj.len());
+    let obj = &obj[..end];
+    let key = format!("\"{field}\":");
+    let at = obj.find(&key)? + key.len();
+    let rest = obj[at..].trim_start();
+    let stop = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..stop].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            if smoke {
+                "BENCH_serve.smoke.json".to_string()
+            } else {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+            }
+        });
+
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("serve_bench: mode={mode}");
+    let seed = 0xC0FFEE;
+
+    let results: Vec<ScenarioResult> = ChaosScenario::ALL
+        .iter()
+        .map(|&s| run_scenario(s, seed))
+        .collect();
+
+    let mut failed = false;
+    for r in &results {
+        println!(
+            "{:>14}: {:>3}/{:<3} ok  avail {:.3}  virt p50/p99 {:>6}/{:<6}us  wall p99 {:>8.0}us  \
+             {:>6.0} rps  shed {} refused {} deadline {} degraded {} restarts {} healed {}",
+            r.name,
+            r.completed,
+            r.requests,
+            r.availability,
+            r.virt_p50_us,
+            r.virt_p99_us,
+            r.wall_p99_us,
+            r.throughput_rps,
+            r.shed_overload,
+            r.breaker_refused,
+            r.deadline_canceled,
+            r.degraded_served,
+            r.worker_restarts,
+            r.cache_healed,
+        );
+        if !r.bit_identical {
+            eprintln!("serve_bench: {}: a completed response differed from the direct run", r.name);
+            failed = true;
+        }
+        if !r.replay_identical {
+            eprintln!("serve_bench: {}: two identical runs produced different event logs", r.name);
+            failed = true;
+        }
+    }
+
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path) {
+            Ok(base_json) => {
+                for r in &results {
+                    if let Some(base_p99) = baseline_field(&base_json, r.name, "virt_p99_us") {
+                        let ceiling = 1.3 * base_p99;
+                        if r.virt_p99_us as f64 > ceiling && base_p99 > 0.0 {
+                            eprintln!(
+                                "serve_bench: {}: virtual p99 {}us regressed >30% above baseline {}us",
+                                r.name, r.virt_p99_us, base_p99
+                            );
+                            failed = true;
+                        }
+                    }
+                    if let Some(base_avail) = baseline_field(&base_json, r.name, "availability") {
+                        let floor = 0.7 * base_avail;
+                        if r.availability < floor {
+                            eprintln!(
+                                "serve_bench: {}: availability {:.3} dropped >30% below baseline {:.3}",
+                                r.name, r.availability, base_avail
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+                eprintln!("serve_bench: baseline gates checked against {path}");
+            }
+            Err(e) => {
+                eprintln!("serve_bench: could not read baseline {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+
+    let json = to_json(&results, mode);
+    std::fs::write(&out_path, &json).expect("write bench artifact");
+    eprintln!("serve_bench: wrote {out_path}");
+}

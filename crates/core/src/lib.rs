@@ -48,4 +48,5 @@ pub use cholcomm_matrix as matrix;
 pub use cholcomm_ooc as ooc;
 pub use cholcomm_par as par;
 pub use cholcomm_seq as seq;
+pub use cholcomm_serve as serve;
 pub use cholcomm_starred as starred;

@@ -31,7 +31,8 @@ mod plan;
 mod stats;
 
 pub use plan::{
-    BitFlip, CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, MessageFault, RankKill,
+    BitFlip, CacheFlip, CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, JobFault,
+    MessageFault, RankKill,
 };
 pub use stats::FaultStats;
 

@@ -71,6 +71,24 @@ pub struct BitFlip {
     pub mask: u64,
 }
 
+/// What happens to one attempt of a *service job* (a request in the
+/// `cholcomm-serve` request stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFault {
+    /// The attempt fails with a transient, retryable error before any
+    /// panel work lands (the request-stream analogue of a transient
+    /// `EIO`); the service retries with backoff.
+    Transient,
+    /// The worker executing the attempt panics at the start of panel
+    /// `panel`; the shard supervisor must restart the worker and
+    /// re-drive the job from its last checkpoint.
+    Crash {
+        /// Panel step (0-based) at whose start the worker dies.  Clamped
+        /// by the caller to the job's panel count.
+        panel: usize,
+    },
+}
+
 /// A fail-stop rank death: rank `rank` dies at the start of panel step
 /// `step`, dropping its channel endpoints so peers observe disconnects
 /// instead of hangs.
@@ -81,6 +99,10 @@ pub struct RankKill {
     /// Panel step (0-based) at whose start it dies.
     pub step: usize,
 }
+
+/// One at-rest corruption of a cached factor: the struck element
+/// `(row, col)` and the nonzero XOR mask applied to its bit pattern.
+pub type CacheFlip = ((usize, usize), u64);
 
 /// Builder for a [`FaultPlan`].
 #[derive(Debug, Clone)]
@@ -94,10 +116,15 @@ pub struct FaultPlanBuilder {
     disk_transient_rate: f64,
     disk_short_read_rate: f64,
     bit_flip_rate: f64,
+    job_transient_rate: f64,
+    worker_crash_rate: f64,
+    cache_flip_rate: f64,
     max_fault_attempts: u32,
     message_injections: HashMap<(usize, usize, u64, u32), MessageFault>,
     disk_injections: HashMap<(u64, u32), DiskFault>,
     bit_flip_injections: Vec<BitFlip>,
+    job_injections: HashMap<(u64, u32), JobFault>,
+    cache_flip_injections: HashMap<u64, Vec<CacheFlip>>,
     rank_kill: Option<RankKill>,
     crash: Option<CrashPoint>,
 }
@@ -114,10 +141,15 @@ impl FaultPlanBuilder {
             disk_transient_rate: 0.0,
             disk_short_read_rate: 0.0,
             bit_flip_rate: 0.0,
+            job_transient_rate: 0.0,
+            worker_crash_rate: 0.0,
+            cache_flip_rate: 0.0,
             max_fault_attempts: 6,
             message_injections: HashMap::new(),
             disk_injections: HashMap::new(),
             bit_flip_injections: Vec::new(),
+            job_injections: HashMap::new(),
+            cache_flip_injections: HashMap::new(),
             rank_kill: None,
             crash: None,
         }
@@ -237,6 +269,46 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Fraction of service-job attempts that fail with a transient,
+    /// retryable error.
+    pub fn job_transient_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.job_transient_rate = rate;
+        self
+    }
+
+    /// Fraction of service-job attempts whose worker panics mid-job (the
+    /// crash panel is derived deterministically from the seed).
+    pub fn worker_crash_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.worker_crash_rate = rate;
+        self
+    }
+
+    /// Explicitly fault attempt `attempt` (1-based) of service job `job`.
+    pub fn inject_job_fault(mut self, job: u64, attempt: u32, fault: JobFault) -> Self {
+        self.job_injections.insert((job, attempt), fault);
+        self
+    }
+
+    /// Fraction of cache reads struck by a seeded single-bit flip in the
+    /// at-rest cached factor (element and bit derived from the seed;
+    /// query with [`FaultPlan::cache_flips`]).
+    pub fn cache_flip_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.cache_flip_rate = rate;
+        self
+    }
+
+    /// Explicitly corrupt element `elem` of the cached factor read by
+    /// service job `job`, XORing `mask` into its bit pattern.  Injecting
+    /// two flips for one job models multi-element (unhealable) rot.
+    pub fn inject_cache_flip(mut self, job: u64, elem: (usize, usize), mask: u64) -> Self {
+        assert!(mask != 0, "a zero mask flips nothing");
+        self.cache_flip_injections.entry(job).or_default().push((elem, mask));
+        self
+    }
+
     /// Finish the plan.
     pub fn build(self) -> FaultPlan {
         let total = self.drop_rate + self.duplicate_rate + self.corrupt_rate + self.delay_rate;
@@ -246,6 +318,8 @@ impl FaultPlanBuilder {
         );
         let disk_total = self.disk_transient_rate + self.disk_short_read_rate;
         assert!(disk_total <= 1.0, "disk fault rates sum to {disk_total} > 1");
+        let job_total = self.job_transient_rate + self.worker_crash_rate;
+        assert!(job_total <= 1.0, "job fault rates sum to {job_total} > 1");
         FaultPlan {
             inner: Arc::new(self),
         }
@@ -286,9 +360,14 @@ impl FaultPlan {
             && p.disk_transient_rate == 0.0
             && p.disk_short_read_rate == 0.0
             && p.bit_flip_rate == 0.0
+            && p.job_transient_rate == 0.0
+            && p.worker_crash_rate == 0.0
+            && p.cache_flip_rate == 0.0
             && p.message_injections.is_empty()
             && p.disk_injections.is_empty()
             && p.bit_flip_injections.is_empty()
+            && p.job_injections.is_empty()
+            && p.cache_flip_injections.is_empty()
             && p.rank_kill.is_none()
             && p.crash.is_none()
     }
@@ -445,6 +524,64 @@ impl FaultPlan {
     pub fn rank_kill(&self) -> Option<RankKill> {
         self.inner.rank_kill
     }
+
+    /// The fate of attempt `attempt` (1-based) of service job `job`
+    /// whose factorization has `panels` panel steps.  Attempts beyond
+    /// [`max_fault_attempts`](Self::max_fault_attempts) are always clean
+    /// (the liveness bound that makes bounded retry sufficient).
+    pub fn job_fault(&self, job: u64, attempt: u32, panels: usize) -> Option<JobFault> {
+        let p = &*self.inner;
+        if let Some(&f) = p.job_injections.get(&(job, attempt)) {
+            return Some(match f {
+                JobFault::Crash { panel } => JobFault::Crash {
+                    panel: panel.min(panels.saturating_sub(1)),
+                },
+                t => t,
+            });
+        }
+        if attempt > p.max_fault_attempts {
+            return None;
+        }
+        let h = coord_hash(p.seed, &[0x4A42u64, job, attempt as u64]);
+        let u = unit(h);
+        let mut edge = p.job_transient_rate;
+        if u < edge {
+            return Some(JobFault::Transient);
+        }
+        edge += p.worker_crash_rate;
+        if u < edge && panels > 0 {
+            let sel = coord_hash(p.seed, &[0x4A43u64, job, attempt as u64]);
+            return Some(JobFault::Crash {
+                panel: (sel as usize) % panels,
+            });
+        }
+        None
+    }
+
+    /// The at-rest corruptions (element, XOR mask) striking the cached
+    /// `rows x cols` factor as it is read by service job `job`: explicit
+    /// injections first, then (if the seeded rate fires) one derived
+    /// single-bit flip.  Pure function of the seed and the job id, like
+    /// every other decision in the plan.
+    pub fn cache_flips(&self, job: u64, rows: usize, cols: usize) -> Vec<CacheFlip> {
+        let p = &*self.inner;
+        let mut flips: Vec<CacheFlip> = p
+            .cache_flip_injections
+            .get(&job)
+            .cloned()
+            .unwrap_or_default();
+        if p.cache_flip_rate > 0.0 && rows > 0 && cols > 0 {
+            let h = coord_hash(p.seed, &[0x4346u64, job]);
+            if unit(h) < p.cache_flip_rate {
+                let sel = coord_hash(p.seed, &[0x4347u64, job]);
+                let i = (sel as usize) % rows;
+                let j = ((sel >> 20) as usize) % cols;
+                let bit = (sel >> 40) % 64;
+                flips.push(((i, j), 1u64 << bit));
+            }
+        }
+        flips
+    }
 }
 
 #[cfg(test)]
@@ -588,6 +725,87 @@ mod tests {
         assert!(mk(5).random_bit_flip(0, (0, 0), 5, 7) != a.random_bit_flip(0, (0, 0), 5, 7)
             || mk(5).random_bit_flip(1, (2, 1), 5, 7) != a.random_bit_flip(1, (2, 1), 5, 7));
         assert_eq!(FaultPlan::none().random_bit_flip(0, (0, 0), 4, 4), None);
+    }
+
+    #[test]
+    fn job_faults_are_seeded_deterministic_and_bounded() {
+        let mk = || {
+            FaultPlan::builder(21)
+                .job_transient_rate(0.2)
+                .worker_crash_rate(0.1)
+                .max_fault_attempts(3)
+                .build()
+        };
+        let (a, b) = (mk(), mk());
+        let mut transients = 0usize;
+        let mut crashes = 0usize;
+        for job in 0..2000u64 {
+            for attempt in 1..=3u32 {
+                let fa = a.job_fault(job, attempt, 8);
+                assert_eq!(fa, b.job_fault(job, attempt, 8));
+                match fa {
+                    Some(JobFault::Transient) => transients += 1,
+                    Some(JobFault::Crash { panel }) => {
+                        crashes += 1;
+                        assert!(panel < 8);
+                    }
+                    None => {}
+                }
+            }
+            // Liveness: past the attempt cap, always clean.
+            assert_eq!(a.job_fault(job, 4, 8), None);
+        }
+        let n = 2000.0 * 3.0;
+        assert!((transients as f64 / n - 0.2).abs() < 0.03, "{transients}");
+        assert!((crashes as f64 / n - 0.1).abs() < 0.03, "{crashes}");
+        assert!(!mk().is_clean());
+    }
+
+    #[test]
+    fn explicit_job_faults_fire_exactly_where_placed() {
+        let plan = FaultPlan::builder(0)
+            .inject_job_fault(5, 1, JobFault::Transient)
+            .inject_job_fault(5, 2, JobFault::Crash { panel: 99 })
+            .build();
+        assert_eq!(plan.job_fault(5, 1, 4), Some(JobFault::Transient));
+        // Crash panel is clamped to the job's panel count.
+        assert_eq!(plan.job_fault(5, 2, 4), Some(JobFault::Crash { panel: 3 }));
+        assert_eq!(plan.job_fault(5, 3, 4), None);
+        assert_eq!(plan.job_fault(6, 1, 4), None);
+        // Explicit injections fire even past the attempt cap — tests can
+        // script pathological streams; the *random* draws stay bounded.
+        let deep = FaultPlan::builder(0)
+            .inject_job_fault(1, 9, JobFault::Transient)
+            .build();
+        assert_eq!(deep.job_fault(1, 9, 4), Some(JobFault::Transient));
+    }
+
+    #[test]
+    fn cache_flips_are_seeded_and_in_bounds() {
+        let mk = || FaultPlan::builder(13).cache_flip_rate(0.5).build();
+        let (a, b) = (mk(), mk());
+        let mut hits = 0usize;
+        for job in 0..400u64 {
+            let fa = a.cache_flips(job, 6, 6);
+            assert_eq!(fa, b.cache_flips(job, 6, 6));
+            for &((i, j), mask) in &fa {
+                assert!(i < 6 && j < 6);
+                assert_eq!(mask.count_ones(), 1, "single-bit upset");
+            }
+            hits += fa.len();
+        }
+        assert!(hits > 100, "rate 0.5 over 400 jobs: {hits}");
+
+        let explicit = FaultPlan::builder(0)
+            .inject_cache_flip(7, (2, 3), 1 << 52)
+            .inject_cache_flip(7, (0, 0), 0b10)
+            .build();
+        assert_eq!(
+            explicit.cache_flips(7, 8, 8),
+            vec![((2, 3), 1 << 52), ((0, 0), 0b10)]
+        );
+        assert!(explicit.cache_flips(8, 8, 8).is_empty());
+        assert!(FaultPlan::none().cache_flips(7, 8, 8).is_empty());
     }
 
     #[test]

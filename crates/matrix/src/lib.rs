@@ -26,6 +26,7 @@
 
 pub mod abft;
 pub mod dense;
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod kernels;
@@ -37,6 +38,7 @@ pub mod tri;
 
 pub use abft::{verify_and_heal, AbftMatrix, AbftStats, TileChecksum, TileHealth};
 pub use dense::Matrix;
+pub use digest::{lower_digest, matrix_digest, slice_digest};
 pub use engine::KernelImpl;
 pub use error::MatrixError;
 pub use scalar::Scalar;

@@ -144,10 +144,12 @@ fn run_rank(
                 continue;
             }
             let blk = if init_from_store {
-                let guard = store.lock().expect("checkpoint store lock");
+                let guard = store
+                    .lock()
+                    .map_err(|_| DistError::Protocol("checkpoint store poisoned"))?;
                 let blk = guard
                     .get(&(bi, bj, start))
-                    .expect("every block is checkpointed at the restart epoch")
+                    .ok_or(DistError::Protocol("missing checkpoint at restart epoch"))?
                     .clone();
                 stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
                 blk
@@ -179,7 +181,9 @@ fn run_rank(
         // at the start of this step.  Written before the kill and before
         // any flip lands, so the store always holds clean state.
         {
-            let mut guard = store.lock().expect("checkpoint store lock");
+            let mut guard = store
+                .lock()
+                .map_err(|_| DistError::Protocol("checkpoint store poisoned"))?;
             for &key in &keys {
                 let blk = &owned[&key];
                 stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
@@ -196,7 +200,9 @@ fn run_rank(
 
         // --- Silent corruption lands now; detect, locate, heal.
         for &key in &keys {
-            let blk = owned.get_mut(&key).expect("owned block");
+            let blk = owned
+                .get_mut(&key)
+                .ok_or(DistError::Protocol("owned block missing"))?;
             let mut flips = plan.bit_flips_at(bj, key);
             if let Some(f) = plan.random_bit_flip(bj, key, blk.rows(), blk.cols()) {
                 flips.push(f);
@@ -220,10 +226,12 @@ fn run_rank(
                     // Multi-element corruption: recompute-from-checkpoint
                     // fallback, reading this epoch's (pre-flip) snapshot.
                     stats.unrecoverable += 1;
-                    let guard = store.lock().expect("checkpoint store lock");
+                    let guard = store
+                        .lock()
+                        .map_err(|_| DistError::Protocol("checkpoint store poisoned"))?;
                     *blk = guard
                         .get(&(key.0, key.1, bj))
-                        .expect("epoch snapshot exists")
+                        .ok_or(DistError::Protocol("missing epoch snapshot"))?
                         .clone();
                     stats.restores += 1;
                     stats.checkpoint_words += (blk.rows() * blk.cols()) as u64;
@@ -494,14 +502,16 @@ pub fn abft_spmd_pxpotrf(
         let states: Vec<RoundState> = out1
             .results
             .into_iter()
-            .map(|r| r.expect("no rank was lost"))
-            .collect();
+            .collect::<Result<_, _>>()
+            .map_err(SpmdError::Dist)?;
         (states, 0, None)
     } else {
         // Ranks are lost only through the plan's RankKill (message
         // faults are absorbed by the transport), so the victim and the
         // restart epoch are known.
-        let k = kill.expect("ranks are lost only via RankKill");
+        let k = kill.ok_or(SpmdError::Dist(DistError::Protocol(
+            "rank lost without a scheduled kill",
+        )))?;
         let adopter = (k.rank + 1) % p;
         let mut phys_of = identity.clone();
         phys_of[k.rank] = adopter;
@@ -556,6 +566,7 @@ pub fn abft_spmd_pxpotrf(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::spmd::spmd_pxpotrf;

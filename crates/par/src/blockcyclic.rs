@@ -179,6 +179,7 @@ impl DistMatrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::spd;

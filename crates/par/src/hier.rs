@@ -209,6 +209,7 @@ pub fn pxpotrf_hier(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::{kernels, norms, spd};

@@ -79,10 +79,15 @@ pub fn matmul_25d(
             for j in 0..q {
                 let fiber: Vec<usize> = (0..c).map(|l| rank(i, j, l)).collect();
                 machine.broadcast(rank(i, j, 0), &fiber, 2 * nb * nb);
-                let (ab, bb) = (
-                    a_loc[rank(i, j, 0)].clone().unwrap(),
-                    b_loc[rank(i, j, 0)].clone().unwrap(),
-                );
+                // Layer 0 was populated for every (i, j) above.
+                let (Some(ab), Some(bb)) = (
+                    a_loc[rank(i, j, 0)].clone(),
+                    b_loc[rank(i, j, 0)].clone(),
+                ) else {
+                    return Err(MatrixError::DimensionMismatch {
+                        context: "2.5D layer-0 block missing before replication",
+                    });
+                };
                 for l in 1..c {
                     a_loc[rank(i, j, l)] = Some(ab.clone());
                     b_loc[rank(i, j, l)] = Some(bb.clone());
@@ -108,9 +113,18 @@ pub fn matmul_25d(
             }
             // Everyone accumulates C(i, j) += A(i, t) * B(t, j).
             for i in 0..q {
-                let a_block = a_loc[rank(i, t, l)].clone().unwrap();
+                // Every layer holds replicas after the fiber broadcasts.
+                let Some(a_block) = a_loc[rank(i, t, l)].clone() else {
+                    return Err(MatrixError::DimensionMismatch {
+                        context: "2.5D A replica missing at SUMMA step",
+                    });
+                };
                 for j in 0..q {
-                    let b_block = b_loc[rank(t, j, l)].clone().unwrap();
+                    let Some(b_block) = b_loc[rank(t, j, l)].clone() else {
+                        return Err(MatrixError::DimensionMismatch {
+                            context: "2.5D B replica missing at SUMMA step",
+                        });
+                    };
                     let dst = rank(i, j, l);
                     gemm_nn(&mut c_loc[dst], 1.0, &a_block, &b_block);
                     machine.compute(dst, 2 * (nb as u64).pow(3));
@@ -156,6 +170,7 @@ pub fn matmul_25d(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::{kernels, norms, spd, Matrix};

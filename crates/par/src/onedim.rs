@@ -104,6 +104,7 @@ pub fn pxpotrf_1d(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pxpotrf::pxpotrf;

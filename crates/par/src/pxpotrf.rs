@@ -214,6 +214,7 @@ pub fn paper_word_bound(n: usize, b: usize, p: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::kernels::potf2 as seq_potf2;

@@ -88,11 +88,10 @@ pub fn par_tiled_potrf_with(
         tiles.par_iter_mut().enumerate().for_each(|(t_idx, tile)| {
             let (bi, bj) = tile_coords(t_idx);
             if bj > k && bi >= bj {
-                let (li, lj) = (
-                    panel[bi].as_ref().expect("panel tile"),
-                    panel[bj].as_ref().expect("panel tile"),
-                );
-                kernel.gemm_nt(tile, -1.0, li, lj);
+                // Both indices exceed k, so both panel slots are Some.
+                if let (Some(li), Some(lj)) = (panel[bi].as_ref(), panel[bj].as_ref()) {
+                    kernel.gemm_nt(tile, -1.0, li, lj);
+                }
             }
         });
     }
@@ -458,6 +457,7 @@ fn par_gemm_nt(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::{norms, spd};

@@ -347,6 +347,7 @@ pub fn spmd_pxpotrf_faulty_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pxpotrf::pxpotrf;

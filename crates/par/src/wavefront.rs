@@ -153,7 +153,8 @@ pub fn wavefront_potrf(a: &mut Matrix<f64>, b: usize, workers: usize) -> Result<
     let failed: Mutex<Option<MatrixError>> = Mutex::new(None);
     let abort = AtomicBool::new(false);
 
-    tx.send(Task::Factor(0)).unwrap();
+    // The receiver is alive (rx is in scope), so the send cannot fail.
+    let _ = tx.send(Task::Factor(0));
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -194,7 +195,13 @@ pub fn wavefront_potrf(a: &mut Matrix<f64>, b: usize, workers: usize) -> Result<
         drop(rx);
     });
 
-    if let Some(e) = failed.into_inner().unwrap() {
+    let failure = match failed.into_inner() {
+        Ok(f) => f,
+        // A worker panicked while holding the lock; surface it as the
+        // closest structured error rather than propagating the panic.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(e) = failure {
         return Err(e);
     }
 
@@ -242,7 +249,10 @@ fn run_task(
                         },
                         other => other,
                     };
-                    *failed.lock().unwrap() = Some(mapped);
+                    match failed.lock() {
+                        Ok(mut slot) => *slot = Some(mapped),
+                        Err(poisoned) => *poisoned.into_inner() = Some(mapped),
+                    }
                     abort.store(true, Ordering::Relaxed);
                 }
             }
@@ -284,6 +294,7 @@ fn run_task(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_matrix::{norms, spd};

@@ -1,0 +1,174 @@
+//! Per-shard circuit breaker: `Healthy -> Degraded -> Shedding`.
+//!
+//! The breaker watches the shard's fault history (transient faults,
+//! worker crashes) and widens the shard's refusal surface as faults
+//! accumulate: a `Degraded` shard sheds background work pre-emptively;
+//! a `Shedding` shard refuses all fresh factorization and serves only
+//! ABFT-verified cached factors.  Consecutive clean completions walk the
+//! state back down.  State transitions depend only on the shard's
+//! (deterministic) job sequence, so they replay exactly.
+
+use crate::admission::Priority;
+
+/// Breaker state, in increasing order of refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BreakerState {
+    /// Normal operation.
+    Healthy,
+    /// Recent faults: background work is shed pre-emptively.
+    Degraded,
+    /// Persistent faults: only cached factors are served.
+    Shedding,
+}
+
+impl BreakerState {
+    /// Stable tag for logs and JSON artifacts.
+    pub fn tag(self) -> &'static str {
+        match self {
+            BreakerState::Healthy => "healthy",
+            BreakerState::Degraded => "degraded",
+            BreakerState::Shedding => "shedding",
+        }
+    }
+}
+
+/// Thresholds for the two upward transitions and the cool-down.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive faulted jobs that trip `Healthy -> Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive faulted jobs that trip `-> Shedding`.
+    pub shed_after: u32,
+    /// Consecutive clean jobs that step the state back down one level.
+    pub recover_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            degrade_after: 2,
+            shed_after: 4,
+            recover_after: 3,
+        }
+    }
+}
+
+/// One shard's breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_faults: u32,
+    consecutive_clean: u32,
+}
+
+impl CircuitBreaker {
+    /// A healthy breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Healthy,
+            consecutive_faults: 0,
+            consecutive_clean: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Consecutive faulted jobs observed.
+    pub fn consecutive_faults(&self) -> u32 {
+        self.consecutive_faults
+    }
+
+    /// Whether a fresh factorization for `class` may run right now.
+    /// (`Shedding` refuses everything fresh; `Degraded` refuses
+    /// background work.)
+    pub fn admits_fresh(&self, class: Priority) -> bool {
+        match self.state {
+            BreakerState::Healthy => true,
+            BreakerState::Degraded => class != Priority::Background,
+            BreakerState::Shedding => false,
+        }
+    }
+
+    /// Record that a job ran into at least one fault (transient or
+    /// crash) during processing.  Returns the new state if it changed.
+    pub fn on_fault(&mut self) -> Option<BreakerState> {
+        self.consecutive_clean = 0;
+        self.consecutive_faults += 1;
+        let next = if self.consecutive_faults >= self.config.shed_after {
+            BreakerState::Shedding
+        } else if self.consecutive_faults >= self.config.degrade_after {
+            BreakerState::Degraded
+        } else {
+            self.state
+        };
+        self.transition(next)
+    }
+
+    /// Record a fault-free completion.  Returns the new state if the
+    /// cool-down stepped it back down.
+    pub fn on_clean(&mut self) -> Option<BreakerState> {
+        self.consecutive_faults = 0;
+        self.consecutive_clean += 1;
+        if self.consecutive_clean >= self.config.recover_after {
+            self.consecutive_clean = 0;
+            let next = match self.state {
+                BreakerState::Shedding => BreakerState::Degraded,
+                BreakerState::Degraded => BreakerState::Healthy,
+                BreakerState::Healthy => BreakerState::Healthy,
+            };
+            return self.transition(next);
+        }
+        None
+    }
+
+    fn transition(&mut self, next: BreakerState) -> Option<BreakerState> {
+        if next != self.state {
+            self.state = next;
+            Some(next)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_up_under_faults_and_back_down_when_clean() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        assert_eq!(b.state(), BreakerState::Healthy);
+        assert!(b.on_fault().is_none()); // 1 fault: still healthy
+        assert_eq!(b.on_fault(), Some(BreakerState::Degraded)); // 2
+        assert!(b.on_fault().is_none()); // 3
+        assert_eq!(b.on_fault(), Some(BreakerState::Shedding)); // 4
+        assert!(!b.admits_fresh(Priority::Interactive));
+
+        // Three clean jobs step down to Degraded, three more to Healthy.
+        assert!(b.on_clean().is_none());
+        assert!(b.on_clean().is_none());
+        assert_eq!(b.on_clean(), Some(BreakerState::Degraded));
+        assert!(b.admits_fresh(Priority::Interactive));
+        assert!(!b.admits_fresh(Priority::Background));
+        assert!(b.on_clean().is_none());
+        assert!(b.on_clean().is_none());
+        assert_eq!(b.on_clean(), Some(BreakerState::Healthy));
+        assert!(b.admits_fresh(Priority::Background));
+    }
+
+    #[test]
+    fn a_clean_job_resets_the_fault_streak() {
+        let mut b = CircuitBreaker::new(BreakerConfig::default());
+        b.on_fault();
+        b.on_clean();
+        assert!(b.on_fault().is_none(), "streak restarted");
+        assert_eq!(b.consecutive_faults(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Shard-local factor cache with ABFT-verified reads.
+//!
+//! Entries are keyed by the problem digest ([`crate::jobs::problem_digest`])
+//! and carry a Huang–Abraham GF(2) checksum taken at insert time.  Every
+//! read re-verifies the entry against that checksum: a single flipped
+//! element (cosmic-ray at rest, or a chaos-plan injection) is healed
+//! bit-exactly; multi-element corruption is detected, the entry evicted,
+//! and the read reported as a miss — a corrupted cache can cost a
+//! refactorization but can never serve wrong bits.
+//!
+//! The cache is owned by its shard's worker thread (requests for a key
+//! always land on the same shard), so it needs no locking and its state
+//! evolves deterministically with the shard's request sequence.
+
+use cholcomm_matrix::{lower_digest, verify_and_heal, Matrix, TileChecksum, TileHealth};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// One cached factor.
+struct Entry {
+    factor: Matrix<f64>,
+    checksum: TileChecksum,
+}
+
+/// What a verified cache read found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheRead {
+    /// No entry for this key.
+    Miss,
+    /// Entry present and checksum-clean.
+    Hit,
+    /// Entry had a single corrupted element; healed bit-exactly, served.
+    Healed,
+    /// Entry was corrupted beyond repair; evicted, treated as a miss.
+    Corrupt,
+}
+
+/// Counters the shard folds into the service metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Clean hits served.
+    pub hits: u64,
+    /// Misses (no entry).
+    pub misses: u64,
+    /// Hits that needed (and got) single-element healing.
+    pub healed: u64,
+    /// Entries dropped as unrecoverably corrupt.
+    pub corrupt_evictions: u64,
+    /// Entries dropped by capacity (LRU).
+    pub capacity_evictions: u64,
+}
+
+/// A bounded LRU map from problem digest to ABFT-guarded factor.
+pub struct FactorCache {
+    entries: HashMap<u64, Entry>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl FactorCache {
+    /// Cache holding at most `capacity` factors (0 disables caching).
+    pub fn new(capacity: usize) -> FactorCache {
+        FactorCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Insert (or refresh) the factor for `key`, snapshotting its
+    /// checksum.  Evicts the least-recently-used entry when full.
+    pub fn insert(&mut self, key: u64, factor: Matrix<f64>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.contains_key(&key) {
+            self.order.retain(|&k| k != key);
+        } else if self.entries.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.entries.remove(&old);
+                self.stats.capacity_evictions += 1;
+            }
+        }
+        let checksum = TileChecksum::of(&factor);
+        self.entries.insert(key, Entry { factor, checksum });
+        self.order.push_back(key);
+    }
+
+    /// Look up `key`, after applying `flips` (the chaos plan's at-rest
+    /// corruptions for this read) to the stored bits, and verify against
+    /// the insert-time checksum.  Returns the outcome and, when servable,
+    /// a clone of the (possibly healed) factor.
+    pub fn read(
+        &mut self,
+        key: u64,
+        flips: &[((usize, usize), u64)],
+    ) -> (CacheRead, Option<Matrix<f64>>) {
+        let Some(entry) = self.entries.get_mut(&key) else {
+            self.stats.misses += 1;
+            return (CacheRead::Miss, None);
+        };
+        let mut struck = false;
+        for &((i, j), mask) in flips {
+            if i < entry.factor.rows() && j < entry.factor.cols() && mask != 0 {
+                let bits = entry.factor[(i, j)].to_bits() ^ mask;
+                entry.factor[(i, j)] = f64::from_bits(bits);
+                struck = true;
+            }
+        }
+        let health = if struck {
+            verify_and_heal(&mut entry.factor, &entry.checksum)
+        } else {
+            TileHealth::Clean
+        };
+        match health {
+            TileHealth::Clean => {
+                self.touch(key);
+                self.stats.hits += 1;
+                let factor = self.entries[&key].factor.clone();
+                (CacheRead::Hit, Some(factor))
+            }
+            TileHealth::Corrected { .. } => {
+                self.touch(key);
+                self.stats.healed += 1;
+                let factor = self.entries[&key].factor.clone();
+                (CacheRead::Healed, Some(factor))
+            }
+            TileHealth::Unrecoverable { .. } => {
+                self.entries.remove(&key);
+                self.order.retain(|&k| k != key);
+                self.stats.corrupt_evictions += 1;
+                (CacheRead::Corrupt, None)
+            }
+        }
+    }
+
+    /// Digest of the factor stored under `key`, if any (test hook).
+    pub fn stored_digest(&self, key: u64) -> Option<u64> {
+        self.entries.get(&key).map(|e| lower_digest(&e.factor))
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn touch(&mut self, key: u64) {
+        self.order.retain(|&k| k != key);
+        self.order.push_back(key);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use cholcomm_matrix::spd;
+
+    fn sample_factor(seed: u64) -> Matrix<f64> {
+        let mut a = spd::random_spd(8, &mut spd::test_rng(seed));
+        cholcomm_matrix::kernels::potf2(&mut a).unwrap();
+        a
+    }
+
+    #[test]
+    fn hit_after_insert_and_lru_eviction() {
+        let mut c = FactorCache::new(2);
+        c.insert(1, sample_factor(1));
+        c.insert(2, sample_factor(2));
+        assert_eq!(c.read(1, &[]).0, CacheRead::Hit);
+        c.insert(3, sample_factor(3)); // evicts 2 (1 was touched)
+        assert_eq!(c.read(2, &[]).0, CacheRead::Miss);
+        assert_eq!(c.read(1, &[]).0, CacheRead::Hit);
+        assert_eq!(c.read(3, &[]).0, CacheRead::Hit);
+        assert_eq!(c.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn single_flip_is_healed_bit_exactly() {
+        let mut c = FactorCache::new(4);
+        let f = sample_factor(7);
+        let want = lower_digest(&f);
+        c.insert(9, f);
+        let (read, got) = c.read(9, &[((3, 1), 1 << 52)]);
+        assert_eq!(read, CacheRead::Healed);
+        assert_eq!(lower_digest(&got.unwrap()), want);
+        // The stored entry is healed too: the next read is clean.
+        assert_eq!(c.read(9, &[]).0, CacheRead::Hit);
+        assert_eq!(c.stored_digest(9), Some(want));
+    }
+
+    #[test]
+    fn multi_flip_is_detected_and_evicted_never_served() {
+        let mut c = FactorCache::new(4);
+        c.insert(5, sample_factor(3));
+        let (read, got) = c.read(5, &[((0, 0), 1 << 51), ((4, 2), 1 << 50)]);
+        assert_eq!(read, CacheRead::Corrupt);
+        assert!(got.is_none());
+        assert_eq!(c.read(5, &[]).0, CacheRead::Miss);
+        assert_eq!(c.stats().corrupt_evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = FactorCache::new(0);
+        c.insert(1, sample_factor(1));
+        assert!(c.is_empty());
+        assert_eq!(c.read(1, &[]).0, CacheRead::Miss);
+    }
+}

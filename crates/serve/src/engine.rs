@@ -1,0 +1,327 @@
+//! The shard's factorization engine: a checkpointable, cancellable,
+//! crash-injectable blocked Cholesky that is **bit-identical** to the
+//! sequential LAPACK schedule (`cholcomm_seq::lapack::potrf_blocked`).
+//!
+//! Bit-identity is the service's core correctness claim, and it holds by
+//! construction: this engine performs *exactly* the left-looking per-tile
+//! kernel sequence of Algorithm 4 — for each panel `jb`, SYRK the
+//! diagonal tile against each earlier panel in ascending `kb` order, then
+//! POTF2; for each tile below, GEMM against each earlier panel in
+//! ascending order, then TRSM against the factored diagonal.  The tiles
+//! below the diagonal are mutually independent, so they run on the rayon
+//! work-stealing pool — parallelism changes *when* a tile's kernels run,
+//! never their operand bits or order, so the factor bits match the
+//! sequential schedule exactly.
+//!
+//! Between panels the engine yields to a control hook, which is where the
+//! service hangs its robustness machinery: the hook checkpoints the state
+//! (panels `0..jb` final, trailing matrix untouched — the left-looking
+//! invariant that makes resumption exact), cancels on an expired deadline
+//! budget, or — under a chaos plan — dies mid-flight with a panic the
+//! shard supervisor must catch.
+
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
+use rayon::prelude::*;
+
+/// Calibration constant for virtual time: modelled kernel throughput.
+/// Only ratios matter for admission and deadlines; the absolute scale is
+/// chosen so service-sized jobs cost tens to hundreds of virtual µs.
+const FLOPS_PER_US: u64 = 4_000;
+
+/// A resumable factorization state: panels `0..next_panel` of `state`
+/// are final factor columns; everything at and beyond `next_panel` still
+/// holds original input values (the left-looking invariant).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The next panel to process.
+    pub next_panel: usize,
+    /// The matrix, part factor, part untouched input.
+    pub state: Matrix<f64>,
+}
+
+impl Checkpoint {
+    /// A fresh start: no panel factored yet.
+    pub fn fresh(a: Matrix<f64>) -> Checkpoint {
+        Checkpoint {
+            next_panel: 0,
+            state: a,
+        }
+    }
+}
+
+/// What the control hook tells the engine at each panel boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelControl {
+    /// Keep going.
+    Continue,
+    /// Cooperative cancellation (deadline expired): stop cleanly.
+    Cancel,
+    /// Chaos: die right here with a panic, as a crashing worker would.
+    Crash,
+}
+
+/// How a (non-panicking) engine run ended.
+#[derive(Debug, Clone)]
+pub enum FactorOutcome {
+    /// All panels processed; the lower triangle of the matrix is the
+    /// Cholesky factor (the strict upper triangle retains input values,
+    /// exactly as the sequential blocked schedule leaves it).
+    Done(Matrix<f64>),
+    /// The control hook cancelled at the start of `panel`.
+    Canceled {
+        /// Panel at which the cancellation landed.
+        panel: usize,
+    },
+}
+
+/// Panic payload of an injected crash, so the supervisor can tell chaos
+/// from genuine bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct PanelCrash {
+    /// Panel at which the worker died.
+    pub panel: usize,
+}
+
+/// Number of panels a blocked factorization of order `n` runs.
+pub fn panel_count(n: usize, b: usize) -> usize {
+    n.div_ceil(b)
+}
+
+/// Modelled virtual cost (µs) of panel `jb`: the flops of its SYRK
+/// chain, POTF2, GEMM chains, and TRSMs.
+pub fn panel_cost_us(n: usize, b: usize, jb: usize) -> u64 {
+    let nb = panel_count(n, b);
+    let bw = (n - jb * b).min(b) as u64;
+    let mut flops = bw * bw * bw / 3; // POTF2
+    for kb in 0..jb {
+        let kw = (n - kb * b).min(b) as u64;
+        flops += bw * bw * kw; // SYRK term
+    }
+    for ib in (jb + 1)..nb {
+        let bh = (n - ib * b).min(b) as u64;
+        for kb in 0..jb {
+            let kw = (n - kb * b).min(b) as u64;
+            flops += 2 * bh * bw * kw; // GEMM term
+        }
+        flops += bh * bw * bw; // TRSM
+    }
+    flops / FLOPS_PER_US + 1
+}
+
+/// Modelled virtual cost (µs) of a full factorization of order `n`.
+pub fn factor_cost_us(n: usize, b: usize) -> u64 {
+    (0..panel_count(n, b)).map(|jb| panel_cost_us(n, b, jb)).sum()
+}
+
+/// Run (or resume) the blocked factorization from `ckpt`, consulting
+/// `ctl` at every panel boundary with the panel index and the current
+/// state (which is exactly the checkpoint to resume from).
+///
+/// # Panics
+/// By design, when `ctl` returns [`PanelControl::Crash`] — with a
+/// [`PanelCrash`] payload the shard supervisor downcasts.
+pub fn factor_resumable(
+    ckpt: Checkpoint,
+    b: usize,
+    kernel: KernelImpl,
+    ctl: &mut dyn FnMut(usize, &Checkpoint) -> PanelControl,
+) -> Result<FactorOutcome, MatrixError> {
+    let mut ckpt = ckpt;
+    let n = ckpt.state.rows();
+    if !ckpt.state.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: ckpt.state.cols(),
+        });
+    }
+    assert!(b >= 1, "block size must be at least 1");
+    let nb = panel_count(n, b);
+
+    while ckpt.next_panel < nb {
+        let jb = ckpt.next_panel;
+        match ctl(jb, &ckpt) {
+            PanelControl::Continue => {}
+            PanelControl::Cancel => return Ok(FactorOutcome::Canceled { panel: jb }),
+            PanelControl::Crash => std::panic::panic_any(PanelCrash { panel: jb }),
+        }
+
+        let state = &mut ckpt.state;
+        let c0 = jb * b;
+        let bw = (n - c0).min(b);
+
+        // --- Diagonal tile: SYRK chain (ascending kb), then POTF2 ---
+        let mut a22 = state.submatrix(c0, c0, bw, bw);
+        for kb in 0..jb {
+            let k0 = kb * b;
+            let kw = (n - k0).min(b);
+            let ajk = state.submatrix(c0, k0, bw, kw);
+            kernel.syrk_lower(&mut a22, &ajk);
+        }
+        if let Err(MatrixError::NotSpd { pivot, value }) = kernel.potf2(&mut a22) {
+            return Err(MatrixError::NotSpd {
+                pivot: c0 + pivot,
+                value,
+            });
+        }
+        state.set_submatrix(c0, c0, &a22);
+
+        // --- Panel below: independent tiles on the work-stealing pool.
+        // Each tile runs its GEMM chain in ascending kb order and then
+        // its TRSM — the sequential schedule's exact kernel sequence per
+        // tile, so the bits cannot depend on the parallel interleaving.
+        let mut panel: Vec<(usize, Matrix<f64>)> = ((jb + 1)..nb)
+            .map(|ib| {
+                let r0 = ib * b;
+                let bh = (n - r0).min(b);
+                (ib, state.submatrix(r0, c0, bh, bw))
+            })
+            .collect();
+        let frozen = &*state;
+        panel.par_iter_mut().for_each(|(ib, aij)| {
+            let r0 = *ib * b;
+            let bh = (n - r0).min(b);
+            for kb in 0..jb {
+                let k0 = kb * b;
+                let kw = (n - k0).min(b);
+                let aik = frozen.submatrix(r0, k0, bh, kw);
+                let ajk = frozen.submatrix(c0, k0, bw, kw);
+                kernel.gemm_nt(aij, -1.0, &aik, &ajk);
+            }
+            kernel.trsm_right_lower_transpose(aij, &a22);
+        });
+        for (ib, tile) in &panel {
+            state.set_submatrix(ib * b, c0, tile);
+        }
+
+        ckpt.next_panel = jb + 1;
+    }
+
+    Ok(FactorOutcome::Done(ckpt.state))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use cholcomm_cachesim::NullTracer;
+    use cholcomm_layout::{ColMajor, Laid};
+    use cholcomm_matrix::{lower_digest, spd};
+    use cholcomm_seq::lapack::potrf_blocked_with;
+
+    fn reference_factor(a: &Matrix<f64>, b: usize, kernel: KernelImpl) -> Matrix<f64> {
+        let mut laid = Laid::from_matrix(a, ColMajor::square(a.rows()));
+        potrf_blocked_with(&mut laid, &mut NullTracer, b, None, kernel).unwrap();
+        laid.to_matrix()
+    }
+
+    #[test]
+    fn bit_identical_to_the_sequential_blocked_schedule() {
+        for (n, b, seed) in [(24usize, 8usize, 1u64), (26, 6, 2), (40, 16, 3), (16, 16, 4)] {
+            let a = spd::random_spd(n, &mut spd::test_rng(seed));
+            for kernel in [KernelImpl::Reference, KernelImpl::FastStrict] {
+                let want = reference_factor(&a, b, kernel);
+                let got = match factor_resumable(
+                    Checkpoint::fresh(a.clone()),
+                    b,
+                    kernel,
+                    &mut |_, _| PanelControl::Continue,
+                )
+                .unwrap()
+                {
+                    FactorOutcome::Done(m) => m,
+                    other => panic!("unexpected {other:?}"),
+                };
+                assert_eq!(
+                    lower_digest(&got),
+                    lower_digest(&want),
+                    "n={n} b={b} {kernel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resuming_from_any_checkpoint_reproduces_the_same_bits() {
+        let n = 32;
+        let b = 8;
+        let a = spd::random_spd(n, &mut spd::test_rng(9));
+        let straight = match factor_resumable(
+            Checkpoint::fresh(a.clone()),
+            b,
+            KernelImpl::Reference,
+            &mut |_, _| PanelControl::Continue,
+        )
+        .unwrap()
+        {
+            FactorOutcome::Done(m) => lower_digest(&m),
+            other => panic!("unexpected {other:?}"),
+        };
+
+        for stop_at in 1..panel_count(n, b) {
+            // Cancel at `stop_at`, grabbing the checkpoint.
+            let mut saved: Option<Checkpoint> = None;
+            let out = factor_resumable(
+                Checkpoint::fresh(a.clone()),
+                b,
+                KernelImpl::Reference,
+                &mut |jb, ck| {
+                    if jb == stop_at {
+                        saved = Some(ck.clone());
+                        PanelControl::Cancel
+                    } else {
+                        PanelControl::Continue
+                    }
+                },
+            )
+            .unwrap();
+            assert!(matches!(out, FactorOutcome::Canceled { panel } if panel == stop_at));
+
+            // Resume from the saved checkpoint.
+            let resumed = match factor_resumable(
+                saved.unwrap(),
+                b,
+                KernelImpl::Reference,
+                &mut |_, _| PanelControl::Continue,
+            )
+            .unwrap()
+            {
+                FactorOutcome::Done(m) => lower_digest(&m),
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(resumed, straight, "resume at panel {stop_at}");
+        }
+    }
+
+    #[test]
+    fn injected_crash_panics_with_a_typed_payload() {
+        let a = spd::random_spd(16, &mut spd::test_rng(5));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            factor_resumable(
+                Checkpoint::fresh(a),
+                8,
+                KernelImpl::Reference,
+                &mut |jb, _| {
+                    if jb == 1 {
+                        PanelControl::Crash
+                    } else {
+                        PanelControl::Continue
+                    }
+                },
+            )
+        }));
+        let payload = result.expect_err("should panic");
+        let crash = payload.downcast_ref::<PanelCrash>().expect("typed payload");
+        assert_eq!(crash.panel, 1);
+    }
+
+    #[test]
+    fn costs_are_positive_and_sum_consistently() {
+        let total = factor_cost_us(64, 16);
+        assert!(total > 0);
+        let sum: u64 = (0..panel_count(64, 16))
+            .map(|jb| panel_cost_us(64, 16, jb))
+            .sum();
+        assert_eq!(total, sum);
+        assert!(factor_cost_us(96, 16) > factor_cost_us(32, 16));
+    }
+}

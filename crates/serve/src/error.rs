@@ -1,0 +1,129 @@
+//! Typed refusals and failures of the factorization service.
+//!
+//! The robustness contract is that the service *never* fails silently:
+//! every request either completes with a bit-identical factor or comes
+//! back with one of these errors, each naming the mechanism that refused
+//! it.  Load shedding in particular is a loud, typed outcome — a shed
+//! request is an explicit [`ServeError::ShedOverload`], not a timeout.
+
+use cholcomm_matrix::MatrixError;
+use std::fmt;
+
+use crate::admission::Priority;
+
+/// Why a request did not produce a fresh, completed response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control shed the request: the shard's virtual backlog
+    /// stood above the watermark for this priority class and no
+    /// ABFT-verified cached factor could stand in.
+    ShedOverload {
+        /// The request's priority class.
+        class: Priority,
+        /// The shard's virtual backlog (µs of queued work) at admission.
+        backlog_us: u64,
+        /// The watermark (µs) the backlog exceeded for this class.
+        watermark_us: u64,
+    },
+    /// The shard's circuit breaker was open (`Shedding`) after repeated
+    /// faults, and no cached factor could stand in.
+    CircuitOpen {
+        /// The shard whose breaker refused the request.
+        shard: usize,
+        /// Consecutive faults observed when the breaker opened.
+        consecutive_faults: u32,
+    },
+    /// The request's deadline budget expired; the factorization was
+    /// cooperatively cancelled at a panel boundary (or refused before
+    /// starting when queue wait alone exhausted the budget).
+    DeadlineExceeded {
+        /// Virtual time (µs) the job had consumed when cancelled.
+        elapsed_us: u64,
+        /// The request's deadline budget (µs).
+        budget_us: u64,
+        /// Panel index at which the cancellation landed (0 = before any
+        /// panel work).
+        panel: usize,
+    },
+    /// Every retry attempt hit a fault; the per-request retry budget is
+    /// spent.  With seeded plans this is unreachable below the plan's
+    /// `max_fault_attempts` liveness bound — its presence here is what
+    /// makes the retry loop visibly finite.
+    RetriesExhausted {
+        /// Attempts made (each ended in a transient fault or crash).
+        attempts: u32,
+    },
+    /// The matrix itself is at fault (not SPD, wrong shape); retrying
+    /// cannot help, so this is returned immediately without backoff.
+    Matrix(MatrixError),
+    /// The service is shutting down and no longer accepts work.
+    Stopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ShedOverload {
+                class,
+                backlog_us,
+                watermark_us,
+            } => write!(
+                f,
+                "shed: {class:?} backlog {backlog_us}us above watermark {watermark_us}us"
+            ),
+            ServeError::CircuitOpen {
+                shard,
+                consecutive_faults,
+            } => write!(
+                f,
+                "circuit open on shard {shard} after {consecutive_faults} consecutive faults"
+            ),
+            ServeError::DeadlineExceeded {
+                elapsed_us,
+                budget_us,
+                panel,
+            } => write!(
+                f,
+                "deadline exceeded at panel {panel}: {elapsed_us}us of {budget_us}us budget"
+            ),
+            ServeError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            ServeError::Matrix(e) => write!(f, "matrix error: {e}"),
+            ServeError::Stopped => write!(f, "service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<MatrixError> for ServeError {
+    fn from(e: MatrixError) -> Self {
+        ServeError::Matrix(e)
+    }
+}
+
+impl ServeError {
+    /// True for refusals that are a deliberate service decision (shed,
+    /// breaker, deadline) rather than a workload or infrastructure fault.
+    pub fn is_refusal(&self) -> bool {
+        matches!(
+            self,
+            ServeError::ShedOverload { .. }
+                | ServeError::CircuitOpen { .. }
+                | ServeError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Short stable tag for event logs and bench counters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ServeError::ShedOverload { .. } => "shed_overload",
+            ServeError::CircuitOpen { .. } => "circuit_open",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::RetriesExhausted { .. } => "retries_exhausted",
+            ServeError::Matrix(_) => "matrix",
+            ServeError::Stopped => "stopped",
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The shard worker: a panic-isolated factorization loop under a
+//! supervisor, with retry/backoff, checkpoint re-drive, a circuit
+//! breaker, and an ABFT-verified factor cache.
+//!
+//! Each shard owns one worker thread, one FIFO job queue, one cache, and
+//! one breaker.  All per-shard state is touched only by the shard's own
+//! thread and jobs are processed strictly in queue order, so the shard's
+//! entire visible behaviour — events, counters, cache evolution, breaker
+//! transitions — is a deterministic function of its job sequence and the
+//! fault plan.
+//!
+//! The supervisor structure: each factorization attempt runs inside
+//! `catch_unwind`.  The engine's control hook deposits a checkpoint into
+//! the shard's checkpoint slot before every panel, so when a chaos plan
+//! makes the worker die mid-factorization ([`PanelCrash`]), the
+//! supervisor catches the panic, logs the restart, recovers the
+//! in-flight job from the slot, and re-drives it from the last completed
+//! panel — recomputing bit-identical panels, never restarting from
+//! scratch unless the crash landed before panel 0 finished.
+
+use crate::admission::Admission;
+use crate::breaker::CircuitBreaker;
+use crate::cache::{CacheRead, FactorCache};
+use crate::engine::{
+    factor_resumable, panel_cost_us, panel_count, Checkpoint, FactorOutcome, PanelControl,
+    PanelCrash,
+};
+use crate::error::ServeError;
+use crate::events::{Event, EventRecord, Source};
+use crate::jobs;
+use crate::metrics::Metrics;
+use crate::service::{Request, Response, ShardConfig};
+use cholcomm_faults::{FaultPlan, JobFault};
+use cholcomm_matrix::{lower_digest, tri, Matrix};
+use crossbeam::channel::{Receiver, Sender};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Modelled virtual cost (µs) of serving from cache.
+const CACHE_SERVE_COST_US: u64 = 1;
+
+/// One queued job, as handed from admission to a shard.
+pub(crate) struct ShardJob {
+    pub req_id: u64,
+    pub request: Request,
+    pub digest: u64,
+    pub admit: Admission,
+    pub next_seq: u32,
+    pub submitted_at: Instant,
+    pub reply: Sender<Result<Response, ServeError>>,
+}
+
+/// What a shard hands back at shutdown.
+pub(crate) struct ShardReport {
+    pub events: Vec<EventRecord>,
+    pub metrics: Metrics,
+}
+
+/// Deterministic jittered exponential backoff for `(req, attempt)`.
+fn backoff_us(base_us: u64, seed: u64, req: u64, attempt: u32) -> u64 {
+    let exp = base_us.saturating_mul(1u64 << (attempt.min(10) - 1).min(20));
+    // Jitter in [0, base): a seeded hash, not a shared RNG, so each
+    // request's backoff schedule is independent of every other request.
+    let mut h = seed ^ req.wrapping_mul(0x9E3779B97F4A7C15) ^ (attempt as u64) << 32;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58476D1CE4E5B9);
+    h ^= h >> 27;
+    exp + (h % base_us.max(1))
+}
+
+/// Install (once, process-wide) a panic hook that silences the panics
+/// the chaos plans inject on purpose, keeping real panics loud.
+fn silence_injected_crashes() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<PanelCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// The shard worker loop: owned state plus the job receiver.
+pub(crate) struct Shard {
+    shard_id: usize,
+    config: ShardConfig,
+    plan: FaultPlan,
+    cache: FactorCache,
+    breaker: CircuitBreaker,
+    vclock_us: u64,
+    events: Vec<EventRecord>,
+    metrics: Metrics,
+    checkpoint_slot: Option<Checkpoint>,
+}
+
+impl Shard {
+    pub(crate) fn spawn(
+        shard_id: usize,
+        config: ShardConfig,
+        plan: FaultPlan,
+        rx: Receiver<ShardJob>,
+    ) -> std::thread::JoinHandle<ShardReport> {
+        silence_injected_crashes();
+        std::thread::spawn(move || {
+            let mut shard = Shard {
+                shard_id,
+                config,
+                plan,
+                cache: FactorCache::new(config.cache_capacity),
+                breaker: CircuitBreaker::new(config.breaker),
+                vclock_us: 0,
+                events: Vec::new(),
+                metrics: Metrics::default(),
+                checkpoint_slot: None,
+            };
+            while let Ok(job) = rx.recv() {
+                shard.process(job);
+            }
+            shard.metrics.cache = shard.cache.stats();
+            ShardReport {
+                events: shard.events,
+                metrics: shard.metrics,
+            }
+        })
+    }
+
+    fn emit(&mut self, req: u64, seq: &mut u32, event: Event) {
+        self.events.push(EventRecord {
+            req,
+            seq: *seq,
+            event,
+        });
+        *seq += 1;
+    }
+
+    /// Try to serve `job` from the verified cache.  Returns the factor
+    /// when servable.
+    fn cache_read(
+        &mut self,
+        job: &ShardJob,
+        seq: &mut u32,
+        degraded: bool,
+    ) -> (CacheRead, Option<Matrix<f64>>) {
+        let n = job.request.n;
+        let flips = self.plan.cache_flips(job.req_id, n, n);
+        let (read, factor) = self.cache.read(job.digest, &flips);
+        if read != CacheRead::Miss || degraded {
+            self.emit(job.req_id, seq, Event::CacheRead { read, degraded });
+        }
+        (read, factor)
+    }
+
+    /// Complete `job` with `factor`, solving the RHS when the kind
+    /// carries one, and advance the virtual clock by `work_us`.
+    fn complete(
+        &mut self,
+        job: &ShardJob,
+        seq: &mut u32,
+        factor: Matrix<f64>,
+        source: Source,
+        vstart_us: u64,
+        work_us: u64,
+    ) {
+        let solution = {
+            let problem = jobs::build(job.request.kind, job.request.key, job.request.n);
+            problem.rhs.map(|rhs| tri::solve_with_factor(&factor, &rhs))
+        };
+        let digest = lower_digest(&factor);
+        let vend_us = vstart_us + work_us;
+        self.vclock_us = vend_us;
+        self.emit(
+            job.req_id,
+            seq,
+            Event::Completed {
+                source,
+                factor_digest: digest,
+                vend_us,
+            },
+        );
+        if source == Source::Fresh {
+            self.cache.insert(job.digest, factor);
+        }
+        self.metrics.counters.completed += 1;
+        if source == Source::DegradedCache {
+            self.metrics.counters.degraded_served += 1;
+        }
+        let virt_latency = vend_us.saturating_sub(job.request.vtime_us);
+        self.metrics.virt_latency_us.push(virt_latency);
+        self.metrics
+            .wall_latency_us
+            .push(job.submitted_at.elapsed().as_secs_f64() * 1e6);
+        let _ = job.reply.send(Ok(Response {
+            req: job.req_id,
+            source,
+            factor_digest: digest,
+            solution,
+            virt_latency_us: virt_latency,
+        }));
+    }
+
+    /// Refuse `job` with `err`.
+    fn refuse(&mut self, job: &ShardJob, seq: &mut u32, err: ServeError) {
+        self.emit(job.req_id, seq, Event::Failed { tag: err.tag() });
+        match &err {
+            ServeError::ShedOverload { .. } => self.metrics.counters.shed_overload += 1,
+            ServeError::CircuitOpen { .. } => self.metrics.counters.breaker_refused += 1,
+            ServeError::DeadlineExceeded { .. } => self.metrics.counters.deadline_canceled += 1,
+            _ => self.metrics.counters.failed += 1,
+        }
+        let _ = job.reply.send(Err(err));
+    }
+
+    fn record_breaker(&mut self, req: u64, seq: &mut u32, change: Option<crate::breaker::BreakerState>) {
+        if let Some(state) = change {
+            self.metrics.counters.breaker_transitions += 1;
+            self.emit(
+                req,
+                seq,
+                Event::BreakerChanged {
+                    shard: self.shard_id,
+                    state,
+                },
+            );
+        }
+    }
+
+    fn process(&mut self, job: ShardJob) {
+        let mut seq = job.next_seq;
+        let vstart_us = self.vclock_us.max(job.request.vtime_us);
+
+        // --- Shed at admission: degrade to cache or refuse loudly. ---
+        if let Admission::Shed {
+            backlog_us,
+            watermark_us,
+        } = job.admit
+        {
+            let (read, factor) = self.cache_read(&job, &mut seq, true);
+            if let (CacheRead::Hit | CacheRead::Healed, Some(f)) = (read, factor) {
+                self.complete(&job, &mut seq, f, Source::DegradedCache, vstart_us, CACHE_SERVE_COST_US);
+            } else {
+                self.refuse(
+                    &job,
+                    &mut seq,
+                    ServeError::ShedOverload {
+                        class: job.request.class,
+                        backlog_us,
+                        watermark_us,
+                    },
+                );
+            }
+            return;
+        }
+
+        // --- Breaker: refuse fresh work on a tripped shard. ---
+        if !self.breaker.admits_fresh(job.request.class) {
+            self.emit(
+                job.req_id,
+                &mut seq,
+                Event::BreakerRefused {
+                    shard: self.shard_id,
+                    state: self.breaker.state(),
+                },
+            );
+            let (read, factor) = self.cache_read(&job, &mut seq, true);
+            if let (CacheRead::Hit | CacheRead::Healed, Some(f)) = (read, factor) {
+                self.complete(&job, &mut seq, f, Source::DegradedCache, vstart_us, CACHE_SERVE_COST_US);
+            } else {
+                self.refuse(
+                    &job,
+                    &mut seq,
+                    ServeError::CircuitOpen {
+                        shard: self.shard_id,
+                        consecutive_faults: self.breaker.consecutive_faults(),
+                    },
+                );
+            }
+            return;
+        }
+
+        // --- Normal path: verified cache first. ---
+        let (read, factor) = self.cache_read(&job, &mut seq, false);
+        if let (CacheRead::Hit | CacheRead::Healed, Some(f)) = (read, factor) {
+            self.complete(&job, &mut seq, f, Source::Cache, vstart_us, CACHE_SERVE_COST_US);
+            return;
+        }
+
+        // --- Fresh factorization with retry, backoff, supervision. ---
+        self.factor_fresh(job, seq, vstart_us);
+    }
+
+    fn factor_fresh(&mut self, job: ShardJob, mut seq: u32, vstart_us: u64) {
+        let n = job.request.n;
+        let b = self.config.block;
+        let panels = panel_count(n, b);
+        let budget_us = job.request.deadline_us;
+        let queue_wait_us = vstart_us.saturating_sub(job.request.vtime_us);
+
+        let problem = jobs::build(job.request.kind, job.request.key, n);
+        let mut ckpt = Checkpoint::fresh(problem.a);
+        let mut attempt: u32 = 1;
+        let mut work_us: u64 = 0; // virtual work+backoff consumed by this job
+        let mut had_fault = false;
+
+        // Queue wait already counts against the deadline budget.
+        if queue_wait_us >= budget_us {
+            self.emit(
+                job.req_id,
+                &mut seq,
+                Event::DeadlineCanceled {
+                    panel: 0,
+                    elapsed_us: queue_wait_us,
+                    budget_us,
+                },
+            );
+            self.refuse(
+                &job,
+                &mut seq,
+                ServeError::DeadlineExceeded {
+                    elapsed_us: queue_wait_us,
+                    budget_us,
+                    panel: 0,
+                },
+            );
+            return;
+        }
+
+        let outcome = loop {
+            if attempt > self.config.retry_limit {
+                break Err(ServeError::RetriesExhausted {
+                    attempts: attempt - 1,
+                });
+            }
+            let fault = self.plan.job_fault(job.req_id, attempt, panels);
+            self.emit(
+                job.req_id,
+                &mut seq,
+                Event::AttemptStarted {
+                    attempt,
+                    from_panel: ckpt.next_panel,
+                },
+            );
+
+            // Transient faults strike before any panel work lands.
+            if matches!(fault, Some(JobFault::Transient)) {
+                let backoff = backoff_us(
+                    self.config.backoff_base_us,
+                    self.config.seed,
+                    job.req_id,
+                    attempt,
+                );
+                self.emit(
+                    job.req_id,
+                    &mut seq,
+                    Event::TransientFault {
+                        attempt,
+                        backoff_us: backoff,
+                    },
+                );
+                self.metrics.counters.transient_faults += 1;
+                had_fault = true;
+                work_us += backoff;
+                attempt += 1;
+                continue;
+            }
+            let crash_panel = match fault {
+                Some(JobFault::Crash { panel }) => Some(panel),
+                _ => None,
+            };
+
+            // Run the attempt under the supervisor's catch_unwind.  The
+            // control hook checkpoints, meters virtual work, enforces
+            // the deadline, and injects the crash.
+            let consumed = Cell::new(0u64);
+            let slot: &mut Option<Checkpoint> = &mut self.checkpoint_slot;
+            let base_work = work_us;
+            let start_ckpt = ckpt.clone();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                factor_resumable(start_ckpt, b, self.config.kernel, &mut |jb, ck| {
+                    *slot = Some(ck.clone());
+                    let elapsed = queue_wait_us + base_work + consumed.get();
+                    if elapsed >= budget_us {
+                        return PanelControl::Cancel;
+                    }
+                    if crash_panel == Some(jb) {
+                        return PanelControl::Crash;
+                    }
+                    consumed.set(consumed.get() + panel_cost_us(n, b, jb));
+                    PanelControl::Continue
+                })
+            }));
+            work_us += consumed.get();
+
+            match result {
+                Ok(Ok(FactorOutcome::Done(factor))) => break Ok(factor),
+                Ok(Ok(FactorOutcome::Canceled { panel })) => {
+                    let elapsed_us = queue_wait_us + work_us;
+                    self.emit(
+                        job.req_id,
+                        &mut seq,
+                        Event::DeadlineCanceled {
+                            panel,
+                            elapsed_us,
+                            budget_us,
+                        },
+                    );
+                    break Err(ServeError::DeadlineExceeded {
+                        elapsed_us,
+                        budget_us,
+                        panel,
+                    });
+                }
+                Ok(Err(e)) => break Err(ServeError::Matrix(e)),
+                Err(payload) => {
+                    // The worker died.  Only chaos-injected crashes are
+                    // survivable; anything else is a genuine bug.
+                    let Some(crash) = payload.downcast_ref::<PanelCrash>() else {
+                        std::panic::resume_unwind(payload);
+                    };
+                    self.emit(
+                        job.req_id,
+                        &mut seq,
+                        Event::WorkerCrashed {
+                            attempt,
+                            panel: crash.panel,
+                        },
+                    );
+                    self.metrics.counters.worker_crashes += 1;
+                    had_fault = true;
+                    // Supervisor: restart the worker state and re-drive
+                    // from the slot's last checkpoint.
+                    let recovered = self
+                        .checkpoint_slot
+                        .take()
+                        .unwrap_or_else(|| Checkpoint {
+                            next_panel: ckpt.next_panel,
+                            state: ckpt.state.clone(),
+                        });
+                    self.emit(
+                        job.req_id,
+                        &mut seq,
+                        Event::WorkerRestarted {
+                            shard: self.shard_id,
+                            from_panel: recovered.next_panel,
+                        },
+                    );
+                    self.metrics.counters.worker_restarts += 1;
+                    ckpt = recovered;
+                    let backoff = backoff_us(
+                        self.config.backoff_base_us,
+                        self.config.seed,
+                        job.req_id,
+                        attempt,
+                    );
+                    work_us += backoff;
+                    attempt += 1;
+                    continue;
+                }
+            }
+        };
+        self.checkpoint_slot = None;
+
+        // Breaker bookkeeping happens per job, after its outcome.
+        let change = if had_fault {
+            self.breaker.on_fault()
+        } else {
+            self.breaker.on_clean()
+        };
+        self.record_breaker(job.req_id, &mut seq, change);
+
+        match outcome {
+            Ok(factor) => {
+                self.metrics.counters.fresh_factorizations += 1;
+                self.complete(&job, &mut seq, factor, Source::Fresh, vstart_us, work_us);
+            }
+            Err(e) => {
+                // Failed fresh work still consumed virtual time.
+                self.vclock_us = vstart_us + work_us;
+                self.refuse(&job, &mut seq, e);
+            }
+        }
+    }
+}

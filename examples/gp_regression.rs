@@ -2,53 +2,40 @@
 //! an RBF kernel matrix over noisy samples of a function, Cholesky-factor
 //! it, and predict at new points (mean + log marginal likelihood).
 //!
+//! The problem construction lives in [`cholcomm::serve::jobs`], shared
+//! with the factorization service's `GpPosterior` job kind — what this
+//! example runs once, `cholcomm-serve` runs as a request stream.
+//!
 //! ```text
 //! cargo run --release --example gp_regression
 //! ```
 
-use cholcomm::matrix::{spd, tri, Matrix, MatrixError};
+use cholcomm::matrix::{tri, Matrix, MatrixError};
 use cholcomm::par::par_recursive_potrf;
-use rand::RngExt;
-
-fn target(x: f64) -> f64 {
-    (2.0 * x).sin() + 0.5 * x
-}
+use cholcomm::serve::jobs::{gp_target, GpProblem};
 
 fn main() {
-    // Training data: noisy samples of a smooth function.
+    // Training data: noisy samples of a smooth function on a jittered
+    // grid (the same builder the service's GP job uses).
     let n = 200;
-    let mut rng = spd::test_rng(7);
-    let xs: Vec<f64> = (0..n).map(|i| i as f64 * 4.0 / n as f64).collect();
-    let noise = 0.05;
-    let ys: Vec<f64> = xs
-        .iter()
-        .map(|&x| target(x) + noise * rng.random_range(-1.0..1.0))
-        .collect();
+    let gp = GpProblem::synthetic(n, 7);
 
     // Kernel matrix K + sigma^2 I, factored with the rayon fork-join
     // recursive Cholesky (the parallel rendition of the paper's
     // communication-optimal recursion).
-    let lengthscale = 0.4;
-    let mut k = spd::rbf_kernel(&xs, lengthscale, noise);
+    let mut k = gp.kernel_matrix();
     par_recursive_potrf(&mut k, 32).expect("kernel matrix is SPD");
 
     // alpha = K^{-1} y  via the factor.
-    let alpha = tri::solve_with_factor(&k, &ys);
+    let alpha = tri::solve_with_factor(&k, &gp.ys);
 
     // Predictive mean at test points: m(x*) = k(x*, X) alpha.
     let tests: Vec<f64> = (0..9).map(|i| 0.25 + i as f64 * 0.45).collect();
     println!("{:>8} {:>10} {:>10} {:>10}", "x*", "predicted", "true", "|err|");
     let mut worst = 0.0f64;
     for &xstar in &tests {
-        let mean: f64 = xs
-            .iter()
-            .zip(&alpha)
-            .map(|(&xi, &ai)| {
-                let d = (xstar - xi) / lengthscale;
-                (-0.5 * d * d).exp() * ai
-            })
-            .sum();
-        let truth = target(xstar);
+        let mean = gp.predict_mean(&alpha, xstar);
+        let truth = gp_target(xstar);
         let err = (mean - truth).abs();
         worst = worst.max(err);
         println!("{xstar:>8.3} {mean:>10.4} {truth:>10.4} {err:>10.2e}");
@@ -57,15 +44,14 @@ fn main() {
 
     // Log marginal likelihood pieces: logdet from the factor.
     let logdet = tri::logdet_from_factor(&k);
-    let fit: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let lml = -0.5 * fit - 0.5 * logdet - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    let lml = gp.log_marginal_likelihood(&alpha, logdet);
     println!("log marginal likelihood = {lml:.2}");
 
     // The conditioning story: with (near-)zero noise the kernel is
     // numerically rank-deficient.  The factorization reports *where* it
     // lost rank — `NotSpd { pivot, value }` — and the fix writes itself:
     // jitter the diagonal past the reported deficit and refactor.
-    let k2 = spd::rbf_kernel(&xs, lengthscale, 0.0);
+    let k2 = cholcomm::matrix::spd::rbf_kernel(&gp.xs, gp.lengthscale, 0.0);
     let mut f2 = k2.clone();
     match cholcomm::matrix::kernels::potf2(&mut f2) {
         Ok(()) => println!("zero-jitter kernel still SPD (n = {n})"),

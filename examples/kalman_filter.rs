@@ -2,32 +2,26 @@
 //! the innovation covariance, a production dense-SPD workload: track a
 //! 2-D constant-velocity target from noisy position measurements.
 //!
+//! The tracking model (`F`, `H`, `R`) comes from
+//! [`cholcomm::serve::jobs::CvModel`], shared with the factorization
+//! service's `KalmanStep` job kind — what this example runs as a 60-step
+//! loop, `cholcomm-serve` runs as batched multi-sensor requests.
+//!
 //! ```text
 //! cargo run --release --example kalman_filter
 //! ```
 
 use cholcomm::matrix::kernels::matmul;
 use cholcomm::matrix::{spd, Matrix};
+use cholcomm::serve::jobs::CvModel;
 use cholcomm::stability::kalman_update;
 use rand::RngExt;
 
 fn main() {
     // State: [x, y, vx, vy]; observe position only.
     let nx = 4;
-    let dt = 0.1;
-    let f = Matrix::from_rows(
-        4,
-        4,
-        &[
-            1.0, 0.0, dt, 0.0, //
-            0.0, 1.0, 0.0, dt, //
-            0.0, 0.0, 1.0, 0.0, //
-            0.0, 0.0, 0.0, 1.0,
-        ],
-    );
-    let h = Matrix::from_rows(2, 4, &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
-    let meas_noise = 0.5;
-    let r = Matrix::from_rows(2, 2, &[meas_noise * meas_noise, 0.0, 0.0, meas_noise * meas_noise]);
+    let model = CvModel::new(0.1, 0.5);
+    let (dt, meas_noise) = (model.dt, model.meas_noise);
 
     let mut rng = spd::test_rng(11);
     let mut truth = [0.0f64, 0.0, 1.0, 0.5]; // position + velocity
@@ -50,14 +44,14 @@ fn main() {
 
         // --- predict ---
         let est_m = Matrix::from_rows(4, 1, &est);
-        let pred = matmul(&f, &est_m);
+        let pred = matmul(&model.f, &est_m);
         let mut est_pred = [0.0f64; 4];
         for d in 0..4 {
             est_pred[d] = pred[(d, 0)];
         }
         let p_pred = {
-            let fp = matmul(&f, &p);
-            let mut fpf = matmul(&fp, &f.transpose());
+            let fp = matmul(&model.f, &p);
+            let mut fpf = matmul(&fp, &model.f.transpose());
             for d in 0..4 {
                 fpf[(d, d)] += 0.01; // process noise
             }
@@ -65,18 +59,17 @@ fn main() {
         };
 
         // --- update: covariance through the Cholesky-based gain ---
-        p = kalman_update(&p_pred, &h, &r).expect("innovation covariance SPD");
+        p = kalman_update(&p_pred, &model.h, &model.r).expect("innovation covariance SPD");
         // State update with the same gain structure (recomputed simply).
         let innov = [z[0] - est_pred[0], z[1] - est_pred[1]];
-        // Scalar-ish gain approximation consistent with kalman_update's
-        // covariance: use the exact gain K = P_pred H^T S^{-1}.
-        let ph_t = matmul(&p_pred, &h.transpose());
-        let mut s = matmul(&h, &ph_t);
+        // Exact gain K = P_pred H^T S^{-1} through the factor of S.
+        let ph_t = matmul(&p_pred, &model.h.transpose());
+        let mut s = matmul(&model.h, &ph_t);
         for d in 0..2 {
-            s[(d, d)] += meas_noise * meas_noise;
+            s[(d, d)] += model.r[(d, d)];
         }
         let mut fac = s.clone();
-        cholcomm::matrix::kernels::potf2(&mut fac).unwrap();
+        cholcomm::matrix::kernels::potf2(&mut fac).expect("innovation covariance SPD");
         for d in 0..4 {
             let rhs = [ph_t[(d, 0)], ph_t[(d, 1)]];
             let k_row = cholcomm::matrix::tri::solve_with_factor(&fac, &rhs);

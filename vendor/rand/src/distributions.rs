@@ -1,0 +1,196 @@
+//! Seeded, offline-reproducible samplers for skewed-popularity and
+//! arrival-process workload models (the subset of `rand_distr` the
+//! `cholcomm-serve` load generator needs).
+//!
+//! Everything here is a pure function of the generator state, so a load
+//! generator built on these distributions replays byte-identically for a
+//! given seed — the property the service chaos harness asserts.
+
+use crate::{Rng, RngExt};
+
+/// A distribution that can be sampled with any [`Rng`].
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Zipf (zeta) distribution over the ranks `1..=n`: rank `k` has
+/// probability proportional to `1 / k^s`.  The classic model of skewed
+/// key popularity — a handful of hot keys receive most of the traffic,
+/// which is exactly the regime where a factor cache pays.
+///
+/// Sampling is by inversion against the precomputed CDF (`O(log n)` per
+/// draw, `O(n)` setup), so draws are deterministic given the generator —
+/// no rejection loops whose iteration count could differ across runs.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Zipf over `1..=n` with exponent `s > 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+impl Distribution<usize> for Zipf {
+    /// A rank in `1..=n` (rank 1 is the hottest).
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        // First index whose CDF weakly exceeds u.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// Bounded Pareto distribution on `[lo, hi]` with tail exponent
+/// `alpha > 0`: heavy-tailed sizes clipped to a workable range — the
+/// standard model for "mostly small, occasionally huge" job sizes.
+///
+/// Sampled by inversion of the truncated Pareto CDF.
+#[derive(Debug, Clone)]
+pub struct BoundedPareto {
+    alpha: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl BoundedPareto {
+    /// Bounded Pareto with exponent `alpha` on `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If `alpha <= 0`, `lo <= 0`, or `hi <= lo`.
+    pub fn new(alpha: f64, lo: f64, hi: f64) -> BoundedPareto {
+        assert!(alpha.is_finite() && alpha > 0.0, "tail exponent must be positive");
+        assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+        BoundedPareto { alpha, lo, hi }
+    }
+}
+
+impl Distribution<f64> for BoundedPareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        // Inverse CDF of the Pareto truncated to [lo, hi]:
+        //   x = (lo^-a - u (lo^-a - hi^-a))^(-1/a)
+        let la = self.lo.powf(-self.alpha);
+        let ha = self.hi.powf(-self.alpha);
+        let x = (la - u * (la - ha)).powf(-1.0 / self.alpha);
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+/// Exponential distribution with rate `lambda`: the inter-arrival times
+/// of a Poisson arrival process, sampled by inversion
+/// (`-ln(1 - u) / lambda`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Exponential with rate `lambda > 0` (mean `1 / lambda`).
+    ///
+    /// # Panics
+    /// If `lambda` is not finite and positive.
+    pub fn new(lambda: f64) -> Exp {
+        assert!(lambda.is_finite() && lambda > 0.0, "rate must be positive");
+        Exp { lambda }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random_range(0.0..1.0);
+        // u < 1 by construction, so ln_1p(-u) is finite.
+        -(-u).ln_1p() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn zipf_is_seeded_and_in_range() {
+        let z = Zipf::new(100, 1.1);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            let ka = z.sample(&mut a);
+            assert_eq!(ka, z.sample(&mut b));
+            assert!((1..=100).contains(&ka));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut top5 = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) <= 5 {
+                top5 += 1;
+            }
+        }
+        // For s=1.2, n=50 the top five ranks carry well over 40% of mass.
+        assert!(top5 as f64 / n as f64 > 0.4, "top-5 share {top5}/{n}");
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_bounds_and_is_heavy_tailed() {
+        let p = BoundedPareto::new(1.5, 8.0, 256.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (8.0..=256.0).contains(&x)));
+        let small = xs.iter().filter(|&&x| x < 32.0).count() as f64 / xs.len() as f64;
+        let big = xs.iter().filter(|&&x| x > 128.0).count() as f64 / xs.len() as f64;
+        assert!(small > 0.7, "most draws small: {small}");
+        assert!(big > 0.005, "but the tail reaches large sizes: {big}");
+    }
+
+    #[test]
+    fn exp_has_the_right_mean() {
+        let e = Exp::new(0.25); // mean 4
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn samplers_replay_for_a_seed() {
+        let z = Zipf::new(10, 0.9);
+        let p = BoundedPareto::new(2.0, 1.0, 64.0);
+        let e = Exp::new(1.0);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100)
+                .map(|_| (z.sample(&mut rng), p.sample(&mut rng).to_bits(), e.sample(&mut rng).to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "byte-identical replay");
+        assert_ne!(run(7), run(8), "seeds matter");
+    }
+}

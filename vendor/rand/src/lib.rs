@@ -8,6 +8,8 @@
 //! Everything is deterministic given the seed, which is all the test
 //! suite and the experiment binaries require.
 
+pub mod distributions;
+
 /// Concrete generator types.
 pub mod rngs {
     /// The standard deterministic generator: SplitMix64.
