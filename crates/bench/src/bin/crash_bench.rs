@@ -1,0 +1,210 @@
+//! Crash-point explorer benchmark and the repo's tracked crash artifact.
+//!
+//! ```text
+//! cargo run --release -p cholcomm-bench --bin crash_bench             # full run
+//! cargo run --release -p cholcomm-bench --bin crash_bench -- --smoke  # CI smoke
+//! cargo run --release -p cholcomm-bench --bin crash_bench -- --smoke --seed 7
+//! ```
+//!
+//! Three sections, written as `cholcomm-crash-bench/v1` JSON:
+//!
+//! - **exhaustive** — a checkpointed out-of-core factorization is
+//!   recorded once on the simulated crash disk, then recovery is
+//!   re-driven at *every* crash state of its op schedule (all prefixes,
+//!   all survive/drop subsets of each un-barriered window, every
+//!   sector-prefix tear).  Violations must be zero.
+//! - **sampled** — the same check on a larger matrix over seeded-sampled
+//!   crash sites (`--seed` varies the sample, nothing else).
+//! - **broken_protocol** — the deliberately broken commit discipline
+//!   (commit record without the preceding barrier) must be *caught*,
+//!   with a shrunk minimal fault plan in the artifact.
+//!
+//! Throughput (`states_per_s`) is wall-clock and machine-dependent;
+//! every other number is deterministic, so CI can compare a smoke run
+//! exactly against the committed `BENCH_crash.json`.
+
+use cholcomm_core::faults::{crash_sites_exhaustive, crash_sites_sampled};
+use cholcomm_core::matrix::spd;
+use cholcomm_core::ooc::{explore_crash_sites, record_run, CommitDiscipline, CrashExploration};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SECTOR: usize = 64;
+
+struct Section {
+    name: &'static str,
+    n: usize,
+    b: usize,
+    schedule_ops: usize,
+    crash_points: usize,
+    states_explored: usize,
+    violations: usize,
+    rework_fraction: f64,
+    states_per_s: f64,
+    caught: bool,
+    minimal_repro: String,
+}
+
+fn section(
+    name: &'static str,
+    n: usize,
+    b: usize,
+    report: &CrashExploration,
+    elapsed_s: f64,
+) -> Section {
+    Section {
+        name,
+        n,
+        b,
+        schedule_ops: report.schedule_ops,
+        crash_points: report.crash_points,
+        states_explored: report.states_explored,
+        violations: report.violations.len(),
+        rework_fraction: report.rework_fraction(),
+        states_per_s: report.states_explored as f64 / elapsed_s.max(1e-9),
+        caught: !report.violations.is_empty(),
+        minimal_repro: report
+            .violations
+            .first()
+            .map(|v| v.minimal.to_string())
+            .unwrap_or_default(),
+    }
+}
+
+fn to_json(sections: &[Section], mode: &str, seed: u64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"cholcomm-crash-bench/v1\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"sections\": [\n");
+    for (i, r) in sections.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"n\": {},", r.n);
+        let _ = writeln!(s, "      \"b\": {},", r.b);
+        let _ = writeln!(s, "      \"schedule_ops\": {},", r.schedule_ops);
+        let _ = writeln!(s, "      \"crash_points\": {},", r.crash_points);
+        let _ = writeln!(s, "      \"states_explored\": {},", r.states_explored);
+        let _ = writeln!(s, "      \"violations\": {},", r.violations);
+        let _ = writeln!(s, "      \"rework_fraction\": {:.4},", r.rework_fraction);
+        let _ = writeln!(s, "      \"states_per_s\": {:.0},", r.states_per_s);
+        let _ = writeln!(s, "      \"caught\": {},", r.caught);
+        let _ = writeln!(s, "      \"minimal_repro\": \"{}\"", r.minimal_repro);
+        let _ = writeln!(s, "    }}{}", if i + 1 < sections.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            if smoke {
+                "BENCH_crash.smoke.json".to_string()
+            } else {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crash.json").to_string()
+            }
+        });
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!("crash_bench: mode={mode} seed={seed:#x}");
+    let mut failed = false;
+    let mut sections = Vec::new();
+
+    // --- Exhaustive: every crash state of a small recorded run. ---
+    {
+        let a = spd::random_spd(8, &mut spd::test_rng(500));
+        let run = record_run(&a, 4, 3, SECTOR, CommitDiscipline::Barriered)
+            .expect("clean recorded run");
+        let sites = crash_sites_exhaustive(&run.schedule, SECTOR);
+        let t0 = Instant::now();
+        let report = explore_crash_sites(&run, &sites);
+        let sec = section("exhaustive", 8, 4, &report, t0.elapsed().as_secs_f64());
+        if sec.violations != 0 {
+            eprintln!(
+                "crash_bench: exhaustive exploration found {} violations: {}",
+                sec.violations,
+                report.violations[0]
+            );
+            failed = true;
+        }
+        sections.push(sec);
+    }
+
+    // --- Sampled: seeded crash sites on a larger matrix. ---
+    {
+        let a = spd::random_spd(24, &mut spd::test_rng(502));
+        let run = record_run(&a, 8, 4, SECTOR, CommitDiscipline::Barriered)
+            .expect("clean recorded run");
+        let sites = crash_sites_sampled(&run.schedule, SECTOR, seed, 64);
+        let t0 = Instant::now();
+        let report = explore_crash_sites(&run, &sites);
+        let sec = section("sampled", 24, 8, &report, t0.elapsed().as_secs_f64());
+        if sec.violations != 0 {
+            eprintln!(
+                "crash_bench: sampled exploration (seed {seed:#x}) found {} violations: {}",
+                sec.violations,
+                report.violations[0]
+            );
+            failed = true;
+        }
+        sections.push(sec);
+    }
+
+    // --- Broken protocol: the explorer must catch it. ---
+    {
+        let a = spd::random_spd(8, &mut spd::test_rng(501));
+        let run = record_run(&a, 4, 3, SECTOR, CommitDiscipline::UnbarrieredCommit)
+            .expect("clean recorded run");
+        let sites = crash_sites_exhaustive(&run.schedule, SECTOR);
+        let t0 = Instant::now();
+        let report = explore_crash_sites(&run, &sites);
+        let sec = section("broken_protocol", 8, 4, &report, t0.elapsed().as_secs_f64());
+        if !sec.caught {
+            eprintln!(
+                "crash_bench: the unbarriered-commit protocol was NOT caught over {} states",
+                sec.states_explored
+            );
+            failed = true;
+        }
+        sections.push(sec);
+    }
+
+    for r in &sections {
+        println!(
+            "{:>16}: n={:<3} ops={:<4} crash points {:<4} states {:<6} violations {:<3} \
+             rework {:.3}  {:>8.0} states/s{}",
+            r.name,
+            r.n,
+            r.schedule_ops,
+            r.crash_points,
+            r.states_explored,
+            r.violations,
+            r.rework_fraction,
+            r.states_per_s,
+            if r.caught {
+                format!("  minimal repro: {}", r.minimal_repro)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    let json = to_json(&sections, mode, seed);
+    std::fs::write(&out_path, &json).expect("write crash artifact");
+    eprintln!("crash_bench: wrote {out_path}");
+}

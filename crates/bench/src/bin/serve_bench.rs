@@ -9,13 +9,21 @@
 //! ```
 //!
 //! For every [`ChaosScenario`] (clean, bit-flip, transient-EIO,
-//! worker-crash, burst-overload) the bench drives a seeded Zipf/Pareto
-//! request stream through the service and records availability,
-//! deterministic virtual p50/p99, wall-clock p50/p99, and throughput.
-//! Each scenario runs **twice** and the canonical event-log digests must
-//! match (the replay contract); every completed response's factor digest
-//! must equal an unfaulted direct factorization of the same problem (the
-//! bit-identity contract).  Either failing is exit 1.
+//! worker-crash, burst-overload, power-cut) the bench drives a seeded
+//! Zipf/Pareto request stream through the service and records
+//! availability, deterministic virtual p50/p99, wall-clock p50/p99, and
+//! throughput.  Each scenario runs **twice** and the canonical event-log
+//! digests must match (the replay contract); every completed response's
+//! factor digest must equal an unfaulted direct factorization of the
+//! same problem (the bit-identity contract).  Either failing is exit 1.
+//!
+//! The power-cut scenario is special: each run is **two service
+//! processes** over one simulated disk.  The first serves half the
+//! stream with a durable (journaled) factor cache, then the disk is
+//! crashed at a seeded crash site of its recorded op schedule; the
+//! second process recovers the journal and serves the rest.  Recovered
+//! entries counted by `cache_recovered` must be > 0 and every served
+//! factor still bit-identical.
 //!
 //! `--baseline <path>` reads a previous artifact and fails if any
 //! scenario's *virtual* p99 regressed more than 30% above it or its
@@ -44,6 +52,7 @@ struct ScenarioResult {
     degraded_served: u64,
     worker_restarts: u64,
     cache_healed: u64,
+    cache_recovered: u64,
     availability: f64,
     virt_p50_us: u64,
     virt_p99_us: u64,
@@ -107,6 +116,90 @@ fn drive(
     (service.shutdown(), responses, wall_s)
 }
 
+/// One power-cut drive: process 1 serves the first half of the stream
+/// with a durable cache journal on a fresh simulated disk, the disk is
+/// crashed at a seeded site of its recorded schedule, and process 2
+/// recovers the journal and serves the second half.  Returns the merged
+/// report (with a combined log digest), outcomes, and wall seconds.
+fn drive_power_cut(
+    scenario: ChaosScenario,
+    seed: u64,
+    requests: &[Request],
+) -> (cholcomm_core::serve::ServiceReport, Vec<Outcome>, f64) {
+    use cholcomm_core::faults::{crash_sites_sampled, crash_state, SimDisk, SimStore};
+    use std::sync::{Arc, Mutex};
+
+    const SECTOR: usize = 64;
+    let config = scenario.config();
+    let plan = scenario.plan(seed);
+    let half = requests.len() / 2;
+    let t0 = Instant::now();
+
+    let serve = |disk: &Arc<Mutex<SimDisk>>, slice: &[Request]| {
+        let mut service = Service::start_durable(config, &plan, |_| {
+            Box::new(SimStore::new(Arc::clone(disk)))
+        });
+        let tickets: Vec<(Ticket, JobKind, u64, usize)> = slice
+            .iter()
+            .map(|r| (service.submit(*r), r.kind, r.key, r.n))
+            .collect();
+        let responses: Vec<Outcome> = tickets
+            .into_iter()
+            .map(|(t, kind, key, n)| {
+                let req = t.req;
+                let digest = t.wait().ok().map(|resp| resp.factor_digest);
+                (req, kind, key, n, digest)
+            })
+            .collect();
+        (service.shutdown(), responses)
+    };
+
+    let disk = Arc::new(Mutex::new(SimDisk::new(SECTOR)));
+    let (before, mut responses) = serve(&disk, &requests[..half]);
+
+    // Crash the disk at the latest of a handful of seeded crash sites —
+    // deep enough into the schedule that committed cache entries exist,
+    // still exercising a torn un-barriered window.
+    let schedule = disk
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .schedule()
+        .to_vec();
+    let site = crash_sites_sampled(&schedule, SECTOR, seed, 8)
+        .into_iter()
+        .max_by_key(|s| s.crash_index)
+        .expect("sampled at least one crash site");
+    let crashed = Arc::new(Mutex::new(SimDisk::from_state(
+        crash_state(&schedule, &site, SECTOR),
+        SECTOR,
+    )));
+
+    let (after, rest) = serve(&crashed, &requests[half..]);
+    responses.extend(rest);
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut metrics = before.metrics.clone();
+    metrics.merge(&after.metrics);
+    metrics.canonicalize();
+    let mut records = before.records;
+    records.extend(after.records.clone());
+    // The two processes number requests independently; the replay
+    // certificate is the pair of per-process digests folded together.
+    let log_digest = before
+        .log_digest
+        .wrapping_mul(0x0000_0100_0000_01b3)
+        ^ after.log_digest;
+    (
+        cholcomm_core::serve::ServiceReport {
+            records,
+            log_digest,
+            metrics,
+        },
+        responses,
+        wall_s,
+    )
+}
+
 fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
     // Smoke and full run the SAME deterministic workload: the virtual
     // metrics are machine-independent, so a CI smoke run gates exactly
@@ -116,8 +209,15 @@ fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
     let requests = workload.generate();
     let config = ServiceConfig::default();
 
-    let (report_a, responses, wall_s) = drive(scenario, seed, &requests);
-    let (report_b, _, _) = drive(scenario, seed, &requests);
+    let run = |scenario, seed, requests: &[Request]| {
+        if scenario == ChaosScenario::PowerCut {
+            drive_power_cut(scenario, seed, requests)
+        } else {
+            drive(scenario, seed, requests)
+        }
+    };
+    let (report_a, responses, wall_s) = run(scenario, seed, &requests);
+    let (report_b, _, _) = run(scenario, seed, &requests);
     let replay_identical = report_a.log_digest == report_b.log_digest
         && report_a.metrics.counters == report_b.metrics.counters;
 
@@ -140,6 +240,7 @@ fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
         degraded_served: c.degraded_served,
         worker_restarts: c.worker_restarts,
         cache_healed: report_a.metrics.cache.healed,
+        cache_recovered: c.cache_recovered,
         availability: c.availability(),
         virt_p50_us: report_a.metrics.virt_percentile_us(0.50),
         virt_p99_us: report_a.metrics.virt_percentile_us(0.99),
@@ -175,6 +276,7 @@ fn to_json(results: &[ScenarioResult], mode: &str) -> String {
         let _ = writeln!(s, "      \"degraded_served\": {},", r.degraded_served);
         let _ = writeln!(s, "      \"worker_restarts\": {},", r.worker_restarts);
         let _ = writeln!(s, "      \"cache_healed\": {},", r.cache_healed);
+        let _ = writeln!(s, "      \"cache_recovered\": {},", r.cache_recovered);
         let _ = writeln!(s, "      \"availability\": {:.4},", r.availability);
         let _ = writeln!(s, "      \"virt_p50_us\": {},", r.virt_p50_us);
         let _ = writeln!(s, "      \"virt_p99_us\": {},", r.virt_p99_us);
@@ -238,7 +340,7 @@ fn main() {
     for r in &results {
         println!(
             "{:>14}: {:>3}/{:<3} ok  avail {:.3}  virt p50/p99 {:>6}/{:<6}us  wall p99 {:>8.0}us  \
-             {:>6.0} rps  shed {} refused {} deadline {} degraded {} restarts {} healed {}",
+             {:>6.0} rps  shed {} refused {} deadline {} degraded {} restarts {} healed {} recovered {}",
             r.name,
             r.completed,
             r.requests,
@@ -253,7 +355,15 @@ fn main() {
             r.degraded_served,
             r.worker_restarts,
             r.cache_healed,
+            r.cache_recovered,
         );
+        if r.name == "power_cut" && r.cache_recovered == 0 {
+            eprintln!(
+                "serve_bench: power_cut recovered no cache entries — the crash protocol \
+                 committed nothing durable"
+            );
+            failed = true;
+        }
         if !r.bit_identical {
             eprintln!("serve_bench: {}: a completed response differed from the direct run", r.name);
             failed = true;

@@ -129,6 +129,7 @@ pub fn render_crossover(n: usize, m: usize, contenders: &[Contender]) -> String 
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -308,6 +308,7 @@ pub fn sweep_block_reads<L: Layout>(layout: &L, n: usize, b: usize) -> (u64, u64
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

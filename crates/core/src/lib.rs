@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 //! # cholcomm-core
 //!
 //! The umbrella crate of the `cholcomm` workspace — a full reproduction of

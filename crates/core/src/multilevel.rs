@@ -144,6 +144,7 @@ pub fn render_multilevel(n: usize, capacities: &[usize], rows: &[MlRow]) -> Stri
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

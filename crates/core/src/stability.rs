@@ -135,6 +135,7 @@ pub fn kalman_update(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

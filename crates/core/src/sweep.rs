@@ -72,9 +72,14 @@ impl TraceCache {
         a: &Matrix<f64>,
     ) -> Result<Arc<CompactTrace>, MatrixError> {
         let key = (alg, layout, a.rows());
-        if let Some(t) = self.map.lock().unwrap().get(&key) {
+        let guard = self
+            .map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(t) = guard.get(&key) {
             return Ok(Arc::clone(t));
         }
+        drop(guard);
         let rec = record_algorithm(alg, a, layout)?;
         let res = norms::cholesky_residual(a, &rec.factor);
         assert!(
@@ -84,7 +89,7 @@ impl TraceCache {
         let t = Arc::new(rec.trace);
         self.map
             .lock()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(key)
             .or_insert_with(|| Arc::clone(&t));
         Ok(t)
@@ -92,7 +97,10 @@ impl TraceCache {
 
     /// Number of distinct recorded shapes.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// `true` when nothing has been recorded yet.
@@ -102,6 +110,7 @@ impl TraceCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use cholcomm_cachesim::Tracer;

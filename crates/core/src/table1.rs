@@ -207,6 +207,7 @@ pub fn table1_at_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -45,8 +45,9 @@ pub fn run_point(a: &Matrix<f64>, p: usize, b: usize) -> Table2Point {
 /// computed once per sweep, not once per point.
 fn reference_factor(a: &Matrix<f64>) -> Matrix<f64> {
     let mut want = a.clone();
-    kernels::potf2(&mut want).unwrap();
-    want.lower_triangle().unwrap()
+    kernels::potf2(&mut want).expect("table2 sweep input must be SPD");
+    want.lower_triangle()
+        .expect("potf2 output is square, so the lower triangle exists")
 }
 
 fn run_point_against(a: &Matrix<f64>, want: &Matrix<f64>, p: usize, b: usize) -> Table2Point {

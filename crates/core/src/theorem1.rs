@@ -107,8 +107,9 @@ pub fn reduce_reference(n: usize, seed: u64) -> f64 {
         ColMajor::square(3 * n),
         &mut NullTracer,
     )
-    .unwrap();
-    let product = extract_product(&factor, n).unwrap();
+    .expect("T' is positive definite by construction");
+    let product = extract_product(&factor, n)
+        .expect("the factor of T' always contains the 3n x 3n product block");
     norms::max_abs_diff(&product, &kernels::matmul(&a, &b))
 }
 

@@ -91,7 +91,7 @@ fn c_naive_suboptimal() -> Result<String, String> {
             LayoutKind::ColMajor,
             &ModelKind::Counting { message_cap: Some(m) },
         )
-        .unwrap();
+        .expect("counting model never fails on a valid SPD input");
         rep.levels[0].words as f64 / bounds::seq_bandwidth_scale(n, m)
     };
     check("ratio growth", r(768) / r(192), 1.6, 2.4)
@@ -106,7 +106,7 @@ fn c_lapack_bandwidth() -> Result<String, String> {
         LayoutKind::Blocked(16),
         &ModelKind::Counting { message_cap: Some(m) },
     )
-    .unwrap();
+    .map_err(|e| e.to_string())?;
     check(
         "words/(n^3/sqrt(M))",
         rep.levels[0].words as f64 / bounds::seq_bandwidth_scale(n, m),
@@ -122,11 +122,11 @@ fn c_lapack_latency_layouts() -> Result<String, String> {
     let model = ModelKind::Counting { message_cap: Some(m) };
     let a = spd::random_spd(n, &mut spd::test_rng(603));
     let cm = run_algorithm(Algorithm::LapackBlocked { b }, &a, LayoutKind::ColMajor, &model)
-        .unwrap()
+        .map_err(|e| e.to_string())?
         .levels[0]
         .messages as f64;
     let bl = run_algorithm(Algorithm::LapackBlocked { b }, &a, LayoutKind::Blocked(b), &model)
-        .unwrap()
+        .map_err(|e| e.to_string())?
         .levels[0]
         .messages as f64;
     check("col-major/blocked message ratio (~b)", cm / bl, b as f64 * 0.6, b as f64 * 1.6)
@@ -140,7 +140,7 @@ fn c_toledo_latency() -> Result<String, String> {
         LayoutKind::Morton,
         &ModelKind::Lru { m: 192 },
     )
-    .unwrap();
+    .map_err(|e| e.to_string())?;
     check(
         "Toledo messages / n^2",
         rep.levels[0].messages as f64 / (n * n) as f64,
@@ -159,7 +159,7 @@ fn c_ap00_optimal() -> Result<String, String> {
         LayoutKind::Morton,
         &ModelKind::Lru { m },
     )
-    .unwrap();
+    .map_err(|e| e.to_string())?;
     let bw = ap.levels[0].words as f64 / bounds::seq_bandwidth_scale(n, m);
     let toledo = run_algorithm(
         Algorithm::Toledo { gemm_leaf: 4 },
@@ -167,7 +167,7 @@ fn c_ap00_optimal() -> Result<String, String> {
         LayoutKind::Morton,
         &ModelKind::Lru { m },
     )
-    .unwrap();
+    .map_err(|e| e.to_string())?;
     if bw > 2.0 {
         return Err(format!("AP00 bandwidth ratio {bw}"));
     }
@@ -186,7 +186,10 @@ fn c_ap00_optimal() -> Result<String, String> {
 fn c_multilevel() -> Result<String, String> {
     let caps = [96usize, 768];
     let rows = run_multilevel(64, &caps, 606);
-    let ap = rows.iter().find(|r| r.label.starts_with("AP00")).unwrap();
+    let ap = rows
+        .iter()
+        .find(|r| r.label.starts_with("AP00"))
+        .ok_or_else(|| "multilevel run produced no AP00 row".to_string())?;
     for (i, &r) in ap.bw_ratios.iter().enumerate() {
         if r > 4.0 {
             return Err(format!("AP00 bandwidth ratio {r} at level {i}"));
@@ -247,10 +250,10 @@ fn c_models_agree() -> Result<String, String> {
     let a = spd::random_spd(n, &mut spd::test_rng(610));
     let mut explicit = CountingTracer::uncapped();
     let mut l1 = Laid::from_matrix(&a, ColMajor::square(n));
-    naive::left_looking(&mut l1, &mut explicit).unwrap();
+    naive::left_looking(&mut l1, &mut explicit).map_err(|e| e.to_string())?;
     let mut lru = LruTracer::with_writebacks(256, false);
     let mut l2 = Laid::from_matrix(&a, ColMajor::square(n));
-    naive::left_looking(&mut l2, &mut lru).unwrap();
+    naive::left_looking(&mut l2, &mut lru).map_err(|e| e.to_string())?;
     if lru.fetch_stats().words > explicit.stats().words {
         return Err(format!(
             "LRU {} > explicit {}",

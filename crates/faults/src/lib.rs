@@ -28,13 +28,20 @@
 //! times, so bounded retry always succeeds eventually.
 
 mod plan;
+mod simdisk;
 mod stats;
+mod store;
 
 pub use plan::{
     BitFlip, CacheFlip, CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, JobFault,
     MessageFault, RankKill,
 };
+pub use simdisk::{
+    crash_sites_exhaustive, crash_sites_sampled, crash_state, shrink_site, CrashSite, SimDisk,
+    SimOp, SimState, DEFAULT_SECTOR, EXHAUSTIVE_PENDING_CAP,
+};
 pub use stats::FaultStats;
+pub use store::{FsStore, SimStore, Store};
 
 /// One step of SplitMix64: the workspace's stable, dependency-free mixer.
 #[inline]

@@ -184,6 +184,10 @@ impl<B: IoBackend> IoBackend for AbftBackend<B> {
     fn fault_stats(&self) -> FaultStats {
         self.inner.fault_stats()
     }
+    fn barrier(&mut self) -> std::io::Result<()> {
+        // Checksums live in RAM; only the tile data needs flushing.
+        self.inner.barrier()
+    }
     fn begin_panel(&mut self, k: usize) {
         let (nb, b) = (self.nb(), self.b());
         for bj in 0..nb {

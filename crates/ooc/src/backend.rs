@@ -49,6 +49,13 @@ pub trait IoBackend {
     /// schedule at-rest corruptions and to timestamp verification work;
     /// plain storage ignores it.
     fn begin_panel(&mut self, _k: usize) {}
+    /// Durability barrier: on success, every tile written so far has
+    /// reached stable storage and will survive a power cut.  The commit
+    /// protocol relies on this ordering; storage with no volatile buffer
+    /// (the in-memory test doubles) has nothing to flush.
+    fn barrier(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
     /// Verify the integrity of every stored tile, healing what the
     /// encoding can correct.  Storage without integrity metadata has
     /// nothing to check.  An unhealable tile surfaces as
@@ -82,6 +89,9 @@ impl IoBackend for FileMatrix {
     }
     fn storage_restored(&mut self) {
         self.invalidate_cursor();
+    }
+    fn barrier(&mut self) -> std::io::Result<()> {
+        FileMatrix::barrier(self)
     }
 }
 
@@ -240,6 +250,15 @@ impl<B: IoBackend> IoBackend for FaultyBackend<B> {
     }
     fn scrub(&mut self) -> std::io::Result<()> {
         self.inner.scrub()
+    }
+    fn barrier(&mut self) -> std::io::Result<()> {
+        // A dead process cannot fsync, but a live one always can: the
+        // barrier is not a tile transfer, so it does not consume an
+        // operation index (keeping `AfterDiskOps` schedules stable).
+        if self.crashed {
+            return Err(Self::crash_error());
+        }
+        self.inner.barrier()
     }
 }
 

@@ -1,10 +1,40 @@
-//! Panel-granularity checkpoint/restart for the out-of-core Cholesky.
+//! Panel-granularity checkpoint/restart for the out-of-core Cholesky,
+//! on a journaled commit protocol.
 //!
 //! After each completed panel the driver flushes the tile cache and
-//! snapshots the backing file next to a small manifest recording the
-//! next panel to run (and `n`, `b` for validation).  Both are written
-//! atomically (temp file + rename), so a crash at any instant leaves
-//! either the previous checkpoint or the new one — never a torn one.
+//! writes a *generation*: a snapshot of the backing file plus a small
+//! manifest recording the next panel to run (and `n`, `b`, the
+//! snapshot's length and FNV-1a hash).  Generations are made durable by
+//! a write-ahead journal, not by rename:
+//!
+//! ```text
+//! append INTENT(gen, next_panel, n, b, len, fnv)   to <prefix>.journal
+//! write   <prefix>.g<gen>.data                     (the snapshot)
+//! write   <prefix>.g<gen>.manifest                 (self-hashed metadata)
+//! ------- barrier -------   everything above is durable
+//! append COMMIT(gen)                               to <prefix>.journal
+//! ------- barrier -------   the commit is durable
+//! remove  older generations                        (prune, crash-safe)
+//! ```
+//!
+//! Every journal record authenticates itself (a trailing `rec_fnv` over
+//! the record text), so a torn append is indistinguishable from no
+//! append: recovery parses the longest valid prefix and ignores the
+//! rest.  [`Checkpoint::load`] resumes from the **highest committed**
+//! generation, sweeps uncommitted or stale generation files and `.tmp`
+//! strays left by a crashed save, and validates everything the commit
+//! vouches for — manifest self-hash, generation agreement, geometry
+//! (`data_len` must equal the tile layout implied by `n`/`b`), snapshot
+//! length and hash, intent/manifest cross-check.  A committed
+//! generation that fails validation is a **protocol violation or
+//! storage corruption** and fails loudly with
+//! [`std::io::ErrorKind::InvalidData`] — never a silent fall-back to an
+//! older state — because "commit implies durable" is exactly the
+//! invariant the barrier before the commit record buys.  The
+//! crash-point explorer (`crates/faults`, `tests/crash_consistency.rs`)
+//! leans on that loudness: [`CommitDiscipline::UnbarrieredCommit`]
+//! deliberately skips the pre-commit barrier, and the explorer catches
+//! the resulting torn-data-behind-a-commit states.
 //!
 //! A *full* snapshot per checkpoint is deliberate: the factorization is
 //! right-looking, so panel `k` mutates the whole trailing submatrix.
@@ -16,14 +46,18 @@
 //! [`IoStats`](crate::IoStats), and is not subject to tile-level fault
 //! injection — the fault model targets the data path, recovery targets
 //! the recovery path.
+//!
+//! All storage goes through [`Store`], so the same protocol bytes run
+//! over the real filesystem ([`FsStore`]) in production and over the
+//! simulated crash disk (`SimStore`) under the explorer.
 
 use crate::backend::IoBackend;
 use crate::potrf::{factor_panel_with, OocError, TileCache};
+use cholcomm_faults::{FsStore, Store};
 use cholcomm_matrix::KernelImpl;
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-const MANIFEST_MAGIC: &str = "cholcomm-ooc-checkpoint v2";
+const MANIFEST_MAGIC: &str = "cholcomm-ooc-checkpoint v3";
 
 /// FNV-1a over a byte string: the checkpoint integrity hash.  Not
 /// cryptographic — it guards against truncation and bit rot, the same
@@ -37,15 +71,34 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// A checkpoint location: `<prefix>.data` holds the matrix snapshot,
-/// `<prefix>.manifest` the restart metadata.
-#[derive(Debug, Clone)]
-pub struct Checkpoint {
-    data_path: PathBuf,
-    manifest_path: PathBuf,
+fn bad(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-/// Parsed manifest contents.
+/// How strictly [`Checkpoint::save`] orders its commit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitDiscipline {
+    /// The correct protocol: a barrier *before* the commit record, so a
+    /// durable commit implies durable data.
+    #[default]
+    Barriered,
+    /// Deliberately broken: the commit record is appended in the same
+    /// un-barriered window as the data it vouches for.  Exists so the
+    /// crash-point explorer can prove it catches real protocol bugs —
+    /// never use it for actual checkpoints.
+    UnbarrieredCommit,
+}
+
+/// A checkpoint location rooted at a path prefix.  On disk it owns
+/// `<prefix>.journal` plus one `<prefix>.g<gen>.data` /
+/// `<prefix>.g<gen>.manifest` pair per live generation.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    prefix: String,
+    discipline: CommitDiscipline,
+}
+
+/// Parsed state of the highest committed generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointState {
     /// First panel that still needs to run.
@@ -54,6 +107,8 @@ pub struct CheckpointState {
     pub n: usize,
     /// Tile size the snapshot belongs to.
     pub b: usize,
+    /// Committed generation the state was read from.
+    pub gen: u64,
 }
 
 /// What a checkpointed run did.
@@ -73,35 +128,176 @@ pub struct CheckpointReport {
     pub restores: usize,
 }
 
+/// One validated journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JournalRec {
+    Intent {
+        gen: u64,
+        next_panel: usize,
+        n: usize,
+        b: usize,
+        data_len: u64,
+        data_fnv: u64,
+    },
+    Commit {
+        gen: u64,
+    },
+}
+
+/// Parse the longest valid prefix of a journal: records stop at the
+/// first line whose structure or trailing `rec_fnv` does not check out
+/// (a torn append), and everything after is ignored.
+fn parse_journal(text: &str) -> Vec<JournalRec> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some((body, fnv_hex)) = line.rsplit_once(" rec_fnv=") else {
+            break;
+        };
+        let Ok(recorded) = u64::from_str_radix(fnv_hex, 16) else {
+            break;
+        };
+        if fnv1a(body.as_bytes()) != recorded {
+            break;
+        }
+        let mut fields = body.split(' ');
+        let kind = fields.next();
+        let mut gen = None;
+        let mut next_panel = None;
+        let mut n = None;
+        let mut b = None;
+        let mut data_len = None;
+        let mut data_fnv = None;
+        for field in fields {
+            let Some((key, val)) = field.split_once('=') else {
+                continue;
+            };
+            match key {
+                "gen" => gen = val.parse().ok(),
+                "next_panel" => next_panel = val.parse().ok(),
+                "n" => n = val.parse().ok(),
+                "b" => b = val.parse().ok(),
+                "data_len" => data_len = val.parse().ok(),
+                "data_fnv" => data_fnv = u64::from_str_radix(val, 16).ok(),
+                _ => {}
+            }
+        }
+        let rec = match (kind, gen) {
+            (Some("intent"), Some(gen)) => {
+                let (Some(next_panel), Some(n), Some(b), Some(data_len), Some(data_fnv)) =
+                    (next_panel, n, b, data_len, data_fnv)
+                else {
+                    break;
+                };
+                JournalRec::Intent {
+                    gen,
+                    next_panel,
+                    n,
+                    b,
+                    data_len,
+                    data_fnv,
+                }
+            }
+            (Some("commit"), Some(gen)) => JournalRec::Commit { gen },
+            _ => break,
+        };
+        out.push(rec);
+    }
+    out
+}
+
+fn journal_line(body: &str) -> String {
+    format!("{body} rec_fnv={:016x}\n", fnv1a(body.as_bytes()))
+}
+
 impl Checkpoint {
-    /// Checkpoint files rooted at `prefix` (two siblings are created:
-    /// `<prefix>.data` and `<prefix>.manifest`).
+    /// Checkpoint files rooted at `prefix`.
     pub fn at(prefix: &Path) -> Self {
-        let mut data = prefix.as_os_str().to_owned();
-        data.push(".data");
-        let mut manifest = prefix.as_os_str().to_owned();
-        manifest.push(".manifest");
         Checkpoint {
-            data_path: PathBuf::from(data),
-            manifest_path: PathBuf::from(manifest),
+            prefix: prefix.to_string_lossy().into_owned(),
+            discipline: CommitDiscipline::Barriered,
         }
     }
 
-    /// Read and *validate* the manifest, if a complete checkpoint
-    /// exists.  Validation covers the manifest itself (its trailing
-    /// `manifest_fnv` must hash the preceding lines) and the data
-    /// snapshot (recorded length and FNV must match the file on disk),
-    /// so a truncated or bit-rotted checkpoint is rejected with
-    /// [`std::io::ErrorKind::InvalidData`] instead of silently feeding
-    /// a resumed run corrupt state.
-    pub fn load(&self) -> std::io::Result<Option<CheckpointState>> {
-        if !self.manifest_path.exists() || !self.data_path.exists() {
-            return Ok(None);
-        }
-        let mut text = String::new();
-        std::fs::File::open(&self.manifest_path)?.read_to_string(&mut text)?;
-        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    /// Override the commit discipline (explorer self-test only).
+    pub fn with_discipline(mut self, discipline: CommitDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
 
+    /// Name of the write-ahead journal.
+    pub fn journal_file(&self) -> String {
+        format!("{}.journal", self.prefix)
+    }
+
+    /// Name of generation `gen`'s data snapshot.
+    pub fn data_file(&self, gen: u64) -> String {
+        format!("{}.g{}.data", self.prefix, gen)
+    }
+
+    /// Name of generation `gen`'s manifest.
+    pub fn manifest_file(&self, gen: u64) -> String {
+        format!("{}.g{}.manifest", self.prefix, gen)
+    }
+
+    fn read_journal(&self, store: &impl Store) -> std::io::Result<Vec<JournalRec>> {
+        if !store.exists(&self.journal_file()) {
+            return Ok(Vec::new());
+        }
+        let bytes = store.read(&self.journal_file())?;
+        Ok(parse_journal(&String::from_utf8_lossy(&bytes)))
+    }
+
+    /// Highest gen with both an intent and a commit record, plus its
+    /// intent — and the highest gen mentioned at all (for numbering).
+    fn committed(records: &[JournalRec]) -> (Option<(u64, JournalRec)>, u64) {
+        let mut max_gen = 0;
+        let mut best: Option<(u64, JournalRec)> = None;
+        for rec in records {
+            match rec {
+                JournalRec::Intent { gen, .. } => max_gen = max_gen.max(*gen),
+                JournalRec::Commit { gen } => {
+                    max_gen = max_gen.max(*gen);
+                    let intent = records.iter().find(
+                        |r| matches!(r, JournalRec::Intent { gen: g, .. } if g == gen),
+                    );
+                    if let Some(intent) = intent {
+                        if best.as_ref().is_none_or(|(g, _)| gen > g) {
+                            best = Some((*gen, intent.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        (best, max_gen)
+    }
+
+    /// Delete every generation file except `keep`'s, and any `.tmp`
+    /// strays under the prefix (a crashed legacy save's leftovers).
+    fn sweep(&self, store: &mut impl Store, keep: Option<u64>) -> std::io::Result<()> {
+        let keep_data = keep.map(|g| self.data_file(g));
+        let keep_manifest = keep.map(|g| self.manifest_file(g));
+        for name in store.list_prefix(&format!("{}.g", self.prefix))? {
+            if Some(&name) != keep_data.as_ref() && Some(&name) != keep_manifest.as_ref() {
+                store.remove(&name)?;
+            }
+        }
+        for name in store.list_prefix(&self.prefix)? {
+            if name.ends_with(".tmp") {
+                store.remove(&name)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_manifest(&self, text: &str, gen: u64) -> std::io::Result<CheckpointState> {
+        // A torn tail can shear off any suffix; the newline terminating
+        // the integrity line is the cheapest completeness witness, so a
+        // manifest that does not end with one is rejected outright.
+        if !text.ends_with('\n') {
+            return Err(bad(
+                "checkpoint manifest is not newline-terminated (torn write?)".into(),
+            ));
+        }
         // The manifest's last line authenticates everything before it.
         let body_end = text
             .rfind("manifest_fnv=")
@@ -115,132 +311,262 @@ impl Checkpoint {
         if fnv1a(body.as_bytes()) != recorded {
             return Err(bad("checkpoint manifest failed its integrity check".into()));
         }
-
         let mut lines = body.lines();
         if lines.next() != Some(MANIFEST_MAGIC) {
             return Err(bad("unrecognised checkpoint manifest".into()));
         }
+        let mut mgen = None;
         let mut next_panel = None;
-        let mut n = None;
-        let mut b = None;
+        let mut n: Option<usize> = None;
+        let mut b: Option<usize> = None;
         let mut data_len = None;
         let mut data_fnv = None;
         for line in lines {
             let Some((key, val)) = line.split_once('=') else {
                 continue;
             };
-            if key == "data_fnv" {
-                data_fnv = Some(
-                    u64::from_str_radix(val, 16)
-                        .map_err(|_| bad(format!("bad manifest value: {line}")))?,
-                );
-                continue;
-            }
-            let val: usize = val
-                .parse()
-                .map_err(|_| bad(format!("bad manifest value: {line}")))?;
             match key {
-                "next_panel" => next_panel = Some(val),
-                "n" => n = Some(val),
-                "b" => b = Some(val),
-                "data_len" => data_len = Some(val as u64),
+                "gen" => mgen = val.parse::<u64>().ok(),
+                "next_panel" => next_panel = val.parse().ok(),
+                "n" => n = val.parse().ok(),
+                "b" => b = val.parse().ok(),
+                "data_len" => data_len = val.parse::<u64>().ok(),
+                "data_fnv" => data_fnv = u64::from_str_radix(val, 16).ok(),
                 _ => {}
             }
         }
-        let (Some(next_panel), Some(n), Some(b), Some(data_len), Some(data_fnv)) =
-            (next_panel, n, b, data_len, data_fnv)
+        // data_fnv is required present (an incomplete manifest is
+        // rejected) but the authoritative hash check is against the
+        // journal intent's copy in `load_in`.
+        let (Some(mgen), Some(next_panel), Some(n), Some(b), Some(data_len), Some(_)) =
+            (mgen, next_panel, n, b, data_len, data_fnv)
         else {
             return Err(bad("incomplete checkpoint manifest".into()));
         };
-
-        // Validate the data snapshot against the manifest's record.
-        let data = std::fs::read(&self.data_path)?;
-        if data.len() as u64 != data_len {
+        if mgen != gen {
             return Err(bad(format!(
+                "manifest records generation {mgen}, journal committed {gen} — \
+                 mixed-generation checkpoint"
+            )));
+        }
+        // Geometry must be self-consistent: a manifest whose hash checks
+        // out but whose n/b disagree with its own data length was
+        // assembled from mismatched pieces.
+        let nb = n.div_ceil(b);
+        let expect = (nb * nb * b * b * 8) as u64;
+        if data_len != expect {
+            return Err(bad(format!(
+                "manifest geometry n={n} b={b} implies {expect} data bytes, records {data_len}"
+            )));
+        }
+        Ok(CheckpointState {
+            next_panel,
+            n,
+            b,
+            gen,
+        })
+    }
+
+    /// Recover from the journal on `store`: find the highest committed
+    /// generation, validate everything its commit vouches for, and sweep
+    /// uncommitted/stale generation files and `.tmp` strays.
+    ///
+    /// Returns `Ok(None)` when no generation ever committed (fresh
+    /// start).  Returns an [`std::io::ErrorKind::InvalidData`] error —
+    /// loudly, with no silent fall-back — when a *committed* generation
+    /// fails validation: under the barriered commit discipline that can
+    /// only mean a commit-protocol violation or storage corruption.
+    pub fn load_in(&self, store: &mut impl Store) -> std::io::Result<Option<CheckpointState>> {
+        let records = self.read_journal(store)?;
+        let (committed, _) = Self::committed(&records);
+        let Some((gen, intent)) = committed else {
+            // Nothing committed: any generation files or temp strays are
+            // garbage from a crashed save — roll them back.
+            self.sweep(store, None)?;
+            return Ok(None);
+        };
+        let violation = |msg: String| {
+            bad(format!(
+                "{msg} — commit-protocol violation or storage corruption \
+                 (gen {gen} is committed but not durable)"
+            ))
+        };
+        if !store.exists(&self.manifest_file(gen)) {
+            return Err(violation("committed manifest is missing".into()));
+        }
+        let manifest = store.read(&self.manifest_file(gen))?;
+        let state = self
+            .parse_manifest(&String::from_utf8_lossy(&manifest), gen)
+            .map_err(|e| violation(e.to_string()))?;
+        let JournalRec::Intent {
+            next_panel,
+            n,
+            b,
+            data_len,
+            data_fnv,
+            ..
+        } = intent
+        else {
+            return Err(violation("commit without an intent record".into()));
+        };
+        if state.next_panel != next_panel || state.n != n || state.b != b {
+            return Err(violation(format!(
+                "manifest (next_panel={} n={} b={}) disagrees with the journal intent \
+                 (next_panel={next_panel} n={n} b={b})",
+                state.next_panel, state.n, state.b
+            )));
+        }
+        if !store.exists(&self.data_file(gen)) {
+            return Err(violation("committed data snapshot is missing".into()));
+        }
+        let data = store.read(&self.data_file(gen))?;
+        if data.len() as u64 != data_len {
+            return Err(violation(format!(
                 "checkpoint data is {} bytes, manifest records {data_len} (truncated?)",
                 data.len()
             )));
         }
         if fnv1a(&data) != data_fnv {
-            return Err(bad("checkpoint data failed its integrity check".into()));
+            return Err(violation(
+                "checkpoint data failed its integrity check".into(),
+            ));
         }
-        Ok(Some(CheckpointState { next_panel, n, b }))
+        self.sweep(store, Some(gen))?;
+        Ok(Some(state))
     }
 
-    /// Snapshot the backing file and record that panels `0..next_panel`
-    /// are done.  The data snapshot lands before the manifest, and both
-    /// are renamed into place, so [`load`](Self::load) never observes a
-    /// manifest without its data.  The manifest records the snapshot's
-    /// length and FNV-1a hash (and hashes itself), so `load` can reject
-    /// truncation or bit rot in either file.
-    pub fn save<B: IoBackend>(&self, fm: &B, next_panel: usize) -> std::io::Result<u64> {
-        let src = fm.path().ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::Unsupported,
-                "backend has no backing file to snapshot",
-            )
-        })?;
-        let data = std::fs::read(src)?;
+    /// Snapshot the backing file as a new generation and commit it
+    /// through the journal (see the module docs for the op order).
+    /// Under [`CommitDiscipline::Barriered`] a crash at any instant —
+    /// including torn or reordered un-barriered writes — leaves either
+    /// this generation committed-and-valid or the previous one; the
+    /// in-between states are uncommitted and swept by
+    /// [`load_in`](Self::load_in).
+    pub fn save_in<B: IoBackend>(
+        &self,
+        store: &mut impl Store,
+        fm: &B,
+        next_panel: usize,
+    ) -> std::io::Result<u64> {
+        let src = backend_data_name(fm)?;
+        let data = store.read(&src)?;
         let data_fnv = fnv1a(&data);
-        let tmp_data = self.data_path.with_extension("data.tmp");
-        std::fs::write(&tmp_data, &data)?;
-        std::fs::rename(&tmp_data, &self.data_path)?;
+        let records = self.read_journal(store)?;
+        let (committed, max_gen) = Self::committed(&records);
+        let gen = max_gen + 1;
+
+        let intent = format!(
+            "intent gen={gen} next_panel={next_panel} n={} b={} data_len={} data_fnv={data_fnv:016x}",
+            fm.n(),
+            fm.b(),
+            data.len()
+        );
+        store.append(&self.journal_file(), journal_line(&intent).as_bytes())?;
+        store.write_file(&self.data_file(gen), &data)?;
 
         let mut body = String::new();
         use std::fmt::Write as _;
         let _ = writeln!(body, "{MANIFEST_MAGIC}");
+        let _ = writeln!(body, "gen={gen}");
         let _ = writeln!(body, "next_panel={next_panel}");
         let _ = writeln!(body, "n={}", fm.n());
         let _ = writeln!(body, "b={}", fm.b());
         let _ = writeln!(body, "data_len={}", data.len());
         let _ = writeln!(body, "data_fnv={data_fnv:016x}");
         let manifest_fnv = fnv1a(body.as_bytes());
-        let tmp_manifest = self.manifest_path.with_extension("manifest.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp_manifest)?;
-            f.write_all(body.as_bytes())?;
-            writeln!(f, "manifest_fnv={manifest_fnv:016x}")?;
+        let _ = writeln!(body, "manifest_fnv={manifest_fnv:016x}");
+        store.write_file(&self.manifest_file(gen), body.as_bytes())?;
+
+        if self.discipline == CommitDiscipline::Barriered {
+            // The barrier that makes "committed" mean "durable".
+            store.barrier()?;
         }
-        std::fs::rename(&tmp_manifest, &self.manifest_path)?;
+        store.append(
+            &self.journal_file(),
+            journal_line(&format!("commit gen={gen}")).as_bytes(),
+        )?;
+        store.barrier()?;
+
+        // Prune the superseded generation; a crash in here leaves a
+        // stray pair that the next load sweeps.
+        if let Some((old, _)) = committed {
+            store.remove(&self.data_file(old))?;
+            store.remove(&self.manifest_file(old))?;
+        }
         Ok(data.len() as u64)
     }
 
-    /// Copy the snapshot back over the backing file (discarding whatever
-    /// a crashed run left there) and tell the backend its storage moved
-    /// under it.
-    pub fn restore<B: IoBackend>(&self, fm: &mut B) -> std::io::Result<u64> {
-        let dst = fm
-            .path()
-            .ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::Unsupported,
-                    "backend has no backing file to restore into",
-                )
-            })?
-            .to_path_buf();
-        let bytes = std::fs::copy(&self.data_path, dst)?;
+    /// Copy the committed snapshot back over the backing file
+    /// (discarding whatever a crashed run left there) and tell the
+    /// backend its storage moved under it.
+    pub fn restore_in<B: IoBackend>(
+        &self,
+        store: &mut impl Store,
+        fm: &mut B,
+    ) -> std::io::Result<u64> {
+        let records = self.read_journal(store)?;
+        let (committed, _) = Self::committed(&records);
+        let Some((gen, _)) = committed else {
+            return Err(bad("no committed checkpoint to restore from".into()));
+        };
+        let data = store.read(&self.data_file(gen))?;
+        let dst = backend_data_name(fm)?;
+        store.write_file(&dst, &data)?;
         fm.storage_restored();
-        Ok(bytes)
+        Ok(data.len() as u64)
     }
 
-    /// Delete the checkpoint files (after a completed run).
-    pub fn remove(&self) -> std::io::Result<()> {
-        for p in [&self.data_path, &self.manifest_path] {
-            match std::fs::remove_file(p) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
-            }
-        }
+    /// Delete the checkpoint (after a completed run).  The journal goes
+    /// first, behind a barrier, *then* the generation files: recovery
+    /// must never observe a journal whose committed generation's files
+    /// were already unlinked.
+    pub fn remove_in(&self, store: &mut impl Store) -> std::io::Result<()> {
+        store.remove(&self.journal_file())?;
+        store.barrier()?;
+        self.sweep(store, None)?;
+        store.barrier()?;
         Ok(())
+    }
+
+    /// [`load_in`](Self::load_in) on the real filesystem.
+    pub fn load(&self) -> std::io::Result<Option<CheckpointState>> {
+        self.load_in(&mut FsStore::new())
+    }
+
+    /// [`save_in`](Self::save_in) on the real filesystem.
+    pub fn save<B: IoBackend>(&self, fm: &B, next_panel: usize) -> std::io::Result<u64> {
+        self.save_in(&mut FsStore::new(), fm, next_panel)
+    }
+
+    /// [`restore_in`](Self::restore_in) on the real filesystem.
+    pub fn restore<B: IoBackend>(&self, fm: &mut B) -> std::io::Result<u64> {
+        self.restore_in(&mut FsStore::new(), fm)
+    }
+
+    /// [`remove_in`](Self::remove_in) on the real filesystem.
+    pub fn remove(&self) -> std::io::Result<()> {
+        self.remove_in(&mut FsStore::new())
     }
 }
 
+/// The backend's data file as a store name.
+fn backend_data_name<B: IoBackend>(fm: &B) -> std::io::Result<String> {
+    fm.path()
+        .map(|p| p.to_string_lossy().into_owned())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "backend has no backing file to snapshot",
+            )
+        })
+}
+
 /// Out-of-core Cholesky with a checkpoint after every panel.  If `ckpt`
-/// already holds a (validated) checkpoint for this matrix, the data file
-/// is restored from the snapshot and the run resumes at the recorded
-/// panel; otherwise it starts from scratch.  On success the checkpoint
-/// files are removed.
+/// already holds a (validated) committed generation for this matrix,
+/// the data file is restored from the snapshot and the run resumes at
+/// the recorded panel; otherwise it starts from scratch.  On success
+/// the factor is barriered to stable storage and the checkpoint files
+/// are removed.
 ///
 /// A crash injected by the backend surfaces as [`OocError::Io`]; the
 /// caller "restarts the process" by reopening the file
@@ -271,23 +597,34 @@ pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
     ckpt: &Checkpoint,
     kernel: KernelImpl,
 ) -> Result<CheckpointReport, OocError> {
+    ooc_potrf_checkpointed_in(fm, capacity_tiles, ckpt, &mut FsStore::new(), kernel)
+}
+
+/// [`ooc_potrf_checkpointed_with`] over an explicit [`Store`] — the
+/// entry point the crash-point explorer drives with a `SimStore`, so
+/// checkpoint traffic and tile traffic land on the same recorded
+/// schedule.
+pub fn ooc_potrf_checkpointed_in<B: IoBackend>(
+    fm: &mut B,
+    capacity_tiles: usize,
+    ckpt: &Checkpoint,
+    store: &mut impl Store,
+    kernel: KernelImpl,
+) -> Result<CheckpointReport, OocError> {
     let nb = fm.nb();
     let mut report = CheckpointReport::default();
-    let start = match ckpt.load()? {
+    let start = match ckpt.load_in(store)? {
         Some(state) => {
             if state.n != fm.n() || state.b != fm.b() {
-                return Err(OocError::Io(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!(
-                        "checkpoint is for n={} b={}, matrix has n={} b={}",
-                        state.n,
-                        state.b,
-                        fm.n(),
-                        fm.b()
-                    ),
-                )));
+                return Err(OocError::Io(bad(format!(
+                    "checkpoint is for n={} b={}, matrix has n={} b={}",
+                    state.n,
+                    state.b,
+                    fm.n(),
+                    fm.b()
+                ))));
             }
-            report.checkpoint_bytes += ckpt.restore(fm)?;
+            report.checkpoint_bytes += ckpt.restore_in(store, fm)?;
             state.next_panel
         }
         None => {
@@ -295,7 +632,7 @@ pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
             // a crash inside panel 0 leaves partially-updated tiles on
             // disk, and without this baseline the resume would factor
             // corrupted input.
-            report.checkpoint_bytes += ckpt.save(fm, 0)?;
+            report.checkpoint_bytes += ckpt.save_in(store, fm, 0)?;
             report.checkpoints_written += 1;
             0
         }
@@ -328,7 +665,7 @@ pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
                     // Everything in RAM reflects the poisoned panel run;
                     // the snapshot on disk is the last trustworthy state.
                     cache.clear();
-                    report.checkpoint_bytes += ckpt.restore(fm)?;
+                    report.checkpoint_bytes += ckpt.restore_in(store, fm)?;
                 }
                 Err(e) => return Err(e),
             }
@@ -341,7 +678,7 @@ pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
             )));
         }
         cache.flush(fm)?;
-        report.checkpoint_bytes += ckpt.save(fm, k + 1)?;
+        report.checkpoint_bytes += ckpt.save_in(store, fm, k + 1)?;
         report.checkpoints_written += 1;
         report.panels_done += 1;
     }
@@ -358,13 +695,16 @@ pub fn ooc_potrf_checkpointed_with<B: IoBackend>(
             {
                 retries += 1;
                 report.restores += 1;
-                report.checkpoint_bytes += ckpt.restore(fm)?;
+                report.checkpoint_bytes += ckpt.restore_in(store, fm)?;
             }
             Err(e) => return Err(e.into()),
         }
     }
 
-    ckpt.remove()?;
+    // The factor must be durable in the data file *before* the
+    // checkpoint that could rebuild it is deleted.
+    fm.barrier()?;
+    ckpt.remove_in(store)?;
     Ok(report)
 }
 
@@ -377,6 +717,7 @@ mod tests {
     use crate::potrf::ooc_potrf;
     use cholcomm_faults::{CrashPoint, FaultPlan};
     use cholcomm_matrix::{norms, spd};
+    use std::path::PathBuf;
 
     fn ckpt_prefix(tag: &str) -> PathBuf {
         scratch_path(tag).with_extension("ckpt")
@@ -403,6 +744,10 @@ mod tests {
         assert_eq!(rep.checkpoints_written, 5);
         assert!(rep.checkpoint_bytes > 0);
         assert!(ckpt.load().unwrap().is_none(), "checkpoint cleaned up");
+        assert!(
+            !std::path::Path::new(&ckpt.journal_file()).exists(),
+            "journal removed on success"
+        );
     }
 
     #[test]
@@ -642,18 +987,21 @@ mod tests {
         let a = spd::random_spd(16, &mut rng);
         let p = scratch_path("ckpt-trunc");
         let fm = FileMatrix::create(&p, &a, 8).unwrap();
-        let prefix = ckpt_prefix("trunc");
-        let ckpt = Checkpoint::at(&prefix);
+        let ckpt = Checkpoint::at(&ckpt_prefix("trunc"));
         ckpt.save(&fm, 1).unwrap();
-        assert!(ckpt.load().unwrap().is_some(), "intact checkpoint loads");
+        let state = ckpt.load().unwrap().expect("intact checkpoint loads");
 
         // Lop bytes off the snapshot, as a torn copy or dying disk would.
-        let data_path = prefix.with_extension("ckpt.data");
+        let data_path = ckpt.data_file(state.gen);
         let bytes = std::fs::read(&data_path).unwrap();
         std::fs::write(&data_path, &bytes[..bytes.len() / 2]).unwrap();
         let err = ckpt.load().unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("truncated"), "{err}");
+        assert!(
+            err.to_string().contains("commit-protocol violation"),
+            "a committed-but-invalid generation must fail loudly: {err}"
+        );
         ckpt.remove().unwrap();
     }
 
@@ -663,12 +1011,12 @@ mod tests {
         let a = spd::random_spd(16, &mut rng);
         let p = scratch_path("ckpt-rot");
         let fm = FileMatrix::create(&p, &a, 8).unwrap();
-        let prefix = ckpt_prefix("rot");
-        let ckpt = Checkpoint::at(&prefix);
+        let ckpt = Checkpoint::at(&ckpt_prefix("rot"));
         ckpt.save(&fm, 1).unwrap();
+        let state = ckpt.load().unwrap().expect("intact checkpoint loads");
 
         // Same length, one bit flipped.
-        let data_path = prefix.with_extension("ckpt.data");
+        let data_path = ckpt.data_file(state.gen);
         let mut bytes = std::fs::read(&data_path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
@@ -684,12 +1032,12 @@ mod tests {
         let a = spd::random_spd(16, &mut rng);
         let p = scratch_path("ckpt-badman");
         let fm = FileMatrix::create(&p, &a, 8).unwrap();
-        let prefix = ckpt_prefix("badman");
-        let ckpt = Checkpoint::at(&prefix);
+        let ckpt = Checkpoint::at(&ckpt_prefix("badman"));
         ckpt.save(&fm, 2).unwrap();
+        let state = ckpt.load().unwrap().expect("intact checkpoint loads");
 
         // Tamper with the recorded panel: the manifest hash must catch it.
-        let man_path = prefix.with_extension("ckpt.manifest");
+        let man_path = ckpt.manifest_file(state.gen);
         let text = std::fs::read_to_string(&man_path).unwrap();
         std::fs::write(&man_path, text.replace("next_panel=2", "next_panel=4")).unwrap();
         let err = ckpt.load().unwrap_err();
@@ -698,31 +1046,92 @@ mod tests {
     }
 
     #[test]
-    fn crash_during_save_leaves_the_previous_checkpoint_loadable() {
+    fn crash_during_save_leaves_the_previous_generation_loadable() {
+        // A save that died after its intent (and a partial data write)
+        // but before its commit: the journal's last record is the
+        // uncommitted intent, a torn snapshot sits on disk.  Recovery
+        // must return the previous generation and sweep the strays.
         let mut rng = spd::test_rng(231);
         let a = spd::random_spd(16, &mut rng);
         let p = scratch_path("ckpt-torn");
         let fm = FileMatrix::create(&p, &a, 8).unwrap();
-        let prefix = ckpt_prefix("torn");
-        let ckpt = Checkpoint::at(&prefix);
+        let ckpt = Checkpoint::at(&ckpt_prefix("torn"));
+        ckpt.save(&fm, 1).unwrap();
+        let gen1 = ckpt.load().unwrap().expect("gen 1 committed").gen;
+
+        let mut store = FsStore::new();
+        let intent = format!(
+            "intent gen={} next_panel=2 n=16 b=8 data_len=2048 data_fnv={:016x}",
+            gen1 + 1,
+            0u64
+        );
+        store
+            .append(&ckpt.journal_file(), journal_line(&intent).as_bytes())
+            .unwrap();
+        store
+            .write_file(&ckpt.data_file(gen1 + 1), &[0u8; 100])
+            .unwrap();
+        // Legacy stray from a pre-journal save, too.
+        store
+            .write_file(&format!("{}.data.tmp", ckpt.journal_file()), b"junk")
+            .unwrap();
+
+        let state = ckpt.load().unwrap().expect("previous generation intact");
+        assert_eq!(state.next_panel, 1);
+        assert_eq!(state.gen, gen1);
+        assert!(
+            !std::path::Path::new(&ckpt.data_file(gen1 + 1)).exists(),
+            "uncommitted generation swept"
+        );
+        assert!(
+            !std::path::Path::new(&format!("{}.data.tmp", ckpt.journal_file())).exists(),
+            ".tmp stray swept"
+        );
+        ckpt.remove().unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_ignored() {
+        let mut rng = spd::test_rng(232);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-tornj");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let ckpt = Checkpoint::at(&ckpt_prefix("tornj"));
         ckpt.save(&fm, 1).unwrap();
 
-        // A crash mid-save leaves only temp files behind — the rename
-        // never happened.  The previous checkpoint must stay valid.
-        let data_path = prefix.with_extension("ckpt.data");
-        let bytes = std::fs::read(&data_path).unwrap();
-        std::fs::write(
-            prefix.with_extension("ckpt.data.tmp"),
-            &bytes[..bytes.len() / 3],
-        )
-        .unwrap();
-        std::fs::write(prefix.with_extension("ckpt.manifest.tmp"), b"garbage").unwrap();
-
-        let state = ckpt.load().unwrap().expect("previous checkpoint intact");
+        // A torn append: half a record, no valid rec_fnv.
+        let mut store = FsStore::new();
+        store
+            .append(&ckpt.journal_file(), b"commit gen=2 rec_fnv=dead")
+            .unwrap();
+        let state = ckpt.load().unwrap().expect("valid prefix still loads");
         assert_eq!(state.next_panel, 1);
         ckpt.remove().unwrap();
-        std::fs::remove_file(prefix.with_extension("ckpt.data.tmp")).unwrap();
-        std::fs::remove_file(prefix.with_extension("ckpt.manifest.tmp")).unwrap();
+    }
+
+    #[test]
+    fn commit_without_intent_fails_loudly() {
+        let mut rng = spd::test_rng(233);
+        let a = spd::random_spd(16, &mut rng);
+        let p = scratch_path("ckpt-orphan");
+        let fm = FileMatrix::create(&p, &a, 8).unwrap();
+        let ckpt = Checkpoint::at(&ckpt_prefix("orphan"));
+        ckpt.save(&fm, 1).unwrap();
+
+        // A (validly hashed) commit for a generation nobody intended:
+        // only a protocol bug can produce it, so it must not be quietly
+        // preferred *or* ignored in a way that hides the bug — the
+        // highest committed-with-intent gen still wins, orphans don't.
+        let mut store = FsStore::new();
+        store
+            .append(
+                &ckpt.journal_file(),
+                journal_line("commit gen=7").as_bytes(),
+            )
+            .unwrap();
+        let state = ckpt.load().unwrap().expect("orphan commit is not adopted");
+        assert_eq!(state.gen, 1);
+        ckpt.remove().unwrap();
     }
 
     #[test]

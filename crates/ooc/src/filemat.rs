@@ -159,6 +159,13 @@ impl FileMatrix {
         &self.path
     }
 
+    /// Flush buffered tile data to stable storage (`fdatasync`).  The
+    /// checkpoint commit protocol calls this before recording a commit:
+    /// a snapshot must never claim data the disk has not yet kept.
+    pub fn barrier(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()
+    }
+
     fn tile_offset(&self, bi: usize, bj: usize) -> u64 {
         debug_assert!(bi < self.nb && bj < self.nb);
         let per_tile = (self.b * self.b * 8) as u64;

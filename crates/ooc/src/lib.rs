@@ -29,18 +29,31 @@
 //! corruption rolls the run back to the last panel checkpoint.
 //! Checkpoints themselves carry FNV integrity hashes, so truncated or
 //! bit-rotted snapshots are rejected instead of resumed from.
+//!
+//! Durability is *tested*, not assumed: checkpoints commit through a
+//! write-ahead journal (intent, data, barrier, commit, barrier — see
+//! [`checkpoint`]), the [`IoBackend`] contract carries an explicit
+//! `barrier()`, and [`crashsim`] runs whole checkpointed factorizations
+//! on a simulated crash disk ([`SimMatrix`] over
+//! `cholcomm_faults::SimDisk`), re-driving recovery at every crash
+//! prefix of the recorded op schedule — including torn and reordered
+//! un-barriered writes — and asserting bit-identical completion.
 
 pub mod abft;
 pub mod backend;
 pub mod checkpoint;
+pub mod crashsim;
 pub mod filemat;
 pub mod potrf;
+pub mod simmat;
 
 pub use abft::AbftBackend;
 pub use backend::{FaultyBackend, IoBackend};
 pub use checkpoint::{
-    ooc_potrf_checkpointed, ooc_potrf_checkpointed_with, Checkpoint, CheckpointReport,
-    CheckpointState,
+    ooc_potrf_checkpointed, ooc_potrf_checkpointed_in, ooc_potrf_checkpointed_with, Checkpoint,
+    CheckpointReport, CheckpointState, CommitDiscipline,
 };
+pub use crashsim::{explore_crash_sites, record_run, CrashExploration, RecordedRun};
 pub use filemat::{FileMatrix, IoStats};
 pub use potrf::{ooc_potrf, ooc_potrf_with, OocError, TileCache};
+pub use simmat::SimMatrix;

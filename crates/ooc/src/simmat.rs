@@ -1,0 +1,251 @@
+//! A tile store on the simulated crash disk — the [`IoBackend`] the
+//! crash-point explorer drives.
+//!
+//! [`SimMatrix`] mirrors [`FileMatrix`](crate::FileMatrix)'s on-disk
+//! layout (tiles column-major by tile index, elements column-major
+//! within a tile, edge tiles zero-padded to full `b x b` stride) but
+//! stores the bytes on a shared [`SimDisk`], so every tile write lands
+//! in the recorded op schedule and every barrier is explicit.  The
+//! checkpoint layer snapshots/restores it through a
+//! [`SimStore`](cholcomm_faults::SimStore) on the same disk, which is
+//! what lets one recorded schedule interleave data-file and
+//! journal/manifest operations — exactly the interleaving a crash tears
+//! apart.
+
+use crate::backend::IoBackend;
+use crate::filemat::IoStats;
+use cholcomm_faults::SimDisk;
+use cholcomm_matrix::Matrix;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An `n x n` matrix stored as `b x b` tiles on a [`SimDisk`].
+#[derive(Debug)]
+pub struct SimMatrix {
+    disk: Arc<Mutex<SimDisk>>,
+    name: String,
+    path: PathBuf,
+    n: usize,
+    b: usize,
+    nb: usize,
+    stats: IoStats,
+}
+
+fn lock(disk: &Arc<Mutex<SimDisk>>) -> MutexGuard<'_, SimDisk> {
+    disk.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SimMatrix {
+    /// Create (or overwrite) file `name` on `disk` holding `a` tiled at
+    /// `b`, written as one operation.  Like `FileMatrix::create`, the
+    /// initial population is not charged to the I/O counters (the paper
+    /// assumes the input starts in slow memory) — and it is *not*
+    /// barriered: making the input durable is the caller's decision.
+    pub fn create(
+        disk: Arc<Mutex<SimDisk>>,
+        name: &str,
+        a: &Matrix<f64>,
+        b: usize,
+    ) -> std::io::Result<SimMatrix> {
+        assert!(a.is_square(), "square matrices only");
+        assert!(b > 0);
+        let n = a.rows();
+        let nb = n.div_ceil(b);
+        let mut bytes = Vec::with_capacity(nb * nb * b * b * 8);
+        for bj in 0..nb {
+            for bi in 0..nb {
+                for j in 0..b {
+                    for i in 0..b {
+                        let (gi, gj) = (bi * b + i, bj * b + j);
+                        let v = if gi < n && gj < n { a[(gi, gj)] } else { 0.0 };
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        lock(&disk).write_file(name, &bytes);
+        Ok(SimMatrix {
+            disk,
+            name: name.to_string(),
+            path: PathBuf::from(name),
+            n,
+            b,
+            nb,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// Reopen an existing simulated data file with the same geometry —
+    /// the recovery path.  A file whose length does not match the tile
+    /// layout (e.g. a torn un-barriered create) is rejected with
+    /// `InvalidData`, mirroring `FileMatrix::open`.
+    pub fn open(
+        disk: Arc<Mutex<SimDisk>>,
+        name: &str,
+        n: usize,
+        b: usize,
+    ) -> std::io::Result<SimMatrix> {
+        assert!(b > 0);
+        let nb = n.div_ceil(b);
+        let expect = (nb * nb * b * b * 8) as u64;
+        let actual = lock(&disk).len_of(name).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("simdisk: no data file {name}"),
+            )
+        })?;
+        if actual != expect {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("data file {name} has {actual} bytes, expected {expect} for n={n} b={b}"),
+            ));
+        }
+        Ok(SimMatrix {
+            disk,
+            name: name.to_string(),
+            path: PathBuf::from(name),
+            n,
+            b,
+            nb,
+            stats: IoStats::default(),
+        })
+    }
+
+    /// The shared disk handle.
+    pub fn disk(&self) -> Arc<Mutex<SimDisk>> {
+        Arc::clone(&self.disk)
+    }
+
+    /// The file name on the simulated disk.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tile_offset(&self, bi: usize, bj: usize) -> u64 {
+        debug_assert!(bi < self.nb && bj < self.nb);
+        let per_tile = (self.b * self.b * 8) as u64;
+        ((bj * self.nb + bi) as u64) * per_tile
+    }
+
+    /// Read the whole matrix back into RAM (not charged; used to verify).
+    pub fn to_matrix(&mut self) -> std::io::Result<Matrix<f64>> {
+        let saved = self.stats;
+        let mut out = Matrix::zeros(self.n, self.n);
+        for bj in 0..self.nb {
+            for bi in 0..self.nb {
+                let t = self.read_tile(bi, bj)?;
+                for j in 0..self.b {
+                    for i in 0..self.b {
+                        let (gi, gj) = (bi * self.b + i, bj * self.b + j);
+                        if gi < self.n && gj < self.n {
+                            out[(gi, gj)] = t[(i, j)];
+                        }
+                    }
+                }
+            }
+        }
+        self.stats = saved;
+        Ok(out)
+    }
+}
+
+impl IoBackend for SimMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn b(&self) -> usize {
+        self.b
+    }
+    fn nb(&self) -> usize {
+        self.nb
+    }
+    fn read_tile(&mut self, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
+        let bytes = self.b * self.b * 8;
+        let buf = lock(&self.disk).read_at(&self.name, self.tile_offset(bi, bj), bytes)?;
+        self.stats.bytes_read += bytes as u64;
+        self.stats.reads += 1;
+        let vals: Vec<f64> = buf
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        let b = self.b;
+        Ok(Matrix::from_fn(b, b, |i, j| vals[i + j * b]))
+    }
+    fn write_tile(&mut self, bi: usize, bj: usize, tile: &Matrix<f64>) -> std::io::Result<()> {
+        assert_eq!(tile.rows(), self.b);
+        assert_eq!(tile.cols(), self.b);
+        let mut buf = Vec::with_capacity(self.b * self.b * 8);
+        for j in 0..self.b {
+            for i in 0..self.b {
+                buf.extend_from_slice(&tile[(i, j)].to_le_bytes());
+            }
+        }
+        lock(&self.disk).write_at(&self.name, self.tile_offset(bi, bj), &buf);
+        self.stats.bytes_written += buf.len() as u64;
+        self.stats.writes += 1;
+        Ok(())
+    }
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+    fn path(&self) -> Option<&Path> {
+        Some(&self.path)
+    }
+    fn barrier(&mut self) -> std::io::Result<()> {
+        lock(&self.disk).barrier();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use cholcomm_faults::DEFAULT_SECTOR;
+    use cholcomm_matrix::spd;
+
+    fn fresh_disk() -> Arc<Mutex<SimDisk>> {
+        Arc::new(Mutex::new(SimDisk::new(DEFAULT_SECTOR)))
+    }
+
+    #[test]
+    fn roundtrip_through_the_sim_disk() {
+        let mut rng = spd::test_rng(300);
+        let a = spd::random_spd(20, &mut rng);
+        let mut sm = SimMatrix::create(fresh_disk(), "m.data", &a, 8).unwrap();
+        assert_eq!(sm.to_matrix().unwrap(), a);
+        let t = sm.read_tile(1, 0).unwrap();
+        assert_eq!(t[(0, 0)], a[(8, 0)]);
+        sm.write_tile(1, 0, &t).unwrap();
+        assert_eq!(sm.stats().writes, 1, "population not charged");
+    }
+
+    #[test]
+    fn tile_writes_land_in_the_schedule_and_die_without_a_barrier() {
+        let mut rng = spd::test_rng(301);
+        let a = spd::random_spd(8, &mut rng);
+        let disk = fresh_disk();
+        let mut sm = SimMatrix::create(Arc::clone(&disk), "m.data", &a, 4).unwrap();
+        sm.barrier().unwrap();
+        let mut t = sm.read_tile(0, 0).unwrap();
+        t[(0, 0)] = 42.0;
+        sm.write_tile(0, 0, &t).unwrap();
+        assert_eq!(sm.read_tile(0, 0).unwrap()[(0, 0)], 42.0, "live view");
+        lock(&disk).power_cut();
+        assert_eq!(
+            sm.read_tile(0, 0).unwrap()[(0, 0)],
+            a[(0, 0)],
+            "un-barriered tile write lost to the power cut"
+        );
+    }
+
+    #[test]
+    fn open_rejects_torn_data_files() {
+        let disk = fresh_disk();
+        lock(&disk).write_file("m.data", &[0u8; 100]);
+        let err = SimMatrix::open(Arc::clone(&disk), "m.data", 8, 4).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(SimMatrix::open(disk, "missing", 8, 4).is_err());
+    }
+}

@@ -32,6 +32,11 @@
 //!   [`cholcomm_faults::FaultPlan`] job faults; runs replay
 //!   byte-identically and every completed response is bit-identical to
 //!   an unfaulted direct factorization.
+//! - **Durability** ([`durable`]): an optional journaled factor cache
+//!   (intent, entry, barrier, commit, barrier — the same commit protocol
+//!   as the ooc checkpoints) so a service restarted after a power cut
+//!   replays its committed factors instead of refactoring them; torn or
+//!   tampered entries are dropped, never served.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +45,7 @@
 pub mod admission;
 pub mod breaker;
 pub mod cache;
+pub mod durable;
 pub mod engine;
 pub mod error;
 pub mod events;
@@ -52,6 +58,7 @@ mod shard;
 pub use admission::{Admission, BacklogGauge, Priority, Watermarks};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{CacheRead, CacheStats, FactorCache};
+pub use durable::{DurableCache, RecoveryReport};
 pub use engine::{
     factor_cost_us, factor_resumable, panel_cost_us, panel_count, Checkpoint, FactorOutcome,
     PanelControl, PanelCrash,

@@ -128,16 +128,23 @@ pub enum ChaosScenario {
     /// Arrival bursts drive the backlog past its watermarks; admission
     /// sheds loudly and the cache degrades gracefully.
     BurstOverload,
+    /// The process loses power between two halves of the workload; the
+    /// second process replays the durable cache journal and must serve
+    /// recovered entries bit-identically.  (The fault plan itself is
+    /// clean — the cut is simulated by dropping the disk's un-barriered
+    /// window, see `SimDisk::power_cut`.)
+    PowerCut,
 }
 
 impl ChaosScenario {
     /// All scenarios, in bench order.
-    pub const ALL: [ChaosScenario; 5] = [
+    pub const ALL: [ChaosScenario; 6] = [
         ChaosScenario::Clean,
         ChaosScenario::BitFlip,
         ChaosScenario::TransientEio,
         ChaosScenario::WorkerCrash,
         ChaosScenario::BurstOverload,
+        ChaosScenario::PowerCut,
     ];
 
     /// Stable tag for logs and JSON artifacts.
@@ -148,6 +155,7 @@ impl ChaosScenario {
             ChaosScenario::TransientEio => "transient_eio",
             ChaosScenario::WorkerCrash => "worker_crash",
             ChaosScenario::BurstOverload => "burst_overload",
+            ChaosScenario::PowerCut => "power_cut",
         }
     }
 
@@ -155,7 +163,9 @@ impl ChaosScenario {
     pub fn plan(self, seed: u64) -> FaultPlan {
         let builder = FaultPlan::builder(seed);
         match self {
-            ChaosScenario::Clean | ChaosScenario::BurstOverload => builder.build(),
+            ChaosScenario::Clean | ChaosScenario::BurstOverload | ChaosScenario::PowerCut => {
+                builder.build()
+            }
             ChaosScenario::BitFlip => builder.cache_flip_rate(0.3).build(),
             ChaosScenario::TransientEio => builder.job_transient_rate(0.25).build(),
             ChaosScenario::WorkerCrash => builder.worker_crash_rate(0.2).build(),
@@ -191,6 +201,10 @@ impl ChaosScenario {
                 watermarks: crate::admission::Watermarks::bounded_by(600),
                 ..base
             },
+            // One shard: the durable journal's disk-op schedule is then
+            // a deterministic function of the request stream, which the
+            // power-cut bench's replay check relies on.
+            ChaosScenario::PowerCut => crate::service::ServiceConfig { shards: 1, ..base },
             _ => base,
         }
     }
@@ -244,7 +258,7 @@ mod tests {
     fn scenarios_have_distinct_tags_and_plans() {
         let mut tags: Vec<&str> = ChaosScenario::ALL.iter().map(|s| s.tag()).collect();
         tags.dedup();
-        assert_eq!(tags.len(), 5);
+        assert_eq!(tags.len(), 6);
         assert!(ChaosScenario::Clean.plan(1).is_clean());
         assert!(!ChaosScenario::WorkerCrash.plan(1).is_clean());
     }

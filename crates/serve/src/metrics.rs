@@ -32,6 +32,8 @@ pub struct Counters {
     pub worker_restarts: u64,
     /// Breaker state changes.
     pub breaker_transitions: u64,
+    /// Cache entries adopted from the durable journal at shard start.
+    pub cache_recovered: u64,
 }
 
 impl Counters {
@@ -49,6 +51,7 @@ impl Counters {
         self.worker_crashes += other.worker_crashes;
         self.worker_restarts += other.worker_restarts;
         self.breaker_transitions += other.breaker_transitions;
+        self.cache_recovered += other.cache_recovered;
     }
 
     /// Fraction of submitted requests that completed.  Refusals are loud

@@ -13,6 +13,7 @@
 
 use crate::admission::{Admission, BacklogGauge, Priority, Watermarks};
 use crate::breaker::BreakerConfig;
+use crate::durable::DurableCache;
 use crate::engine::factor_cost_us;
 use crate::error::ServeError;
 use crate::events::{canonicalize, log_digest, Event, EventRecord, Source};
@@ -147,13 +148,44 @@ impl Service {
     /// Start the shard workers under `plan` (use
     /// [`cholcomm_faults::FaultPlan::none`] for a fault-free service).
     pub fn start(config: ServiceConfig, plan: &FaultPlan) -> Service {
+        Service::start_with(config, plan, |_| None)
+    }
+
+    /// Start with a durable factor cache: `make_store` supplies each
+    /// shard's [`Store`](cholcomm_faults::Store) (over a shared
+    /// [`SimDisk`](cholcomm_faults::SimDisk) in the crash harness, or an
+    /// [`FsStore`](cholcomm_faults::FsStore) on a real disk).  Each shard
+    /// replays its journal at spawn — `cache_recovered` in the run's
+    /// counters says how many committed factors survived — and
+    /// journal-commits every fresh factor it caches.
+    pub fn start_durable(
+        config: ServiceConfig,
+        plan: &FaultPlan,
+        mut make_store: impl FnMut(usize) -> Box<dyn cholcomm_faults::Store + Send>,
+    ) -> Service {
+        Service::start_with(config, plan, |shard| {
+            Some(DurableCache::open(shard, make_store(shard)))
+        })
+    }
+
+    fn start_with(
+        config: ServiceConfig,
+        plan: &FaultPlan,
+        mut make_durable: impl FnMut(usize) -> Option<DurableCache>,
+    ) -> Service {
         assert!(config.shards >= 1, "need at least one shard");
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for shard_id in 0..config.shards {
             let (tx, rx) = unbounded();
             senders.push(tx);
-            workers.push(Shard::spawn(shard_id, config.shard, plan.clone(), rx));
+            workers.push(Shard::spawn(
+                shard_id,
+                config.shard,
+                plan.clone(),
+                rx,
+                make_durable(shard_id),
+            ));
         }
         Service {
             config,
@@ -490,6 +522,45 @@ mod tests {
             r.event,
             Event::CacheRead { read: CacheRead::Corrupt, .. }
         )));
+    }
+
+    #[test]
+    fn power_cut_between_processes_recovers_committed_cache_entries() {
+        use cholcomm_faults::{SimDisk, SimStore, DEFAULT_SECTOR};
+        use std::sync::{Arc, Mutex};
+
+        let disk = Arc::new(Mutex::new(SimDisk::new(DEFAULT_SECTOR)));
+        let plan = FaultPlan::builder(12).build();
+        let config = ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        };
+
+        // Process 1 factors a key fresh and journal-commits it.
+        let mut service = Service::start_durable(config, &plan, |_| {
+            Box::new(SimStore::new(Arc::clone(&disk)))
+        });
+        let first = service.call(request(JobKind::Factor, 42, 32, 0)).unwrap();
+        assert_eq!(first.source, Source::Fresh);
+        let report = service.shutdown();
+        assert_eq!(report.metrics.counters.cache_recovered, 0);
+
+        // Power cut: everything un-barriered vanishes.  The commit
+        // protocol barriered the entry before its commit record, so the
+        // committed factor must survive.
+        disk.lock().unwrap().power_cut();
+
+        // Process 2 replays the journal and serves the repeat from the
+        // recovered cache, bit-identically — no refactorization.
+        let mut service = Service::start_durable(config, &plan, |_| {
+            Box::new(SimStore::new(Arc::clone(&disk)))
+        });
+        let resp = service.call(request(JobKind::Factor, 42, 32, 0)).unwrap();
+        assert_eq!(resp.source, Source::Cache);
+        assert_eq!(resp.factor_digest, first.factor_digest);
+        let report = service.shutdown();
+        assert_eq!(report.metrics.counters.cache_recovered, 1);
+        assert_eq!(report.metrics.counters.fresh_factorizations, 0);
     }
 
     #[test]

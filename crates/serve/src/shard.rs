@@ -21,6 +21,7 @@
 use crate::admission::Admission;
 use crate::breaker::CircuitBreaker;
 use crate::cache::{CacheRead, FactorCache};
+use crate::durable::DurableCache;
 use crate::engine::{
     factor_resumable, panel_cost_us, panel_count, Checkpoint, FactorOutcome, PanelControl,
     PanelCrash,
@@ -95,6 +96,7 @@ pub(crate) struct Shard {
     events: Vec<EventRecord>,
     metrics: Metrics,
     checkpoint_slot: Option<Checkpoint>,
+    durable: Option<DurableCache>,
 }
 
 impl Shard {
@@ -103,6 +105,7 @@ impl Shard {
         config: ShardConfig,
         plan: FaultPlan,
         rx: Receiver<ShardJob>,
+        durable: Option<DurableCache>,
     ) -> std::thread::JoinHandle<ShardReport> {
         silence_injected_crashes();
         std::thread::spawn(move || {
@@ -116,7 +119,16 @@ impl Shard {
                 events: Vec::new(),
                 metrics: Metrics::default(),
                 checkpoint_slot: None,
+                durable,
             };
+            // A durable shard first replays its journal: committed
+            // entries from a previous process warm the cache; anything
+            // torn by the crash is dropped (and re-factored on demand),
+            // never served.
+            if let Some(d) = shard.durable.as_mut() {
+                let report = d.recover_into(&mut shard.cache);
+                shard.metrics.counters.cache_recovered = report.recovered;
+            }
             while let Ok(job) = rx.recv() {
                 shard.process(job);
             }
@@ -182,6 +194,13 @@ impl Shard {
             },
         );
         if source == Source::Fresh {
+            if let Some(d) = self.durable.as_mut() {
+                // Journal-commit the fresh factor.  Persistence is
+                // best-effort for a cache — the in-RAM copy is already
+                // correct — but the protocol itself never leaves a
+                // committed-yet-invalid entry behind.
+                let _ = d.record(job.digest, &factor);
+            }
             self.cache.insert(job.digest, factor);
         }
         self.metrics.counters.completed += 1;

@@ -98,9 +98,9 @@ proptest! {
     }
 }
 
-/// Build a matrix file and a valid checkpoint of it; returns the
-/// checkpoint, its file prefix, and the backing matrix path.
-fn saved_checkpoint(tag: &str) -> (Checkpoint, PathBuf, PathBuf) {
+/// Build a matrix file and a valid committed checkpoint generation of
+/// it; returns the checkpoint, the committed gen, and the matrix path.
+fn saved_checkpoint(tag: &str) -> (Checkpoint, u64, PathBuf) {
     let mut rng = spd::test_rng(99);
     let a = spd::random_spd(16, &mut rng);
     let data_path = scratch_path(tag);
@@ -108,37 +108,44 @@ fn saved_checkpoint(tag: &str) -> (Checkpoint, PathBuf, PathBuf) {
     let prefix = scratch_path(&format!("{tag}-ckpt"));
     let ckpt = Checkpoint::at(&prefix);
     ckpt.save(&fm, 2).expect("save checkpoint");
-    (ckpt, prefix, data_path)
-}
-
-fn sibling(prefix: &std::path::Path, ext: &str) -> PathBuf {
-    let mut p = prefix.as_os_str().to_owned();
-    p.push(ext);
-    PathBuf::from(p)
+    let gen = ckpt
+        .load()
+        .expect("fresh checkpoint loads")
+        .expect("present")
+        .gen;
+    (ckpt, gen, data_path)
 }
 
 #[test]
 fn crash_during_checkpoint_save_leaves_the_previous_one_loadable() {
-    let (ckpt, prefix, _data) = saved_checkpoint("fp-crash-save");
-    // A crash mid-save dies before the atomic renames: only the
-    // temporary siblings exist, holding a half-written (garbage)
-    // snapshot.  The committed checkpoint must be untouched by them.
-    std::fs::write(sibling(&prefix, ".data.tmp"), b"half-written snapshot").unwrap();
-    std::fs::write(sibling(&prefix, ".manifest.tmp"), b"half-written manifest").unwrap();
+    let (ckpt, gen, _data) = saved_checkpoint("fp-crash-save");
+    // A crash mid-save dies after the next generation's files started
+    // landing but before its commit record: the journal's last record
+    // is at best an uncommitted intent, and garbage generation files
+    // (plus a legacy `.tmp` stray) sit on disk.  Recovery must resume
+    // from the committed generation and sweep the rest.
+    std::fs::write(ckpt.data_file(gen + 1), b"half-written snapshot").unwrap();
+    std::fs::write(ckpt.manifest_file(gen + 1), b"half-written manifest").unwrap();
+    std::fs::write(format!("{}.tmp", ckpt.data_file(gen + 2)), b"legacy stray").unwrap();
     let state = ckpt.load().expect("previous checkpoint intact").expect("present");
-    assert_eq!((state.next_panel, state.n, state.b), (2, 16, 4));
-    std::fs::remove_file(sibling(&prefix, ".data.tmp")).ok();
-    std::fs::remove_file(sibling(&prefix, ".manifest.tmp")).ok();
+    assert_eq!((state.next_panel, state.n, state.b, state.gen), (2, 16, 4, gen));
+    assert!(
+        !std::path::Path::new(&ckpt.data_file(gen + 1)).exists(),
+        "uncommitted generation files are swept on load"
+    );
+    assert!(
+        !std::path::Path::new(&format!("{}.tmp", ckpt.data_file(gen + 2))).exists(),
+        ".tmp strays are swept on load"
+    );
     ckpt.remove().unwrap();
 }
 
 #[test]
 fn truncated_checkpoint_data_is_rejected_not_resumed_from() {
-    let (ckpt, prefix, _data) = saved_checkpoint("fp-truncate");
-    let data = sibling(&prefix, ".data");
-    let len = std::fs::metadata(&data).unwrap().len();
+    let (ckpt, gen, _data) = saved_checkpoint("fp-truncate");
+    let data = ckpt.data_file(gen);
     let bytes = std::fs::read(&data).unwrap();
-    std::fs::write(&data, &bytes[..(len as usize) / 2]).unwrap();
+    std::fs::write(&data, &bytes[..bytes.len() / 2]).unwrap();
     let err = ckpt.load().expect_err("truncation must be detected");
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     ckpt.remove().unwrap();
@@ -146,8 +153,8 @@ fn truncated_checkpoint_data_is_rejected_not_resumed_from() {
 
 #[test]
 fn bit_rotted_checkpoint_data_is_rejected_not_resumed_from() {
-    let (ckpt, prefix, _data) = saved_checkpoint("fp-bitrot");
-    let data = sibling(&prefix, ".data");
+    let (ckpt, gen, _data) = saved_checkpoint("fp-bitrot");
+    let data = ckpt.data_file(gen);
     let mut bytes = std::fs::read(&data).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40; // one flipped bit, same length
@@ -159,8 +166,8 @@ fn bit_rotted_checkpoint_data_is_rejected_not_resumed_from() {
 
 #[test]
 fn tampered_checkpoint_manifest_is_rejected_not_resumed_from() {
-    let (ckpt, prefix, _data) = saved_checkpoint("fp-manifest");
-    let manifest = sibling(&prefix, ".manifest");
+    let (ckpt, gen, _data) = saved_checkpoint("fp-manifest");
+    let manifest = ckpt.manifest_file(gen);
     let text = std::fs::read_to_string(&manifest).unwrap();
     std::fs::write(&manifest, text.replace("next_panel=2", "next_panel=3")).unwrap();
     let err = ckpt.load().expect_err("manifest tampering must be detected");
