@@ -21,16 +21,30 @@
 //!   so elementwise error is bounded by a small multiple of `k * eps`
 //!   times the data scale.  Exceeding the bound also exits non-zero.
 //!
+//! A third gate covers the **thread-scaling** of the parallel engine: the
+//! DAG-scheduled POTRF (`cholcomm_core::par::dag`) is run on explicit
+//! pools of 1, 2, 4, and 8 workers.  At every pool size `fast-strict`
+//! must stay bit-identical to the sequential run, and the deterministic
+//! greedy-scheduler *model* of the task DAG (`dag::simulate` — the same
+//! dependency graph the executor walks, weighted by flop counts) must
+//! show at least `2.5x` on 4 workers for the `n = 1024, b = 64` problem.
+//! Wall-clock speedups are measured and reported honestly alongside, but
+//! only gated when the host actually has 4 or more cores — a
+//! single-core CI box cannot exhibit wall-clock scaling, and pretending
+//! otherwise would make the gate vacuous exactly where it matters.
+//!
 //! Results are written as machine-readable JSON to `BENCH_kernels.json`
-//! at the repo root.  The JSON is hand-rolled — the workspace is offline
-//! and has no serde.
+//! at the repo root (`cholcomm-kernel-bench/v3`).  The JSON is
+//! hand-rolled — the workspace is offline and has no serde.
 //!
 //! `--smoke` shrinks the sizes and repetitions so CI can validate the
 //! binary and the JSON schema in seconds; it writes the same schema but
 //! does not overwrite a full run's artifact unless `--out` says so.
 
-use cholcomm_core::matrix::{norms, spd, KernelImpl, Matrix};
+use cholcomm_core::matrix::{matrix_digest, norms, parallel, spd, KernelImpl, Matrix};
+use cholcomm_core::par::{dag_simulate, potrf_dag_with};
 use rand::RngExt;
+use rayon::ThreadPoolBuilder;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -144,6 +158,81 @@ impl BenchTimes {
     }
 }
 
+/// One pool size of the thread-scaling curve.
+struct ScalingPoint {
+    threads: usize,
+    /// Measured wall-clock of the DAG POTRF under the `fast` engine.
+    wall_ms_fast: f64,
+    /// Measured wall speedup over the 1-worker pool (honest numbers:
+    /// ~1.0 across the board on a single-core host).
+    wall_speedup_fast: f64,
+    /// Greedy-scheduler model speedup for this pool size.
+    model_speedup: f64,
+    /// `fast-strict` factor bits equal the sequential run's.
+    strict_bit_identical: bool,
+}
+
+/// The thread-scaling section: DAG POTRF across explicit pools.
+struct Scaling {
+    n: usize,
+    b: usize,
+    points: Vec<ScalingPoint>,
+}
+
+/// Gate parameters: the model must show this speedup on this pool.
+const GATE_THREADS: usize = 4;
+const GATE_MIN_SPEEDUP: f64 = 2.5;
+/// The problem the scaling claim is made for (full-run size).
+const GATE_N: usize = 1024;
+const GATE_B: usize = 64;
+
+fn run_scaling(smoke: bool) -> Scaling {
+    let (n, b, reps) = if smoke { (192, 32, 2) } else { (GATE_N, GATE_B, 3) };
+    let a0 = spd::random_spd(n, &mut spd::test_rng(4_000 + n as u64));
+
+    // Sequential baseline bits (pool disabled entirely).
+    let baseline_digest = {
+        let prev = parallel::set_kernel_parallelism(false);
+        let mut a = a0.clone();
+        potrf_dag_with(&mut a, b, KernelImpl::FastStrict).expect("bench matrix is SPD");
+        parallel::set_kernel_parallelism(prev);
+        matrix_digest(&a)
+    };
+
+    let mut points = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool build");
+        let mut wall = f64::INFINITY;
+        for _ in 0..reps {
+            let mut a = a0.clone();
+            let t0 = Instant::now();
+            pool.install(|| potrf_dag_with(&mut a, b, KernelImpl::Fast))
+                .expect("bench matrix is SPD");
+            wall = wall.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let strict_digest = pool.install(|| {
+            let mut a = a0.clone();
+            potrf_dag_with(&mut a, b, KernelImpl::FastStrict).expect("bench matrix is SPD");
+            matrix_digest(&a)
+        });
+        points.push(ScalingPoint {
+            threads,
+            wall_ms_fast: wall,
+            wall_speedup_fast: 1.0, // filled in below, relative to pool 1
+            model_speedup: dag_simulate(n, b, threads).speedup,
+            strict_bit_identical: strict_digest == baseline_digest,
+        });
+    }
+    let base_ms = points[0].wall_ms_fast;
+    for p in &mut points {
+        p.wall_speedup_fast = base_ms / p.wall_ms_fast;
+    }
+    Scaling { n, b, points }
+}
+
 fn run(smoke: bool) -> Vec<Row> {
     let (sizes, reps): (&[usize], usize) = if smoke { (&[64], 2) } else { (&[256, 512, 1024], 5) };
     let mut rows = Vec::new();
@@ -198,18 +287,51 @@ fn run(smoke: bool) -> Vec<Row> {
     rows
 }
 
-/// Render the results as the `cholcomm-kernel-bench/v2` JSON document.
-fn to_json(rows: &[Row], mode: &str) -> String {
+/// Render the results as the `cholcomm-kernel-bench/v3` JSON document.
+fn to_json(rows: &[Row], scaling: &Scaling, mode: &str) -> String {
+    let host = host_threads();
+    let gate_model = dag_simulate(GATE_N, GATE_B, GATE_THREADS).speedup;
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"cholcomm-kernel-bench/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"cholcomm-kernel-bench/v3\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(s, "  \"host_threads\": {host},");
+    s.push_str("  \"engines\": [\"reference\", \"fast\", \"fast-strict\"],\n");
+    s.push_str("  \"scaling\": {\n");
+    let _ = writeln!(s, "    \"op\": \"potrf_dag\",");
+    let _ = writeln!(s, "    \"n\": {},", scaling.n);
+    let _ = writeln!(s, "    \"b\": {},", scaling.b);
+    s.push_str("    \"pools\": [\n");
+    for (i, p) in scaling.points.iter().enumerate() {
+        let comma = if i + 1 == scaling.points.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      {{\"threads\": {}, \"wall_ms_fast\": {:.3}, \
+             \"wall_speedup_fast\": {:.2}, \"model_speedup\": {:.2}, \
+             \"strict_bit_identical\": {}}}{}",
+            p.threads,
+            p.wall_ms_fast,
+            p.wall_speedup_fast,
+            p.model_speedup,
+            p.strict_bit_identical,
+            comma,
+        );
+    }
+    s.push_str("    ],\n");
     let _ = writeln!(
         s,
-        "  \"threads\": {},",
-        std::thread::available_parallelism().map_or(1, |v| v.get())
+        "    \"model_gate\": {{\"n\": {GATE_N}, \"b\": {GATE_B}, \
+         \"threads\": {GATE_THREADS}, \"min_speedup\": {GATE_MIN_SPEEDUP}, \
+         \"model_speedup\": {gate_model:.2}, \
+         \"passed\": {}}},",
+        gate_model >= GATE_MIN_SPEEDUP
     );
-    s.push_str("  \"engines\": [\"reference\", \"fast\", \"fast-strict\"],\n");
+    let _ = writeln!(
+        s,
+        "    \"wall_gate_enforced\": {}",
+        host >= GATE_THREADS
+    );
+    s.push_str("  },\n");
     s.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -240,6 +362,11 @@ fn to_json(rows: &[Row], mode: &str) -> String {
     s
 }
 
+/// Physical parallelism of the host (what wall-clock scaling can show).
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |v| v.get())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -259,7 +386,17 @@ fn main() {
 
     let mode = if smoke { "smoke" } else { "full" };
     eprintln!("kernel_bench: mode={mode}");
-    let rows = run(smoke);
+
+    // Classic per-op rows time the kernels *without* intra-kernel
+    // parallelism, so they stay comparable across hosts and to the v2
+    // history; the scaling section below is where the pool shows up.
+    let rows = {
+        let prev = parallel::set_kernel_parallelism(false);
+        let rows = run(smoke);
+        parallel::set_kernel_parallelism(prev);
+        rows
+    };
+    let scaling = run_scaling(smoke);
 
     println!(
         "{:<28} {:>6} {:>10} {:>10} {:>10} {:>8} {:>8} {:>10}",
@@ -284,6 +421,23 @@ fn main() {
         );
     }
 
+    println!();
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>14} {:>8}",
+        "potrf_dag", "threads", "wall_ms", "wall_spdup", "model_spdup", "strict"
+    );
+    for p in &scaling.points {
+        println!(
+            "{:<12} {:>8} {:>12.3} {:>11.2}x {:>13.2}x {:>8}",
+            format!("n={} b={}", scaling.n, scaling.b),
+            p.threads,
+            p.wall_ms_fast,
+            p.wall_speedup_fast,
+            p.model_speedup,
+            if p.strict_bit_identical { "ok" } else { "DIFFER" },
+        );
+    }
+
     let mut failed = false;
     for r in &rows {
         if !r.strict_bit_identical {
@@ -301,11 +455,52 @@ fn main() {
             failed = true;
         }
     }
+    // Scaling gates.  Bit-identity and the scheduler-model speedup are
+    // machine-independent, so they are enforced unconditionally; the
+    // wall-clock speedup is only enforced where the host can physically
+    // exhibit it.
+    for p in &scaling.points {
+        if !p.strict_bit_identical {
+            eprintln!(
+                "kernel_bench: potrf_dag fast-strict differs from sequential bits on {} workers",
+                p.threads
+            );
+            failed = true;
+        }
+    }
+    let gate_model = dag_simulate(GATE_N, GATE_B, GATE_THREADS).speedup;
+    if gate_model < GATE_MIN_SPEEDUP {
+        eprintln!(
+            "kernel_bench: DAG schedule models only {gate_model:.2}x on {GATE_THREADS} workers \
+             (need {GATE_MIN_SPEEDUP}x for n={GATE_N}, b={GATE_B})"
+        );
+        failed = true;
+    }
+    let host = host_threads();
+    if host >= GATE_THREADS && !smoke {
+        let wall = scaling
+            .points
+            .iter()
+            .find(|p| p.threads == GATE_THREADS)
+            .map_or(0.0, |p| p.wall_speedup_fast);
+        if wall < GATE_MIN_SPEEDUP {
+            eprintln!(
+                "kernel_bench: wall speedup {wall:.2}x on {GATE_THREADS} workers \
+                 (host has {host} cores; need {GATE_MIN_SPEEDUP}x)"
+            );
+            failed = true;
+        }
+    } else {
+        eprintln!(
+            "kernel_bench: wall-clock scaling gate skipped \
+             (host has {host} core(s), mode={mode}); model gate enforced instead"
+        );
+    }
     if failed {
         std::process::exit(1);
     }
 
-    let json = to_json(&rows, mode);
+    let json = to_json(&rows, &scaling, mode);
     std::fs::write(&out_path, &json).expect("write bench artifact");
     eprintln!("kernel_bench: wrote {out_path}");
 }

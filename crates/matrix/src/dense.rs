@@ -23,12 +23,38 @@ pub struct Matrix<S> {
 }
 
 impl<S: Scalar> Matrix<S> {
-    /// An `rows x cols` matrix of zeros.
-    pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            data: vec![S::zero(); rows * cols],
+    /// Validate that an `rows x cols` matrix of `S` is addressable,
+    /// returning its element count.  Rejects shapes whose element count
+    /// overflows `usize` or whose byte size overflows `isize` (the
+    /// allocator's hard limit) with a typed [`MatrixError::TooLarge`]
+    /// instead of the capacity panic `vec![]` would raise — admission
+    /// layers shed these, they must not crash a worker.
+    pub fn checked_len(rows: usize, cols: usize) -> Result<usize, MatrixError> {
+        let too_large = MatrixError::TooLarge { rows, cols };
+        let len = rows.checked_mul(cols).ok_or_else(|| too_large.clone())?;
+        let bytes = len.checked_mul(std::mem::size_of::<S>()).ok_or(too_large.clone())?;
+        if isize::try_from(bytes).is_err() {
+            return Err(too_large);
+        }
+        Ok(len)
+    }
+
+    /// An `rows x cols` matrix of zeros, or [`MatrixError::TooLarge`]
+    /// when the shape is not addressable.
+    pub fn try_zeros(rows: usize, cols: usize) -> Result<Self, MatrixError> {
+        let len = Self::checked_len(rows, cols)?;
+        Ok(Matrix {
+            data: vec![S::zero(); len],
             rows,
             cols,
+        })
+    }
+
+    /// An `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        match Self::try_zeros(rows, cols) {
+            Ok(m) => m,
+            Err(e) => panic!("Matrix::zeros: {e}"),
         }
     }
 
@@ -43,7 +69,11 @@ impl<S: Scalar> Matrix<S> {
 
     /// Build a matrix from a function of `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let len = match Self::checked_len(rows, cols) {
+            Ok(len) => len,
+            Err(e) => panic!("Matrix::from_fn: {e}"),
+        };
+        let mut data = Vec::with_capacity(len);
         for j in 0..cols {
             for i in 0..rows {
                 data.push(f(i, j));
@@ -251,6 +281,24 @@ mod tests {
                 assert_eq!(id[(i, j)], if i == j { 1.0 } else { 0.0 });
             }
         }
+    }
+
+    #[test]
+    fn oversized_shapes_are_typed_errors_not_panics() {
+        // Element count itself overflows usize.
+        assert_eq!(
+            Matrix::<f64>::try_zeros(usize::MAX, 2).unwrap_err(),
+            MatrixError::TooLarge { rows: usize::MAX, cols: 2 }
+        );
+        // Element count fits but the byte size cannot: usize::MAX / 16
+        // squared elements of 8 bytes each.
+        let side = 1usize << (usize::BITS / 2 - 1);
+        assert_eq!(
+            Matrix::<f64>::try_zeros(side, side).unwrap_err(),
+            MatrixError::TooLarge { rows: side, cols: side }
+        );
+        assert_eq!(Matrix::<f64>::checked_len(3, 4), Ok(12));
+        assert_eq!(Matrix::<f64>::checked_len(0, usize::MAX), Ok(0));
     }
 
     #[test]

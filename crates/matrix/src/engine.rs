@@ -22,6 +22,7 @@
 //!   it agrees to a contraction residual instead of exactly.
 
 use std::any::TypeId;
+use std::sync::OnceLock;
 
 use crate::dense::Matrix;
 use crate::error::MatrixError;
@@ -52,12 +53,21 @@ impl KernelImpl {
     /// (`fast` selects [`KernelImpl::Fast`], `fast-strict` selects
     /// [`KernelImpl::FastStrict`]; anything else, including an unset
     /// variable, selects [`KernelImpl::Reference`]).
+    ///
+    /// The variable is resolved **once per process** and cached: this
+    /// sits on the dispatch path of every kernel call, and with the
+    /// BLAS-3 level fanned across the work-stealing pool a mid-run
+    /// `setenv` must not let concurrent workers observe *different*
+    /// engines for one factorization (a bitwise-determinism hazard).
+    /// Flipping `CHOLCOMM_KERNELS` after the first call is inert
+    /// (asserted in `tests/env_kernel.rs`).
     pub fn from_env() -> Self {
-        match std::env::var("CHOLCOMM_KERNELS") {
+        static ENV_ENGINE: OnceLock<KernelImpl> = OnceLock::new();
+        *ENV_ENGINE.get_or_init(|| match std::env::var("CHOLCOMM_KERNELS") {
             Ok(v) if v.eq_ignore_ascii_case("fast") => KernelImpl::Fast,
             Ok(v) if v.eq_ignore_ascii_case("fast-strict") => KernelImpl::FastStrict,
             _ => KernelImpl::Reference,
-        }
+        })
     }
 
     /// `true` when this engine actually dispatches scalar type `S` to the
@@ -80,10 +90,12 @@ impl KernelImpl {
     /// `C <- C + alpha * A * B` (see [`kernels::gemm_nn`]).
     pub fn gemm_nn<S: Scalar>(self, c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix<S>) {
         if self != KernelImpl::Reference {
-            if let (Some(cf), Some(af), Some(bf)) = (as_f64_mut(c), as_f64(a), as_f64(b)) {
+            if let (Some(cf), Some(af), Some(bf), Some(alf)) =
+                (as_f64_mut(c), as_f64(a), as_f64(b), scalar_to_f64(&alpha))
+            {
                 match self {
-                    KernelImpl::Fast => kernels_fast::fused::gemm_nn(cf, scalar_to_f64(alpha), af, bf),
-                    _ => kernels_fast::gemm_nn(cf, scalar_to_f64(alpha), af, bf),
+                    KernelImpl::Fast => kernels_fast::fused::gemm_nn(cf, alf, af, bf),
+                    _ => kernels_fast::gemm_nn(cf, alf, af, bf),
                 }
                 return;
             }
@@ -94,10 +106,12 @@ impl KernelImpl {
     /// `C <- C + alpha * A * B^T` (see [`kernels::gemm_nt`]).
     pub fn gemm_nt<S: Scalar>(self, c: &mut Matrix<S>, alpha: S, a: &Matrix<S>, b: &Matrix<S>) {
         if self != KernelImpl::Reference {
-            if let (Some(cf), Some(af), Some(bf)) = (as_f64_mut(c), as_f64(a), as_f64(b)) {
+            if let (Some(cf), Some(af), Some(bf), Some(alf)) =
+                (as_f64_mut(c), as_f64(a), as_f64(b), scalar_to_f64(&alpha))
+            {
                 match self {
-                    KernelImpl::Fast => kernels_fast::fused::gemm_nt(cf, scalar_to_f64(alpha), af, bf),
-                    _ => kernels_fast::gemm_nt(cf, scalar_to_f64(alpha), af, bf),
+                    KernelImpl::Fast => kernels_fast::fused::gemm_nt(cf, alf, af, bf),
+                    _ => kernels_fast::gemm_nt(cf, alf, af, bf),
                 }
                 return;
             }
@@ -147,33 +161,62 @@ impl KernelImpl {
     }
 }
 
+// The downcasts below reinterpret `Matrix<S>`/`S` as `Matrix<f64>`/`f64`
+// behind a `TypeId` proof.  Pin `f64`'s layout at compile time so a
+// hypothetical platform where the assumption breaks fails the build,
+// not the cast.
+const _: () = {
+    assert!(std::mem::size_of::<f64>() == 8);
+    assert!(std::mem::align_of::<f64>() == 8);
+};
+
+/// `&T` as `&U` iff `T` *is* `U` (same `TypeId`).  The identity check
+/// makes the pointer cast trivially sound; layout equality is
+/// re-asserted in debug builds as a belt-and-suspenders on the proof.
 #[inline]
-fn as_f64<S: Scalar>(m: &Matrix<S>) -> Option<&Matrix<f64>> {
-    if TypeId::of::<S>() == TypeId::of::<f64>() {
-        // SAFETY: TypeId equality proves S == f64, so Matrix<S> and
-        // Matrix<f64> are the same type.
-        Some(unsafe { &*(m as *const Matrix<S> as *const Matrix<f64>) })
+fn downcast_ref<T: 'static, U: 'static>(v: &T) -> Option<&U> {
+    if TypeId::of::<T>() == TypeId::of::<U>() {
+        debug_assert_eq!(std::mem::size_of::<T>(), std::mem::size_of::<U>());
+        debug_assert_eq!(std::mem::align_of::<T>(), std::mem::align_of::<U>());
+        // SAFETY: equal TypeIds of 'static types prove T == U, so this
+        // is a no-op reference cast.
+        Some(unsafe { &*(v as *const T as *const U) })
     } else {
         None
     }
+}
+
+/// `&mut T` as `&mut U` iff `T` *is* `U` (same `TypeId`).
+#[inline]
+fn downcast_mut<T: 'static, U: 'static>(v: &mut T) -> Option<&mut U> {
+    if TypeId::of::<T>() == TypeId::of::<U>() {
+        debug_assert_eq!(std::mem::size_of::<T>(), std::mem::size_of::<U>());
+        debug_assert_eq!(std::mem::align_of::<T>(), std::mem::align_of::<U>());
+        // SAFETY: equal TypeIds of 'static types prove T == U.
+        Some(unsafe { &mut *(v as *mut T as *mut U) })
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn as_f64<S: Scalar>(m: &Matrix<S>) -> Option<&Matrix<f64>> {
+    downcast_ref::<Matrix<S>, Matrix<f64>>(m)
 }
 
 #[inline]
 fn as_f64_mut<S: Scalar>(m: &mut Matrix<S>) -> Option<&mut Matrix<f64>> {
-    if TypeId::of::<S>() == TypeId::of::<f64>() {
-        // SAFETY: TypeId equality proves S == f64.
-        Some(unsafe { &mut *(m as *mut Matrix<S> as *mut Matrix<f64>) })
-    } else {
-        None
-    }
+    downcast_mut::<Matrix<S>, Matrix<f64>>(m)
 }
 
+/// The scalar counterpart: `alpha` as `f64`, by value, `None` for any
+/// other scalar — so the dispatchers below bail to the reference path
+/// on *one* `if let` instead of a checked matrix cast plus an
+/// unchecked scalar cast (the old shape of this code, where a buggy
+/// caller could reach the scalar transmute without the `TypeId` proof).
 #[inline]
-fn scalar_to_f64<S: Scalar>(s: S) -> f64 {
-    debug_assert_eq!(TypeId::of::<S>(), TypeId::of::<f64>());
-    // SAFETY: only reached behind a TypeId::of::<S>() == TypeId::of::<f64>()
-    // guard, so `s` is an f64.
-    unsafe { *(&s as *const S as *const f64) }
+fn scalar_to_f64<S: Scalar>(s: &S) -> Option<f64> {
+    downcast_ref::<S, f64>(s).copied()
 }
 
 #[cfg(test)]
@@ -223,5 +266,57 @@ mod tests {
         KernelImpl::Reference.potf2(&mut r).unwrap();
         KernelImpl::Fast.potf2(&mut f).unwrap();
         assert_eq!(r, f);
+    }
+
+    #[test]
+    fn non_f64_fallback_is_bit_identical_on_every_op() {
+        // For f32 operands every engine must take the reference path,
+        // so all three engines agree *bitwise* on all five ops.
+        let a = Matrix::<f32>::from_fn(9, 7, |i, j| (i as f32 - 0.5) * (j as f32 + 0.25));
+        let b = Matrix::<f32>::from_fn(7, 6, |i, j| 1.0 / (1.0 + i as f32 + j as f32));
+        let bt = Matrix::<f32>::from_fn(6, 7, |i, j| (i * 7 + j) as f32 * 0.125 - 1.0);
+        let mut l = Matrix::<f32>::from_fn(6, 6, |i, j| if i == j { 9.0 } else { 1.0 });
+        KernelImpl::Reference.potf2(&mut l).unwrap();
+        for engine in [KernelImpl::Fast, KernelImpl::FastStrict] {
+            assert!(!engine.accelerates::<f32>());
+
+            let mut c_ref = Matrix::<f32>::zeros(9, 6);
+            let mut c_eng = c_ref.clone();
+            KernelImpl::Reference.gemm_nn(&mut c_ref, 0.5f32, &a, &b);
+            engine.gemm_nn(&mut c_eng, 0.5f32, &a, &b);
+            assert_eq!(c_ref, c_eng, "{} gemm_nn", engine.name());
+
+            let mut c_ref = Matrix::<f32>::zeros(9, 6);
+            let mut c_eng = c_ref.clone();
+            KernelImpl::Reference.gemm_nt(&mut c_ref, -1.0f32, &a, &bt);
+            engine.gemm_nt(&mut c_eng, -1.0f32, &a, &bt);
+            assert_eq!(c_ref, c_eng, "{} gemm_nt", engine.name());
+
+            let mut s_ref = Matrix::<f32>::from_fn(9, 9, |i, j| (i + j) as f32);
+            let mut s_eng = s_ref.clone();
+            KernelImpl::Reference.syrk_lower(&mut s_ref, &a);
+            engine.syrk_lower(&mut s_eng, &a);
+            assert_eq!(s_ref, s_eng, "{} syrk_lower", engine.name());
+
+            let mut x_ref = Matrix::<f32>::from_fn(4, 6, |i, j| (i + 2 * j) as f32);
+            let mut x_eng = x_ref.clone();
+            KernelImpl::Reference.trsm_right_lower_transpose(&mut x_ref, &l);
+            engine.trsm_right_lower_transpose(&mut x_eng, &l);
+            assert_eq!(x_ref, x_eng, "{} trsm", engine.name());
+        }
+    }
+
+    #[test]
+    fn downcast_helpers_respect_type_identity() {
+        let m64 = Matrix::<f64>::identity(3);
+        let m32 = Matrix::<f32>::identity(3);
+        assert!(as_f64(&m64).is_some());
+        assert!(as_f64(&m32).is_none());
+        assert_eq!(scalar_to_f64(&2.5f64), Some(2.5));
+        assert_eq!(scalar_to_f64(&2.5f32), None);
+        let mut m64m = m64.clone();
+        assert!(as_f64_mut(&mut m64m).is_some());
+        let mut m32m = m32.clone();
+        assert!(as_f64_mut(&mut m32m).is_none());
     }
 }

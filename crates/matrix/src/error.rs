@@ -17,6 +17,16 @@ pub enum MatrixError {
         /// Human-readable description of the violated constraint.
         context: &'static str,
     },
+    /// The requested shape cannot be allocated: `rows * cols` (or its
+    /// byte size) overflows `usize`/`isize`.  Surfaced as a typed error
+    /// so admission layers (the serve front door) can shed adversarial
+    /// job sizes instead of letting a capacity panic kill a shard.
+    TooLarge {
+        /// Requested row count.
+        rows: usize,
+        /// Requested column count.
+        cols: usize,
+    },
     /// A Cholesky factorization encountered a non-positive pivot, so the
     /// input was not (numerically) symmetric positive definite.  Carries
     /// the offending pivot value so callers can pick a diagonal shift
@@ -39,6 +49,9 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
+            }
+            MatrixError::TooLarge { rows, cols } => {
+                write!(f, "matrix shape {rows}x{cols} overflows addressable memory")
             }
             MatrixError::NotSpd { pivot, value } => {
                 write!(
@@ -73,6 +86,9 @@ mod tests {
         assert!(MatrixError::DimensionMismatch { context: "gemm" }
             .to_string()
             .contains("gemm"));
+        assert!(MatrixError::TooLarge { rows: usize::MAX, cols: 2 }
+            .to_string()
+            .contains("overflows"));
     }
 
     #[test]

@@ -36,6 +36,21 @@
 //!   fused mode falls back to the strict kernels and is then exactly
 //!   bit-identical too.
 //!
+//! **Parallelism.**  Large operations fan their macro-tile grids onto
+//! the vendored-rayon work-stealing pool (see [`crate::parallel`] for
+//! the gating): the `k` (depth) loop stays sequential and ascending
+//! while the disjoint `(MC row-block, column-chunk)` tiles of `C` run
+//! as stolen tasks, each packing its own operands into its *worker's*
+//! thread-local scratch.  Because every `C` element still accumulates
+//! its `k`-contributions in exactly the sequential order inside exactly
+//! one task per depth step, the strict mode stays bit-identical to the
+//! reference at **every** thread count and under **every** steal order;
+//! the fused mode is equally partition-independent (its only deviation
+//! from strict is per-operation FMA contraction, which does not care
+//! which worker runs the tile).  The in-panel TRSM substitutions
+//! parallelise over row chunks — rows of a right-solve are mutually
+//! independent — with the same per-element order argument.
+//!
 //! Only `f64` is provided: the starred scalars of the paper's reduction
 //! run through the reference kernels (their arithmetic is branchy and
 //! never the wall-clock bottleneck).
@@ -118,8 +133,23 @@ std::thread_local! {
 /// Run `f` with this thread's packing scratch.  The pack routines fully
 /// overwrite (and zero-pad) every strip a macro-tile reads, so stale
 /// contents from a previous invocation are never observed.
+///
+/// Under pool execution the scratch is *per worker*, sized for the
+/// largest macro-tile ([`MC`]`x`[`KC`] + [`KC`]`x`[`NC`], the maximum
+/// any single task packs), and owned exclusively for the duration of
+/// `f`: a leaf task packs and consumes its tiles entirely inside one
+/// `with_pack`, and never forks while holding it — if a stolen
+/// continuation ever re-entered the scratch mid-use, the `RefCell`
+/// would already be borrowed and this assertion fires instead of
+/// silently corrupting packed panels.
 fn with_pack<R>(f: impl FnOnce(&mut Pack) -> R) -> R {
-    PACK.with(|p| f(&mut p.borrow_mut()))
+    PACK.with(|p| {
+        let mut pack = p.try_borrow_mut().expect(
+            "packing scratch aliased: with_pack re-entered on one worker \
+             (a task must not fork while holding the pack buffers)",
+        );
+        f(&mut pack)
+    })
 }
 
 /// Pack the `mc x kc` block of `A` at `(row0 + ic, pc)` into `MR`-row
@@ -128,6 +158,13 @@ fn with_pack<R>(f: impl FnOnce(&mut Pack) -> R) -> R {
 #[allow(clippy::too_many_arguments)]
 fn pack_a(pa: &mut [f64], a: V<'_>, row0: usize, ic: usize, mc: usize, pc: usize, kc: usize) {
     let strips = mc.div_ceil(MR);
+    // The worker-local scratch is sized for the largest concurrent
+    // macro-tile; a block that would not fit means the planner handed
+    // this task more than one task's share.
+    debug_assert!(
+        mc <= MC && kc <= KC && strips * kc * MR <= pa.len(),
+        "packed A block {mc}x{kc} exceeds per-worker scratch"
+    );
     for ir in 0..strips {
         let base = ir * kc * MR;
         let i0 = ic + ir * MR;
@@ -160,6 +197,10 @@ fn pack_b(
     kc: usize,
 ) {
     let strips = nc.div_ceil(NR);
+    debug_assert!(
+        nc <= NC && kc <= KC && strips * kc * NR <= pb.len(),
+        "packed B block {kc}x{nc} exceeds per-worker scratch"
+    );
     for jr in 0..strips {
         let base = jr * kc * NR;
         let j0 = jc + jr * NR;
@@ -319,6 +360,90 @@ fn run_micro_kernel(mode: Mode, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f
     micro_kernel_body::<false>(kc, pa, pb, acc);
 }
 
+/// Shared mutable view of an output region for pool execution.
+///
+/// Tasks of one parallel phase write *disjoint* element ranges (each
+/// owns its `(row-block, column-chunk)` tile, or its row chunk of an
+/// in-panel solve), so handing every task access to the region is the
+/// 2-D strided analogue of `split_at_mut` — just not expressible
+/// through slice splitting.  The pointer is only ever materialized into
+/// `&mut` column *segments* of the calling task's own range, so no two
+/// live `&mut` slices overlap.
+#[derive(Clone, Copy)]
+struct COut {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: the planners guarantee concurrently running tasks touch
+// disjoint element ranges (documented per call site).
+unsafe impl Send for COut {}
+unsafe impl Sync for COut {}
+
+impl COut {
+    fn new(c: &mut [f64]) -> Self {
+        COut { ptr: c.as_mut_ptr(), len: c.len() }
+    }
+
+    /// The `mr`-long segment of column `j` (leading dimension `ld`)
+    /// starting at row `i0`, as a mutable slice.
+    ///
+    /// # Safety
+    /// The segment must lie inside the calling task's owned range: no
+    /// concurrently running task may read or write any of its elements,
+    /// and the caller must not hold another overlapping segment.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn col_segment(&self, ld: usize, i0: usize, j: usize, mr: usize) -> &mut [f64] {
+        debug_assert!(j * ld + i0 + mr <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * ld + i0), mr) }
+    }
+
+    /// Read element `idx` of the underlying storage.
+    ///
+    /// # Safety
+    /// No concurrently running task may be writing `idx` (the in-panel
+    /// solves read only finished `L` rows that no task writes).
+    #[inline]
+    unsafe fn read(&self, idx: usize) -> f64 {
+        debug_assert!(idx < self.len);
+        unsafe { *self.ptr.add(idx) }
+    }
+}
+
+/// Minimum `m * n * k` product before a GEMM fans onto the pool: below
+/// this (~a 256³ multiply) fork-join overhead beats the win.
+const PAR_MIN_PRODUCTS: usize = 1 << 23;
+
+/// Minimum rows per in-panel TRSM row chunk: keeps the axpy inner loops
+/// long enough to stay at vector throughput.
+const PAR_ROW_CHUNK: usize = 128;
+
+/// Row-chunk count for the in-panel substitutions (1 = sequential).
+fn row_chunks(rows: usize, cols: usize, threads: usize) -> usize {
+    if threads <= 1 || cols == 0 || rows < 2 * PAR_ROW_CHUNK {
+        1
+    } else {
+        (rows / PAR_ROW_CHUNK).min(2 * threads).max(1)
+    }
+}
+
+/// Column-chunk width of the parallel task grid.  Starts at the full
+/// [`NC`] cache block (widest chunks duplicate the least `A`-packing)
+/// and halves, staying `NR`-aligned, until the `(row-block, chunk)`
+/// grid carries ~3 tasks per worker so stealing can balance ragged
+/// edges and diagonal-masked no-op tiles.  A pure function of the
+/// shape and worker count — never of the steal order — so the
+/// partition (and with it the fused mode's bits) is reproducible.
+fn par_col_chunk(n: usize, row_blocks: usize, threads: usize) -> usize {
+    let target = 3 * threads;
+    let mut cw = NC;
+    while cw > 4 * NR && row_blocks * n.div_ceil(cw) < target {
+        cw /= 2;
+    }
+    cw
+}
+
 /// Blocked `C(m x n) += A * op(B)` over column-major regions.
 ///
 /// * `c` starts at its region's `(0, 0)` with leading dimension `ldc`;
@@ -331,7 +456,11 @@ fn run_micro_kernel(mode: Mode, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [[f
 ///
 /// Accumulation order per `C` element is ascending `k` throughout —
 /// `pc` blocks ascend and the micro-kernel walks its depth forward — so
-/// the strict mode is bit-identical to the reference triple loop.
+/// the strict mode is bit-identical to the reference triple loop.  This
+/// holds on the parallel path too: the `pc` loop stays sequential and
+/// each element belongs to exactly one task per depth step, so neither
+/// the thread count nor the steal order can reorder any element's
+/// accumulation.
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
     c: &mut [f64],
@@ -351,6 +480,41 @@ fn gemm_blocked(
     if m == 0 || n == 0 || kdim == 0 {
         return;
     }
+    let threads = crate::parallel::effective_threads();
+    if threads > 1 && m.saturating_mul(n).saturating_mul(kdim) >= PAR_MIN_PRODUCTS {
+        let row_blocks = m.div_ceil(MC);
+        let cw = par_col_chunk(n, row_blocks, threads);
+        let col_chunks = n.div_ceil(cw);
+        let out = COut::new(c);
+        // Sequential ascending depth loop; parallel disjoint C tiles.
+        for pc in (0..kdim).step_by(KC) {
+            let kc = (kdim - pc).min(KC);
+            crate::parallel::par_for(row_blocks * col_chunks, &|t| {
+                let ic = (t / col_chunks) * MC;
+                let jc = (t % col_chunks) * cw;
+                let mc = (m - ic).min(MC);
+                let nc = (n - jc).min(cw);
+                // Skip tiles entirely above the diagonal.
+                if let Some(d) = diag {
+                    if (ic + mc - 1) as i64 + d < jc as i64 {
+                        return;
+                    }
+                }
+                // The whole leaf — pack both operands, multiply — runs
+                // inside one with_pack: the scratch belongs to whichever
+                // worker stole this tile, exclusively, for the duration.
+                with_pack(|pack| {
+                    pack_b(&mut pack.pb, b, b_op, b_row0, alpha, jc, nc, pc, kc);
+                    pack_a(&mut pack.pa, a, a_row0, ic, mc, pc, kc);
+                    // SAFETY: task `t` owns rows ic..ic+mc of columns
+                    // jc..jc+nc of C exclusively within this par_for.
+                    macro_tile(out, ldc, ic, jc, mc, nc, kc, &pack.pa, &pack.pb, diag, mode);
+                });
+            });
+        }
+        return;
+    }
+    let out = COut::new(c);
     with_pack(|pack| {
         for jc in (0..n).step_by(NC) {
             let nc = (n - jc).min(NC);
@@ -366,7 +530,8 @@ fn gemm_blocked(
                         }
                     }
                     pack_a(&mut pack.pa, a, a_row0, ic, mc, pc, kc);
-                    macro_tile(c, ldc, ic, jc, mc, nc, kc, &pack.pa, &pack.pb, diag, mode);
+                    // SAFETY: single task — the whole region is owned.
+                    macro_tile(out, ldc, ic, jc, mc, nc, kc, &pack.pa, &pack.pb, diag, mode);
                 }
             }
         }
@@ -375,9 +540,13 @@ fn gemm_blocked(
 
 /// Multiply one packed `A` block against one packed `B` block, micro-tile
 /// by micro-tile: load the `C` tile, accumulate `kc` steps, store it back.
+///
+/// `c` is the shared output view; the caller owns rows `ic..ic+mc` of
+/// columns `jc..jc+nc` exclusively (see [`COut`]), which is exactly the
+/// range this touches.
 #[allow(clippy::too_many_arguments)]
 fn macro_tile(
-    c: &mut [f64],
+    c: COut,
     ldc: usize,
     ic: usize,
     jc: usize,
@@ -407,13 +576,15 @@ fn macro_tile(
             // Load C (the accumulators continue C's running sum, keeping
             // the per-element operation sequence of the reference loop).
             for (jj, accj) in acc.iter_mut().enumerate().take(nr) {
-                let col = &c[(j0 + jj) * ldc + i0..];
-                accj[..mr].copy_from_slice(&col[..mr]);
+                // SAFETY: inside the caller's owned tile.
+                let col = unsafe { c.col_segment(ldc, i0, j0 + jj, mr) };
+                accj[..mr].copy_from_slice(col);
             }
             run_micro_kernel(mode, kc, pa_strip, pb_strip, &mut acc);
             // Store back, masking cells above the diagonal.
             for (jj, accj) in acc.iter().enumerate().take(nr) {
-                let col = &mut c[(j0 + jj) * ldc + i0..];
+                // SAFETY: inside the caller's owned tile.
+                let col = unsafe { c.col_segment(ldc, i0, j0 + jj, mr) };
                 for (ii, &v) in accj.iter().enumerate().take(mr) {
                     if let Some(d) = diag {
                         if (i0 + ii) as i64 + d < (j0 + jj) as i64 {
@@ -589,21 +760,38 @@ fn trsm_rec(b: &mut Matrix<f64>, l: &Matrix<f64>, c0: usize, cn: usize, mode: Mo
     }
     if cn <= PB {
         // In-panel substitution, reference order (k < c0 was handled by
-        // the caller's correction GEMM).
+        // the caller's correction GEMM).  `X(r, j)` depends only on
+        // `X(r, k < j)` — the *same* row — so row chunks are mutually
+        // independent and fan onto the pool; each task walks its rows
+        // through the full column order, per-element order unchanged.
+        let threads = crate::parallel::effective_threads();
+        let chunks = row_chunks(rows, cn, threads);
+        let chunk = rows.div_ceil(chunks);
         let (_, rest) = b.split_cols_mut(c0);
-        for j in 0..cn {
-            let (pdone, prest) = rest.split_at_mut(j * rows);
-            let bj = &mut prest[..rows];
-            for k in 0..j {
-                let ljk = l.at_ref(c0 + j, c0 + k);
-                let bk = &pdone[k * rows..(k + 1) * rows];
-                axpy_neg(mode, bj, bk, ljk);
+        let out = COut::new(&mut rest[..cn * rows]);
+        crate::parallel::par_for(chunks, &|t| {
+            let r0 = t * chunk;
+            let r1 = rows.min(r0 + chunk);
+            if r0 >= r1 {
+                return;
             }
-            let ljj = l.at_ref(c0 + j, c0 + j);
-            for x in bj.iter_mut() {
-                *x /= ljj;
+            for j in 0..cn {
+                // SAFETY: task `t` owns rows r0..r1 of every panel
+                // column exclusively; columns j and k never alias.
+                let bj = unsafe { out.col_segment(rows, r0, j, r1 - r0) };
+                for k in 0..j {
+                    let ljk = l.at_ref(c0 + j, c0 + k);
+                    // SAFETY: same row range, earlier column — written
+                    // by this task only, before column j.
+                    let bk: &[f64] = unsafe { out.col_segment(rows, r0, k, r1 - r0) };
+                    axpy_neg(mode, bj, bk, ljk);
+                }
+                let ljj = l.at_ref(c0 + j, c0 + j);
+                for x in bj.iter_mut() {
+                    *x /= ljj;
+                }
             }
-        }
+        });
         return;
     }
     let n1 = rec_split(cn);
@@ -748,21 +936,39 @@ fn trsm_region(
         return;
     }
     if ln <= PB {
-        // In-panel substitution, reference order.
-        for j in 0..ln {
-            let gc = l_off + j;
-            let (done, rest) = data.split_at_mut(gc * ld);
-            let ljj = rest[gc];
-            let col = &mut rest[row0..row0 + rows];
-            for k in 0..j {
-                let src = &done[(l_off + k) * ld..];
-                let ljk = src[gc];
-                axpy_neg(mode, col, &src[row0..row0 + rows], ljk);
+        // In-panel substitution, reference order.  Row chunks of X are
+        // mutually independent (same argument as `trsm_rec`); the `L`
+        // rows read for the multipliers live strictly above `row0` and
+        // are never written during the panel, so tasks share them.
+        let threads = crate::parallel::effective_threads();
+        let chunks = row_chunks(rows, ln, threads);
+        let chunk = rows.div_ceil(chunks);
+        let out = COut::new(data);
+        crate::parallel::par_for(chunks, &|t| {
+            let r0 = row0 + t * chunk;
+            let r1 = (row0 + rows).min(r0 + chunk);
+            if r0 >= r1 {
+                return;
             }
-            for x in col.iter_mut() {
-                *x /= ljj;
+            for j in 0..ln {
+                let gc = l_off + j;
+                // SAFETY: row gc < row0 — finished L, no task writes it.
+                let ljj = unsafe { out.read(gc * ld + gc) };
+                // SAFETY: task `t` owns rows r0..r1 exclusively.
+                let col = unsafe { out.col_segment(ld, r0, gc, r1 - r0) };
+                for k in 0..j {
+                    let kc0 = l_off + k;
+                    // SAFETY: row gc < row0 — finished L.
+                    let ljk = unsafe { out.read(kc0 * ld + gc) };
+                    // SAFETY: same rows, earlier column — this task's.
+                    let src: &[f64] = unsafe { out.col_segment(ld, r0, kc0, r1 - r0) };
+                    axpy_neg(mode, col, src, ljk);
+                }
+                for x in col.iter_mut() {
+                    *x /= ljj;
+                }
             }
-        }
+        });
         return;
     }
     let n1 = rec_split(ln);

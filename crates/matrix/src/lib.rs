@@ -20,6 +20,9 @@
 //! * [`kernels_fast`] — packed, cache-blocked, register-tiled `f64`
 //!   microkernels, bit-identical to the reference kernels but running at
 //!   hardware speed; selected through [`engine::KernelImpl`].
+//! * [`parallel`] — per-thread gating and fan-out helpers that let the
+//!   fast kernels drive the vendored-rayon work-stealing pool while
+//!   keeping strict-mode results bit-identical at every thread count.
 //! * [`tri`] — triangular solves and SPD system solution via the factor.
 //! * [`norms`] — Frobenius norms and factorization residuals used by every
 //!   correctness test in the workspace.
@@ -32,6 +35,7 @@ pub mod error;
 pub mod kernels;
 pub mod kernels_fast;
 pub mod norms;
+pub mod parallel;
 pub mod scalar;
 pub mod spd;
 pub mod tri;

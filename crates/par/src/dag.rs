@@ -1,0 +1,497 @@
+//! Task-DAG Cholesky on the work-stealing pool.
+//!
+//! [`par_tiled_potrf`](crate::par_tiled_potrf) is bulk-synchronous: every
+//! outer step `k` runs a data-parallel panel solve, waits, then runs a
+//! data-parallel trailing update, waits again.  Each barrier idles every
+//! worker until the slowest tile of the phase finishes, and the strictly
+//! sequential diagonal factorization sits between them.
+//!
+//! This module removes the barriers.  The same tiled right-looking
+//! factorization is expressed as its true dependence DAG —
+//!
+//! * `FACTOR(k)`      — `potf2` on diagonal tile `(k, k)`;
+//! * `SOLVE(i, k)`    — `trsm` of panel tile `(i, k)` against `FACTOR(k)`;
+//! * `UPDATE(i, j, k)` — rank-`b` `gemm_nt` of panel `k` into tile `(i, j)`
+//!
+//! — and scheduled with [`rayon::scope`]: every task carries an atomic
+//! countdown of its unmet dependencies, and whichever worker completes the
+//! last dependency spawns the task right there.  Panel solves of step `k+1`
+//! overlap trailing updates of step `k`; no worker ever waits at a barrier.
+//!
+//! **Bit-identity.**  Each tile `(i, j)` receives exactly the same kernel
+//! calls in exactly the same order as under [`par_tiled_potrf_with`]
+//! (ascending-`k` `gemm_nt` updates, then its final `trsm`/`potf2`), and
+//! every operand tile is read only after it is fully factored.  Per-element
+//! arithmetic is therefore identical operation-for-operation, so the DAG
+//! schedule is *bitwise* equal to the barrier schedule — for every kernel
+//! engine, at every thread count, under every steal order.  The tests pin
+//! this down.
+//!
+//! **Model.**  [`simulate`] runs a deterministic greedy list scheduler over
+//! the same DAG (the successor/dependency functions are shared with the
+//! real executor) with flop-count task weights.  It reports the serial
+//! work, the greedy makespan on `p` workers, and their ratio — the
+//! machine-independent speedup the schedule admits.  `kernel_bench` gates
+//! on this model so the scaling claim is checkable even on a single-core
+//! CI host, alongside honestly-reported wall-clock numbers.
+
+use std::cell::UnsafeCell;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
+
+use crate::shared::tile_coords;
+
+/// Triangular tile index of tile `(bi, bj)`, `bj <= bi`.
+#[inline]
+fn idx(bi: usize, bj: usize) -> usize {
+    bi * (bi + 1) / 2 + bj
+}
+
+/// Flat task id.  Tile `(bi, bj)` owns `bj + 1` tasks: `UPDATE(bi, bj, k)`
+/// for `k < bj`, then (at `k == bj`) its final task — `FACTOR(bj)` on the
+/// diagonal, `SOLVE(bi, bj)` below it.
+#[inline]
+fn task_id(nb: usize, t_idx: usize, k: usize) -> usize {
+    t_idx * (nb + 1) + k
+}
+
+/// Number of unmet dependencies of task `(bi, bj, k)` at the start.
+///
+/// * `UPDATE(i, j, k)` waits for `SOLVE(i, k)` and `SOLVE(j, k)` (one
+///   solve, not two, on the diagonal where `i == j`), plus the previous
+///   update `UPDATE(i, j, k-1)` of the same tile when `k >= 1`.
+/// * `FACTOR(k)` waits for `UPDATE(k, k, k-1)` when `k >= 1`.
+/// * `SOLVE(i, k)` waits for `FACTOR(k)`, plus `UPDATE(i, k, k-1)` when
+///   `k >= 1`.
+fn dep_count(bi: usize, bj: usize, k: usize) -> usize {
+    let prior = usize::from(k >= 1);
+    if k < bj {
+        // UPDATE(bi, bj, k).
+        let solves = if bi == bj { 1 } else { 2 };
+        solves + prior
+    } else if bi == bj {
+        // FACTOR(bj).
+        prior
+    } else {
+        // SOLVE(bi, bj).
+        1 + prior
+    }
+}
+
+/// Task ids unlocked by the completion of task `(bi, bj, k)`.  Shared by
+/// the real executor and the [`simulate`] model, so the two walk the same
+/// graph by construction.
+fn successors(nb: usize, bi: usize, bj: usize, k: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if k < bj {
+        // UPDATE(bi, bj, k) -> next task of the same tile.
+        out.push(task_id(nb, idx(bi, bj), k + 1));
+    } else if bi == bj {
+        // FACTOR(bj) -> SOLVE(i, bj) for every panel tile below.
+        for i2 in (bj + 1)..nb {
+            out.push(task_id(nb, idx(i2, bj), bj));
+        }
+    } else {
+        // SOLVE(bi, bj) -> every UPDATE that reads panel tile (bi, bj):
+        // as the row operand for tiles (bi, j2) with bj < j2 <= bi, and as
+        // the column operand for tiles (i2, bi) with i2 > bi.  The
+        // diagonal tile (bi, bi) appears once (j2 == bi), matching its
+        // dependency count of one solve.
+        for j2 in (bj + 1)..=bi {
+            out.push(task_id(nb, idx(bi, j2), bj));
+        }
+        for i2 in (bi + 1)..nb {
+            out.push(task_id(nb, idx(i2, bi), bj));
+        }
+    }
+    out
+}
+
+/// Shared-by-reference tile storage for the in-flight factorization.
+///
+/// Soundness: the dependence DAG guarantees that a task has exclusive
+/// access to the one tile it writes (tasks of a tile are chained) and that
+/// the tiles it reads are final (their last writer is a transitive
+/// dependency), so the `&mut`/`&` pairs handed out below never alias a
+/// concurrent writer.
+struct Tiles {
+    cells: Vec<UnsafeCell<Matrix<f64>>>,
+}
+
+// SAFETY: cross-thread access is disjoint by the DAG argument above.
+unsafe impl Sync for Tiles {}
+
+impl Tiles {
+    /// Exclusive view of the tile a task writes.
+    ///
+    /// # Safety
+    /// The caller must be the unique in-flight task of tile `t`.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn tile_mut(&self, t: usize) -> &mut Matrix<f64> {
+        &mut *self.cells[t].get()
+    }
+
+    /// Shared view of a fully-factored operand tile.
+    ///
+    /// # Safety
+    /// Tile `t`'s final task must be a (transitive) dependency of the
+    /// caller, so no writer is concurrent.
+    unsafe fn tile(&self, t: usize) -> &Matrix<f64> {
+        &*self.cells[t].get()
+    }
+}
+
+/// Everything the task bodies share.
+struct Ctx {
+    tiles: Tiles,
+    deps: Vec<AtomicUsize>,
+    failed: AtomicBool,
+    error: Mutex<Option<MatrixError>>,
+    kernel: KernelImpl,
+    nb: usize,
+    b: usize,
+}
+
+/// Decrement a successor's dependency counter; spawn it if this was the
+/// last unmet dependency.
+fn notify<'s>(ctx: &'s Ctx, s: &rayon::Scope<'s>, id: usize) {
+    if ctx.deps[id].fetch_sub(1, Ordering::AcqRel) == 1 {
+        let (t_idx, k) = (id / (ctx.nb + 1), id % (ctx.nb + 1));
+        s.spawn(move |s| run_task(ctx, s, t_idx, k));
+    }
+}
+
+/// Execute task `(tile t_idx, step k)` and unlock its successors.
+fn run_task<'s>(ctx: &'s Ctx, s: &rayon::Scope<'s>, t_idx: usize, k: usize) {
+    if ctx.failed.load(Ordering::Acquire) {
+        // A pivot already failed: drain without spawning successors.
+        return;
+    }
+    let (bi, bj) = tile_coords(t_idx);
+    if k < bj {
+        // UPDATE(bi, bj, k): rank-b update from the factored panel k.
+        // SAFETY: panel tiles (bi,k) and (bj,k) are final (their solves
+        // are dependencies); (bi,bj) is exclusively ours (tile chain).
+        let li = unsafe { ctx.tiles.tile(idx(bi, k)) };
+        let lj = unsafe { ctx.tiles.tile(idx(bj, k)) };
+        let tile = unsafe { ctx.tiles.tile_mut(t_idx) };
+        ctx.kernel.gemm_nt(tile, -1.0, li, lj);
+    } else if bi == bj {
+        // FACTOR(bj): sequential potf2 on the diagonal tile.
+        // SAFETY: all updates of this tile are done; we are its last task.
+        let tile = unsafe { ctx.tiles.tile_mut(t_idx) };
+        if let Err(MatrixError::NotSpd { pivot, value }) = ctx.kernel.potf2(tile) {
+            let mut slot = ctx.error.lock().expect("error mutex poisoned");
+            if slot.is_none() {
+                *slot = Some(MatrixError::NotSpd {
+                    pivot: bj * ctx.b + pivot,
+                    value,
+                });
+            }
+            ctx.failed.store(true, Ordering::Release);
+            return; // no successors: the factorization is abandoned.
+        }
+    } else {
+        // SOLVE(bi, bj): triangular solve against the factored diagonal.
+        // SAFETY: FACTOR(bj) is a dependency, so the diagonal is final;
+        // (bi,bj) is exclusively ours.
+        let diag = unsafe { ctx.tiles.tile(idx(bj, bj)) };
+        let tile = unsafe { ctx.tiles.tile_mut(t_idx) };
+        ctx.kernel.trsm_right_lower_transpose(tile, diag);
+    }
+    for succ in successors(ctx.nb, bi, bj, k) {
+        notify(ctx, s, succ);
+    }
+}
+
+/// DAG-scheduled tiled right-looking Cholesky with tile size `b`, using
+/// the reference kernels.  Bitwise equal to
+/// [`par_tiled_potrf`](crate::par_tiled_potrf) at every thread count.
+pub fn potrf_dag(a: &mut Matrix<f64>, b: usize) -> Result<(), MatrixError> {
+    potrf_dag_with(a, b, KernelImpl::Reference)
+}
+
+/// [`potrf_dag`] with an explicit kernel engine.
+///
+/// On failure the matrix contents are unspecified (some tiles factored,
+/// some not), exactly like the barrier scheduler's failure mode; the
+/// returned [`MatrixError::NotSpd`] pivot is in whole-matrix coordinates.
+pub fn potrf_dag_with(
+    a: &mut Matrix<f64>,
+    b: usize,
+    kernel: KernelImpl,
+) -> Result<(), MatrixError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(MatrixError::NotSquare {
+            rows: n,
+            cols: a.cols(),
+        });
+    }
+    assert!(b > 0);
+    let nb = n.div_ceil(b);
+    if nb == 0 {
+        return Ok(());
+    }
+
+    // Tile-ize the lower triangle (same layout as the barrier scheduler).
+    let mut cells: Vec<UnsafeCell<Matrix<f64>>> = Vec::with_capacity(nb * (nb + 1) / 2);
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            let (i0, j0) = (bi * b, bj * b);
+            cells.push(UnsafeCell::new(a.submatrix(
+                i0,
+                j0,
+                (n - i0).min(b),
+                (n - j0).min(b),
+            )));
+        }
+    }
+
+    // Dependency countdowns, indexed by task id.
+    let deps: Vec<AtomicUsize> = (0..cells.len() * (nb + 1))
+        .map(|id| {
+            let (t_idx, k) = (id / (nb + 1), id % (nb + 1));
+            let (bi, bj) = tile_coords(t_idx);
+            AtomicUsize::new(if k <= bj { dep_count(bi, bj, k) } else { 0 })
+        })
+        .collect();
+
+    let ctx = Ctx {
+        tiles: Tiles { cells },
+        deps,
+        failed: AtomicBool::new(false),
+        error: Mutex::new(None),
+        kernel,
+        nb,
+        b,
+    };
+
+    // FACTOR(0) is the unique root; everything else follows by
+    // dependency-completion spawning.  scope() returns once every spawned
+    // task has run.
+    rayon::scope(|s| run_task(&ctx, s, 0, 0));
+
+    if let Some(err) = ctx.error.lock().expect("error mutex poisoned").take() {
+        return Err(err);
+    }
+
+    // Write the factored tiles back (zeroing the strict upper triangle).
+    let mut cells = ctx.tiles.cells.into_iter();
+    for bi in 0..nb {
+        for bj in 0..=bi {
+            let tile = cells.next().expect("tile count mismatch").into_inner();
+            a.set_submatrix(bi * b, bj * b, &tile);
+        }
+    }
+    for j in 0..n {
+        for i in 0..j {
+            a[(i, j)] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// What the greedy list-scheduler model reports for one `(n, b, p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagModel {
+    /// Number of tasks in the DAG.
+    pub tasks: usize,
+    /// Serial work: the sum of all task weights (flops).
+    pub serial_flops: u64,
+    /// Greedy makespan on `threads` workers (flops of the longest
+    /// worker timeline).
+    pub parallel_flops: u64,
+    /// `serial_flops / parallel_flops` — the model speedup.
+    pub speedup: f64,
+}
+
+/// Flop weight of task `(bi, bj, k)` for an `n x n` matrix with tile
+/// size `b` (ragged edge tiles get their true dimensions).
+fn task_flops(n: usize, b: usize, bi: usize, bj: usize, k: usize) -> u64 {
+    let h = |t: usize| (n - t * b).min(b) as u64;
+    let (hi, hj) = (h(bi), h(bj));
+    if k < bj {
+        2 * hi * hj * h(k) // gemm_nt
+    } else if bi == bj {
+        (hj * hj * hj).div_ceil(3) // potf2
+    } else {
+        hi * hj * hj // trsm
+    }
+}
+
+/// Deterministic greedy list scheduling of the POTRF task DAG.
+///
+/// Event-driven simulation: `threads` workers, each ready task started as
+/// soon as a worker frees up (lowest task id first among equally-ready
+/// tasks), task durations equal to their flop counts.  The result is a
+/// machine-independent account of how much parallelism the *schedule*
+/// exposes — the quantity `kernel_bench` gates on, since wall-clock
+/// scaling cannot be measured on a single-core host.
+pub fn simulate(n: usize, b: usize, threads: usize) -> DagModel {
+    assert!(b > 0);
+    let p = threads.max(1);
+    let nb = n.div_ceil(b);
+    let n_tiles = nb * (nb + 1) / 2;
+
+    // Per-task indegree and weight; invalid ids keep weight 0 and are
+    // never released.
+    let slots = n_tiles * (nb + 1);
+    let mut indeg = vec![0usize; slots];
+    let mut cost = vec![0u64; slots];
+    let mut total: u64 = 0;
+    let mut tasks = 0usize;
+    for t_idx in 0..n_tiles {
+        let (bi, bj) = tile_coords(t_idx);
+        for k in 0..=bj {
+            let id = task_id(nb, t_idx, k);
+            indeg[id] = dep_count(bi, bj, k);
+            cost[id] = task_flops(n, b, bi, bj, k);
+            total += cost[id];
+            tasks += 1;
+        }
+    }
+
+    let mut ready: BTreeSet<usize> = (0..slots)
+        .filter(|&id| id % (nb + 1) <= tile_coords(id / (nb + 1)).1)
+        .filter(|&id| indeg[id] == 0)
+        .collect();
+    let mut running: BTreeSet<(u64, usize)> = BTreeSet::new();
+    let mut free = p;
+    let mut now: u64 = 0;
+
+    while !ready.is_empty() || !running.is_empty() {
+        while free > 0 {
+            let Some(&id) = ready.iter().next() else { break };
+            ready.remove(&id);
+            running.insert((now + cost[id], id));
+            free -= 1;
+        }
+        let Some(&(t, id)) = running.iter().next() else {
+            break;
+        };
+        running.remove(&(t, id));
+        now = t;
+        free += 1;
+        let (t_idx, k) = (id / (nb + 1), id % (nb + 1));
+        let (bi, bj) = tile_coords(t_idx);
+        for succ in successors(nb, bi, bj, k) {
+            indeg[succ] -= 1;
+            if indeg[succ] == 0 {
+                ready.insert(succ);
+            }
+        }
+    }
+
+    let parallel = now.max(1);
+    DagModel {
+        tasks,
+        serial_flops: total,
+        parallel_flops: parallel,
+        speedup: total as f64 / parallel as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shared::par_tiled_potrf_with;
+    use cholcomm_matrix::{matrix_digest, spd};
+
+    fn engines() -> [KernelImpl; 3] {
+        [
+            KernelImpl::Reference,
+            KernelImpl::Fast,
+            KernelImpl::FastStrict,
+        ]
+    }
+
+    #[test]
+    fn dag_is_bitwise_equal_to_the_barrier_scheduler() {
+        for &(n, b) in &[(1usize, 1usize), (8, 3), (32, 8), (96, 32), (61, 16)] {
+            let a0 = spd::random_spd(n, &mut spd::test_rng(7 + n as u64));
+            for kernel in engines() {
+                let mut dag = a0.clone();
+                let mut barrier = a0.clone();
+                potrf_dag_with(&mut dag, b, kernel).expect("dag potrf");
+                par_tiled_potrf_with(&mut barrier, b, kernel).expect("barrier potrf");
+                assert_eq!(
+                    matrix_digest(&dag),
+                    matrix_digest(&barrier),
+                    "n={n} b={b} kernel={kernel:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dag_is_deterministic_across_repeated_runs() {
+        let a0 = spd::random_spd(64, &mut spd::test_rng(11));
+        for kernel in engines() {
+            let mut first = a0.clone();
+            potrf_dag_with(&mut first, 16, kernel).expect("first run");
+            for _ in 0..3 {
+                let mut again = a0.clone();
+                potrf_dag_with(&mut again, 16, kernel).expect("repeat run");
+                assert_eq!(matrix_digest(&first), matrix_digest(&again));
+            }
+        }
+    }
+
+    #[test]
+    fn not_spd_reports_the_whole_matrix_pivot() {
+        let n = 24;
+        let mut a = spd::random_spd(n, &mut spd::test_rng(3));
+        a[(17, 17)] = -1e6; // poison one pivot
+        let dag_err = potrf_dag_with(&mut a.clone(), 8, KernelImpl::Reference)
+            .expect_err("must fail");
+        let barrier_err = par_tiled_potrf_with(&mut a.clone(), 8, KernelImpl::Reference)
+            .expect_err("must fail");
+        assert_eq!(dag_err, barrier_err);
+        match dag_err {
+            MatrixError::NotSpd { pivot, .. } => assert_eq!(pivot, 17),
+            other => panic!("expected NotSpd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let mut a = Matrix::<f64>::zeros(3, 4);
+        assert!(matches!(
+            potrf_dag(&mut a, 2),
+            Err(MatrixError::NotSquare { rows: 3, cols: 4 })
+        ));
+    }
+
+    #[test]
+    fn model_is_sane_and_clears_the_scaling_gate() {
+        let m1 = simulate(1024, 64, 1);
+        assert!((m1.speedup - 1.0).abs() < 1e-12, "p=1 speedup {}", m1.speedup);
+
+        let m4 = simulate(1024, 64, 4);
+        assert_eq!(m4.serial_flops, m1.serial_flops);
+        assert!(m4.parallel_flops <= m1.parallel_flops);
+        assert!(m4.speedup <= 4.0 + 1e-9);
+        assert!(
+            m4.speedup >= 2.5,
+            "DAG schedule models only {:.2}x on 4 threads",
+            m4.speedup
+        );
+
+        // More workers never slow the greedy schedule down on this DAG.
+        let m8 = simulate(1024, 64, 8);
+        assert!(m8.parallel_flops <= m4.parallel_flops);
+    }
+
+    #[test]
+    fn model_counts_every_task_once() {
+        let nb = 1024usize.div_ceil(64);
+        let expected: usize = (0..nb)
+            .map(|bi| (0..=bi).map(|bj| bj + 1).sum::<usize>())
+            .sum();
+        assert_eq!(simulate(1024, 64, 4).tasks, expected);
+    }
+}

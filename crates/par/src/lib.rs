@@ -15,9 +15,14 @@
 //!   and trailing updates, and a fork-join recursive (AP00-shaped)
 //!   factorization.  These demonstrate that the communication-optimal
 //!   *schedules* of the paper are also the natural parallel ones.
+//! * [`dag`] — the same tiled factorization as a barrier-free task DAG
+//!   on `rayon::scope`, bitwise equal to [`shared`]'s barrier schedule
+//!   at every thread count, plus a deterministic greedy-scheduler model
+//!   ([`dag::simulate`]) that `kernel_bench` gates its scaling claim on.
 
 pub mod abft;
 pub mod blockcyclic;
+pub mod dag;
 pub mod hier;
 pub mod matmul25d;
 pub mod onedim;
@@ -28,6 +33,7 @@ pub mod wavefront;
 
 pub use abft::{abft_spmd_pxpotrf, AbftSpmdReport};
 pub use blockcyclic::DistMatrix;
+pub use dag::{potrf_dag, potrf_dag_with, simulate as dag_simulate, DagModel};
 pub use hier::{pxpotrf_hier, HierReport};
 pub use matmul25d::{matmul_25d, Mm25dReport};
 pub use onedim::pxpotrf_1d;

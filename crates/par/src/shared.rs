@@ -111,7 +111,7 @@ pub fn par_tiled_potrf_with(
 }
 
 /// Inverse of the triangular tile index.
-fn tile_coords(t_idx: usize) -> (usize, usize) {
+pub(crate) fn tile_coords(t_idx: usize) -> (usize, usize) {
     // Largest bi with bi(bi+1)/2 <= t_idx.
     let mut bi = ((((8 * t_idx + 1) as f64).sqrt() - 1.0) / 2.0) as usize;
     while (bi + 1) * (bi + 2) / 2 <= t_idx {

@@ -21,7 +21,7 @@ use crate::jobs::{problem_digest, JobKind};
 use crate::metrics::Metrics;
 use crate::shard::{Shard, ShardJob, ShardReport};
 use cholcomm_faults::FaultPlan;
-use cholcomm_matrix::KernelImpl;
+use cholcomm_matrix::{KernelImpl, Matrix};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -43,6 +43,13 @@ pub struct ShardConfig {
     pub breaker: BreakerConfig,
     /// Service seed (jitter derivation).
     pub seed: u64,
+    /// Let the shard's kernels fan BLAS-3 work onto the rayon pool.
+    /// Off by default: a shard is already one worker of a shard-per-core
+    /// service, so intra-kernel parallelism only helps when the service
+    /// runs few shards on many cores.  Strict-mode results are
+    /// bit-identical either way; `Fast` results are deterministic at a
+    /// fixed pool size but may differ between pool sizes.
+    pub parallel: bool,
 }
 
 /// Full service configuration.
@@ -69,6 +76,7 @@ impl Default for ServiceConfig {
                 backoff_base_us: 8,
                 breaker: BreakerConfig::default(),
                 seed: 0,
+                parallel: false,
             },
         }
     }
@@ -212,6 +220,17 @@ impl Service {
         let req_id = self.next_req;
         self.next_req += 1;
         self.submitted += 1;
+
+        // Admission step zero: a shape whose storage cannot even be
+        // addressed is refused at the front door with a typed error.
+        // Such a request must never reach a shard — the allocation would
+        // panic the worker — and `factor_cost_us` below would overflow
+        // on it before the shard ever saw it.
+        if let Err(e) = Matrix::<f64>::checked_len(request.n, request.n) {
+            let (reply, rx) = unbounded();
+            let _ = reply.send(Err(ServeError::Matrix(e)));
+            return Ticket { req: req_id, rx };
+        }
 
         let digest = problem_digest(request.kind, request.key, request.n);
         let shard = self.route(digest);
@@ -561,6 +580,51 @@ mod tests {
         let report = service.shutdown();
         assert_eq!(report.metrics.counters.cache_recovered, 1);
         assert_eq!(report.metrics.counters.fresh_factorizations, 0);
+    }
+
+    #[test]
+    fn oversized_shapes_are_shed_at_the_front_door_not_crashed_in_a_shard() {
+        let plan = FaultPlan::builder(13).build();
+        let mut service = Service::start(ServiceConfig::default(), &plan);
+
+        // A shape whose element count overflows `usize` must come back
+        // as a typed refusal without ever reaching a shard.
+        let err = service
+            .call(request(JobKind::Factor, 1, usize::MAX / 2, 0))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Matrix(cholcomm_matrix::MatrixError::TooLarge { .. })
+            ),
+            "want TooLarge refusal, got {err}"
+        );
+
+        // The service stays healthy: a normal request afterwards is
+        // served bit-identically to a direct factorization.
+        let resp = service.call(request(JobKind::Factor, 2, 24, 100)).unwrap();
+        let (want, _) = direct(JobKind::Factor, 2, 24, 16, KernelImpl::default());
+        assert_eq!(resp.factor_digest, want);
+        let report = service.shutdown();
+        assert_eq!(report.metrics.counters.completed, 1);
+        assert_eq!(report.metrics.counters.submitted, 2);
+    }
+
+    #[test]
+    fn parallel_shards_serve_bit_identical_factors() {
+        let plan = FaultPlan::builder(14).build();
+        let mut config = ServiceConfig::default();
+        config.shard.parallel = true;
+        let mut service = Service::start(config, &plan);
+        for (i, kind) in JobKind::ALL.iter().enumerate() {
+            let req = request(*kind, 30 + i as u64, 40, i as u64 * 50);
+            let resp = service.call(req).unwrap();
+            let (want_digest, want_solution) =
+                direct(*kind, 30 + i as u64, 40, config.shard.block, config.shard.kernel);
+            assert_eq!(resp.factor_digest, want_digest, "{kind:?}");
+            assert_eq!(resp.solution, want_solution, "{kind:?}");
+        }
+        service.shutdown();
     }
 
     #[test]

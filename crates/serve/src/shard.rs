@@ -109,6 +109,9 @@ impl Shard {
     ) -> std::thread::JoinHandle<ShardReport> {
         silence_injected_crashes();
         std::thread::spawn(move || {
+            // The parallelism flag is thread-local, so setting it here
+            // scopes the choice to this shard's kernel calls only.
+            cholcomm_matrix::parallel::set_kernel_parallelism(config.parallel);
             let mut shard = Shard {
                 shard_id,
                 config,

@@ -1,0 +1,28 @@
+//! `KernelImpl::from_env` caches its answer in a process-wide
+//! `OnceLock`: the `CHOLCOMM_KERNELS` variable is consulted exactly
+//! once, so every subsystem that asks — engines, shards, benches — gets
+//! the same engine for the life of the process, and a mid-run `setenv`
+//! cannot silently switch rounding behaviour between two halves of a
+//! computation that is supposed to be bitwise-reproducible.
+//!
+//! This lives in its own integration-test binary (one `#[test]`, so one
+//! process): the cache is process-global state that other tests must
+//! not observe or pollute.
+
+use cholcomm::matrix::KernelImpl;
+
+#[test]
+fn from_env_reads_the_variable_once_and_is_inert_afterwards() {
+    // SAFETY-adjacent note: this test is the only one in its binary, so
+    // no other thread is concurrently reading the environment.
+    std::env::set_var("CHOLCOMM_KERNELS", "fast-strict");
+    assert_eq!(KernelImpl::from_env(), KernelImpl::FastStrict);
+
+    // Flipping the variable after first use must be inert: the engine
+    // choice is pinned for the life of the process.
+    std::env::set_var("CHOLCOMM_KERNELS", "fast");
+    assert_eq!(KernelImpl::from_env(), KernelImpl::FastStrict);
+
+    std::env::remove_var("CHOLCOMM_KERNELS");
+    assert_eq!(KernelImpl::from_env(), KernelImpl::FastStrict);
+}

@@ -18,7 +18,12 @@
 //! * [`ThreadPoolBuilder`] builds *separate* pools with their own
 //!   workers; [`ThreadPool::install`] scopes the calling thread to
 //!   that pool so `join`/`par_iter_mut` inside route to it (this is
-//!   what the scaling bench uses to vary the thread count).
+//!   what the scaling bench uses to vary the thread count);
+//! * [`scope`] + [`Scope::spawn`] run *dynamic* task graphs: spawned
+//!   closures are heap-allocated, may spawn successors from inside the
+//!   pool, and `scope` does not return until every transitively
+//!   spawned task has finished — this is what the tiled-factorization
+//!   DAG scheduler in `cholcomm-par` runs on.
 //!
 //! Jobs are type-erased pointers to stack-allocated closures
 //! (`StackJob`); the pointer stays valid because `join` never returns
@@ -28,9 +33,10 @@
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -362,6 +368,120 @@ where
     }
 }
 
+/// Number of workers in the pool the calling thread schedules onto:
+/// its own pool on a worker thread, the `install`ed pool inside
+/// [`ThreadPool::install`], the global pool otherwise.  Parallel
+/// kernels use this to size their task grids deterministically.
+pub fn current_num_threads() -> usize {
+    current_registry().deques.len()
+}
+
+// ---------------------------------------------------------------------------
+// scope / spawn: dynamic task graphs
+// ---------------------------------------------------------------------------
+
+/// A live [`scope`] invocation.  Tasks spawned through [`Scope::spawn`]
+/// receive `&Scope` again, so a finished task can spawn its successors
+/// — the primitive a dependency-driven DAG scheduler needs and `join`
+/// cannot express.
+pub struct Scope<'scope> {
+    registry: Arc<Registry>,
+    /// Spawned-but-unfinished jobs, plus one owner token held by
+    /// [`scope`] itself until its body returns.
+    pending: AtomicUsize,
+    done: Latch,
+    /// First panic observed in any spawned task; resumed by [`scope`]
+    /// after every task has finished, matching real rayon.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Invariant over `'scope`, like real rayon's scope.
+    marker: PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+/// A spawned closure, heap-allocated until some worker runs it.
+struct HeapJob {
+    func: Box<dyn FnOnce() + Send + 'static>,
+}
+
+unsafe fn execute_heap(ptr: *const ()) {
+    let job = unsafe { Box::from_raw(ptr as *mut HeapJob) };
+    (job.func)();
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` onto the scope's pool.  The closure may borrow from
+    /// outside the scope (`'scope` data) and may spawn further tasks;
+    /// the owning [`scope`] call returns only after all of them finish.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // The scope's address travels as a plain integer: `scope`
+        // keeps the `Scope` alive (address stable, it is never moved)
+        // until `pending` drains to zero, so the dereference inside
+        // the job is sound.
+        let addr = self as *const Scope<'scope> as usize;
+        let func: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = unsafe { &*(addr as *const Scope<'scope>) };
+            let res = catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if let Err(p) = res {
+                scope.panic.lock().unwrap().get_or_insert(p);
+            }
+            scope.job_finished();
+        });
+        // Erase `'scope`: sound for the same reason — no spawned job
+        // outlives the `scope` call that waits for it.
+        let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(func) };
+        let job = Box::new(HeapJob { func });
+        let job = JobRef { ptr: Box::into_raw(job) as *const (), exec: execute_heap };
+        match worker_index_in(&self.registry) {
+            Some(index) => self.registry.push_local(index, job),
+            None => self.registry.push_injected(job),
+        }
+    }
+
+    fn job_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.done.set();
+        }
+    }
+}
+
+/// Run `op` with a [`Scope`] and wait for every task it (transitively)
+/// spawns.  A pool worker waits by *stealing* other jobs — including
+/// the scope's own — so a scope opened from inside the pool cannot
+/// starve it; an external thread blocks on the scope's latch.
+///
+/// Panics in spawned tasks are deferred until all tasks have finished,
+/// then the first one is resumed on the calling thread.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let registry = current_registry();
+    let scope = Scope {
+        registry: Arc::clone(&registry),
+        pending: AtomicUsize::new(1),
+        done: Latch::new(),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Release the owner token; the latch trips once every task is done.
+    scope.job_finished();
+    match worker_index_in(&registry) {
+        Some(index) => registry.steal_until(index, &scope.done),
+        None => scope.done.wait_blocking(),
+    }
+    if let Some(p) = scope.panic.lock().unwrap().take() {
+        resume_unwind(p);
+    }
+    match result {
+        Ok(r) => r,
+        Err(p) => resume_unwind(p),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Parallel iterators
 // ---------------------------------------------------------------------------
@@ -602,6 +722,85 @@ mod tests {
             a + b
         });
         assert_eq!(total, (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn current_num_threads_tracks_the_installed_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_waits_for_all_spawned_tasks() {
+        use std::sync::atomic::AtomicU64;
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        scope(|s| {
+            for i in 0..100u64 {
+                s.spawn(move |_| {
+                    total_ref.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.into_inner(), 99 * 100 / 2);
+    }
+
+    #[test]
+    fn scope_tasks_spawn_successors() {
+        use std::sync::atomic::AtomicU64;
+        // A chain: each task spawns the next, so completion of the
+        // scope proves transitive spawns are awaited.
+        let hops = AtomicU64::new(0);
+        fn hop<'s>(s: &Scope<'s>, hops: &'s AtomicU64, left: u64) {
+            hops.fetch_add(1, Ordering::SeqCst);
+            if left > 0 {
+                s.spawn(move |s| hop(s, hops, left - 1));
+            }
+        }
+        let hops_ref = &hops;
+        scope(|s| s.spawn(move |s| hop(s, hops_ref, 63)));
+        assert_eq!(hops.into_inner(), 64);
+    }
+
+    #[test]
+    fn scope_defers_and_resumes_spawned_panics() {
+        use std::sync::atomic::AtomicU64;
+        let finished = Arc::new(AtomicU64::new(0));
+        let fin = Arc::clone(&finished);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+                let fin = Arc::clone(&fin);
+                s.spawn(move |_| {
+                    fin.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"task panic"));
+        // The sibling task still ran to completion before the resume.
+        assert_eq!(finished.load(Ordering::SeqCst), 1);
+        // And the pool stays usable.
+        assert_eq!(join(|| 2, || 3), (2, 3));
+    }
+
+    #[test]
+    fn scope_runs_inside_an_installed_pool() {
+        use std::sync::atomic::AtomicU64;
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..32 {
+                    s.spawn(move |_| {
+                        total_ref.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        assert_eq!(total.into_inner(), 32);
     }
 
     #[test]
