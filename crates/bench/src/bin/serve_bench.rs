@@ -1,12 +1,37 @@
-//! Availability and latency benchmark of the `cholcomm-serve`
-//! factorization service under the standard chaos scenarios, and the
-//! repo's tracked service artifact.
+//! Availability, latency, and batching benchmark of the
+//! `cholcomm-serve` factorization service under the standard chaos
+//! scenarios, and the repo's tracked service artifact.
 //!
 //! ```text
 //! cargo run --release -p cholcomm-bench --bin serve_bench             # full run
 //! cargo run --release -p cholcomm-bench --bin serve_bench -- --smoke  # CI smoke
 //! cargo run --release -p cholcomm-bench --bin serve_bench -- --smoke --baseline BENCH_serve.json
+//! cargo run --release -p cholcomm-bench --bin serve_bench -- --sweep 50000
 //! ```
+//!
+//! Three sections beyond the chaos matrix (all in the
+//! `cholcomm-serve-bench/v2` artifact):
+//!
+//! - **`batching`** — the same deterministic small-n Zipf factor/solve
+//!   mix driven twice through identical services, once unbatched and
+//!   once with size-bucketed batching, cache disabled so every request
+//!   does arithmetic.  Reports virtual makespan and throughput for
+//!   both, the realized mean batch size, and gates on **>= 3x virtual
+//!   throughput** for the batched run — with bit-identity (vs direct
+//!   unfaulted factorizations) and replay-identity (two batched runs,
+//!   equal log digests) both required, so the speedup can never be
+//!   bought with wrong or nondeterministic answers.
+//! - **`wall_slo`** — wall-clock latency SLOs on the clean scenario
+//!   (p50 <= 50ms, p99 <= 250ms end-to-end).  Wall time is
+//!   machine-dependent, so the gate is **enforced only on hosts with
+//!   at least 4 cores** (as the kernel bench's scaling section does);
+//!   smaller hosts record the measurements with `enforced: false`.
+//! - **`sweep`** — a loadgen endurance run of the batched service over
+//!   `--sweep N` requests (default one million when built with the
+//!   `million-sweep` feature, fifty thousand otherwise — CI uses the
+//!   small default under a wall-clock cap).  Driven in windows so the
+//!   in-flight ticket set stays bounded; reports virtual and wall
+//!   throughput and the batching counters.
 //!
 //! For every [`ChaosScenario`] (clean, bit-flip, transient-EIO,
 //! worker-crash, burst-overload, power-cut) the bench drives a seeded
@@ -36,11 +61,21 @@
 use cholcomm_core::matrix::lower_digest;
 use cholcomm_core::serve::engine::{factor_resumable, Checkpoint, FactorOutcome, PanelControl};
 use cholcomm_core::serve::{
-    build, ChaosScenario, JobKind, Request, Service, ServiceConfig, Ticket,
+    build, BatchConfig, ChaosScenario, JobKind, Request, Service, ServiceConfig, ShardConfig,
+    Ticket, Watermarks, Workload,
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Minimum batched-over-unbatched virtual throughput on the small-n mix.
+const BATCH_SPEEDUP_GATE: f64 = 3.0;
+/// Wall-clock SLO targets (clean scenario, end-to-end per request).
+const SLO_WALL_P50_US: f64 = 50_000.0;
+const SLO_WALL_P99_US: f64 = 250_000.0;
+/// The wall gate only binds on hosts with this many cores (wall time on
+/// a starved 1-2 core box measures the scheduler, not the service).
+const SLO_MIN_CORES: usize = 4;
 
 struct ScenarioResult {
     name: &'static str,
@@ -62,6 +97,34 @@ struct ScenarioResult {
     bit_identical: bool,
     replay_identical: bool,
     log_digest: u64,
+}
+
+/// One leg (unbatched or batched) of the batching comparison.
+struct BatchLeg {
+    batched: bool,
+    requests: usize,
+    completed: u64,
+    batches_dispatched: u64,
+    batched_factorizations: u64,
+    virt_makespan_us: u64,
+    virt_throughput_rps: f64,
+    wall_s: f64,
+    bit_identical: bool,
+    replay_identical: bool,
+    log_digest: u64,
+}
+
+struct SweepResult {
+    requests: usize,
+    completed: u64,
+    shed_overload: u64,
+    deadline_canceled: u64,
+    batches_dispatched: u64,
+    batched_factorizations: u64,
+    virt_makespan_us: u64,
+    virt_throughput_rps: f64,
+    wall_s: f64,
+    wall_rps: f64,
 }
 
 /// Direct, unfaulted factorization digest of a `(kind, key, n)` triple —
@@ -87,29 +150,32 @@ fn direct_digest(
     })
 }
 
-/// Per-request outcome: (req id, kind, key, n, completed factor digest).
-type Outcome = (u64, JobKind, u64, usize, Option<u64>);
+/// Per-request outcome: (req id, kind, key, n, completed (digest, virtual
+/// latency µs)).
+type Outcome = (u64, JobKind, u64, usize, Option<(u64, u64)>);
 
 /// One full drive of a scenario: returns (report, responses, wall seconds).
 fn drive(
-    scenario: ChaosScenario,
-    seed: u64,
+    scenario_config: ServiceConfig,
+    plan: &cholcomm_core::faults::FaultPlan,
     requests: &[Request],
 ) -> (cholcomm_core::serve::ServiceReport, Vec<Outcome>, f64) {
-    let config = scenario.config();
-    let plan = scenario.plan(seed);
-    let mut service = Service::start(config, &plan);
+    let mut service = Service::start(scenario_config, plan);
     let t0 = Instant::now();
     let tickets: Vec<(Ticket, JobKind, u64, usize)> = requests
         .iter()
         .map(|r| (service.submit(*r), r.kind, r.key, r.n))
         .collect();
+    // No further submissions are coming: release every pending size
+    // bucket before waiting, or a ticket parked in a part-filled bucket
+    // would wait forever.
+    service.flush_batches();
     let responses: Vec<Outcome> = tickets
         .into_iter()
         .map(|(t, kind, key, n)| {
             let req = t.req;
-            let digest = t.wait().ok().map(|resp| resp.factor_digest);
-            (req, kind, key, n, digest)
+            let done = t.wait().ok().map(|resp| (resp.factor_digest, resp.virt_latency_us));
+            (req, kind, key, n, done)
         })
         .collect();
     let wall_s = t0.elapsed().as_secs_f64();
@@ -143,12 +209,13 @@ fn drive_power_cut(
             .iter()
             .map(|r| (service.submit(*r), r.kind, r.key, r.n))
             .collect();
+        service.flush_batches();
         let responses: Vec<Outcome> = tickets
             .into_iter()
             .map(|(t, kind, key, n)| {
                 let req = t.req;
-                let digest = t.wait().ok().map(|resp| resp.factor_digest);
-                (req, kind, key, n, digest)
+                let done = t.wait().ok().map(|resp| (resp.factor_digest, resp.virt_latency_us));
+                (req, kind, key, n, done)
             })
             .collect();
         (service.shutdown(), responses)
@@ -209,11 +276,11 @@ fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
     let requests = workload.generate();
     let config = ServiceConfig::default();
 
-    let run = |scenario, seed, requests: &[Request]| {
+    let run = |scenario: ChaosScenario, seed, requests: &[Request]| {
         if scenario == ChaosScenario::PowerCut {
             drive_power_cut(scenario, seed, requests)
         } else {
-            drive(scenario, seed, requests)
+            drive(scenario.config(), &scenario.plan(seed), requests)
         }
     };
     let (report_a, responses, wall_s) = run(scenario, seed, &requests);
@@ -223,8 +290,8 @@ fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
 
     // Bit-identity: every completed response vs a direct unfaulted run.
     let mut memo = HashMap::new();
-    let bit_identical = responses.iter().all(|&(_, kind, key, n, digest)| {
-        digest.is_none_or(|d| {
+    let bit_identical = responses.iter().all(|&(_, kind, key, n, done)| {
+        done.is_none_or(|(d, _)| {
             d == direct_digest(&mut memo, kind, key, n, config.shard.block, config.shard.kernel)
         })
     });
@@ -253,17 +320,179 @@ fn run_scenario(scenario: ChaosScenario, seed: u64) -> ScenarioResult {
     }
 }
 
-/// Render as the `cholcomm-serve-bench/v1` JSON document.
-fn to_json(results: &[ScenarioResult], mode: &str) -> String {
+/// The small-n Zipf factor/solve mix of the batching comparison: every
+/// request arrives at one virtual instant (so the virtual makespan
+/// measures service work, not arrival spread), sizes 8..=32 (the regime
+/// where per-request dispatch constants dominate a lone factorization),
+/// and only the two batchable kinds.
+fn batching_requests(seed: u64, count: usize) -> Vec<Request> {
+    let workload = Workload {
+        seed,
+        requests: count,
+        keys: 64,
+        zipf_s: 1.1,
+        n_min: 8,
+        n_max: 32,
+        mean_gap_us: 1,
+        // burst_every=1 re-opens the burst window at every request:
+        // the whole stream lands on one virtual instant.
+        burst_every: 1,
+        burst_len: 1,
+        // Far above any queueing delay in these runs; the deadline /
+        // batch interaction is covered by tests/batch_props.rs.
+        deadline_factor: 1_000_000,
+    };
+    let mut requests = workload.generate();
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.kind = if i % 2 == 0 { JobKind::Factor } else { JobKind::Solve };
+    }
+    requests
+}
+
+/// Service config for the batching comparison: cache off so every
+/// completion does arithmetic, watermarks wide open so both legs admit
+/// the full one-instant burst, batching per `enabled`.
+fn batching_config(enabled: bool) -> ServiceConfig {
+    let base = ServiceConfig::default();
+    ServiceConfig {
+        watermarks: Watermarks::bounded_by(1_000_000_000),
+        shard: ShardConfig {
+            cache_capacity: 0,
+            ..base.shard
+        },
+        batch: BatchConfig {
+            enabled,
+            ..BatchConfig::default()
+        },
+        ..base
+    }
+}
+
+/// Virtual makespan of a drive: latest completion instant minus earliest
+/// arrival, over completed requests.
+fn virt_makespan_us(requests: &[Request], outcomes: &[Outcome]) -> u64 {
+    let t0 = requests.iter().map(|r| r.vtime_us).min().unwrap_or(0);
+    requests
+        .iter()
+        .zip(outcomes)
+        .filter_map(|(r, &(_, _, _, _, done))| done.map(|(_, lat)| r.vtime_us + lat))
+        .max()
+        .map_or(0, |t1| t1 - t0)
+}
+
+fn run_batch_leg(seed: u64, count: usize, batched: bool) -> BatchLeg {
+    let requests = batching_requests(seed, count);
+    let config = batching_config(batched);
+    let plan = cholcomm_core::faults::FaultPlan::builder(seed).build();
+
+    let (report_a, outcomes, wall_s) = drive(config, &plan, &requests);
+    let (report_b, _, _) = drive(config, &plan, &requests);
+    let replay_identical = report_a.log_digest == report_b.log_digest
+        && report_a.metrics.counters == report_b.metrics.counters;
+
+    let mut memo = HashMap::new();
+    let bit_identical = outcomes.iter().all(|&(_, kind, key, n, done)| {
+        done.is_none_or(|(d, _)| {
+            d == direct_digest(&mut memo, kind, key, n, config.shard.block, config.shard.kernel)
+        })
+    });
+
+    let makespan = virt_makespan_us(&requests, &outcomes);
+    let c = &report_a.metrics.counters;
+    BatchLeg {
+        batched,
+        requests: requests.len(),
+        completed: c.completed,
+        batches_dispatched: c.batches_dispatched,
+        batched_factorizations: c.batched_factorizations,
+        virt_makespan_us: makespan,
+        virt_throughput_rps: c.completed as f64 / (makespan as f64 / 1e6).max(1e-9),
+        wall_s,
+        bit_identical,
+        replay_identical,
+        log_digest: report_a.log_digest,
+    }
+}
+
+/// The loadgen endurance sweep: the batched small-n service under `count`
+/// requests with spread arrivals, driven in bounded windows (submit a
+/// window, flush its buckets, wait it out) so the in-flight ticket set
+/// never grows with the sweep size.  One run, no replay double — this
+/// section measures endurance and wall throughput, not determinism (the
+/// batching section already certifies that on the same machinery).
+fn run_sweep(seed: u64, count: usize) -> SweepResult {
+    const WINDOW: usize = 8_192;
+    let workload = Workload {
+        seed: seed ^ 0x5357_4545,
+        requests: count,
+        keys: 256,
+        zipf_s: 1.1,
+        n_min: 8,
+        n_max: 32,
+        mean_gap_us: 1,
+        burst_every: 64,
+        burst_len: 16,
+        deadline_factor: 1_000_000,
+    };
+    let mut requests = workload.generate();
+    for (i, r) in requests.iter_mut().enumerate() {
+        r.kind = if i % 2 == 0 { JobKind::Factor } else { JobKind::Solve };
+    }
+
+    let config = batching_config(true);
+    let plan = cholcomm_core::faults::FaultPlan::builder(seed).build();
+    let mut service = Service::start(config, &plan);
+    let t0 = Instant::now();
+    let mut completions: Vec<u64> = Vec::with_capacity(requests.len());
+    for window in requests.chunks(WINDOW) {
+        let tickets: Vec<(Ticket, u64)> = window
+            .iter()
+            .map(|r| (service.submit(*r), r.vtime_us))
+            .collect();
+        service.flush_batches();
+        for (t, vtime) in tickets {
+            if let Ok(resp) = t.wait() {
+                completions.push(vtime + resp.virt_latency_us);
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = service.shutdown();
+
+    let t0_virt = requests.iter().map(|r| r.vtime_us).min().unwrap_or(0);
+    let makespan = completions.iter().max().map_or(0, |&t1| t1 - t0_virt);
+    let c = &report.metrics.counters;
+    SweepResult {
+        requests: requests.len(),
+        completed: c.completed,
+        shed_overload: c.shed_overload,
+        deadline_canceled: c.deadline_canceled,
+        batches_dispatched: c.batches_dispatched,
+        batched_factorizations: c.batched_factorizations,
+        virt_makespan_us: makespan,
+        virt_throughput_rps: c.completed as f64 / (makespan as f64 / 1e6).max(1e-9),
+        wall_s,
+        wall_rps: c.completed as f64 / wall_s.max(1e-9),
+    }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |v| v.get())
+}
+
+/// Render as the `cholcomm-serve-bench/v2` JSON document.
+fn to_json(
+    results: &[ScenarioResult],
+    legs: &[BatchLeg; 2],
+    speedup: f64,
+    sweep: &SweepResult,
+    mode: &str,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"cholcomm-serve-bench/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"cholcomm-serve-bench/v2\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
-    let _ = writeln!(
-        s,
-        "  \"threads\": {},",
-        std::thread::available_parallelism().map_or(1, |v| v.get())
-    );
+    let _ = writeln!(s, "  \"threads\": {},", host_cores());
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         let _ = writeln!(s, "    {{");
@@ -288,7 +517,69 @@ fn to_json(results: &[ScenarioResult], mode: &str) -> String {
         let _ = writeln!(s, "      \"log_digest\": \"{:016x}\"", r.log_digest);
         let _ = writeln!(s, "    }}{}", if i + 1 < results.len() { "," } else { "" });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+
+    s.push_str("  \"batching\": {\n");
+    let _ = writeln!(s, "    \"virt_speedup\": {speedup:.2},");
+    let _ = writeln!(s, "    \"min_virt_speedup\": {BATCH_SPEEDUP_GATE:.1},");
+    let _ = writeln!(s, "    \"passed\": {},", speedup >= BATCH_SPEEDUP_GATE);
+    s.push_str("    \"legs\": [\n");
+    for (i, l) in legs.iter().enumerate() {
+        let _ = writeln!(s, "      {{");
+        let _ = writeln!(s, "        \"batched\": {},", l.batched);
+        let _ = writeln!(s, "        \"requests\": {},", l.requests);
+        let _ = writeln!(s, "        \"completed\": {},", l.completed);
+        let _ = writeln!(s, "        \"batches_dispatched\": {},", l.batches_dispatched);
+        let _ = writeln!(
+            s,
+            "        \"batched_factorizations\": {},",
+            l.batched_factorizations
+        );
+        let _ = writeln!(s, "        \"virt_makespan_us\": {},", l.virt_makespan_us);
+        let _ = writeln!(
+            s,
+            "        \"virt_throughput_rps\": {:.0},",
+            l.virt_throughput_rps
+        );
+        let _ = writeln!(s, "        \"wall_s\": {:.3},", l.wall_s);
+        let _ = writeln!(s, "        \"bit_identical\": {},", l.bit_identical);
+        let _ = writeln!(s, "        \"replay_identical\": {},", l.replay_identical);
+        let _ = writeln!(s, "        \"log_digest\": \"{:016x}\"", l.log_digest);
+        let _ = writeln!(s, "      }}{}", if i + 1 < legs.len() { "," } else { "" });
+    }
+    s.push_str("    ]\n  },\n");
+
+    let clean = &results[0];
+    let enforced = host_cores() >= SLO_MIN_CORES;
+    let slo_ok = clean.wall_p50_us <= SLO_WALL_P50_US && clean.wall_p99_us <= SLO_WALL_P99_US;
+    s.push_str("  \"wall_slo\": {\n");
+    let _ = writeln!(s, "    \"scenario\": \"clean\",");
+    let _ = writeln!(s, "    \"host_threads\": {},", host_cores());
+    let _ = writeln!(s, "    \"min_cores\": {SLO_MIN_CORES},");
+    let _ = writeln!(s, "    \"enforced\": {enforced},");
+    let _ = writeln!(s, "    \"slo_wall_p50_us\": {SLO_WALL_P50_US:.0},");
+    let _ = writeln!(s, "    \"slo_wall_p99_us\": {SLO_WALL_P99_US:.0},");
+    let _ = writeln!(s, "    \"wall_p50_us\": {:.1},", clean.wall_p50_us);
+    let _ = writeln!(s, "    \"wall_p99_us\": {:.1},", clean.wall_p99_us);
+    let _ = writeln!(s, "    \"passed\": {}", !enforced || slo_ok);
+    s.push_str("  },\n");
+
+    s.push_str("  \"sweep\": {\n");
+    let _ = writeln!(s, "    \"requests\": {},", sweep.requests);
+    let _ = writeln!(s, "    \"completed\": {},", sweep.completed);
+    let _ = writeln!(s, "    \"shed_overload\": {},", sweep.shed_overload);
+    let _ = writeln!(s, "    \"deadline_canceled\": {},", sweep.deadline_canceled);
+    let _ = writeln!(s, "    \"batches_dispatched\": {},", sweep.batches_dispatched);
+    let _ = writeln!(
+        s,
+        "    \"batched_factorizations\": {},",
+        sweep.batched_factorizations
+    );
+    let _ = writeln!(s, "    \"virt_makespan_us\": {},", sweep.virt_makespan_us);
+    let _ = writeln!(s, "    \"virt_throughput_rps\": {:.0},", sweep.virt_throughput_rps);
+    let _ = writeln!(s, "    \"wall_s\": {:.3},", sweep.wall_s);
+    let _ = writeln!(s, "    \"wall_rps\": {:.0}", sweep.wall_rps);
+    s.push_str("  }\n}\n");
     s
 }
 
@@ -325,6 +616,19 @@ fn main() {
             } else {
                 concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
             }
+        });
+    // The loadgen sweep size: explicit `--sweep N`, else one million
+    // with the `million-sweep` feature, else the CI-scale fifty
+    // thousand.
+    let sweep_n: usize = args
+        .iter()
+        .position(|a| a == "--sweep")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(feature = "million-sweep") {
+            1_000_000
+        } else {
+            50_000
         });
 
     let mode = if smoke { "smoke" } else { "full" };
@@ -374,6 +678,103 @@ fn main() {
         }
     }
 
+    // The batching comparison: the same deterministic small-n
+    // factor/solve mix, unbatched vs batched, and the >= 3x virtual
+    // throughput gate.
+    const BATCH_MIX_REQUESTS: usize = 4_000;
+    let legs = [
+        run_batch_leg(seed, BATCH_MIX_REQUESTS, false),
+        run_batch_leg(seed, BATCH_MIX_REQUESTS, true),
+    ];
+    let speedup = legs[1].virt_throughput_rps / legs[0].virt_throughput_rps.max(1e-9);
+    for l in &legs {
+        let mean_batch = l.batched_factorizations as f64 / (l.batches_dispatched as f64).max(1.0);
+        println!(
+            "batching[{}]: {}/{} ok  virt makespan {}us  {:>9.0} virt rps  batches {} (mean {:.1})  wall {:.3}s",
+            if l.batched { "batched" } else { "unbatched" },
+            l.completed,
+            l.requests,
+            l.virt_makespan_us,
+            l.virt_throughput_rps,
+            l.batches_dispatched,
+            mean_batch,
+            l.wall_s,
+        );
+        if !l.bit_identical {
+            eprintln!("serve_bench: batching: a completed response differed from the direct run");
+            failed = true;
+        }
+        if !l.replay_identical {
+            eprintln!("serve_bench: batching: two identical runs produced different event logs");
+            failed = true;
+        }
+        if l.completed != l.requests as u64 {
+            eprintln!(
+                "serve_bench: batching leg completed only {}/{} — the comparison must be \
+                 loss-free to mean anything",
+                l.completed, l.requests
+            );
+            failed = true;
+        }
+    }
+    println!(
+        "batching: virtual speedup {speedup:.2}x (gate >= {BATCH_SPEEDUP_GATE:.1}x)"
+    );
+    if speedup < BATCH_SPEEDUP_GATE {
+        eprintln!(
+            "serve_bench: batching virtual speedup {speedup:.2}x below the {BATCH_SPEEDUP_GATE:.1}x gate"
+        );
+        failed = true;
+    }
+    if legs[1].batches_dispatched == 0 {
+        eprintln!("serve_bench: batched leg dispatched no batches — batching never engaged");
+        failed = true;
+    }
+
+    // Wall-clock SLOs on the clean scenario, enforced only where wall
+    // time measures the service rather than core starvation.
+    let clean = &results[0];
+    let enforced = host_cores() >= SLO_MIN_CORES;
+    println!(
+        "wall_slo: clean p50 {:.0}us (<= {:.0})  p99 {:.0}us (<= {:.0})  enforced={} ({} cores)",
+        clean.wall_p50_us,
+        SLO_WALL_P50_US,
+        clean.wall_p99_us,
+        SLO_WALL_P99_US,
+        enforced,
+        host_cores(),
+    );
+    if enforced && (clean.wall_p50_us > SLO_WALL_P50_US || clean.wall_p99_us > SLO_WALL_P99_US) {
+        eprintln!(
+            "serve_bench: clean-scenario wall latency blew its SLO: p50 {:.0}us/{:.0}us, p99 {:.0}us/{:.0}us",
+            clean.wall_p50_us, SLO_WALL_P50_US, clean.wall_p99_us, SLO_WALL_P99_US
+        );
+        failed = true;
+    }
+
+    // The loadgen endurance sweep over the batched service.
+    eprintln!("serve_bench: sweep of {sweep_n} requests...");
+    let sweep = run_sweep(seed, sweep_n);
+    println!(
+        "sweep: {}/{} ok  shed {} deadline {}  batches {} (mean {:.1})  virt {:>9.0} rps  wall {:.1}s = {:>7.0} rps",
+        sweep.completed,
+        sweep.requests,
+        sweep.shed_overload,
+        sweep.deadline_canceled,
+        sweep.batches_dispatched,
+        sweep.batched_factorizations as f64 / (sweep.batches_dispatched as f64).max(1.0),
+        sweep.virt_throughput_rps,
+        sweep.wall_s,
+        sweep.wall_rps,
+    );
+    if sweep.completed + sweep.shed_overload + sweep.deadline_canceled != sweep.requests as u64 {
+        eprintln!(
+            "serve_bench: sweep lost requests: {} completed + {} shed + {} canceled != {}",
+            sweep.completed, sweep.shed_overload, sweep.deadline_canceled, sweep.requests
+        );
+        failed = true;
+    }
+
     if let Some(path) = &baseline {
         match std::fs::read_to_string(path) {
             Ok(base_json) => {
@@ -412,7 +813,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let json = to_json(&results, mode);
+    let json = to_json(&results, &legs, speedup, &sweep, mode);
     std::fs::write(&out_path, &json).expect("write bench artifact");
     eprintln!("serve_bench: wrote {out_path}");
 }

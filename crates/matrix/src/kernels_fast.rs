@@ -1079,6 +1079,8 @@ pub mod fused {
     }
 }
 
+pub mod batch;
+
 /// Convenience accessor used by the in-panel loops (`l[(i, j)]` without
 /// the tuple-index sugar, kept `#[inline]`).
 trait At {

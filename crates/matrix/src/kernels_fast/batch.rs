@@ -1,0 +1,633 @@
+//! Batched microkernels over an interleaved [`BatchPack`] layout.
+//!
+//! The serve layer's real traffic is Zipf-dominated by *small* systems
+//! (n ≤ 64), where one factorization never reaches BLAS-3 intensity: the
+//! words moved per system are O(n²) against only O(n³/3) flops, and the
+//! per-call dispatch/packing constants dominate.  The paper's
+//! surface-to-volume argument applies across *many* problems exactly as
+//! it does across blocks: pack `B` same-shape systems side by side and
+//! one kernel invocation amortizes its dispatch, packing, and cache
+//! traffic over `B·n³/3` flops.
+//!
+//! **Layout.**  A [`BatchPack`] stores element `(i, j)` of system `s` at
+//! `data[((j * rows) + i) * stride + s]` — column-major per system with
+//! the *system index innermost*.  Every per-element operation of the
+//! factorization therefore becomes a contiguous sweep across `stride`
+//! lanes, which is the shape the compiler vectorizes: the inner loop of
+//! each microkernel runs across systems, not within one.  `stride` is
+//! `batch` rounded up to [`BATCH_LANES`]; padding lanes hold identity
+//! systems, whose Cholesky factor is the identity, so they are
+//! arithmetically inert and never NaN.
+//!
+//! **Bit-identity.**  In [`BatchMode::Strict`], every lane performs the
+//! *identical per-element operation sequence* as the sequential
+//! reference path (`crate::kernels::potf2` and the blocked left-looking
+//! schedule built from `syrk`/`gemm_nt`/`trsm`): updates accumulate in
+//! ascending `k` with one individually-rounded multiply and subtract per
+//! step, then one square root or division.  Lanes never interact, so a
+//! system's bits are independent of the batch it rides in — a batch of
+//! 32 gives each system the same bits as a batch of 1, which equals the
+//! sequential factorization.  [`BatchMode::Fused`] contracts each
+//! update into one `mul_add`; still lane-local (batch-size invariant),
+//! but rounded like the fused fast kernels rather than the reference.
+//!
+//! **Padding.**  Embedding an `m × m` system at the leading principal
+//! block of a larger `n × n` pack, with identity on the trailing
+//! diagonal and zeros off it, leaves the leading `m × m` factor
+//! bit-identical to factoring the small system alone: element `(i, j)`
+//! with `i, j < m` only ever reads columns `k < j < m`, rows `≥ m`
+//! start zero and stay zero, and the trailing diagonal factors to ones.
+//! This is what lets one power-of-two bucket serve every size below it.
+
+use crate::dense::Matrix;
+use crate::error::MatrixError;
+
+/// Lane granularity of a pack: `stride` is rounded up to a multiple of
+/// this so the innermost system sweep is a whole number of SIMD-friendly
+/// chunks regardless of the real batch size.
+pub const BATCH_LANES: usize = 8;
+
+/// Rounding discipline of the batched kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// One individually-rounded multiply and add/subtract per update —
+    /// bit-identical per system to the sequential reference path.
+    Strict,
+    /// Contract each update into `mul_add`.  Lane-local (batch-size
+    /// invariant) but not reference-rounded.
+    Fused,
+}
+
+/// `B` same-shape systems interleaved system-innermost.
+#[derive(Debug, Clone)]
+pub struct BatchPack {
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    stride: usize,
+    data: Vec<f64>,
+}
+
+impl BatchPack {
+    /// Pack `systems` (each square, of order ≤ `n`) into one `n × n`
+    /// batch, each embedded at the leading principal block with identity
+    /// padding on the trailing diagonal (see the module docs for why
+    /// that padding is exact).  Lanes beyond `systems.len()` are full
+    /// identity systems.
+    pub fn pack_square(systems: &[&Matrix<f64>], n: usize) -> Result<BatchPack, MatrixError> {
+        let batch = systems.len();
+        let stride = batch.div_ceil(BATCH_LANES).max(1) * BATCH_LANES;
+        let len = Matrix::<f64>::checked_len(n, n)?
+            .checked_mul(stride)
+            .ok_or(MatrixError::TooLarge { rows: n, cols: n })?;
+        for sys in systems {
+            if !sys.is_square() {
+                return Err(MatrixError::NotSquare {
+                    rows: sys.rows(),
+                    cols: sys.cols(),
+                });
+            }
+            assert!(sys.rows() <= n, "system of order {} exceeds bucket {n}", sys.rows());
+        }
+        let mut data = vec![0.0f64; len];
+        // Identity everywhere first — padding lanes and the trailing
+        // diagonal of every short system.  Each real system's copy then
+        // overwrites its leading principal block (diagonal included);
+        // below and to the right of it the zeros/ones stay, which is
+        // exactly the inert identity embedding.
+        for j in 0..n {
+            data[((j * n) + j) * stride..][..stride].fill(1.0);
+        }
+        for (s, sys) in systems.iter().enumerate() {
+            let m = sys.rows();
+            for j in 0..m {
+                for (i, &v) in sys.col(j).iter().enumerate() {
+                    data[((j * n) + i) * stride + s] = v;
+                }
+            }
+        }
+        Ok(BatchPack {
+            rows: n,
+            cols: n,
+            batch,
+            stride,
+            data,
+        })
+    }
+
+    /// An empty rectangular pack (zeros), for kernel outputs in tests.
+    pub fn zeros(rows: usize, cols: usize, batch: usize) -> BatchPack {
+        let stride = batch.div_ceil(BATCH_LANES).max(1) * BATCH_LANES;
+        BatchPack {
+            rows,
+            cols,
+            batch,
+            stride,
+            data: vec![0.0; rows * cols * stride],
+        }
+    }
+
+    /// Per-system row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Per-system column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Real systems packed (excluding padding lanes).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Lane stride (`batch` rounded up to [`BATCH_LANES`]).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element `(i, j)` of system `s`.
+    pub fn get(&self, i: usize, j: usize, s: usize) -> f64 {
+        self.data[((j * self.rows) + i) * self.stride + s]
+    }
+
+    /// Overwrite element `(i, j)` of system `s` (test hook).
+    pub fn set(&mut self, i: usize, j: usize, s: usize, v: f64) {
+        self.data[((j * self.rows) + i) * self.stride + s] = v;
+    }
+
+    /// Extract the leading `h × w` block of system `s` as a matrix.
+    pub fn extract(&self, s: usize, h: usize, w: usize) -> Matrix<f64> {
+        assert!(s < self.batch && h <= self.rows && w <= self.cols);
+        Matrix::from_fn(h, w, |i, j| self.get(i, j, s))
+    }
+
+    /// Copy of the `h × w` sub-block at `(r0, c0)`, all lanes.
+    fn sub(&self, r0: usize, c0: usize, h: usize, w: usize) -> BatchPack {
+        debug_assert!(r0 + h <= self.rows && c0 + w <= self.cols);
+        let mut data = Vec::with_capacity(h * w * self.stride);
+        for j in 0..w {
+            for i in 0..h {
+                let at = (((c0 + j) * self.rows) + r0 + i) * self.stride;
+                data.extend_from_slice(&self.data[at..at + self.stride]);
+            }
+        }
+        BatchPack {
+            rows: h,
+            cols: w,
+            batch: self.batch,
+            stride: self.stride,
+            data,
+        }
+    }
+
+    /// Write `block` back at `(r0, c0)`, all lanes.
+    fn set_sub(&mut self, r0: usize, c0: usize, block: &BatchPack) {
+        debug_assert_eq!(block.stride, self.stride);
+        for j in 0..block.cols {
+            for i in 0..block.rows {
+                let src = ((j * block.rows) + i) * block.stride;
+                let dst = (((c0 + j) * self.rows) + r0 + i) * self.stride;
+                self.data[dst..dst + self.stride]
+                    .copy_from_slice(&block.data[src..src + block.stride]);
+            }
+        }
+    }
+}
+
+/// One lane-sweep update: `c ← c + a * b` per lane, strict (separate
+/// multiply and add, each rounded) or fused (`mul_add`).
+#[inline(always)]
+fn lane_axpy(c: &mut [f64], a: &[f64], b: &[f64], mode: BatchMode) {
+    match mode {
+        BatchMode::Strict => {
+            for ((x, &u), &v) in c.iter_mut().zip(a).zip(b) {
+                *x += u * v;
+            }
+        }
+        BatchMode::Fused => {
+            for ((x, &u), &v) in c.iter_mut().zip(a).zip(b) {
+                *x = u.mul_add(v, *x);
+            }
+        }
+    }
+}
+
+/// As [`lane_axpy`] but subtracting: `c ← c - a * b` per lane.  The
+/// strict form is one multiply and one subtract per step, exactly the
+/// reference kernels' rounding.
+#[inline(always)]
+fn lane_axmy(c: &mut [f64], a: &[f64], b: &[f64], mode: BatchMode) {
+    match mode {
+        BatchMode::Strict => {
+            for ((x, &u), &v) in c.iter_mut().zip(a).zip(b) {
+                *x -= u * v;
+            }
+        }
+        BatchMode::Fused => {
+            for ((x, &u), &v) in c.iter_mut().zip(a).zip(b) {
+                *x = (-u).mul_add(v, *x);
+            }
+        }
+    }
+}
+
+/// Batched `C ← C + alpha · A · Bᵀ` — the GEMM shape of the blocked
+/// Cholesky panel update (Algorithm 4 line 5), per system.
+///
+/// Per element this is the reference `gemm_nt` operation sequence:
+/// `j` outer, `k` middle (ascending), lane-sweep inner, each update
+/// `c + a * (alpha * b)` with `alpha * b` folded first — for
+/// `alpha = -1` the fold is an exact negation, so strict mode is
+/// bit-identical to the reference per system.
+pub fn batch_gemm(c: &mut BatchPack, alpha: f64, a: &BatchPack, b: &BatchPack, mode: BatchMode) {
+    assert_eq!(a.cols, b.cols, "batch_gemm: inner dimensions");
+    assert_eq!(c.rows, a.rows, "batch_gemm: C rows");
+    assert_eq!(c.cols, b.rows, "batch_gemm: C cols");
+    assert_eq!(a.stride, c.stride, "batch_gemm: A stride");
+    assert_eq!(b.stride, c.stride, "batch_gemm: B stride");
+    let stride = c.stride;
+    let mut bjk = vec![0.0f64; stride];
+    for j in 0..c.cols {
+        for k in 0..a.cols {
+            let bsrc = &b.data[((k * b.rows) + j) * stride..][..stride];
+            for (t, &v) in bjk.iter_mut().zip(bsrc) {
+                *t = alpha * v;
+            }
+            for i in 0..c.rows {
+                let cij = &mut c.data[((j * c.rows) + i) * stride..][..stride];
+                let aik = &a.data[((k * a.rows) + i) * stride..][..stride];
+                lane_axpy(cij, aik, &bjk, mode);
+            }
+        }
+    }
+}
+
+/// Batched symmetric rank-k update on the lower triangle:
+/// `C ← C - A · Aᵀ` restricted to `i ≥ j`, per system — the reference
+/// `syrk_lower` operation sequence (one multiply, one subtract per
+/// update, ascending `k` per element).
+pub fn batch_syrk_lower(c: &mut BatchPack, a: &BatchPack, mode: BatchMode) {
+    assert_eq!(c.rows, c.cols, "batch_syrk: C square");
+    assert_eq!(c.rows, a.rows, "batch_syrk: dimensions");
+    assert_eq!(a.stride, c.stride, "batch_syrk: stride");
+    let stride = c.stride;
+    let n = c.rows;
+    for j in 0..n {
+        for k in 0..a.cols {
+            let ajk = &a.data[((k * a.rows) + j) * stride..][..stride];
+            for i in j..n {
+                let cij = &mut c.data[((j * n) + i) * stride..][..stride];
+                let aik = &a.data[((k * a.rows) + i) * stride..][..stride];
+                lane_axmy(cij, aik, ajk, mode);
+            }
+        }
+    }
+}
+
+/// Batched triangular solve `X ← X · L⁻ᵀ` with `L` lower triangular —
+/// the TRSM of the Cholesky panel step, per system, in the reference
+/// operation order (columns ascending, each update one multiply and one
+/// subtract, then one division per element).
+pub fn batch_trsm(x: &mut BatchPack, l: &BatchPack, mode: BatchMode) {
+    assert_eq!(l.rows, l.cols, "batch_trsm: L square");
+    assert_eq!(x.cols, l.rows, "batch_trsm: dimensions");
+    assert_eq!(l.stride, x.stride, "batch_trsm: stride");
+    let stride = x.stride;
+    let m = x.rows;
+    for j in 0..l.rows {
+        // Columns k < j of X are finished; column j is being solved.
+        let (done, rest) = x.data.split_at_mut(j * m * stride);
+        for k in 0..j {
+            let ljk = &l.data[((k * l.rows) + j) * stride..][..stride];
+            for i in 0..m {
+                // x[i, j] -= x[i, k] * l[j, k], lanewise.
+                let xij = &mut rest[i * stride..][..stride];
+                let xik = &done[((k * m) + i) * stride..][..stride];
+                lane_axmy(xij, xik, ljk, mode);
+            }
+        }
+        let ljj = &l.data[((j * l.rows) + j) * stride..][..stride];
+        for i in 0..m {
+            let xij = &mut rest[i * stride..][..stride];
+            for (v, &d) in xij.iter_mut().zip(ljj) {
+                *v /= d;
+            }
+        }
+    }
+}
+
+/// Batched unblocked Cholesky (`POTF2`) of every system's lower
+/// triangle, in the exact reference per-element order: for each column
+/// `j`, subtract the finished columns `k < j` in ascending order, check
+/// the pivot, square-root, scale.
+///
+/// Returns one result per real system.  A non-SPD system is reported
+/// with its (global) failing pivot, its pivot lane is replaced by `1.0`
+/// so the lane stays numerically inert, and **all other systems are
+/// unaffected** — lanes never interact.  Padding lanes are identity and
+/// cannot fail.
+pub fn batch_potf2(a: &mut BatchPack, mode: BatchMode) -> Vec<Result<(), MatrixError>> {
+    batch_potf2_offset(a, mode, 0)
+}
+
+/// [`batch_potf2`] with pivot indices offset by `p0` (for blocked
+/// callers reporting global pivots).
+fn batch_potf2_offset(
+    a: &mut BatchPack,
+    mode: BatchMode,
+    p0: usize,
+) -> Vec<Result<(), MatrixError>> {
+    assert_eq!(a.rows, a.cols, "batch_potf2: square systems");
+    let n = a.rows;
+    let stride = a.stride;
+    let mut results: Vec<Result<(), MatrixError>> = vec![Ok(()); a.batch];
+    for j in 0..n {
+        let (done, rest) = a.data.split_at_mut(j * n * stride);
+        // Column j of every system: (i, j) at rest[i * stride..].
+        for k in 0..j {
+            let ajk = &done[((k * n) + j) * stride..][..stride];
+            // Ascending k per element, diagonal included — the
+            // reference potf2 column update, lane-swept.
+            for i in j..n {
+                let aij = &mut rest[i * stride..][..stride];
+                let aik = &done[((k * n) + i) * stride..][..stride];
+                lane_axmy(aij, aik, ajk, mode);
+            }
+        }
+        // Pivot: check, substitute failed lanes, square-root, scale.
+        {
+            let d = &mut rest[j * stride..][..stride];
+            for (s, res) in results.iter_mut().enumerate() {
+                let v = d[s];
+                if v.is_finite() && v <= 0.0 {
+                    if res.is_ok() {
+                        *res = Err(MatrixError::NotSpd {
+                            pivot: p0 + j,
+                            value: v,
+                        });
+                    }
+                    // Keep the failed lane inert (finite) without
+                    // disturbing any other lane.
+                    d[s] = 1.0;
+                }
+            }
+            for v in d.iter_mut() {
+                *v = v.sqrt();
+            }
+        }
+        let (diag, below) = rest[j * stride..].split_at_mut(stride);
+        for i in 0..(n - j - 1) {
+            let aij = &mut below[i * stride..][..stride];
+            for (v, &ljj) in aij.iter_mut().zip(diag.iter()) {
+                *v /= ljj;
+            }
+        }
+    }
+    results
+}
+
+/// Batched blocked Cholesky: the left-looking LAPACK schedule over
+/// `pb`-wide panels, composed from [`batch_syrk_lower`],
+/// [`batch_gemm`], [`batch_trsm`] and the [`batch_potf2`] base — the
+/// exact tile sequence of the serve engine's `factor_resumable`, so in
+/// strict mode every system's factor is bit-identical to the sequential
+/// path at any panel width and any batch size.
+pub fn batch_potrf(a: &mut BatchPack, pb: usize, mode: BatchMode) -> Vec<Result<(), MatrixError>> {
+    assert_eq!(a.rows, a.cols, "batch_potrf: square systems");
+    assert!(pb >= 1, "panel width must be at least 1");
+    let n = a.rows;
+    let nb = n.div_ceil(pb);
+    let mut results: Vec<Result<(), MatrixError>> = vec![Ok(()); a.batch];
+    for jb in 0..nb {
+        let c0 = jb * pb;
+        let bw = (n - c0).min(pb);
+
+        // Diagonal tile: SYRK chain (ascending kb), then POTF2.
+        let mut a22 = a.sub(c0, c0, bw, bw);
+        for kb in 0..jb {
+            let k0 = kb * pb;
+            let kw = (n - k0).min(pb);
+            let ajk = a.sub(c0, k0, bw, kw);
+            batch_syrk_lower(&mut a22, &ajk, mode);
+        }
+        for (res, tile_res) in results.iter_mut().zip(batch_potf2_offset(&mut a22, mode, c0)) {
+            if res.is_ok() {
+                *res = tile_res;
+            }
+        }
+        a.set_sub(c0, c0, &a22);
+
+        // Panel below: GEMM chains (ascending kb), then TRSM, tile by
+        // tile in the sequential schedule's order.
+        for ib in (jb + 1)..nb {
+            let r0 = ib * pb;
+            let bh = (n - r0).min(pb);
+            let mut aij = a.sub(r0, c0, bh, bw);
+            for kb in 0..jb {
+                let k0 = kb * pb;
+                let kw = (n - k0).min(pb);
+                let aik = a.sub(r0, k0, bh, kw);
+                let ajk = a.sub(c0, k0, bw, kw);
+                batch_gemm(&mut aij, -1.0, &aik, &ajk, mode);
+            }
+            batch_trsm(&mut aij, &a22, mode);
+            a.set_sub(r0, c0, &aij);
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::lower_digest;
+    use crate::kernels;
+    use crate::spd;
+
+    fn sample(n: usize, seed: u64) -> Matrix<f64> {
+        spd::random_spd(n, &mut spd::test_rng(seed))
+    }
+
+    /// Reference bits: the sequential unblocked factorization.
+    fn reference_bits(a: &Matrix<f64>) -> u64 {
+        let mut f = a.clone();
+        kernels::potf2(&mut f).expect("spd");
+        lower_digest(&f)
+    }
+
+    #[test]
+    fn pack_extract_roundtrip_with_identity_padding() {
+        let systems: Vec<Matrix<f64>> = vec![sample(5, 1), sample(3, 2), sample(5, 3)];
+        let refs: Vec<&Matrix<f64>> = systems.iter().collect();
+        let pack = BatchPack::pack_square(&refs, 8).expect("pack");
+        assert_eq!(pack.batch(), 3);
+        assert_eq!(pack.stride(), 8);
+        for (s, sys) in systems.iter().enumerate() {
+            let got = pack.extract(s, sys.rows(), sys.rows());
+            assert_eq!(&got, sys, "system {s}");
+        }
+        // Trailing diagonal of a short system is identity; off-diagonal
+        // padding is zero.
+        assert_eq!(pack.get(4, 4, 1), 1.0);
+        assert_eq!(pack.get(4, 1, 1), 0.0);
+        assert_eq!(pack.get(1, 6, 0), 0.0);
+    }
+
+    #[test]
+    fn strict_batch_potrf_is_bit_identical_per_system_to_sequential() {
+        // Mixed sizes in one bucket, batch sizes crossing the lane width.
+        for &batch in &[1usize, 2, 8, 32] {
+            let systems: Vec<Matrix<f64>> = (0..batch)
+                .map(|s| sample(8 + 8 * (s % 4), 100 + s as u64))
+                .collect();
+            let refs: Vec<&Matrix<f64>> = systems.iter().collect();
+            let mut pack = BatchPack::pack_square(&refs, 32).expect("pack");
+            let results = batch_potrf(&mut pack, 16, BatchMode::Strict);
+            for (s, sys) in systems.iter().enumerate() {
+                assert!(results[s].is_ok(), "system {s}");
+                let got = pack.extract(s, sys.rows(), sys.rows());
+                assert_eq!(
+                    lower_digest(&got),
+                    reference_bits(sys),
+                    "batch={batch} system={s} n={}",
+                    sys.rows()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_and_unblocked_batches_agree_bitwise() {
+        let systems: Vec<Matrix<f64>> = (0..5).map(|s| sample(24, 200 + s)).collect();
+        let refs: Vec<&Matrix<f64>> = systems.iter().collect();
+        let mut blocked = BatchPack::pack_square(&refs, 24).expect("pack");
+        let mut unblocked = blocked.clone();
+        assert!(batch_potrf(&mut blocked, 8, BatchMode::Strict).iter().all(Result::is_ok));
+        assert!(batch_potf2(&mut unblocked, BatchMode::Strict).iter().all(Result::is_ok));
+        for s in 0..systems.len() {
+            assert_eq!(
+                lower_digest(&blocked.extract(s, 24, 24)),
+                lower_digest(&unblocked.extract(s, 24, 24)),
+                "system {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_spd_system_fails_alone_with_its_pivot() {
+        let good0 = sample(6, 7);
+        // Poison one diagonal entry so the pivot at column 3 (or an
+        // earlier one its updates touch) goes non-positive.
+        let mut bad = sample(6, 8);
+        bad.set_submatrix(3, 3, &Matrix::from_fn(1, 1, |_, _| -100.0));
+        let good1 = sample(6, 9);
+        let refs: Vec<&Matrix<f64>> = vec![&good0, &bad, &good1];
+        let mut pack = BatchPack::pack_square(&refs, 8).expect("pack");
+        let results = batch_potrf(&mut pack, 4, BatchMode::Strict);
+        assert!(results[0].is_ok());
+        assert!(
+            matches!(results[1], Err(MatrixError::NotSpd { pivot, .. }) if pivot <= 3),
+            "got {:?}",
+            results[1]
+        );
+        assert!(results[2].is_ok());
+        // The good systems' bits are untouched by the failure next lane.
+        assert_eq!(lower_digest(&pack.extract(0, 6, 6)), reference_bits(&good0));
+        assert_eq!(lower_digest(&pack.extract(2, 6, 6)), reference_bits(&good1));
+    }
+
+    #[test]
+    fn batch_gemm_and_trsm_match_reference_kernels_bitwise() {
+        let m = 5;
+        let nn = 4;
+        let kdim = 3;
+        let mk = |rows: usize, cols: usize, seed: u64| {
+            let mut rng = spd::test_rng(seed);
+            let g = spd::random_spd(rows.max(cols), &mut rng);
+            Matrix::from_fn(rows, cols, |i, j| g[(i, j)] - 0.3)
+        };
+        let (c0, a0, b0) = (mk(m, nn, 1), mk(m, kdim, 2), mk(nn, kdim, 3));
+        // Reference.
+        let mut want = c0.clone();
+        kernels::gemm_nt(&mut want, -1.0, &a0, &b0);
+        // Batched: two lanes carrying the same operands must both match.
+        let mut c = BatchPack::zeros(m, nn, 2);
+        let mut a = BatchPack::zeros(m, kdim, 2);
+        let mut b = BatchPack::zeros(nn, kdim, 2);
+        for s in 0..2 {
+            for j in 0..nn {
+                for i in 0..m {
+                    c.set(i, j, s, c0[(i, j)]);
+                }
+            }
+            for j in 0..kdim {
+                for i in 0..m {
+                    a.set(i, j, s, a0[(i, j)]);
+                }
+                for i in 0..nn {
+                    b.set(i, j, s, b0[(i, j)]);
+                }
+            }
+        }
+        batch_gemm(&mut c, -1.0, &a, &b, BatchMode::Strict);
+        for s in 0..2 {
+            assert_eq!(c.extract(s, m, nn), want, "gemm lane {s}");
+        }
+
+        // TRSM against a factored diagonal block.
+        let mut l = sample(nn, 4);
+        kernels::potf2(&mut l).expect("spd");
+        let mut want_x = c0.clone();
+        kernels::trsm_right_lower_transpose(&mut want_x, &l);
+        let mut x = BatchPack::zeros(m, nn, 2);
+        let mut lp = BatchPack::zeros(nn, nn, 2);
+        for s in 0..2 {
+            for j in 0..nn {
+                for i in 0..m {
+                    x.set(i, j, s, c0[(i, j)]);
+                }
+                for i in 0..nn {
+                    lp.set(i, j, s, l[(i, j)]);
+                }
+            }
+        }
+        batch_trsm(&mut x, &lp, BatchMode::Strict);
+        for s in 0..2 {
+            assert_eq!(x.extract(s, m, nn), want_x, "trsm lane {s}");
+        }
+    }
+
+    #[test]
+    fn fused_mode_is_batch_size_invariant_per_system() {
+        let sys = sample(16, 42);
+        let one = {
+            let refs: Vec<&Matrix<f64>> = vec![&sys];
+            let mut p = BatchPack::pack_square(&refs, 16).expect("pack");
+            assert!(batch_potrf(&mut p, 8, BatchMode::Fused)[0].is_ok());
+            lower_digest(&p.extract(0, 16, 16))
+        };
+        let companions: Vec<Matrix<f64>> = (0..15).map(|s| sample(16, 300 + s)).collect();
+        let mut refs: Vec<&Matrix<f64>> = vec![&sys];
+        refs.extend(companions.iter());
+        let mut p = BatchPack::pack_square(&refs, 16).expect("pack");
+        assert!(batch_potrf(&mut p, 8, BatchMode::Fused).iter().all(Result::is_ok));
+        assert_eq!(lower_digest(&p.extract(0, 16, 16)), one);
+    }
+
+    #[test]
+    fn n_equals_one_systems_batch() {
+        let sys: Vec<Matrix<f64>> = (1..=4)
+            .map(|s| Matrix::from_fn(1, 1, |_, _| (s * s) as f64))
+            .collect();
+        let refs: Vec<&Matrix<f64>> = sys.iter().collect();
+        let mut p = BatchPack::pack_square(&refs, 1).expect("pack");
+        let results = batch_potrf(&mut p, 16, BatchMode::Strict);
+        assert!(results.iter().all(Result::is_ok));
+        // sqrt((s+1)²) == s+1 exactly.
+        for s in 0..4 {
+            assert_eq!(p.extract(s, 1, 1)[(0, 0)], (s + 1) as f64);
+        }
+    }
+}

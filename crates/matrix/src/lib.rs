@@ -45,4 +45,5 @@ pub use dense::Matrix;
 pub use digest::{lower_digest, matrix_digest, slice_digest};
 pub use engine::KernelImpl;
 pub use error::MatrixError;
+pub use kernels_fast::batch::{BatchMode, BatchPack};
 pub use scalar::Scalar;

@@ -33,7 +33,7 @@ pub mod wavefront;
 
 pub use abft::{abft_spmd_pxpotrf, AbftSpmdReport};
 pub use blockcyclic::DistMatrix;
-pub use dag::{potrf_dag, potrf_dag_with, simulate as dag_simulate, DagModel};
+pub use dag::{potrf_dag, potrf_dag_with, scatter, simulate as dag_simulate, DagModel};
 pub use hier::{pxpotrf_hier, HierReport};
 pub use matmul25d::{matmul_25d, Mm25dReport};
 pub use onedim::pxpotrf_1d;

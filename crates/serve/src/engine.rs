@@ -20,6 +20,7 @@
 //! budget, or — under a chaos plan — dies mid-flight with a panic the
 //! shard supervisor must catch.
 
+use cholcomm_matrix::kernels_fast::batch::{batch_potrf, BatchMode, BatchPack, BATCH_LANES};
 use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
 use rayon::prelude::*;
 
@@ -27,6 +28,17 @@ use rayon::prelude::*;
 /// Only ratios matter for admission and deadlines; the absolute scale is
 /// chosen so service-sized jobs cost tens to hundreds of virtual µs.
 const FLOPS_PER_US: u64 = 4_000;
+
+/// Modelled throughput of the *batched* kernels (virtual flops/µs).
+/// One small factorization never reaches BLAS-3 intensity — its words
+/// moved are O(n²) against O(n³/3) flops — so the unbatched model runs
+/// at [`FLOPS_PER_US`].  Packing a bucket of systems lane-interleaved
+/// restores the surface-to-volume ratio exactly the way blocking does
+/// within one matrix: the modelled 4x is deliberately conservative
+/// against the 7.5–9x BLAS-3 saturation `kernel_bench` measures for the
+/// fast kernels, and the serve bench reports measured wall-clock
+/// speedups next to the virtual ones so the model stays honest.
+pub const BATCH_FLOPS_PER_US: u64 = 16_000;
 
 /// A resumable factorization state: panels `0..next_panel` of `state`
 /// are final factor columns; everything at and beyond `next_panel` still
@@ -87,9 +99,9 @@ pub fn panel_count(n: usize, b: usize) -> usize {
     n.div_ceil(b)
 }
 
-/// Modelled virtual cost (µs) of panel `jb`: the flops of its SYRK
-/// chain, POTF2, GEMM chains, and TRSMs.
-pub fn panel_cost_us(n: usize, b: usize, jb: usize) -> u64 {
+/// Flop count of panel `jb`: its SYRK chain, POTF2, GEMM chains, and
+/// TRSMs.
+fn panel_flops(n: usize, b: usize, jb: usize) -> u64 {
     let nb = panel_count(n, b);
     let bw = (n - jb * b).min(b) as u64;
     let mut flops = bw * bw * bw / 3; // POTF2
@@ -105,12 +117,47 @@ pub fn panel_cost_us(n: usize, b: usize, jb: usize) -> u64 {
         }
         flops += bh * bw * bw; // TRSM
     }
-    flops / FLOPS_PER_US + 1
+    flops
+}
+
+/// Flop count of a full blocked factorization of order `n`.
+fn factor_flops(n: usize, b: usize) -> u64 {
+    (0..panel_count(n, b)).map(|jb| panel_flops(n, b, jb)).sum()
+}
+
+/// Modelled virtual cost (µs) of panel `jb`.
+pub fn panel_cost_us(n: usize, b: usize, jb: usize) -> u64 {
+    panel_flops(n, b, jb) / FLOPS_PER_US + 1
 }
 
 /// Modelled virtual cost (µs) of a full factorization of order `n`.
 pub fn factor_cost_us(n: usize, b: usize) -> u64 {
     (0..panel_count(n, b)).map(|jb| panel_cost_us(n, b, jb)).sum()
+}
+
+/// Modelled virtual cost (µs) of factoring one whole bucket of `batch`
+/// systems, each padded to order `bucket_n`, as a single batched kernel
+/// run: every real lane's flops at batched throughput, plus one
+/// dispatch µs per panel — charged once per *batch*, which is the whole
+/// point of batching.  Padding lanes ride free (they are SIMD slack),
+/// but padding *size* is charged honestly: a 40×40 system in a 64
+/// bucket costs 64-sized flops.
+pub fn batch_cost_us(bucket_n: usize, batch: usize, b: usize) -> u64 {
+    (batch as u64).saturating_mul(factor_flops(bucket_n, b)) / BATCH_FLOPS_PER_US
+        + panel_count(bucket_n, b) as u64
+        + 1
+}
+
+/// The deterministic *amortized* admission cost (µs) of one batchable
+/// request: its own padded-lane share of a batch — `flops(bucket)` at
+/// batched throughput — with no per-request copy of the batch's
+/// dispatch constants.  Admission must decide at submit time, before
+/// the batch has formed, so the share cannot depend on how full the
+/// bucket ends up; charging the per-lane work (which is exact) and
+/// amortizing only the constants (which is what batching amortizes)
+/// keeps the gauge honest without making admission nondeterministic.
+pub fn batched_request_cost_us(bucket_n: usize, b: usize) -> u64 {
+    factor_flops(bucket_n, b) / BATCH_FLOPS_PER_US + 1
 }
 
 /// Run (or resume) the blocked factorization from `ckpt`, consulting
@@ -197,6 +244,58 @@ pub fn factor_resumable(
     }
 
     Ok(FactorOutcome::Done(ckpt.state))
+}
+
+/// Factor a whole size bucket of systems (each square, of order ≤
+/// `bucket_n`) through the batched kernels, returning one result per
+/// system in submission order.
+///
+/// Systems are packed [`BATCH_LANES`] at a time into interleaved
+/// [`BatchPack`]s with identity padding and factored by the blocked
+/// [`batch_potrf`] at panel width `b` — the exact tile schedule of
+/// [`factor_resumable`], lane-swept.  In strict mode (any kernel but
+/// [`KernelImpl::Fast`]) every system's factor is therefore
+/// **bit-identical** to what the per-request path would have produced,
+/// at any batch size; `Fast` gets the FMA-contracted rounding, which is
+/// still batch-size invariant because lanes never interact.
+///
+/// When the shard has opted into kernel parallelism
+/// ([`crate::ShardConfig::parallel`]), the lane-chunks — mutually
+/// independent by construction — are scattered across the work-stealing
+/// pool via [`cholcomm_par::scatter`]; results come back in submission
+/// order, so the pool size can change wall-clock time but never any bit
+/// of any factor.
+pub fn factor_batch(
+    problems: &[Matrix<f64>],
+    bucket_n: usize,
+    b: usize,
+    kernel: KernelImpl,
+) -> Vec<Result<Matrix<f64>, MatrixError>> {
+    let mode = match kernel {
+        KernelImpl::Fast => BatchMode::Fused,
+        _ => BatchMode::Strict,
+    };
+    let chunks: Vec<&[Matrix<f64>]> = problems.chunks(BATCH_LANES).collect();
+    let run_chunk = |c: usize| -> Vec<Result<Matrix<f64>, MatrixError>> {
+        let refs: Vec<&Matrix<f64>> = chunks[c].iter().collect();
+        let mut pack = match BatchPack::pack_square(&refs, bucket_n) {
+            Ok(p) => p,
+            Err(e) => return refs.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let results = batch_potrf(&mut pack, b, mode);
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(s, r)| r.map(|()| pack.extract(s, refs[s].rows(), refs[s].rows())))
+            .collect()
+    };
+    let per_chunk: Vec<Vec<Result<Matrix<f64>, MatrixError>>> =
+        if cholcomm_matrix::parallel::kernel_parallelism() && chunks.len() > 1 {
+            cholcomm_par::scatter(chunks.len(), &run_chunk)
+        } else {
+            (0..chunks.len()).map(run_chunk).collect()
+        };
+    per_chunk.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

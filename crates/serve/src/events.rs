@@ -28,6 +28,9 @@ pub enum Source {
     /// Served from cache *because* fresh factorization was shed — the
     /// graceful-degradation path.
     DegradedCache,
+    /// Freshly factored as one lane of a size-bucketed batch on the
+    /// batched kernels.
+    Batched,
 }
 
 impl Source {
@@ -37,6 +40,7 @@ impl Source {
             Source::Fresh => "fresh",
             Source::Cache => "cache",
             Source::DegradedCache => "degraded_cache",
+            Source::Batched => "batched",
         }
     }
 }
@@ -143,6 +147,33 @@ pub enum Event {
         /// Stable error tag.
         tag: &'static str,
     },
+    /// The request was executed as one lane of a size-bucketed batch.
+    Batched {
+        /// Power-of-two bucket the request's order was padded to.
+        bucket_n: usize,
+        /// Number of real systems dispatched together in the bucket.
+        batch: usize,
+    },
+    /// The service started — logged once per run (under the sentinel
+    /// request id `u64::MAX`, so it sorts last in the canonical log and
+    /// collides with no real request) as the replay certificate's record
+    /// of the effective execution configuration.
+    ServiceStarted {
+        /// Number of shards.
+        shards: usize,
+        /// Kernel engine name (stable, [`cholcomm_matrix::KernelImpl::name`]).
+        kernel: &'static str,
+        /// Whether shards fan kernel work onto the rayon pool.
+        parallel: bool,
+        /// Whether size-bucketed batching is enabled.
+        batching: bool,
+        /// Worker threads the pool would use on this host.  Recorded for
+        /// operators but **excluded from the canonical encoding**: the
+        /// replay certificate must match across machines and across the
+        /// `CHOLCOMM_THREADS` CI matrix, and thread count never changes
+        /// any served bit.
+        pool_threads: usize,
+    },
 }
 
 /// An event bound to its request and per-request sequence number.
@@ -233,6 +264,18 @@ impl Event {
             }
             Event::Failed { tag } => {
                 let _ = write!(out, "failed:{tag}");
+            }
+            Event::Batched { bucket_n, batch } => {
+                let _ = write!(out, "batched:{bucket_n}:{batch}");
+            }
+            Event::ServiceStarted {
+                shards,
+                kernel,
+                parallel,
+                batching,
+                pool_threads: _, // machine-dependent: never in the digest
+            } => {
+                let _ = write!(out, "started:{shards}:{kernel}:{parallel}:{batching}");
             }
         }
     }

@@ -43,6 +43,7 @@
 #![deny(clippy::unwrap_used)]
 
 pub mod admission;
+pub mod batcher;
 pub mod breaker;
 pub mod cache;
 pub mod durable;
@@ -56,12 +57,14 @@ pub mod service;
 mod shard;
 
 pub use admission::{Admission, BacklogGauge, Priority, Watermarks};
+pub use batcher::{bucket_of, BatchConfig};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::{CacheRead, CacheStats, FactorCache};
 pub use durable::{DurableCache, RecoveryReport};
 pub use engine::{
-    factor_cost_us, factor_resumable, panel_cost_us, panel_count, Checkpoint, FactorOutcome,
-    PanelControl, PanelCrash,
+    batch_cost_us, batched_request_cost_us, factor_batch, factor_cost_us, factor_resumable,
+    panel_cost_us, panel_count, Checkpoint, FactorOutcome, PanelControl, PanelCrash,
+    BATCH_FLOPS_PER_US,
 };
 pub use error::ServeError;
 pub use events::{canonicalize, log_digest, Event, EventRecord, Source};

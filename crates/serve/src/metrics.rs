@@ -34,6 +34,12 @@ pub struct Counters {
     pub breaker_transitions: u64,
     /// Cache entries adopted from the durable journal at shard start.
     pub cache_recovered: u64,
+    /// Size-bucketed batches dispatched onto the batched kernels.
+    pub batches_dispatched: u64,
+    /// Requests factored as lanes of a batch (each also counts in
+    /// `completed`; the ratio to `batches_dispatched` is the realized
+    /// mean batch size).
+    pub batched_factorizations: u64,
 }
 
 impl Counters {
@@ -52,6 +58,8 @@ impl Counters {
         self.worker_restarts += other.worker_restarts;
         self.breaker_transitions += other.breaker_transitions;
         self.cache_recovered += other.cache_recovered;
+        self.batches_dispatched += other.batches_dispatched;
+        self.batched_factorizations += other.batched_factorizations;
     }
 
     /// Fraction of submitted requests that completed.  Refusals are loud

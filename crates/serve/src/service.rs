@@ -12,14 +12,15 @@
 //! stream)`, which is exactly what the replay test asserts.
 
 use crate::admission::{Admission, BacklogGauge, Priority, Watermarks};
+use crate::batcher::{bucket_of, BatchConfig, Batcher, ReadyBatch};
 use crate::breaker::BreakerConfig;
 use crate::durable::DurableCache;
-use crate::engine::factor_cost_us;
+use crate::engine::{batched_request_cost_us, factor_cost_us};
 use crate::error::ServeError;
 use crate::events::{canonicalize, log_digest, Event, EventRecord, Source};
 use crate::jobs::{problem_digest, JobKind};
 use crate::metrics::Metrics;
-use crate::shard::{Shard, ShardJob, ShardReport};
+use crate::shard::{Shard, ShardJob, ShardMsg, ShardReport};
 use cholcomm_faults::FaultPlan;
 use cholcomm_matrix::{KernelImpl, Matrix};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -61,6 +62,8 @@ pub struct ServiceConfig {
     pub watermarks: Watermarks,
     /// Per-shard knobs.
     pub shard: ShardConfig,
+    /// Size-bucketed batching knobs (off by default).
+    pub batch: BatchConfig,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +81,7 @@ impl Default for ServiceConfig {
                 seed: 0,
                 parallel: false,
             },
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -144,9 +148,10 @@ pub struct ServiceReport {
 /// The in-process factorization service.
 pub struct Service {
     config: ServiceConfig,
-    senders: Vec<Sender<ShardJob>>,
+    senders: Vec<Sender<ShardMsg>>,
     workers: Vec<JoinHandle<ShardReport>>,
     gauges: Vec<BacklogGauge>,
+    batcher: Batcher,
     events: Vec<EventRecord>,
     next_req: u64,
     submitted: u64,
@@ -195,12 +200,29 @@ impl Service {
                 make_durable(shard_id),
             ));
         }
+        // Log the effective execution configuration once, under the
+        // sentinel request id, so every replay certificate states what
+        // kernel/parallelism/batching produced it.  The pool thread
+        // count is recorded for operators but excluded from the
+        // canonical encoding (machine-dependent, bit-inert).
+        let events = vec![EventRecord {
+            req: u64::MAX,
+            seq: 0,
+            event: Event::ServiceStarted {
+                shards: config.shards,
+                kernel: config.shard.kernel.name(),
+                parallel: config.shard.parallel,
+                batching: config.batch.enabled,
+                pool_threads: rayon::current_num_threads(),
+            },
+        }];
         Service {
             config,
             senders,
             workers,
             gauges: vec![BacklogGauge::new(config.watermarks); config.shards],
-            events: Vec::new(),
+            batcher: Batcher::new(config.batch),
+            events,
             next_req: 0,
             submitted: 0,
         }
@@ -234,7 +256,17 @@ impl Service {
 
         let digest = problem_digest(request.kind, request.key, request.n);
         let shard = self.route(digest);
-        let cost_us = factor_cost_us(request.n, self.config.shard.block);
+        // Admission charges batchable jobs their *amortized* cost — the
+        // per-lane share of a batch, without the per-batch dispatch
+        // constants — so a batched service doesn't over-shed traffic
+        // its kernels can absorb.  Unbatchable jobs pay the full
+        // per-request model as before.
+        let batchable = self.batcher.takes(request.kind, request.n);
+        let cost_us = if batchable {
+            batched_request_cost_us(bucket_of(request.n), self.config.shard.block)
+        } else {
+            factor_cost_us(request.n, self.config.shard.block)
+        };
         let admit = self.gauges[shard].offer(request.vtime_us, cost_us, request.class);
 
         let mut next_seq: u32 = 0;
@@ -279,17 +311,56 @@ impl Service {
             submitted_at: Instant::now(),
             reply,
         };
-        let _ = self.senders[shard].send(job);
+        if batchable && matches!(admit, Admission::Admit { .. }) {
+            // Admitted batchable work waits in its size bucket; shed
+            // requests bypass the batcher so the degraded-cache rescue
+            // (or the typed refusal) stays immediate.
+            self.batcher.push(shard, job);
+        } else {
+            let _ = self.senders[shard].send(ShardMsg::One(Box::new(job)));
+        }
+        // Every submission advances virtual time, so every submission
+        // can make a bucket due (full or aged out).
+        for ready in self.batcher.due(request.vtime_us) {
+            self.dispatch(ready);
+        }
         Ticket { req: req_id, rx }
     }
 
-    /// Submit and wait — the synchronous convenience path.
+    /// Send one released bucket to its home shard as a single unit.
+    fn dispatch(&mut self, ready: ReadyBatch) {
+        let _ = self.senders[ready.shard].send(ShardMsg::Batch {
+            bucket_n: ready.bucket_n,
+            released_us: ready.released_us,
+            jobs: ready.jobs,
+        });
+    }
+
+    /// Release every pending bucket immediately, regardless of fill or
+    /// age.  Call this before waiting on outstanding [`Ticket`]s when no
+    /// further submissions are coming — a ticket in an unreleased bucket
+    /// never resolves on its own, because batch formation is driven by
+    /// the (now silent) submission stream.  [`Service::shutdown`]
+    /// flushes too, so drop-and-drain never strands a request.
+    pub fn flush_batches(&mut self) {
+        for ready in self.batcher.flush_all() {
+            self.dispatch(ready);
+        }
+    }
+
+    /// Submit and wait — the synchronous convenience path.  Flushes the
+    /// batcher first: a lone synchronous caller must never deadlock
+    /// waiting on a bucket that only its own future submissions could
+    /// fill.
     pub fn call(&mut self, request: Request) -> Result<Response, ServeError> {
-        self.submit(request).wait()
+        let ticket = self.submit(request);
+        self.flush_batches();
+        ticket.wait()
     }
 
     /// Drain the shards and assemble the run's deterministic report.
-    pub fn shutdown(self) -> ServiceReport {
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.flush_batches();
         let Service {
             senders,
             workers,

@@ -23,8 +23,8 @@ use crate::breaker::CircuitBreaker;
 use crate::cache::{CacheRead, FactorCache};
 use crate::durable::DurableCache;
 use crate::engine::{
-    factor_resumable, panel_cost_us, panel_count, Checkpoint, FactorOutcome, PanelControl,
-    PanelCrash,
+    batch_cost_us, factor_batch, factor_resumable, panel_cost_us, panel_count, Checkpoint,
+    FactorOutcome, PanelControl, PanelCrash,
 };
 use crate::error::ServeError;
 use crate::events::{Event, EventRecord, Source};
@@ -50,6 +50,21 @@ pub(crate) struct ShardJob {
     pub next_seq: u32,
     pub submitted_at: Instant,
     pub reply: Sender<Result<Response, ServeError>>,
+}
+
+/// What travels on a shard's queue: a single job, or a whole size
+/// bucket released by the batcher.  Both come from the single-threaded
+/// submitter, so the interleaving — and therefore the shard's entire
+/// behaviour — is deterministic.
+pub(crate) enum ShardMsg {
+    One(Box<ShardJob>),
+    Batch {
+        bucket_n: usize,
+        /// Virtual instant the batcher released the bucket; formation
+        /// waits are counted from each member's arrival to here.
+        released_us: u64,
+        jobs: Vec<ShardJob>,
+    },
 }
 
 /// What a shard hands back at shutdown.
@@ -104,7 +119,7 @@ impl Shard {
         shard_id: usize,
         config: ShardConfig,
         plan: FaultPlan,
-        rx: Receiver<ShardJob>,
+        rx: Receiver<ShardMsg>,
         durable: Option<DurableCache>,
     ) -> std::thread::JoinHandle<ShardReport> {
         silence_injected_crashes();
@@ -132,8 +147,15 @@ impl Shard {
                 let report = d.recover_into(&mut shard.cache);
                 shard.metrics.counters.cache_recovered = report.recovered;
             }
-            while let Ok(job) = rx.recv() {
-                shard.process(job);
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ShardMsg::One(job) => shard.process(*job),
+                    ShardMsg::Batch {
+                        bucket_n,
+                        released_us,
+                        jobs,
+                    } => shard.process_batch(bucket_n, released_us, jobs),
+                }
             }
             shard.metrics.cache = shard.cache.stats();
             ShardReport {
@@ -196,7 +218,7 @@ impl Shard {
                 vend_us,
             },
         );
-        if source == Source::Fresh {
+        if matches!(source, Source::Fresh | Source::Batched) {
             if let Some(d) = self.durable.as_mut() {
                 // Journal-commit the fresh factor.  Persistence is
                 // best-effort for a cache — the in-RAM copy is already
@@ -312,6 +334,94 @@ impl Shard {
 
         // --- Fresh factorization with retry, backoff, supervision. ---
         self.factor_fresh(job, seq, vstart_us);
+    }
+
+    /// Execute one released size bucket as a single batched kernel run.
+    ///
+    /// Per member, in deterministic order: announce batch membership,
+    /// try the verified cache (a hit serves at cache cost and drops out
+    /// of the kernel run), enforce the deadline against the formation
+    /// wait (a member whose budget expired *waiting in the bucket* is
+    /// shed with a typed refusal, never silently factored late), then
+    /// factor every survivor in one [`factor_batch`] call.  All
+    /// survivors complete at the same virtual instant — the batch is one
+    /// unit of work — and each factor is bit-identical to what the
+    /// per-request path would have produced (strict lanes never
+    /// interact).
+    ///
+    /// The batch path deliberately bypasses the retry/crash supervisor
+    /// and the circuit breaker: those guard the resumable per-request
+    /// engine, whose panel hook is where the fault plan injects.  Chaos
+    /// scenarios therefore run unbatched, and the batched path's
+    /// correctness is carried by its bit-identity certificates instead.
+    fn process_batch(&mut self, bucket_n: usize, released_us: u64, jobs: Vec<ShardJob>) {
+        let batch = jobs.len();
+        // The batch starts no earlier than its release instant (which is
+        // itself no earlier than any member's arrival), so each member's
+        // `vstart - arrival` wait includes its full formation delay.
+        let vstart_us = self.vclock_us.max(released_us);
+        self.metrics.counters.batches_dispatched += 1;
+
+        let mut seqs: Vec<u32> = jobs.iter().map(|j| j.next_seq).collect();
+        for (job, seq) in jobs.iter().zip(seqs.iter_mut()) {
+            self.emit(job.req_id, seq, Event::Batched { bucket_n, batch });
+        }
+
+        // Cache hits serve immediately; survivors go to the kernels.
+        let mut pending: Vec<(ShardJob, u32)> = Vec::with_capacity(batch);
+        for (job, mut seq) in jobs.into_iter().zip(seqs) {
+            let (read, factor) = self.cache_read(&job, &mut seq, false);
+            if let (CacheRead::Hit | CacheRead::Healed, Some(f)) = (read, factor) {
+                self.complete(&job, &mut seq, f, Source::Cache, vstart_us, CACHE_SERVE_COST_US);
+                continue;
+            }
+            let wait_us = vstart_us.saturating_sub(job.request.vtime_us);
+            if wait_us >= job.request.deadline_us {
+                let budget_us = job.request.deadline_us;
+                self.emit(
+                    job.req_id,
+                    &mut seq,
+                    Event::DeadlineCanceled {
+                        panel: 0,
+                        elapsed_us: wait_us,
+                        budget_us,
+                    },
+                );
+                self.refuse(
+                    &job,
+                    &mut seq,
+                    ServeError::DeadlineExceeded {
+                        elapsed_us: wait_us,
+                        budget_us,
+                        panel: 0,
+                    },
+                );
+                continue;
+            }
+            pending.push((job, seq));
+        }
+        if pending.is_empty() {
+            return;
+        }
+
+        let problems: Vec<Matrix<f64>> = pending
+            .iter()
+            .map(|(job, _)| jobs::build(job.request.kind, job.request.key, job.request.n).a)
+            .collect();
+        let work_us = batch_cost_us(bucket_n, pending.len(), self.config.block);
+        let results = factor_batch(&problems, bucket_n, self.config.block, self.config.kernel);
+        for ((job, mut seq), result) in pending.into_iter().zip(results) {
+            match result {
+                Ok(factor) => {
+                    self.metrics.counters.batched_factorizations += 1;
+                    self.complete(&job, &mut seq, factor, Source::Batched, vstart_us, work_us);
+                }
+                Err(e) => {
+                    self.vclock_us = vstart_us + work_us;
+                    self.refuse(&job, &mut seq, ServeError::Matrix(e));
+                }
+            }
+        }
     }
 
     fn factor_fresh(&mut self, job: ShardJob, mut seq: u32, vstart_us: u64) {
