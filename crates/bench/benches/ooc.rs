@@ -3,7 +3,7 @@
 //! in-memory baseline.
 
 use cholcomm_core::matrix::{kernels, spd};
-use cholcomm_core::ooc::{ooc_potrf, FileMatrix};
+use cholcomm_core::ooc::{ooc_potrf, ooc_potrf_pipelined_with, FileMatrix, PipelineConfig};
 use cholcomm_core::report::TextTable;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -17,7 +17,14 @@ fn bench_ooc(c: &mut Criterion) {
     // Print the real-I/O table once.
     let mut t = TextTable::new(
         &format!("Out-of-core real I/O (n = {n}, b = {b})"),
-        &["cache tiles", "bytes read", "bytes written", "seeks"],
+        &[
+            "driver",
+            "cache tiles",
+            "bytes read",
+            "bytes written",
+            "seeks",
+            "seek distance",
+        ],
     );
     for cap in [3usize, 8, 32, 256] {
         let path = cholcomm_core::ooc::filemat::scratch_path(&format!("bench{cap}"));
@@ -25,10 +32,27 @@ fn bench_ooc(c: &mut Criterion) {
         ooc_potrf(&mut fm, cap).unwrap();
         let s = fm.stats();
         t.row(vec![
+            "sync".to_string(),
             cap.to_string(),
             s.bytes_read.to_string(),
             s.bytes_written.to_string(),
             s.seeks.to_string(),
+            s.seek_distance.to_string(),
+        ]);
+        // Same capacity through the prefetching pipeline: identical
+        // bytes (the miss stream is the plan's), but the head travels
+        // differently because write-backs are deferred and batched.
+        let path = cholcomm_core::ooc::filemat::scratch_path(&format!("benchp{cap}"));
+        let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+        ooc_potrf_pipelined_with(&mut fm, &PipelineConfig::new(cap).with_io_workers(2)).unwrap();
+        let s = fm.stats();
+        t.row(vec![
+            "pipelined".to_string(),
+            cap.to_string(),
+            s.bytes_read.to_string(),
+            s.bytes_written.to_string(),
+            s.seeks.to_string(),
+            s.seek_distance.to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -49,6 +73,16 @@ fn bench_ooc(c: &mut Criterion) {
                     cholcomm_core::ooc::filemat::scratch_path(&format!("iter{cap}"));
                 let mut fm = FileMatrix::create(&path, &a, b).unwrap();
                 ooc_potrf(&mut fm, cap).unwrap();
+                black_box(fm.stats())
+            })
+        });
+        g.bench_function(format!("ooc_pipelined_cache{cap}"), |bch| {
+            bch.iter(|| {
+                let path =
+                    cholcomm_core::ooc::filemat::scratch_path(&format!("piter{cap}"));
+                let mut fm = FileMatrix::create(&path, &a, b).unwrap();
+                let cfg = PipelineConfig::new(cap).with_io_workers(2);
+                ooc_potrf_pipelined_with(&mut fm, &cfg).unwrap();
                 black_box(fm.stats())
             })
         });

@@ -33,8 +33,8 @@ mod stats;
 mod store;
 
 pub use plan::{
-    BitFlip, CacheFlip, CrashPoint, DiskFault, DiskOp, FaultPlan, FaultPlanBuilder, JobFault,
-    MessageFault, RankKill,
+    BitFlip, CacheFlip, CrashPoint, DiskFault, DiskLatency, DiskOp, FaultPlan, FaultPlanBuilder,
+    JobFault, MessageFault, RankKill,
 };
 pub use simdisk::{
     crash_sites_exhaustive, crash_sites_sampled, crash_state, shrink_site, CrashSite, SimDisk,

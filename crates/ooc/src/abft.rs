@@ -216,6 +216,9 @@ impl<B: IoBackend> IoBackend for AbftBackend<B> {
         }
         self.inner.scrub()
     }
+    fn latency_model(&self) -> crate::backend::LatencyModel {
+        self.inner.latency_model()
+    }
 }
 
 #[cfg(test)]

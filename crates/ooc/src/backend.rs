@@ -15,6 +15,99 @@ use cholcomm_matrix::Matrix;
 use std::path::Path;
 use std::time::Duration;
 
+/// A deterministic per-operation disk-latency model, advertised by an
+/// [`IoBackend`] through [`IoBackend::latency_model`].
+///
+/// The model is *descriptive*: backends do not sleep it themselves.
+/// Consumers decide what to do with it — the OOC pipeline prices it in
+/// its modeled-time simulator (and optionally sleeps it on the I/O
+/// workers), and [`SleepBackend`] turns any backend into one that
+/// really pays the cost inline, for honest synchronous baselines.
+/// Keeping the charge out of the backend keeps every existing test and
+/// recorded schedule byte-identical: latency changes *when* results
+/// arrive, never *what* they are.
+///
+/// Per-op cost is `base + jitter`, where base is `read_us`/`write_us`
+/// by operation kind and jitter is drawn uniformly from `0..=jitter_us`
+/// by hashing `(seed, kind, op_index)` — the same seeded-decision
+/// discipline every fault-plan choice uses, so a given op index costs
+/// the same on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Base cost of one tile read, µs.
+    pub read_us: u64,
+    /// Base cost of one tile write, µs.
+    pub write_us: u64,
+    /// Upper bound of the uniform per-op jitter, µs.
+    pub jitter_us: u64,
+    /// Seed for the jitter draws.
+    pub seed: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl LatencyModel {
+    /// The free disk: every operation costs nothing.
+    pub fn none() -> Self {
+        LatencyModel {
+            read_us: 0,
+            write_us: 0,
+            jitter_us: 0,
+            seed: 0,
+        }
+    }
+
+    /// Every read and write costs exactly `us` microseconds.
+    pub fn uniform(us: u64) -> Self {
+        LatencyModel {
+            read_us: us,
+            write_us: us,
+            jitter_us: 0,
+            seed: 0,
+        }
+    }
+
+    /// Add seeded uniform jitter in `0..=jitter_us` to every operation.
+    pub fn with_jitter(mut self, jitter_us: u64, seed: u64) -> Self {
+        self.jitter_us = jitter_us;
+        self.seed = seed;
+        self
+    }
+
+    /// Does this model ever charge anything?
+    pub fn is_zero(&self) -> bool {
+        self.read_us == 0 && self.write_us == 0 && self.jitter_us == 0
+    }
+
+    /// The cost of the `op_index`-th operation of kind `op`, µs.  Pure
+    /// function of the model and the op site.
+    pub fn sample(&self, op: DiskOp, op_index: u64) -> u64 {
+        let (base, tag) = match op {
+            DiskOp::Read => (self.read_us, 0x4C52u64),
+            DiskOp::Write => (self.write_us, 0x4C57u64),
+        };
+        if self.jitter_us == 0 {
+            return base;
+        }
+        // SplitMix64 over (seed, kind, index): the workspace's stable,
+        // dependency-free mixer.
+        let mut state = self.seed ^ tag.rotate_left(32) ^ op_index;
+        let mut z = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut v = state;
+            v = (v ^ (v >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            v = (v ^ (v >> 27)).wrapping_mul(0x94D049BB133111EB);
+            v ^ (v >> 31)
+        };
+        let h = z() ^ z();
+        base + h % (self.jitter_us + 1)
+    }
+}
+
 /// A store of `b x b` matrix tiles with I/O accounting — the "slow
 /// memory" the blocked algorithm moves tiles in and out of.
 pub trait IoBackend {
@@ -63,6 +156,12 @@ pub trait IoBackend {
     fn scrub(&mut self) -> std::io::Result<()> {
         Ok(())
     }
+    /// The per-operation latency this storage charges.  Advertised, not
+    /// enforced — see [`LatencyModel`].  The free default keeps every
+    /// existing backend and test unchanged.
+    fn latency_model(&self) -> LatencyModel {
+        LatencyModel::none()
+    }
 }
 
 impl IoBackend for FileMatrix {
@@ -92,6 +191,9 @@ impl IoBackend for FileMatrix {
     }
     fn barrier(&mut self) -> std::io::Result<()> {
         FileMatrix::barrier(self)
+    }
+    fn latency_model(&self) -> LatencyModel {
+        self.latency()
     }
 }
 
@@ -260,6 +362,112 @@ impl<B: IoBackend> IoBackend for FaultyBackend<B> {
         }
         self.inner.barrier()
     }
+    fn latency_model(&self) -> LatencyModel {
+        // A latency schedule on the fault plan overrides whatever the
+        // wrapped storage advertises; the plan's seed drives the jitter
+        // so latency is deterministic like every other plan decision.
+        match self.plan.disk_latency() {
+            Some(l) => LatencyModel {
+                read_us: l.read_us,
+                write_us: l.write_us,
+                jitter_us: l.jitter_us,
+                seed: self.plan.seed(),
+            },
+            None => self.inner.latency_model(),
+        }
+    }
+}
+
+/// A backend that really *pays* its advertised latency: every read and
+/// write sleeps the wrapped backend's [`LatencyModel`] cost inline,
+/// then reports a free model so nobody charges the same microseconds
+/// twice.
+///
+/// This is the honest synchronous baseline for the overlap benches: the
+/// sequential OOC driver on a `SleepBackend` experiences disk latency
+/// exactly where the model says it occurs, on the one compute thread.
+/// The pipeline must *not* be wrapped in one — it pays the model on its
+/// I/O workers itself, which is the entire point.
+#[derive(Debug)]
+pub struct SleepBackend<B: IoBackend> {
+    inner: B,
+    model: LatencyModel,
+    /// Global op index for jitter sampling, shared by reads and writes
+    /// (mirrors [`FaultyBackend`]'s numbering).
+    ops: u64,
+}
+
+impl<B: IoBackend> SleepBackend<B> {
+    /// Wrap `inner`, sleeping its advertised model on every operation.
+    pub fn new(inner: B) -> Self {
+        let model = inner.latency_model();
+        SleepBackend {
+            inner,
+            model,
+            ops: 0,
+        }
+    }
+
+    /// Unwrap.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    fn pay(&mut self, op: DiskOp) {
+        let us = self.model.sample(op, self.ops);
+        self.ops += 1;
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
+}
+
+impl<B: IoBackend> IoBackend for SleepBackend<B> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+    fn b(&self) -> usize {
+        self.inner.b()
+    }
+    fn nb(&self) -> usize {
+        self.inner.nb()
+    }
+    fn read_tile(&mut self, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
+        self.pay(DiskOp::Read);
+        self.inner.read_tile(bi, bj)
+    }
+    fn write_tile(&mut self, bi: usize, bj: usize, tile: &Matrix<f64>) -> std::io::Result<()> {
+        self.pay(DiskOp::Write);
+        self.inner.write_tile(bi, bj, tile)
+    }
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+    fn path(&self) -> Option<&Path> {
+        self.inner.path()
+    }
+    fn crash_after_panel(&self, k: usize) -> bool {
+        self.inner.crash_after_panel(k)
+    }
+    fn storage_restored(&mut self) {
+        self.inner.storage_restored();
+    }
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
+    fn begin_panel(&mut self, k: usize) {
+        self.inner.begin_panel(k);
+    }
+    fn scrub(&mut self) -> std::io::Result<()> {
+        self.inner.scrub()
+    }
+    fn barrier(&mut self) -> std::io::Result<()> {
+        self.inner.barrier()
+    }
+    fn latency_model(&self) -> LatencyModel {
+        // Already paid inline; advertising it again would double-charge.
+        LatencyModel::none()
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +534,52 @@ mod tests {
         assert!(fb.read_tile(0, 0).is_err(), "op 3 hits the crash point");
         assert!(fb.crashed());
         assert!(fb.read_tile(1, 1).is_err(), "dead processes stay dead");
+    }
+
+    #[test]
+    fn latency_model_is_deterministic_and_bounded() {
+        let m = LatencyModel::uniform(100).with_jitter(40, 9);
+        for i in 0..200 {
+            let r = m.sample(DiskOp::Read, i);
+            assert!((100..=140).contains(&r), "{r}");
+            assert_eq!(r, m.sample(DiskOp::Read, i), "same site, same cost");
+        }
+        // Reads and writes draw independent jitter at the same index.
+        assert!((0..50).any(|i| m.sample(DiskOp::Read, i) != m.sample(DiskOp::Write, i)));
+        assert_eq!(LatencyModel::none().sample(DiskOp::Write, 3), 0);
+        assert!(LatencyModel::none().is_zero());
+        assert!(!m.is_zero());
+    }
+
+    #[test]
+    fn plan_latency_overrides_the_wrapped_storage() {
+        let fm = small_fm("lat", 16, 8);
+        let plan = FaultPlan::builder(11).disk_latency(100, 30, 5).build();
+        assert!(plan.is_clean(), "latency-only plans stay clean");
+        let fb = FaultyBackend::new(fm, plan);
+        let m = fb.latency_model();
+        assert_eq!((m.read_us, m.write_us, m.jitter_us), (100, 30, 5));
+        assert_eq!(m.seed, 11);
+        // Without a plan schedule, the inner backend's model shines through.
+        let mut fm2 = small_fm("lat2", 16, 8);
+        fm2.set_latency_model(LatencyModel::uniform(7));
+        let fb2 = FaultyBackend::new(fm2, FaultPlan::builder(12).build());
+        assert_eq!(fb2.latency_model(), LatencyModel::uniform(7));
+    }
+
+    #[test]
+    fn sleep_backend_pays_and_then_reports_free() {
+        let mut fm = small_fm("sleep", 16, 8);
+        fm.set_latency_model(LatencyModel::uniform(200));
+        let mut sb = SleepBackend::new(fm);
+        assert!(sb.latency_model().is_zero(), "cost must not be charged twice");
+        let t0 = std::time::Instant::now();
+        let t = sb.read_tile(0, 0).unwrap();
+        sb.write_tile(0, 0, &t).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_micros(400),
+            "two ops at 200us each must take >= 400us"
+        );
     }
 
     #[test]

@@ -664,7 +664,9 @@ pub fn ooc_potrf_checkpointed_in<B: IoBackend>(
                     report.restores += 1;
                     // Everything in RAM reflects the poisoned panel run;
                     // the snapshot on disk is the last trustworthy state.
-                    cache.clear();
+                    // Discarding dirty tiles is deliberate here — they
+                    // are exactly what the restore is rolling back.
+                    cache.clear_discarding();
                     report.checkpoint_bytes += ckpt.restore_in(store, fm)?;
                 }
                 Err(e) => return Err(e),

@@ -26,11 +26,34 @@
 
 use crate::backend::IoBackend;
 use crate::checkpoint::{ooc_potrf_checkpointed_in, Checkpoint, CommitDiscipline};
+use crate::pipeline::{ooc_potrf_checkpointed_pipelined_in, PipelineConfig};
 use crate::potrf::OocError;
 use crate::simmat::SimMatrix;
 use cholcomm_faults::{crash_state, shrink_site, CrashSite, SimDisk, SimOp, SimState, SimStore};
 use cholcomm_matrix::{KernelImpl, Matrix};
 use std::sync::{Arc, Mutex};
+
+/// Which checkpointed driver a recorded run (and its recoveries) use.
+///
+/// The pipelined driver defers write-backs onto I/O workers, but its
+/// epoch barrier drains them before every checkpoint commit — so the
+/// crash-point explorer must find *zero* additional violations under
+/// it.  With one I/O worker the pipelined driver's disk-op order is
+/// identical to the synchronous driver's (jobs complete in submission
+/// order), making the recorded schedule deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverKind {
+    /// [`ooc_potrf_checkpointed_in`]: every tile move blocks compute.
+    Sync,
+    /// [`ooc_potrf_checkpointed_pipelined_in`] with this worker count
+    /// and prefetch depth.
+    Pipelined {
+        /// Dedicated I/O workers.
+        io_workers: usize,
+        /// Maximum outstanding prefetches.
+        lookahead: usize,
+    },
+}
 
 /// One recorded checkpointed factorization on the simulated disk.
 #[derive(Debug)]
@@ -51,6 +74,8 @@ pub struct RecordedRun {
     pub clean_factor: Matrix<f64>,
     /// Panels in the factorization.
     pub total_panels: usize,
+    /// Driver the run was recorded with; recovery uses the same one.
+    pub driver: DriverKind,
     data_name: String,
     ckpt_prefix: String,
 }
@@ -68,11 +93,49 @@ pub fn record_run(
     sector: usize,
     discipline: CommitDiscipline,
 ) -> Result<RecordedRun, OocError> {
+    record_run_with(a, b, capacity, sector, discipline, DriverKind::Sync)
+}
+
+/// [`record_run`] under the pipelined driver: same protocol, but tile
+/// traffic flows through prefetching I/O workers with deferred
+/// write-backs.  Record with `io_workers = 1` when the schedule itself
+/// must be deterministic (the exhaustive explorer); any worker count is
+/// fine when only recovery outcomes are asserted.
+pub fn record_run_pipelined(
+    a: &Matrix<f64>,
+    b: usize,
+    capacity: usize,
+    sector: usize,
+    discipline: CommitDiscipline,
+    io_workers: usize,
+    lookahead: usize,
+) -> Result<RecordedRun, OocError> {
+    record_run_with(
+        a,
+        b,
+        capacity,
+        sector,
+        discipline,
+        DriverKind::Pipelined {
+            io_workers,
+            lookahead,
+        },
+    )
+}
+
+fn record_run_with(
+    a: &Matrix<f64>,
+    b: usize,
+    capacity: usize,
+    sector: usize,
+    discipline: CommitDiscipline,
+    driver: DriverKind,
+) -> Result<RecordedRun, OocError> {
     let disk = Arc::new(Mutex::new(SimDisk::new(sector)));
     let mut sm = SimMatrix::create(Arc::clone(&disk), DATA_NAME, a, b)?;
     let mut store = SimStore::new(Arc::clone(&disk));
     let ckpt = Checkpoint::at(std::path::Path::new(CKPT_PREFIX)).with_discipline(discipline);
-    ooc_potrf_checkpointed_in(&mut sm, capacity, &ckpt, &mut store, KernelImpl::Reference)?;
+    drive(&mut sm, capacity, &ckpt, &mut store, driver)?;
     let clean_factor = sm.to_matrix()?;
     let total_panels = sm.nb();
     let schedule = disk
@@ -89,9 +152,37 @@ pub fn record_run(
         schedule,
         clean_factor,
         total_panels,
+        driver,
         data_name: DATA_NAME.to_string(),
         ckpt_prefix: CKPT_PREFIX.to_string(),
     })
+}
+
+/// Run the checkpointed factorization `driver` names; returns the panel
+/// the run started at.
+fn drive(
+    sm: &mut SimMatrix,
+    capacity: usize,
+    ckpt: &Checkpoint,
+    store: &mut SimStore,
+    driver: DriverKind,
+) -> Result<usize, OocError> {
+    match driver {
+        DriverKind::Sync => {
+            let report = ooc_potrf_checkpointed_in(sm, capacity, ckpt, store, KernelImpl::Reference)?;
+            Ok(report.start_panel)
+        }
+        DriverKind::Pipelined {
+            io_workers,
+            lookahead,
+        } => {
+            let cfg = PipelineConfig::new(capacity)
+                .with_io_workers(io_workers)
+                .with_lookahead(lookahead);
+            let (report, _) = ooc_potrf_checkpointed_pipelined_in(sm, ckpt, store, &cfg)?;
+            Ok(report.start_panel)
+        }
+    }
 }
 
 impl RecordedRun {
@@ -116,10 +207,11 @@ impl RecordedRun {
         let mut store = SimStore::new(disk);
         // Recovery always runs the *correct* protocol: the discipline
         // under test only shapes the recorded schedule being explored.
+        // It does run the same *driver* as the recording, though — a
+        // pipelined run is recovered by a pipelined process.
         let ckpt = Checkpoint::at(std::path::Path::new(&self.ckpt_prefix));
-        let report =
-            ooc_potrf_checkpointed_in(&mut sm, self.capacity, &ckpt, &mut store, KernelImpl::Reference)?;
-        Ok((sm.to_matrix()?, report.start_panel))
+        let start_panel = drive(&mut sm, self.capacity, &ckpt, &mut store, self.driver)?;
+        Ok((sm.to_matrix()?, start_panel))
     }
 
     /// Why `site` violates crash consistency, or `None` if recovery
@@ -291,6 +383,37 @@ mod tests {
             report.violations
         );
         assert!(report.rework_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn pipelined_recording_matches_sync_schedule_with_one_worker() {
+        let mut rng = spd::test_rng(403);
+        let a = spd::random_spd(8, &mut rng);
+        let sync = record_run(&a, 4, 3, DEFAULT_SECTOR, CommitDiscipline::Barriered).unwrap();
+        let pipe =
+            record_run_pipelined(&a, 4, 3, DEFAULT_SECTOR, CommitDiscipline::Barriered, 1, 2)
+                .unwrap();
+        assert_eq!(pipe.clean_factor, sync.clean_factor);
+        // One worker completes jobs in submission order, and the epoch
+        // barrier drains before every checkpoint: the two drivers leave
+        // the *same* durable op schedule behind.
+        assert_eq!(pipe.schedule, sync.schedule);
+    }
+
+    #[test]
+    fn pipelined_crash_sites_all_recover_bit_identically() {
+        let mut rng = spd::test_rng(404);
+        let a = spd::random_spd(8, &mut rng);
+        let run =
+            record_run_pipelined(&a, 4, 3, DEFAULT_SECTOR, CommitDiscipline::Barriered, 2, 2)
+                .unwrap();
+        let sites: Vec<CrashSite> = (0..=run.schedule.len()).map(CrashSite::clean).collect();
+        let report = explore_crash_sites(&run, &sites);
+        assert!(
+            report.violations.is_empty(),
+            "violations: {:?}",
+            report.violations
+        );
     }
 
     #[test]

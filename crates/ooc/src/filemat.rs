@@ -20,6 +20,11 @@ pub struct IoStats {
     /// Seeks that actually moved the file cursor (sequential access is
     /// free, as on a disk).
     pub seeks: u64,
+    /// Total distance the cursor jumped across all seeks, in bytes —
+    /// how *far* the head travelled, not just how often.  A pipeline
+    /// that sequentializes its reads shows up here even when the seek
+    /// *count* barely moves.
+    pub seek_distance: u64,
 }
 
 /// An `n x n` `f64` matrix stored in a file as `b x b` tiles, tiles
@@ -35,6 +40,7 @@ pub struct FileMatrix {
     cursor: u64,
     stats: IoStats,
     persist: bool,
+    latency: crate::backend::LatencyModel,
 }
 
 impl FileMatrix {
@@ -62,6 +68,7 @@ impl FileMatrix {
             cursor: 0,
             stats: IoStats::default(),
             persist: false,
+            latency: crate::backend::LatencyModel::none(),
         };
         // Initial population is not charged (the paper assumes the input
         // starts in slow memory).
@@ -117,6 +124,7 @@ impl FileMatrix {
             // recovery handle must never unlink the data it was trying
             // to recover (even if it fails and drops early).
             persist: true,
+            latency: crate::backend::LatencyModel::none(),
         })
     }
 
@@ -125,6 +133,18 @@ impl FileMatrix {
     /// handle.
     pub fn set_persist(&mut self, persist: bool) {
         self.persist = persist;
+    }
+
+    /// Declare the per-operation latency this storage charges.  The
+    /// model is *advertised*, not enforced here: consumers (the OOC
+    /// pipeline, [`SleepBackend`](crate::backend::SleepBackend)) decide
+    /// whether to sleep it or to price it symbolically.
+    pub fn set_latency_model(&mut self, model: crate::backend::LatencyModel) {
+        self.latency = model;
+    }
+
+    pub(crate) fn latency(&self) -> crate::backend::LatencyModel {
+        self.latency
     }
 
     /// The file cursor can no longer be trusted (someone rewrote the
@@ -176,6 +196,12 @@ impl FileMatrix {
         if self.cursor != off {
             self.file.seek(SeekFrom::Start(off))?;
             self.stats.seeks += 1;
+            // An invalidated cursor (fresh open, checkpoint restore) has
+            // no meaningful position; charge the mandatory repositioning
+            // seek but no travel distance.
+            if self.cursor != u64::MAX {
+                self.stats.seek_distance += self.cursor.abs_diff(off);
+            }
             self.cursor = off;
         }
         Ok(())
@@ -314,8 +340,12 @@ mod tests {
         fm.read_tile(1, 0).unwrap(); // adjacent on disk: no seek
         fm.read_tile(0, 1).unwrap(); // adjacent: no seek
         let after_streaming = fm.stats().seeks;
+        let dist_streaming = fm.stats().seek_distance;
         fm.read_tile(0, 0).unwrap(); // jump back: seek
         assert_eq!(fm.stats().seeks, after_streaming + 1);
+        // The jump back travels exactly the three tiles already read.
+        let tile_bytes = 8 * 8 * 8u64;
+        assert_eq!(fm.stats().seek_distance, dist_streaming + 3 * tile_bytes);
         // The initial positioning after create counts as at most one.
         assert!(after_streaming <= 1, "streaming reads must not seek");
     }

@@ -44,16 +44,25 @@ pub mod backend;
 pub mod checkpoint;
 pub mod crashsim;
 pub mod filemat;
+pub mod pipeline;
 pub mod potrf;
 pub mod simmat;
 
 pub use abft::AbftBackend;
-pub use backend::{FaultyBackend, IoBackend};
+pub use backend::{FaultyBackend, IoBackend, LatencyModel, SleepBackend};
 pub use checkpoint::{
     ooc_potrf_checkpointed, ooc_potrf_checkpointed_in, ooc_potrf_checkpointed_with, Checkpoint,
     CheckpointReport, CheckpointState, CommitDiscipline,
 };
-pub use crashsim::{explore_crash_sites, record_run, CrashExploration, RecordedRun};
+pub use crashsim::{
+    explore_crash_sites, record_run, record_run_pipelined, CrashExploration, DriverKind,
+    RecordedRun,
+};
 pub use filemat::{FileMatrix, IoStats};
+pub use pipeline::{
+    io_workers_from_env, model_overlap, ooc_potrf_checkpointed_pipelined,
+    ooc_potrf_checkpointed_pipelined_in, ooc_potrf_pipelined, ooc_potrf_pipelined_with,
+    ModelConfig, ModelReport, PipelineConfig, PipelineStats, DEFAULT_FLOPS_PER_US, WORKING_SET,
+};
 pub use potrf::{ooc_potrf, ooc_potrf_with, OocError, TileCache};
 pub use simmat::SimMatrix;

@@ -1,0 +1,1553 @@
+//! Double-buffered, prefetching out-of-core POTRF: tile I/O overlapped
+//! with compute.
+//!
+//! The synchronous driver ([`ooc_potrf`](crate::ooc_potrf)) blocks the
+//! compute thread on every tile move, so its wall time is
+//! `compute + I/O`.  But Algorithm 4's tile schedule is *data-oblivious*
+//! — the sequence of gets and puts is a pure function of `(nb,
+//! capacity)` — which means the entire miss stream, every eviction
+//! victim, and every write-back is known before the factorization
+//! starts.  This module exploits that:
+//!
+//! 1. A deterministic **lookahead planner** ([`Plan`]) replays the exact
+//!    LRU discipline of [`TileCache`](crate::TileCache) over the op
+//!    schedule and emits one [`PlannedFetch`] per miss: the tile to
+//!    read, the victims to evict (with their dirtiness), and `ready_at`
+//!    — the earliest compute position at which issuing the fetch is
+//!    safe (one past the last compute access of every victim).
+//! 2. A **prefetching front** ([`PipelineFront`]) walks the plan ahead
+//!    of the compute loop, issuing up to `lookahead` outstanding reads
+//!    on dedicated I/O workers ([`cholcomm_par::io_scope`]) and
+//!    deferring dirty write-backs onto the same workers.  Compute only
+//!    stalls when it reaches a miss whose read has not landed yet.
+//! 3. An **epoch barrier** at each panel boundary
+//!    ([`PipelineFront::flush_boundary`]) drains every deferred
+//!    write-back before the checkpoint layer snapshots the data file,
+//!    so the journaled commit protocol of
+//!    [`checkpoint`](crate::checkpoint) is preserved unchanged.
+//!
+//! # Why the factor is bit-identical
+//!
+//! The pipeline reorders *transport*, never *arithmetic*: the compute
+//! loop is the same [`factor_panel_src`] the synchronous driver runs,
+//! and every get returns the same stored bytes it would have returned
+//! synchronously.  Three hazards could break that, and each is closed
+//! structurally:
+//!
+//! * **Evict-before-last-use** — a victim may not leave the in-RAM set
+//!   while compute still needs it.  Closed by `ready_at`: the planner
+//!   knows each victim's final access position, and the front never
+//!   issues a fetch (hence never evicts) before compute has passed it.
+//! * **Read-after-write** — a prefetch of a tile with a pending
+//!   deferred write-back must observe the write.  Closed in
+//!   [`PipeIo`]: a read job blocks until no write of its tile is
+//!   queued or in flight (the conflicting write is always *submitted*
+//!   earlier, so this never deadlocks, even with one worker).
+//! * **Write-after-write** — two write-backs of one tile must not
+//!   race.  Closed by ordering: a second eviction of tile `X` can only
+//!   be issued after compute re-fetched and re-dirtied `X`, and that
+//!   re-fetch read already waited out the first write.  The front
+//!   asserts this invariant at enqueue.
+//!
+//! With one I/O worker the submitted job order *is* the synchronous
+//! backend-op order, so even per-op fault plans
+//! ([`FaultyBackend`](crate::FaultyBackend)) fire at identical op
+//! indices.  With more workers only the completion order changes;
+//! the bytes never do.
+//!
+//! # What is charged where
+//!
+//! Latency is *modeled*, not measured: the backend advertises a
+//! [`LatencyModel`] and the front samples it per enqueued op into
+//! [`PipelineStats::modeled_io_us`].  [`model_overlap`] runs the same
+//! plan through a deterministic event simulator — a synchronous leg
+//! (every op serialized on one timeline) against a pipelined leg
+//! (reads/writes on `io_workers` timelines, stalls only at unready
+//! misses) — which is what `ooc_bench` gates the overlap claim on.
+//! Set [`PipelineConfig::sleep_latency`] to make the I/O workers
+//! really sleep the sampled cost (the measured leg); do **not** wrap
+//! the pipeline's backend in [`SleepBackend`](crate::SleepBackend) —
+//! that serializes the sleeps under the backend lock and charges the
+//! latency to the wrong place.
+
+use crate::backend::{IoBackend, LatencyModel};
+use crate::checkpoint::{Checkpoint, CheckpointReport};
+use crate::potrf::{factor_panel_src, LruIndex, OocError, TileSource};
+use cholcomm_faults::{DiskOp, FsStore, Store};
+use cholcomm_matrix::{KernelImpl, Matrix};
+use cholcomm_par::io::{io_scope, IoScope};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Tiles Algorithm 4 holds live at once inside one trailing-update
+/// step (`lj`, `li`, and the updated tile) — the floor under the
+/// default lookahead so prefetch depth never cannibalizes the working
+/// set.
+pub const WORKING_SET: usize = 3;
+
+/// I/O workers from `CHOLCOMM_IO_WORKERS`, clamped to `1..=8`;
+/// defaults to 2 (one read stream, one write-back stream).
+pub fn io_workers_from_env() -> usize {
+    std::env::var("CHOLCOMM_IO_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(2, |w| w.clamp(1, 8))
+}
+
+/// Configuration for the pipelined drivers.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// In-RAM tile budget of the (planned) LRU cache — same meaning as
+    /// the synchronous drivers' `capacity_tiles`.
+    pub capacity_tiles: usize,
+    /// Dedicated I/O worker threads (see [`io_workers_from_env`]).
+    pub io_workers: usize,
+    /// Maximum outstanding (issued but unconsumed) prefetches.  Peak
+    /// RAM is `capacity_tiles + lookahead` tiles plus pending
+    /// write-backs.
+    pub lookahead: usize,
+    /// Kernel engine for the tile arithmetic.
+    pub kernel: KernelImpl,
+    /// Make the I/O workers really sleep each op's sampled latency
+    /// (for measured overlap benches).  Off, latency is only tallied.
+    pub sleep_latency: bool,
+    /// Enable data-parallel kernels on the compute thread while the
+    /// pipeline runs (thread-local; restored afterwards).
+    pub parallel_kernels: bool,
+}
+
+impl PipelineConfig {
+    /// Defaults: workers from the environment, lookahead =
+    /// `capacity_tiles - WORKING_SET` (at least 1), reference kernels,
+    /// latency tallied but not slept.
+    pub fn new(capacity_tiles: usize) -> Self {
+        assert!(capacity_tiles >= 3, "Algorithm 4 needs three tiles resident");
+        PipelineConfig {
+            capacity_tiles,
+            io_workers: io_workers_from_env(),
+            lookahead: capacity_tiles.saturating_sub(WORKING_SET).max(1),
+            kernel: KernelImpl::Reference,
+            sleep_latency: false,
+            parallel_kernels: false,
+        }
+    }
+
+    /// Set the I/O worker count.
+    pub fn with_io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers.max(1);
+        self
+    }
+
+    /// Set the prefetch depth.
+    pub fn with_lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead.max(1);
+        self
+    }
+
+    /// Set the kernel engine.
+    pub fn with_kernel(mut self, kernel: KernelImpl) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sleep sampled latency on the I/O workers.
+    pub fn with_sleep_latency(mut self, sleep: bool) -> Self {
+        self.sleep_latency = sleep;
+        self
+    }
+
+    /// Run the tile kernels data-parallel on the compute thread.
+    pub fn with_parallel_kernels(mut self, parallel: bool) -> Self {
+        self.parallel_kernels = parallel;
+        self
+    }
+}
+
+/// What a pipelined run did (transport-side; the factor itself is
+/// bit-identical to the synchronous driver's by construction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineStats {
+    /// Tile reads issued (= the plan's misses = the sync driver's reads).
+    pub fetches: u64,
+    /// Misses whose read had already landed when compute arrived.
+    pub prefetch_hits: u64,
+    /// Misses compute had to block on.
+    pub prefetch_stalls: u64,
+    /// Dirty evictions written back by the I/O workers.
+    pub evict_writes: u64,
+    /// Boundary/final flush writes.
+    pub flush_writes: u64,
+    /// Total modeled latency of every enqueued op, µs (what a
+    /// synchronous run would have blocked on).
+    pub modeled_io_us: u64,
+}
+
+impl PipelineStats {
+    /// Fraction of misses served without a stall.
+    pub fn hit_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            1.0
+        } else {
+            self.prefetch_hits as f64 / self.fetches as f64
+        }
+    }
+}
+
+/// One logical tile access of Algorithm 4's schedule, plus the panel
+/// boundary marker the checkpointed driver flushes at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Get(usize, usize),
+    Put(usize, usize),
+    /// Panel `k` just finished; checkpointed runs flush here.
+    Boundary(usize),
+}
+
+/// One planned miss: what to read, what must leave the cache to make
+/// room, and when it is safe to do so.
+#[derive(Debug, Clone)]
+struct PlannedFetch {
+    tile: (usize, usize),
+    /// Op position of the miss this fetch serves.
+    miss_pos: usize,
+    /// Earliest op position at which the fetch (and its evictions) may
+    /// be issued: one past the last compute access of every victim.
+    ready_at: usize,
+    /// Victims in eviction order, with planned dirtiness.
+    evict: Vec<((usize, usize), bool)>,
+}
+
+/// The deterministic lookahead plan: Algorithm 4's op schedule for
+/// panels `start..nb` with the LRU cache simulated over it.
+#[derive(Debug)]
+struct Plan {
+    ops: Vec<Access>,
+    fetches: Vec<PlannedFetch>,
+    /// Per [`Access::Boundary`], the sorted dirty tiles its flush
+    /// writes (mirrors `TileCache::flush`'s sorted write order).
+    boundary_writes: Vec<Vec<(usize, usize)>>,
+    /// Sorted dirty tiles the final flush writes (plain mode).
+    final_writes: Vec<(usize, usize)>,
+    /// Dirty evictions across all fetches.
+    evict_writes: u64,
+}
+
+impl Plan {
+    fn new(nb: usize, capacity: usize, start: usize, flush_at_boundaries: bool) -> Plan {
+        assert!(capacity >= 3, "Algorithm 4 needs three tiles resident");
+        let mut ops = Vec::new();
+        for k in start..nb {
+            ops.push(Access::Get(k, k));
+            ops.push(Access::Put(k, k));
+            for i in (k + 1)..nb {
+                ops.push(Access::Get(i, k));
+                ops.push(Access::Put(i, k));
+            }
+            for j in (k + 1)..nb {
+                ops.push(Access::Get(j, k));
+                for i in j..nb {
+                    ops.push(Access::Get(i, k));
+                    ops.push(Access::Get(i, j));
+                    ops.push(Access::Put(i, j));
+                }
+            }
+            if flush_at_boundaries {
+                ops.push(Access::Boundary(k));
+            }
+        }
+
+        // Replay TileCache's exact LRU discipline over the schedule.
+        let mut order = LruIndex::new();
+        let mut resident: HashMap<(usize, usize), bool> = HashMap::new(); // key -> dirty
+        let mut last_access: HashMap<(usize, usize), usize> = HashMap::new();
+        // Position of the boundary flush that last cleaned each tile
+        // (dirty -> clean without an access).  A victim the planner saw
+        // *clean* only because a boundary flushed it must not be
+        // evicted before that flush runs, or the front would evict it
+        // dirty — `ready_at` is clamped past the boundary below.
+        let mut cleaned_at: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut fetches: Vec<PlannedFetch> = Vec::new();
+        let mut boundary_writes = Vec::new();
+        let mut evict_writes = 0u64;
+        for (pos, op) in ops.iter().enumerate() {
+            match *op {
+                Access::Get(bi, bj) => {
+                    let key = (bi, bj);
+                    if resident.contains_key(&key) {
+                        order.touch(key);
+                    } else {
+                        let mut evict = Vec::new();
+                        let mut ready_at = 0usize;
+                        while order.len() >= capacity {
+                            let victim = order.lru().expect("full cache has a victim");
+                            let vd = resident.remove(&victim).expect("victim is resident");
+                            order.remove(victim);
+                            ready_at = ready_at.max(last_access[&victim] + 1);
+                            if vd {
+                                evict_writes += 1;
+                            } else if let Some(&cp) = cleaned_at.get(&victim) {
+                                // Clean only by virtue of a boundary
+                                // flush after its last access: the
+                                // eviction must wait the flush out.
+                                if cp > last_access[&victim] {
+                                    ready_at = ready_at.max(cp + 1);
+                                }
+                            }
+                            cleaned_at.remove(&victim);
+                            evict.push((victim, vd));
+                        }
+                        fetches.push(PlannedFetch {
+                            tile: key,
+                            miss_pos: pos,
+                            ready_at,
+                            evict,
+                        });
+                        resident.insert(key, false);
+                        order.touch(key);
+                    }
+                    last_access.insert(key, pos);
+                }
+                Access::Put(bi, bj) => {
+                    let key = (bi, bj);
+                    // Every put immediately follows a get of the same
+                    // tile in Algorithm 4, so puts never miss.
+                    debug_assert!(resident.contains_key(&key), "put of a non-resident tile");
+                    resident.insert(key, true);
+                    order.touch(key);
+                    last_access.insert(key, pos);
+                }
+                Access::Boundary(_) => {
+                    let mut keys: Vec<(usize, usize)> = resident
+                        .iter()
+                        .filter(|&(_, d)| *d)
+                        .map(|(&key, _)| key)
+                        .collect();
+                    keys.sort_unstable();
+                    for &key in &keys {
+                        resident.insert(key, false);
+                        cleaned_at.insert(key, pos);
+                    }
+                    boundary_writes.push(keys);
+                }
+            }
+        }
+        let mut final_writes: Vec<(usize, usize)> = resident
+            .iter()
+            .filter(|&(_, d)| *d)
+            .map(|(&key, _)| key)
+            .collect();
+        final_writes.sort_unstable();
+        if flush_at_boundaries {
+            debug_assert!(final_writes.is_empty(), "boundary flushes leave nothing dirty");
+        }
+        Plan {
+            ops,
+            fetches,
+            boundary_writes,
+            final_writes,
+            evict_writes,
+        }
+    }
+}
+
+/// Shared state between the compute thread and the I/O workers.
+#[derive(Debug)]
+struct IoShared {
+    /// Completed prefetch reads awaiting consumption.
+    fetched: HashMap<(usize, usize), Matrix<f64>>,
+    /// Read jobs enqueued or running.
+    reads_inflight: usize,
+    /// Write-back payloads enqueued but not yet picked up.
+    write_data: HashMap<(usize, usize), Matrix<f64>>,
+    /// Write jobs currently executing.
+    write_inflight: HashSet<(usize, usize)>,
+    /// First I/O error observed, surfaced to the compute thread.
+    error: Option<std::io::Error>,
+    /// The run is dead (crash or unrecoverable failure): jobs must not
+    /// touch the disk any more.
+    abort: bool,
+}
+
+/// The pipeline's I/O hub: the backend behind a mutex, the shared job
+/// state, and the condvar everything rendezvouses on.
+#[derive(Debug)]
+struct PipeIo<'fm, B: IoBackend> {
+    backend: Mutex<&'fm mut B>,
+    st: Mutex<IoShared>,
+    cv: Condvar,
+    model: LatencyModel,
+    sleep: bool,
+}
+
+impl<'fm, B: IoBackend> PipeIo<'fm, B> {
+    fn new(fm: &'fm mut B, sleep: bool) -> Self {
+        let model = fm.latency_model();
+        PipeIo {
+            backend: Mutex::new(fm),
+            st: Mutex::new(IoShared {
+                fetched: HashMap::new(),
+                reads_inflight: 0,
+                write_data: HashMap::new(),
+                write_inflight: HashSet::new(),
+                error: None,
+                abort: false,
+            }),
+            cv: Condvar::new(),
+            model,
+            sleep,
+        }
+    }
+
+    /// Run `f` holding the backend lock (begin_panel, checkpoint
+    /// save/restore, scrub, barrier — everything that must serialize
+    /// with the worker jobs).
+    fn with_backend<R>(&self, f: impl FnOnce(&mut B) -> R) -> R {
+        let mut be = lock(&self.backend);
+        f(&mut **be)
+    }
+
+    fn pay(&self, us: u64) {
+        if self.sleep && us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(us));
+        }
+    }
+
+    fn wait<'a>(&self, st: MutexGuard<'a, IoShared>) -> MutexGuard<'a, IoShared> {
+        self.cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Body of a prefetch-read job.
+    fn read_job(&self, tile: (usize, usize), us: u64) {
+        self.pay(us);
+        let mut st = lock(&self.st);
+        // Read-after-write hazard: a pending deferred write-back of this
+        // very tile must land first.  The conflicting write job was
+        // always submitted before this read, so it is running or done —
+        // never queued behind us — and this wait terminates.
+        while !st.abort
+            && st.error.is_none()
+            && (st.write_data.contains_key(&tile) || st.write_inflight.contains(&tile))
+        {
+            st = self.wait(st);
+        }
+        if st.abort || st.error.is_some() {
+            st.reads_inflight -= 1;
+            self.cv.notify_all();
+            return;
+        }
+        drop(st);
+        let result = {
+            let mut be = lock(&self.backend);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                be.read_tile(tile.0, tile.1)
+            }))
+        };
+        let mut st = lock(&self.st);
+        st.reads_inflight -= 1;
+        match result {
+            Ok(Ok(t)) => {
+                if !st.abort {
+                    st.fetched.insert(tile, t);
+                }
+            }
+            Ok(Err(e)) => {
+                if st.error.is_none() {
+                    st.error = Some(e);
+                }
+            }
+            Err(_) => {
+                if st.error.is_none() {
+                    st.error = Some(std::io::Error::other("tile read panicked on an I/O worker"));
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Body of a deferred write-back job.
+    fn write_job(&self, tile: (usize, usize), us: u64) {
+        self.pay(us);
+        let data = {
+            let mut st = lock(&self.st);
+            if st.abort {
+                // A dead process's queued write-backs never reach disk.
+                st.write_data.remove(&tile);
+                self.cv.notify_all();
+                return;
+            }
+            let Some(data) = st.write_data.remove(&tile) else {
+                self.cv.notify_all();
+                return;
+            };
+            st.write_inflight.insert(tile);
+            data
+        };
+        let result = {
+            let mut be = lock(&self.backend);
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                be.write_tile(tile.0, tile.1, &data)
+            }))
+        };
+        let mut st = lock(&self.st);
+        st.write_inflight.remove(&tile);
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                if st.error.is_none() {
+                    st.error = Some(e);
+                }
+            }
+            Err(_) => {
+                if st.error.is_none() {
+                    st.error = Some(std::io::Error::other("tile write panicked on an I/O worker"));
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Kill the run: queued jobs become no-ops (crash semantics — a
+    /// dead process's buffered write-backs must not land post-mortem).
+    fn fail(&self) {
+        let mut st = lock(&self.st);
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until every deferred write-back has landed (the epoch
+    /// barrier the checkpoint snapshot requires).
+    fn drain_writes(&self) -> Result<(), OocError> {
+        let mut st = lock(&self.st);
+        loop {
+            if let Some(e) = st.error.take() {
+                return Err(OocError::Io(e));
+            }
+            if st.write_data.is_empty() && st.write_inflight.is_empty() {
+                return Ok(());
+            }
+            st = self.wait(st);
+        }
+    }
+
+    /// Wait for *every* in-flight job to finish, ignoring errors — the
+    /// restore path, where whatever the jobs were doing is moot.
+    fn quiesce(&self) {
+        let mut st = lock(&self.st);
+        while st.reads_inflight > 0 || !st.write_data.is_empty() || !st.write_inflight.is_empty() {
+            st = self.wait(st);
+        }
+    }
+}
+
+/// The prefetching [`TileSource`]: resident tiles in RAM, the plan's
+/// fetch stream issued ahead of `pos`, write-backs deferred to the I/O
+/// workers.
+struct PipelineFront<'s, 'env, 'fm, B: IoBackend> {
+    io: &'env PipeIo<'fm, B>,
+    scope: &'s IoScope<'s, 'env>,
+    plan: Plan,
+    capacity: usize,
+    lookahead: usize,
+    /// key -> (tile, dirty); mirrors the planned cache exactly, except
+    /// victims leave at fetch-*issue* time (provably past their last
+    /// use) instead of miss time.
+    resident: HashMap<(usize, usize), (Matrix<f64>, bool)>,
+    /// Compute position in `plan.ops`.
+    pos: usize,
+    /// Next fetch to issue.
+    next_fetch: usize,
+    /// Fetches consumed by compute.
+    fetch_consumed: usize,
+    /// Boundary flushes performed.
+    boundaries_done: usize,
+    /// Backend op sequence number for latency sampling (same numbering
+    /// a synchronous run would use: evictions before their read, in
+    /// fetch order).
+    op_seq: u64,
+    stats: PipelineStats,
+    n: usize,
+    b: usize,
+    nb: usize,
+}
+
+impl<'s, 'env, 'fm: 'env, B: IoBackend + Send> PipelineFront<'s, 'env, 'fm, B> {
+    fn new(
+        io: &'env PipeIo<'fm, B>,
+        scope: &'s IoScope<'s, 'env>,
+        plan: Plan,
+        cfg: &PipelineConfig,
+        n: usize,
+        b: usize,
+        nb: usize,
+    ) -> Self {
+        PipelineFront {
+            io,
+            scope,
+            plan,
+            capacity: cfg.capacity_tiles,
+            lookahead: cfg.lookahead.max(1),
+            resident: HashMap::new(),
+            pos: 0,
+            next_fetch: 0,
+            fetch_consumed: 0,
+            boundaries_done: 0,
+            op_seq: 0,
+            stats: PipelineStats::default(),
+            n,
+            b,
+            nb,
+        }
+    }
+
+    fn enqueue_read(&mut self, tile: (usize, usize)) {
+        let us = self.io.model.sample(DiskOp::Read, self.op_seq);
+        self.op_seq += 1;
+        self.stats.modeled_io_us += us;
+        lock(&self.io.st).reads_inflight += 1;
+        let io = self.io;
+        self.scope.submit(move || io.read_job(tile, us));
+    }
+
+    fn enqueue_write(&mut self, tile: (usize, usize), data: Matrix<f64>) {
+        let us = self.io.model.sample(DiskOp::Write, self.op_seq);
+        self.op_seq += 1;
+        self.stats.modeled_io_us += us;
+        {
+            let mut st = lock(&self.io.st);
+            let prev = st.write_data.insert(tile, data);
+            assert!(
+                prev.is_none(),
+                "write-write hazard: tile {tile:?} enqueued twice"
+            );
+        }
+        let io = self.io;
+        self.scope.submit(move || io.write_job(tile, us));
+    }
+
+    /// Issue every fetch that is within the lookahead window and whose
+    /// `ready_at` the compute front has passed.
+    fn pump(&mut self) {
+        while self.next_fetch < self.plan.fetches.len()
+            && self.next_fetch - self.fetch_consumed < self.lookahead
+            && self.plan.fetches[self.next_fetch].ready_at <= self.pos
+        {
+            let f = &self.plan.fetches[self.next_fetch];
+            let tile = f.tile;
+            let evict = f.evict.clone();
+            for (victim, planned_dirty) in evict {
+                let (data, dirty) = self
+                    .resident
+                    .remove(&victim)
+                    .expect("planned victim is resident at issue time");
+                debug_assert_eq!(dirty, planned_dirty, "planned dirtiness of {victim:?}");
+                if dirty {
+                    self.enqueue_write(victim, data);
+                    self.stats.evict_writes += 1;
+                }
+            }
+            self.enqueue_read(tile);
+            self.stats.fetches += 1;
+            self.next_fetch += 1;
+        }
+    }
+
+    /// Block until the prefetch of `tile` lands (or the run errors).
+    fn wait_fetched(&mut self, tile: (usize, usize)) -> Result<Matrix<f64>, OocError> {
+        let mut st = lock(&self.io.st);
+        let mut stalled = false;
+        loop {
+            if let Some(e) = st.error.take() {
+                return Err(OocError::Io(e));
+            }
+            if let Some(t) = st.fetched.remove(&tile) {
+                if stalled {
+                    self.stats.prefetch_stalls += 1;
+                } else {
+                    self.stats.prefetch_hits += 1;
+                }
+                return Ok(t);
+            }
+            stalled = true;
+            st = self.io.wait(st);
+        }
+    }
+
+    /// The epoch barrier at a panel boundary: enqueue every dirty
+    /// resident tile (sorted, mirroring `TileCache::flush`), mark them
+    /// clean, and drain the write queue so the checkpoint snapshot sees
+    /// the complete panel.
+    fn flush_boundary(&mut self) -> Result<(), OocError> {
+        debug_assert!(
+            matches!(self.plan.ops.get(self.pos), Some(Access::Boundary(_))),
+            "flush_boundary off the planned boundary"
+        );
+        let mut keys: Vec<(usize, usize)> = self
+            .resident
+            .iter()
+            .filter(|&(_, (_, d))| *d)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort_unstable();
+        debug_assert_eq!(
+            keys, self.plan.boundary_writes[self.boundaries_done],
+            "boundary flush diverged from the plan"
+        );
+        for &key in &keys {
+            let tile = match self.resident.get_mut(&key) {
+                Some((t, d)) => {
+                    *d = false;
+                    t.clone()
+                }
+                None => continue,
+            };
+            self.enqueue_write(key, tile);
+            self.stats.flush_writes += 1;
+        }
+        self.boundaries_done += 1;
+        self.pos += 1; // consume the Boundary op
+        self.io.drain_writes()?;
+        self.pump();
+        Ok(())
+    }
+
+    /// Final flush (plain mode, and the NotSpd leave-a-well-defined-file
+    /// path): write every dirty resident tile sorted and drain.
+    fn flush_final(&mut self) -> Result<(), OocError> {
+        let mut keys: Vec<(usize, usize)> = self
+            .resident
+            .iter()
+            .filter(|&(_, (_, d))| *d)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort_unstable();
+        for &key in &keys {
+            let tile = match self.resident.get_mut(&key) {
+                Some((t, d)) => {
+                    *d = false;
+                    t.clone()
+                }
+                None => continue,
+            };
+            self.enqueue_write(key, tile);
+            self.stats.flush_writes += 1;
+        }
+        self.io.drain_writes()
+    }
+
+    /// Roll the front back for a restore-and-retry of panel `k`: wait
+    /// out every in-flight job (nothing stale may land after the
+    /// restore), drop all transport state, and re-plan from `k`.
+    fn reset(&mut self, k: usize, flush_at_boundaries: bool) {
+        self.io.quiesce();
+        {
+            let mut st = lock(&self.io.st);
+            st.fetched.clear();
+            st.error = None;
+            debug_assert!(
+                st.reads_inflight == 0
+                    && st.write_data.is_empty()
+                    && st.write_inflight.is_empty(),
+                "quiesce left jobs in flight"
+            );
+        }
+        self.plan = Plan::new(self.nb, self.capacity, k, flush_at_boundaries);
+        self.pos = 0;
+        self.next_fetch = 0;
+        self.fetch_consumed = 0;
+        self.boundaries_done = 0;
+        self.resident.clear();
+        // op_seq keeps counting: latency is a cost model, not a replay.
+    }
+}
+
+impl<'fm: 'env, 'env, B: IoBackend + Send> TileSource for PipelineFront<'_, 'env, 'fm, B> {
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn b(&self) -> usize {
+        self.b
+    }
+    fn nb(&self) -> usize {
+        self.nb
+    }
+    fn begin_panel(&mut self, k: usize) {
+        self.io.with_backend(|be| be.begin_panel(k));
+    }
+    fn get(&mut self, bi: usize, bj: usize) -> Result<Matrix<f64>, OocError> {
+        let key = (bi, bj);
+        if let Some((t, _)) = self.resident.get(&key) {
+            let out = t.clone();
+            self.pos += 1;
+            self.pump();
+            return Ok(out);
+        }
+        debug_assert_eq!(
+            self.plan.fetches.get(self.fetch_consumed).map(|f| f.tile),
+            Some(key),
+            "miss stream diverged from the plan"
+        );
+        self.pump(); // the needed fetch is issuable now (ready_at <= miss pos)
+        let tile = self.wait_fetched(key)?;
+        self.fetch_consumed += 1;
+        self.resident.insert(key, (tile.clone(), false));
+        self.pos += 1;
+        self.pump();
+        Ok(tile)
+    }
+    fn put(&mut self, bi: usize, bj: usize, tile: Matrix<f64>) -> Result<(), OocError> {
+        let slot = self
+            .resident
+            .get_mut(&(bi, bj))
+            .expect("Algorithm 4 puts only resident tiles");
+        *slot = (tile, true);
+        self.pos += 1;
+        self.pump();
+        Ok(())
+    }
+}
+
+/// Pipelined out-of-core Cholesky with default configuration — the
+/// drop-in overlap counterpart of [`ooc_potrf`](crate::ooc_potrf),
+/// bit-identical factor included.
+pub fn ooc_potrf_pipelined<B: IoBackend + Send>(
+    fm: &mut B,
+    capacity_tiles: usize,
+) -> Result<PipelineStats, OocError> {
+    ooc_potrf_pipelined_with(fm, &PipelineConfig::new(capacity_tiles))
+}
+
+/// Pipelined out-of-core Cholesky: prefetching tile reads and deferred
+/// write-backs on dedicated I/O workers, overlapped with Algorithm 4's
+/// compute.  Produces a factor **bit-identical** to
+/// [`ooc_potrf_with`](crate::ooc_potrf_with) at the same capacity, for
+/// every kernel engine, worker count, and lookahead (see the module
+/// docs for why), and the same on-disk state on a
+/// [`NotSpd`](OocError::NotSpd) abort.
+pub fn ooc_potrf_pipelined_with<B: IoBackend + Send>(
+    fm: &mut B,
+    cfg: &PipelineConfig,
+) -> Result<PipelineStats, OocError> {
+    let (n, b, nb) = (fm.n(), fm.b(), fm.nb());
+    let plan = Plan::new(nb, cfg.capacity_tiles, 0, false);
+    let io = PipeIo::new(fm, cfg.sleep_latency);
+    io_scope(cfg.io_workers, |scope| {
+        let mut front = PipelineFront::new(&io, scope, plan, cfg, n, b, nb);
+        let prev = cfg
+            .parallel_kernels
+            .then(|| cholcomm_matrix::parallel::set_kernel_parallelism(true));
+        let run = run_plain(&mut front, cfg, nb);
+        if let Some(p) = prev {
+            cholcomm_matrix::parallel::set_kernel_parallelism(p);
+        }
+        match run {
+            Ok(()) => Ok(front.stats),
+            Err(e) => {
+                io.fail();
+                Err(e)
+            }
+        }
+    })
+}
+
+fn run_plain<B: IoBackend + Send>(
+    front: &mut PipelineFront<'_, '_, '_, B>,
+    cfg: &PipelineConfig,
+    nb: usize,
+) -> Result<(), OocError> {
+    for k in 0..nb {
+        match factor_panel_src(front, k, cfg.kernel) {
+            Ok(()) => {}
+            Err(e @ OocError::NotSpd { .. }) => {
+                // Same contract as the sync driver: every completed
+                // update reaches the file before the error surfaces (a
+                // flush failure outranks the pivot failure).
+                front.io.drain_writes()?;
+                front.flush_final()?;
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    front.flush_final()?;
+    front.io.with_backend(|be| be.scrub())?;
+    Ok(())
+}
+
+/// [`ooc_potrf_checkpointed_pipelined_in`] on the real filesystem.
+pub fn ooc_potrf_checkpointed_pipelined<B: IoBackend + Send>(
+    fm: &mut B,
+    ckpt: &Checkpoint,
+    cfg: &PipelineConfig,
+) -> Result<(CheckpointReport, PipelineStats), OocError> {
+    ooc_potrf_checkpointed_pipelined_in(fm, ckpt, &mut FsStore::new(), cfg)
+}
+
+/// Pipelined out-of-core Cholesky with the panel-granularity journaled
+/// checkpoint protocol of
+/// [`ooc_potrf_checkpointed_in`](crate::ooc_potrf_checkpointed_in),
+/// unchanged: the epoch barrier at each panel boundary drains every
+/// deferred write-back *before* the snapshot, so intent → data →
+/// barrier → commit sees exactly the states the synchronous driver
+/// commits.  Crash/resume therefore yields the same bit-identical
+/// factor, and unhealable ABFT corruption is answered by the same
+/// quiesce-restore-retry rollback.
+///
+/// One ABFT nuance: a cross-panel prefetch may read a tile *before*
+/// `begin_panel` schedules that panel's corruption against it, so a
+/// given flip can land on a later read — or only on the final scrub —
+/// instead of the read the synchronous driver would have caught it on.
+/// Detection and healing guarantees are unchanged (every read is
+/// verified and the scrub closes the gap); only the step at which a
+/// given flip is *observed* may shift.
+pub fn ooc_potrf_checkpointed_pipelined_in<B: IoBackend + Send>(
+    fm: &mut B,
+    ckpt: &Checkpoint,
+    store: &mut impl Store,
+    cfg: &PipelineConfig,
+) -> Result<(CheckpointReport, PipelineStats), OocError> {
+    let (n, b, nb) = (fm.n(), fm.b(), fm.nb());
+    let mut report = CheckpointReport::default();
+    let start = match ckpt.load_in(store)? {
+        Some(state) => {
+            if state.n != n || state.b != b {
+                return Err(OocError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint is for n={} b={}, matrix has n={n} b={b}",
+                        state.n, state.b
+                    ),
+                )));
+            }
+            report.checkpoint_bytes += ckpt.restore_in(store, fm)?;
+            state.next_panel
+        }
+        None => {
+            // Baseline snapshot of the pristine input (see the sync
+            // driver: a crash inside panel 0 must not resume from
+            // partially-updated tiles).
+            report.checkpoint_bytes += ckpt.save_in(store, fm, 0)?;
+            report.checkpoints_written += 1;
+            0
+        }
+    };
+    report.start_panel = start;
+
+    let plan = Plan::new(nb, cfg.capacity_tiles, start, true);
+    let io = PipeIo::new(fm, cfg.sleep_latency);
+    let stats = io_scope(cfg.io_workers, |scope| {
+        let mut front = PipelineFront::new(&io, scope, plan, cfg, n, b, nb);
+        let prev = cfg
+            .parallel_kernels
+            .then(|| cholcomm_matrix::parallel::set_kernel_parallelism(true));
+        let run = run_checkpointed(&mut front, cfg, ckpt, store, &mut report, start, nb);
+        if let Some(p) = prev {
+            cholcomm_matrix::parallel::set_kernel_parallelism(p);
+        }
+        match run {
+            Ok(()) => Ok(front.stats),
+            Err(e) => {
+                io.fail();
+                Err(e)
+            }
+        }
+    })?;
+    Ok((report, stats))
+}
+
+fn run_checkpointed<B: IoBackend + Send>(
+    front: &mut PipelineFront<'_, '_, '_, B>,
+    cfg: &PipelineConfig,
+    ckpt: &Checkpoint,
+    store: &mut impl Store,
+    report: &mut CheckpointReport,
+    start: usize,
+    nb: usize,
+) -> Result<(), OocError> {
+    const MAX_RESTORE_RETRIES: usize = 4;
+    let unhealable = |e: &OocError| {
+        matches!(e, OocError::Io(io) if io.kind() == std::io::ErrorKind::InvalidData)
+    };
+    for k in start..nb {
+        let mut retries = 0;
+        loop {
+            match factor_panel_src(front, k, cfg.kernel) {
+                Ok(()) => break,
+                Err(e @ OocError::NotSpd { .. }) => {
+                    front.io.drain_writes()?;
+                    front.flush_final()?;
+                    return Err(e);
+                }
+                Err(e) if unhealable(&e) && retries < MAX_RESTORE_RETRIES => {
+                    retries += 1;
+                    report.restores += 1;
+                    // Quiesce *before* the restore: no stale read may be
+                    // consumed and no stale write-back may land on the
+                    // freshly restored file.
+                    front.reset(k, true);
+                    report.checkpoint_bytes +=
+                        front.io.with_backend(|be| ckpt.restore_in(store, be))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if front.io.with_backend(|be| be.crash_after_panel(k)) {
+            // The plan kills us after the panel but before its
+            // checkpoint: queued write-backs die with the process (the
+            // driver's Err return aborts the I/O hub).
+            return Err(OocError::Io(std::io::Error::other(
+                "simulated crash: process killed after panel",
+            )));
+        }
+        front.flush_boundary()?;
+        report.checkpoint_bytes += front.io.with_backend(|be| ckpt.save_in(store, be, k + 1))?;
+        report.checkpoints_written += 1;
+        report.panels_done += 1;
+    }
+
+    // Final scrub with the same restore-retry answer as the sync
+    // driver.  No front reset is needed here: the plan is exhausted, so
+    // nothing is in flight after the last boundary drain.
+    let mut retries = 0;
+    loop {
+        match front.io.with_backend(|be| be.scrub()) {
+            Ok(()) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::InvalidData && retries < MAX_RESTORE_RETRIES =>
+            {
+                retries += 1;
+                report.restores += 1;
+                report.checkpoint_bytes += front.io.with_backend(|be| ckpt.restore_in(store, be))?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    front.io.with_backend(|be| be.barrier())?;
+    ckpt.remove_in(store)?;
+    Ok(())
+}
+
+/// Default compute throughput of the modeled-time simulator: tile
+/// flops per microsecond (≈ 4 GFLOP/s, a modest scalar core — the
+/// point is the *ratio* against the latency model, not absolute time).
+pub const DEFAULT_FLOPS_PER_US: f64 = 4096.0;
+
+/// Inputs to [`model_overlap`].
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub b: usize,
+    /// Tile-cache capacity.
+    pub capacity_tiles: usize,
+    /// I/O worker timelines.
+    pub io_workers: usize,
+    /// Prefetch depth.
+    pub lookahead: usize,
+    /// Per-op disk latency.
+    pub latency: LatencyModel,
+    /// Compute throughput (see [`DEFAULT_FLOPS_PER_US`]).
+    pub flops_per_us: f64,
+}
+
+/// What the modeled-time simulator found.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelReport {
+    /// Synchronous makespan, µs (every op on one timeline).
+    pub sync_us: u64,
+    /// Pipelined makespan, µs.
+    pub pipelined_us: u64,
+    /// `sync_us / pipelined_us`.
+    pub speedup: f64,
+    /// Modeled prefetch hit rate.
+    pub hit_rate: f64,
+    /// Tile reads (the plan's misses).
+    pub reads: u64,
+    /// Tile writes (dirty evictions + final flush).
+    pub writes: u64,
+    /// Total compute, µs.
+    pub compute_us: u64,
+    /// Total disk latency, µs (identical for both legs: same ops, same
+    /// sample sites).
+    pub io_us: u64,
+}
+
+fn argmin(v: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in v.iter().enumerate() {
+        if x < v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Deterministic event-level model of the overlap: the same [`Plan`]
+/// walked twice — once serialized (the synchronous baseline), once with
+/// reads and write-backs on `io_workers` parallel timelines, compute
+/// stalling only at misses whose read has not completed.  Compute is
+/// charged at puts (`potf2` = `b³/3`, `trsm` = `b³`, `gemm` = `2b³`
+/// flops; edge tiles charged full — it is a model).  Pure function of
+/// its config: this is what `ooc_bench` gates the ≥2x overlap claim on,
+/// exactly reproducible in CI.
+pub fn model_overlap(cfg: &ModelConfig) -> ModelReport {
+    let nb = cfg.n.div_ceil(cfg.b);
+    let plan = Plan::new(nb, cfg.capacity_tiles, 0, false);
+
+    // Per-op compute cost, mirroring the op generator's structure.
+    let fb = cfg.b as f64;
+    let potf2_us = ((fb * fb * fb / 3.0) / cfg.flops_per_us).round() as u64;
+    let trsm_us = ((fb * fb * fb) / cfg.flops_per_us).round() as u64;
+    let gemm_us = ((2.0 * fb * fb * fb) / cfg.flops_per_us).round() as u64;
+    let mut compute_cost = Vec::with_capacity(plan.ops.len());
+    for k in 0..nb {
+        compute_cost.push(0); // Get(k,k)
+        compute_cost.push(potf2_us); // Put(k,k)
+        for _ in (k + 1)..nb {
+            compute_cost.push(0); // Get(i,k)
+            compute_cost.push(trsm_us); // Put(i,k)
+        }
+        for j in (k + 1)..nb {
+            compute_cost.push(0); // Get(j,k)
+            for _ in j..nb {
+                compute_cost.push(0); // Get(i,k)
+                compute_cost.push(0); // Get(i,j)
+                compute_cost.push(gemm_us); // Put(i,j)
+            }
+        }
+    }
+    debug_assert_eq!(compute_cost.len(), plan.ops.len());
+
+    // Synchronous leg: one timeline, ops in execution order (evictions,
+    // then the miss read — the order the front also samples in, so both
+    // legs draw identical latencies).
+    let mut sync_us = 0u64;
+    let mut compute_total = 0u64;
+    let mut io_total = 0u64;
+    let mut writes = 0u64;
+    {
+        let mut seq = 0u64;
+        let mut fp = 0usize;
+        for (pos, &cost) in compute_cost.iter().enumerate() {
+            if fp < plan.fetches.len() && plan.fetches[fp].miss_pos == pos {
+                for &(_, dirty) in &plan.fetches[fp].evict {
+                    if dirty {
+                        let us = cfg.latency.sample(DiskOp::Write, seq);
+                        seq += 1;
+                        sync_us += us;
+                        io_total += us;
+                        writes += 1;
+                    }
+                }
+                let us = cfg.latency.sample(DiskOp::Read, seq);
+                seq += 1;
+                sync_us += us;
+                io_total += us;
+                fp += 1;
+            }
+            sync_us += cost;
+            compute_total += cost;
+        }
+        for _ in &plan.final_writes {
+            let us = cfg.latency.sample(DiskOp::Write, seq);
+            seq += 1;
+            sync_us += us;
+            io_total += us;
+            writes += 1;
+        }
+        debug_assert_eq!(
+            writes,
+            plan.evict_writes + plan.final_writes.len() as u64,
+            "sync walk visited every planned write"
+        );
+    }
+
+    // Pipelined leg: the front's pump/stall discipline as an event sim.
+    let workers = cfg.io_workers.max(1);
+    let lookahead = cfg.lookahead.max(1);
+    let mut clock = 0u64;
+    let mut worker_free = vec![0u64; workers];
+    let mut fetch_done = vec![0u64; plan.fetches.len()];
+    let mut write_done: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut next_fetch = 0usize;
+    let mut consumed = 0usize;
+    let mut hits = 0u64;
+    {
+        let mut seq = 0u64;
+        for (pos, &cost) in compute_cost.iter().enumerate() {
+            while next_fetch < plan.fetches.len()
+                && next_fetch - consumed < lookahead
+                && plan.fetches[next_fetch].ready_at <= pos
+            {
+                let f = &plan.fetches[next_fetch];
+                for &(victim, dirty) in &f.evict {
+                    if dirty {
+                        let us = cfg.latency.sample(DiskOp::Write, seq);
+                        seq += 1;
+                        let w = argmin(&worker_free);
+                        let done = clock.max(worker_free[w]) + us;
+                        worker_free[w] = done;
+                        write_done.insert(victim, done);
+                    }
+                }
+                let us = cfg.latency.sample(DiskOp::Read, seq);
+                seq += 1;
+                let w = argmin(&worker_free);
+                // A read of a tile with a pending write-back waits it
+                // out on its worker (read-after-write hazard).
+                let hazard = write_done.get(&f.tile).copied().unwrap_or(0);
+                let done = clock.max(worker_free[w]).max(hazard) + us;
+                worker_free[w] = done;
+                fetch_done[next_fetch] = done;
+                next_fetch += 1;
+            }
+            if consumed < plan.fetches.len() && plan.fetches[consumed].miss_pos == pos {
+                let ready = fetch_done[consumed];
+                if ready <= clock {
+                    hits += 1;
+                } else {
+                    clock = ready;
+                }
+                consumed += 1;
+            }
+            clock += cost;
+        }
+        for _ in &plan.final_writes {
+            let us = cfg.latency.sample(DiskOp::Write, seq);
+            seq += 1;
+            let w = argmin(&worker_free);
+            worker_free[w] = clock.max(worker_free[w]) + us;
+        }
+    }
+    let pipelined_us = clock.max(worker_free.iter().copied().max().unwrap_or(0));
+
+    let reads = plan.fetches.len() as u64;
+    ModelReport {
+        sync_us,
+        pipelined_us,
+        speedup: if pipelined_us == 0 {
+            1.0
+        } else {
+            sync_us as f64 / pipelined_us as f64
+        },
+        hit_rate: if reads == 0 {
+            1.0
+        } else {
+            hits as f64 / reads as f64
+        },
+        reads,
+        writes,
+        compute_us: compute_total,
+        io_us: io_total,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::backend::FaultyBackend;
+    use crate::filemat::{scratch_path, FileMatrix};
+    use crate::potrf::{ooc_potrf, ooc_potrf_with};
+    use cholcomm_faults::{CrashPoint, DiskFault, FaultPlan};
+    use cholcomm_matrix::spd;
+
+    #[test]
+    fn plan_counts_match_the_synchronous_cache() {
+        let mut rng = spd::test_rng(230);
+        let a = spd::random_spd(40, &mut rng);
+        let b = 8;
+        let nb = a.rows().div_ceil(b);
+        for cap in [3usize, 5, 12] {
+            let mut fm = FileMatrix::create(&scratch_path(&format!("plan{cap}")), &a, b).unwrap();
+            ooc_potrf(&mut fm, cap).unwrap();
+            let s = fm.stats();
+            let plan = Plan::new(nb, cap, 0, false);
+            assert_eq!(s.reads, plan.fetches.len() as u64, "cap {cap}: reads");
+            assert_eq!(
+                s.writes,
+                plan.evict_writes + plan.final_writes.len() as u64,
+                "cap {cap}: writes"
+            );
+            // Fetches are issuable by their miss, and in miss order.
+            for (i, f) in plan.fetches.iter().enumerate() {
+                assert!(f.ready_at <= f.miss_pos, "fetch {i} unissuable");
+                if i > 0 {
+                    assert!(f.miss_pos > plan.fetches[i - 1].miss_pos);
+                }
+            }
+        }
+        // Checkpointed-shaped plan: boundary flushes account for every
+        // write the per-panel sync driver issues.
+        let cap = 4;
+        let mut fm = FileMatrix::create(&scratch_path("planck"), &a, b).unwrap();
+        let ckpt = Checkpoint::at(&scratch_path("planck").with_extension("ckpt"));
+        crate::checkpoint::ooc_potrf_checkpointed(&mut fm, cap, &ckpt).unwrap();
+        let s = fm.stats();
+        let plan = Plan::new(nb, cap, 0, true);
+        assert_eq!(s.reads, plan.fetches.len() as u64);
+        let flushes: u64 = plan.boundary_writes.iter().map(|v| v.len() as u64).sum();
+        assert_eq!(s.writes, plan.evict_writes + flushes);
+        assert!(plan.final_writes.is_empty());
+    }
+
+    #[test]
+    fn pipelined_factor_is_bit_identical_to_sync() {
+        let mut rng = spd::test_rng(231);
+        let a = spd::random_spd(40, &mut rng);
+        let b = 8;
+        for kernel in [KernelImpl::Reference, KernelImpl::Fast] {
+            for cap in [3usize, 5, 12] {
+                let mut sync = FileMatrix::create(
+                    &scratch_path(&format!("bits-sync-{kernel:?}-{cap}")),
+                    &a,
+                    b,
+                )
+                .unwrap();
+                ooc_potrf_with(&mut sync, cap, kernel).unwrap();
+                let want = sync.to_matrix().unwrap();
+                for workers in [1usize, 2] {
+                    for lookahead in [1usize, 4] {
+                        let tag = format!("bits-pipe-{kernel:?}-{cap}-{workers}-{lookahead}");
+                        let mut fm = FileMatrix::create(&scratch_path(&tag), &a, b).unwrap();
+                        let cfg = PipelineConfig::new(cap)
+                            .with_kernel(kernel)
+                            .with_io_workers(workers)
+                            .with_lookahead(lookahead);
+                        let stats = ooc_potrf_pipelined_with(&mut fm, &cfg).unwrap();
+                        let got = fm.to_matrix().unwrap();
+                        assert_eq!(got, want, "{tag}: factor must be bit-identical");
+                        assert_eq!(
+                            stats.prefetch_hits + stats.prefetch_stalls,
+                            stats.fetches,
+                            "{tag}: every fetch consumed"
+                        );
+                        assert_eq!(
+                            stats.fetches,
+                            sync.stats().reads,
+                            "{tag}: same compulsory+capacity misses as sync"
+                        );
+                        assert_eq!(
+                            stats.evict_writes + stats.flush_writes,
+                            sync.stats().writes,
+                            "{tag}: same write-backs as sync"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_not_spd_leaves_the_same_file_state() {
+        let n = 16;
+        let mut m = cholcomm_matrix::Matrix::<f64>::identity(n);
+        for i in 0..n {
+            m[(i, i)] = 4.0;
+        }
+        m[(12, 12)] = -1.0; // tile (3,3) with b=4 goes bad
+        let mut sync = FileMatrix::create(&scratch_path("nspd-sync"), &m, 4).unwrap();
+        let sync_err = ooc_potrf(&mut sync, 3).unwrap_err();
+        let want = sync.to_matrix().unwrap();
+        let mut fm = FileMatrix::create(&scratch_path("nspd-pipe"), &m, 4).unwrap();
+        let err = ooc_potrf_pipelined(&mut fm, 3).unwrap_err();
+        match (&sync_err, &err) {
+            (
+                OocError::NotSpd { pivot: p0, .. },
+                OocError::NotSpd { pivot: p1, .. },
+            ) => assert_eq!(p0, p1),
+            other => panic!("expected matching NotSpd, got {other:?}"),
+        }
+        let got = fm.to_matrix().unwrap();
+        assert_eq!(got, want, "abort must leave the same on-disk state");
+    }
+
+    #[test]
+    fn pipelined_rides_transient_disk_faults() {
+        let mut rng = spd::test_rng(232);
+        let a = spd::random_spd(32, &mut rng);
+        let mut clean = FileMatrix::create(&scratch_path("flaky-clean"), &a, 8).unwrap();
+        ooc_potrf(&mut clean, 4).unwrap();
+        let want = clean.to_matrix().unwrap();
+
+        // One worker: the backend op order equals the sync order, so a
+        // per-op plan fires at identical indices and the fault tallies
+        // must match the sync run's exactly.
+        let plan = || {
+            FaultPlan::builder(60)
+                .inject_disk_fault(2, 1, DiskFault::TransientEio)
+                .inject_disk_fault(7, 1, DiskFault::ShortRead)
+                .inject_disk_fault(7, 2, DiskFault::TransientEio)
+                .build()
+        };
+        let sync_fm = FileMatrix::create(&scratch_path("flaky-sync"), &a, 8).unwrap();
+        let mut sync_fb = FaultyBackend::new(sync_fm, plan());
+        ooc_potrf(&mut sync_fb, 4).unwrap();
+        let fm = FileMatrix::create(&scratch_path("flaky-w1"), &a, 8).unwrap();
+        let mut fb = FaultyBackend::new(fm, plan());
+        let cfg = PipelineConfig::new(4).with_io_workers(1);
+        ooc_potrf_pipelined_with(&mut fb, &cfg).unwrap();
+        assert_eq!(fb.fault_stats(), sync_fb.fault_stats(), "W=1 op order is sync order");
+        assert_eq!(fb.inner_mut().to_matrix().unwrap(), want);
+
+        // Two workers: op order may permute, so use rate faults; every
+        // transient must still be healed below the factorization.
+        let rate_plan = FaultPlan::builder(61).disk_transient_rate(0.2).build();
+        let fm = FileMatrix::create(&scratch_path("flaky-w2"), &a, 8).unwrap();
+        let mut fb = FaultyBackend::new(fm, rate_plan);
+        let cfg = PipelineConfig::new(4).with_io_workers(2);
+        ooc_potrf_pipelined_with(&mut fb, &cfg).unwrap();
+        assert!(fb.fault_stats().disk_faults() > 0, "plan should have bitten");
+        assert_eq!(fb.inner_mut().to_matrix().unwrap(), want);
+    }
+
+    #[test]
+    fn checkpointed_pipeline_resumes_bit_identically_after_a_crash() {
+        let mut rng = spd::test_rng(233);
+        let a = spd::random_spd(32, &mut rng);
+        let mut clean = FileMatrix::create(&scratch_path("pckpt-clean"), &a, 8).unwrap();
+        ooc_potrf(&mut clean, 4).unwrap();
+        let want = clean.to_matrix().unwrap();
+
+        let path = scratch_path("pckpt");
+        let ckpt = Checkpoint::at(&path.with_extension("ckpt"));
+        let cfg = PipelineConfig::new(4).with_io_workers(2).with_lookahead(3);
+        {
+            let mut fm = FileMatrix::create(&path, &a, 8).unwrap();
+            fm.set_persist(true); // the "dead process" leaves its file behind
+            let plan = FaultPlan::builder(62)
+                .crash_at(CrashPoint::AfterPanel(1))
+                .build();
+            let mut fb = FaultyBackend::new(fm, plan);
+            let err = ooc_potrf_checkpointed_pipelined(&mut fb, &ckpt, &cfg).unwrap_err();
+            assert!(matches!(err, OocError::Io(_)), "crash surfaces as Io");
+        }
+        // "Restart the process": reopen and resume with the same ckpt.
+        let mut fm = FileMatrix::open(&path, 32, 8).unwrap();
+        let (rep, stats) = ooc_potrf_checkpointed_pipelined(&mut fm, &ckpt, &cfg).unwrap();
+        // The crash hits after panel 1 completes but *before* its
+        // checkpoint commits, so the resume replays panel 1.
+        assert_eq!(rep.start_panel, 1, "panel 0's checkpoint was the last committed");
+        assert!(stats.fetches > 0);
+        assert_eq!(
+            fm.to_matrix().unwrap(),
+            want,
+            "crash + resume must not change a single bit"
+        );
+        assert!(ckpt.load().unwrap().is_none(), "checkpoint removed after success");
+    }
+
+    #[test]
+    fn checkpointed_pipeline_matches_sync_without_faults() {
+        let mut rng = spd::test_rng(234);
+        let a = spd::random_spd(40, &mut rng);
+        let mut sync = FileMatrix::create(&scratch_path("pck-sync"), &a, 8).unwrap();
+        let sync_ckpt = Checkpoint::at(&scratch_path("pck-sync").with_extension("ckpt"));
+        let sync_rep =
+            crate::checkpoint::ooc_potrf_checkpointed(&mut sync, 4, &sync_ckpt).unwrap();
+        let want = sync.to_matrix().unwrap();
+
+        let mut fm = FileMatrix::create(&scratch_path("pck-pipe"), &a, 8).unwrap();
+        let ckpt = Checkpoint::at(&scratch_path("pck-pipe").with_extension("ckpt"));
+        let cfg = PipelineConfig::new(4).with_io_workers(2);
+        let (rep, _) = ooc_potrf_checkpointed_pipelined(&mut fm, &ckpt, &cfg).unwrap();
+        assert_eq!(fm.to_matrix().unwrap(), want);
+        assert_eq!(rep.checkpoints_written, sync_rep.checkpoints_written);
+        assert_eq!(rep.panels_done, sync_rep.panels_done);
+        assert_eq!(rep.checkpoint_bytes, sync_rep.checkpoint_bytes);
+    }
+
+    #[test]
+    fn unhealable_corruption_restores_and_retries_under_the_pipeline() {
+        use crate::abft::AbftBackend;
+
+        let mut rng = spd::test_rng(235);
+        let a = spd::random_spd(32, &mut rng);
+        let mut reference = FileMatrix::create(&scratch_path("pabft-ref"), &a, 8).unwrap();
+        ooc_potrf(&mut reference, 4).unwrap();
+        let want = reference.to_matrix().unwrap();
+
+        // Two elements of one tile struck in the same panel: beyond the
+        // checksums, so the driver must quiesce, roll back to the panel
+        // checkpoint, and retry.
+        let plan = FaultPlan::builder(63)
+            .inject_bit_flip(1, (2, 1), (0, 0), 1 << 44)
+            .inject_bit_flip(1, (2, 1), (6, 3), 1 << 45)
+            .build();
+        let fm = FileMatrix::create(&scratch_path("pabft"), &a, 8).unwrap();
+        let mut ab = AbftBackend::new(fm, plan);
+        let ckpt = Checkpoint::at(&scratch_path("pabft").with_extension("ckpt"));
+        let cfg = PipelineConfig::new(3).with_io_workers(2).with_lookahead(2);
+        let (rep, _) = ooc_potrf_checkpointed_pipelined(&mut ab, &ckpt, &cfg).unwrap();
+        assert!(rep.restores >= 1, "multi-element corruption forced a rollback");
+        assert_eq!(ab.abft_stats().unrecoverable, 1);
+        assert_eq!(
+            ab.inner_mut().to_matrix().unwrap(),
+            want,
+            "restored-and-retried factor must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn model_overlap_is_deterministic_and_reports_overlap() {
+        let cfg = ModelConfig {
+            n: 512,
+            b: 64,
+            capacity_tiles: 12,
+            io_workers: 2,
+            lookahead: 8,
+            latency: LatencyModel::uniform(100).with_jitter(10, 42),
+            flops_per_us: DEFAULT_FLOPS_PER_US,
+        };
+        let r1 = model_overlap(&cfg);
+        let r2 = model_overlap(&cfg);
+        assert_eq!(r1.sync_us, r2.sync_us);
+        assert_eq!(r1.pipelined_us, r2.pipelined_us);
+        assert!(r1.speedup > 1.0, "overlap must beat sync: {r1:?}");
+        assert_eq!(r1.sync_us, r1.compute_us + r1.io_us, "sync = compute + io");
+        assert!(
+            r1.pipelined_us >= r1.compute_us && r1.pipelined_us >= r1.io_us / 2,
+            "pipelined is bounded below by the longer leg per worker: {r1:?}"
+        );
+        // One worker and zero latency degenerate sensibly.
+        let free = ModelConfig {
+            latency: LatencyModel::none(),
+            ..cfg.clone()
+        };
+        let rf = model_overlap(&free);
+        assert_eq!(rf.sync_us, rf.compute_us);
+        assert_eq!(rf.pipelined_us, rf.compute_us);
+        assert_eq!(rf.hit_rate, 1.0, "free disk never stalls");
+    }
+
+    #[test]
+    fn model_overlap_meets_the_issue_gate() {
+        // The ISSUE's modeled gate: n=2048, b=64, 100us-latency backend
+        // -> >= 2x overlap speedup, and >= 90% hit rate at lookahead 4+.
+        let gate = ModelConfig {
+            n: 2048,
+            b: 64,
+            capacity_tiles: 56,
+            io_workers: 2,
+            lookahead: 8,
+            latency: LatencyModel::uniform(100),
+            flops_per_us: DEFAULT_FLOPS_PER_US,
+        };
+        let r = model_overlap(&gate);
+        assert!(r.speedup >= 2.0, "modeled overlap gate: {r:?}");
+        for la in [4usize, 8, 16] {
+            let r = model_overlap(&ModelConfig {
+                lookahead: la,
+                ..gate.clone()
+            });
+            assert!(r.hit_rate >= 0.9, "lookahead {la}: hit rate {}", r.hit_rate);
+        }
+    }
+}
+

@@ -5,6 +5,123 @@ use crate::backend::IoBackend;
 use cholcomm_matrix::{KernelImpl, Matrix, MatrixError};
 use std::collections::HashMap;
 
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct LruSlot {
+    key: (usize, usize),
+    prev: usize,
+    next: usize,
+}
+
+/// Recency order over tile keys: a doubly-linked list threaded through
+/// a slot arena with a key → slot map, so *touch* and *evict-oldest*
+/// are both O(1).  Same intrusive-list pattern as the cachesim crate's
+/// LRU tracer; replaces the old per-eviction O(resident) min-tick scan.
+/// Pure bookkeeping — which tile is least recent is exactly what the
+/// tick ordering said, so resident-set behavior is unchanged (the
+/// regression test below drives both models side by side).
+#[derive(Debug)]
+pub(crate) struct LruIndex {
+    map: HashMap<(usize, usize), usize>,
+    slots: Vec<LruSlot>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used — the eviction candidate.
+    tail: usize,
+    free: Vec<usize>,
+}
+
+impl LruIndex {
+    pub(crate) fn new() -> Self {
+        LruIndex {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+        }
+    }
+
+    fn unlink(&mut self, s: usize) {
+        let (prev, next) = (self.slots[s].prev, self.slots[s].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, s: usize) {
+        self.slots[s].prev = NIL;
+        self.slots[s].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = s;
+        }
+        self.head = s;
+        if self.tail == NIL {
+            self.tail = s;
+        }
+    }
+
+    /// Mark `key` as just used (inserting it if new).
+    pub(crate) fn touch(&mut self, key: (usize, usize)) {
+        if let Some(&s) = self.map.get(&key) {
+            if self.head != s {
+                self.unlink(s);
+                self.push_front(s);
+            }
+            return;
+        }
+        let s = match self.free.pop() {
+            Some(s) => {
+                self.slots[s].key = key;
+                s
+            }
+            None => {
+                self.slots.push(LruSlot {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, s);
+        self.push_front(s);
+    }
+
+    /// Forget `key` (no-op if absent).
+    pub(crate) fn remove(&mut self, key: (usize, usize)) {
+        if let Some(s) = self.map.remove(&key) {
+            self.unlink(s);
+            self.free.push(s);
+        }
+    }
+
+    /// The least recently used key, if any.
+    pub(crate) fn lru(&self) -> Option<(usize, usize)> {
+        (self.tail != NIL).then(|| self.slots[self.tail].key)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
 /// An LRU cache of tiles standing in for fast memory: at most
 /// `capacity_tiles` tiles resident; dirty tiles are written back on
 /// eviction and at the end.
@@ -23,8 +140,8 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct TileCache {
     capacity_tiles: usize,
-    tiles: HashMap<(usize, usize), (Matrix<f64>, bool, u64)>, // (tile, dirty, last use)
-    tick: u64,
+    tiles: HashMap<(usize, usize), (Matrix<f64>, bool)>, // (tile, dirty)
+    order: LruIndex,
     poisoned: bool,
 }
 
@@ -35,7 +152,7 @@ impl TileCache {
         TileCache {
             capacity_tiles,
             tiles: HashMap::new(),
-            tick: 0,
+            order: LruIndex::new(),
             poisoned: false,
         }
     }
@@ -50,15 +167,10 @@ impl TileCache {
 
     fn evict_if_full<B: IoBackend>(&mut self, fm: &mut B) -> Result<(), OocError> {
         while self.tiles.len() >= self.capacity_tiles {
-            let key = self
-                .tiles
-                .iter()
-                .min_by_key(|(_, (_, _, t))| *t)
-                .map(|(&key, _)| key)
-                .ok_or(OocError::CachePoisoned)?;
+            let key = self.order.lru().ok_or(OocError::CachePoisoned)?;
             // Write back *before* removing: if the write fails the tile
             // stays resident and dirty, and the cache is poisoned.
-            if let Some((tile, dirty, _)) = self.tiles.get(&key) {
+            if let Some((tile, dirty)) = self.tiles.get(&key) {
                 if *dirty {
                     if let Err(e) = fm.write_tile(key.0, key.1, tile) {
                         self.poisoned = true;
@@ -67,6 +179,7 @@ impl TileCache {
                 }
             }
             self.tiles.remove(&key);
+            self.order.remove(key);
         }
         Ok(())
     }
@@ -79,14 +192,15 @@ impl TileCache {
         bj: usize,
     ) -> Result<Matrix<f64>, OocError> {
         self.check_poison()?;
-        self.tick += 1;
-        if let Some((t, _, last)) = self.tiles.get_mut(&(bi, bj)) {
-            *last = self.tick;
-            return Ok(t.clone());
+        if let Some((t, _)) = self.tiles.get(&(bi, bj)) {
+            let t = t.clone();
+            self.order.touch((bi, bj));
+            return Ok(t);
         }
         self.evict_if_full(fm)?;
         let t = fm.read_tile(bi, bj)?;
-        self.tiles.insert((bi, bj), (t.clone(), false, self.tick));
+        self.tiles.insert((bi, bj), (t.clone(), false));
+        self.order.touch((bi, bj));
         Ok(t)
     }
 
@@ -99,13 +213,14 @@ impl TileCache {
         tile: Matrix<f64>,
     ) -> Result<(), OocError> {
         self.check_poison()?;
-        self.tick += 1;
         if let Some(slot) = self.tiles.get_mut(&(bi, bj)) {
-            *slot = (tile, true, self.tick);
+            *slot = (tile, true);
+            self.order.touch((bi, bj));
             return Ok(());
         }
         self.evict_if_full(fm)?;
-        self.tiles.insert((bi, bj), (tile, true, self.tick));
+        self.tiles.insert((bi, bj), (tile, true));
+        self.order.touch((bi, bj));
         Ok(())
     }
 
@@ -116,7 +231,7 @@ impl TileCache {
         let mut keys: Vec<(usize, usize)> = self.tiles.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            if let Some((tile, dirty, _)) = self.tiles.get(&key) {
+            if let Some((tile, dirty)) = self.tiles.get(&key) {
                 if *dirty {
                     if let Err(e) = fm.write_tile(key.0, key.1, tile) {
                         self.poisoned = true;
@@ -136,39 +251,116 @@ impl TileCache {
         self.tiles.len()
     }
 
+    /// Currently resident *dirty* (not yet written back) tiles.
+    pub fn dirty(&self) -> usize {
+        self.tiles.values().filter(|(_, d)| *d).count()
+    }
+
     /// Has a failed write-back poisoned this cache?
     pub fn is_poisoned(&self) -> bool {
         self.poisoned
     }
 
-    /// Drop all cached state (used when restarting from a checkpoint:
-    /// everything in RAM is stale by definition).
-    pub fn clear(&mut self) {
+    /// Drop all cached state — but refuse if doing so would silently
+    /// lose un-flushed updates: a poisoned cache, or any dirty tile,
+    /// makes this an error ([`OocError::WouldDiscardDirty`]).  Callers
+    /// who *mean* to throw dirty state away (checkpoint restore, where
+    /// everything in RAM is stale by definition) must say so with
+    /// [`clear_discarding`](Self::clear_discarding).
+    pub fn clear(&mut self) -> Result<(), OocError> {
+        let dirty = self.dirty();
+        if self.poisoned || dirty > 0 {
+            return Err(OocError::WouldDiscardDirty { dirty });
+        }
+        self.clear_discarding();
+        Ok(())
+    }
+
+    /// Drop all cached state unconditionally, discarding dirty tiles
+    /// and un-poisoning the cache.  The recovery path: correct only
+    /// when the backing store is about to be (or was just) rewritten
+    /// from an authoritative copy.
+    pub fn clear_discarding(&mut self) {
         self.tiles.clear();
+        self.order.clear();
         self.poisoned = false;
+    }
+}
+
+/// Where a panel step gets and puts its tiles.
+///
+/// Algorithm 4's arithmetic is written once, in [`factor_panel_src`],
+/// against this trait; how tiles actually move — synchronously through
+/// a [`TileCache`], or prefetched ahead of the compute front by the
+/// [`pipeline`](crate::pipeline) — is the implementor's business.
+/// Because every front sees the *same* logical get/put sequence and the
+/// schedule is data-oblivious, any two implementations that deliver the
+/// stored tile values produce bit-identical factors by construction.
+pub(crate) trait TileSource {
+    /// Matrix order.
+    fn n(&self) -> usize;
+    /// Tile size.
+    fn b(&self) -> usize;
+    /// Tile-grid dimension.
+    fn nb(&self) -> usize;
+    /// Panel step `k` is about to run (integrity layers hook this).
+    fn begin_panel(&mut self, k: usize);
+    /// Fetch tile `(bi, bj)`.
+    fn get(&mut self, bi: usize, bj: usize) -> Result<Matrix<f64>, OocError>;
+    /// Install an updated tile.
+    fn put(&mut self, bi: usize, bj: usize, tile: Matrix<f64>) -> Result<(), OocError>;
+}
+
+/// The synchronous front: a backend behind a [`TileCache`], tile moves
+/// blocking the compute thread — the baseline the paper's sequential
+/// I/O counts describe.
+pub(crate) struct CachedFront<'a, B: IoBackend> {
+    pub(crate) fm: &'a mut B,
+    pub(crate) cache: &'a mut TileCache,
+}
+
+impl<B: IoBackend> TileSource for CachedFront<'_, B> {
+    fn n(&self) -> usize {
+        self.fm.n()
+    }
+    fn b(&self) -> usize {
+        self.fm.b()
+    }
+    fn nb(&self) -> usize {
+        self.fm.nb()
+    }
+    fn begin_panel(&mut self, k: usize) {
+        self.fm.begin_panel(k);
+    }
+    fn get(&mut self, bi: usize, bj: usize) -> Result<Matrix<f64>, OocError> {
+        self.cache.get(self.fm, bi, bj)
+    }
+    fn put(&mut self, bi: usize, bj: usize, tile: Matrix<f64>) -> Result<(), OocError> {
+        self.cache.put(self.fm, bi, bj, tile)
     }
 }
 
 /// One panel step `k` of the right-looking blocked Cholesky: factor the
 /// diagonal tile, solve the panel below it, update the trailing
-/// submatrix.  Shared by [`ooc_potrf`] and the checkpointed driver,
-/// parameterised by the kernel engine.  Tile loads and
-/// write-backs (the I/O the out-of-core analysis counts) are identical
-/// under every engine; only the in-memory tile arithmetic changes.
-pub(crate) fn factor_panel_with<B: IoBackend>(
-    fm: &mut B,
-    cache: &mut TileCache,
+/// submatrix.  Shared by [`ooc_potrf`], the checkpointed driver, and
+/// the prefetching pipeline, parameterised by the kernel engine.  Tile
+/// gets and puts (the I/O the out-of-core analysis counts) are
+/// identical under every engine and every front; only the in-memory
+/// tile arithmetic changes with the engine, and only the tile
+/// *transport* changes with the front.
+pub(crate) fn factor_panel_src<S: TileSource>(
+    src: &mut S,
     k: usize,
     kernel: KernelImpl,
 ) -> Result<(), OocError> {
-    let nb = fm.nb();
-    let b = fm.b();
-    let n = fm.n();
-    fm.begin_panel(k);
+    let nb = src.nb();
+    let b = src.b();
+    let n = src.n();
+    src.begin_panel(k);
 
     // Factor the diagonal tile (edge tiles are zero-padded on disk;
     // factor only the live part).
-    let mut diag = cache.get(fm, k, k)?;
+    let mut diag = src.get(k, k)?;
     let live = (n - k * b).min(b);
     let mut live_part = diag.submatrix(0, 0, live, live);
     if let Err(MatrixError::NotSpd { pivot, value }) = kernel.potf2(&mut live_part) {
@@ -178,31 +370,42 @@ pub(crate) fn factor_panel_with<B: IoBackend>(
         });
     }
     diag.set_submatrix(0, 0, &live_part);
-    cache.put(fm, k, k, diag.clone())?;
+    src.put(k, k, diag.clone())?;
 
     // Panel solve.
     for i in (k + 1)..nb {
-        let mut t = cache.get(fm, i, k)?;
+        let mut t = src.get(i, k)?;
         // Solve against the live part of the diagonal tile; padded
         // columns of the tile are zero and stay zero.
         let mut x = t.submatrix(0, 0, b, live);
         let l = diag.submatrix(0, 0, live, live);
         kernel.trsm_right_lower_transpose(&mut x, &l);
         t.set_submatrix(0, 0, &x);
-        cache.put(fm, i, k, t)?;
+        src.put(i, k, t)?;
     }
 
     // Trailing update.
     for j in (k + 1)..nb {
-        let lj = cache.get(fm, j, k)?;
+        let lj = src.get(j, k)?;
         for i in j..nb {
-            let li = cache.get(fm, i, k)?;
-            let mut t = cache.get(fm, i, j)?;
+            let li = src.get(i, k)?;
+            let mut t = src.get(i, j)?;
             kernel.gemm_nt(&mut t, -1.0, &li, &lj);
-            cache.put(fm, i, j, t)?;
+            src.put(i, j, t)?;
         }
     }
     Ok(())
+}
+
+/// [`factor_panel_src`] through the synchronous [`CachedFront`] — the
+/// signature the checkpointed driver has always used.
+pub(crate) fn factor_panel_with<B: IoBackend>(
+    fm: &mut B,
+    cache: &mut TileCache,
+    k: usize,
+    kernel: KernelImpl,
+) -> Result<(), OocError> {
+    factor_panel_src(&mut CachedFront { fm, cache }, k, kernel)
 }
 
 /// Out-of-core blocked right-looking Cholesky on the backing store,
@@ -266,6 +469,13 @@ pub enum OocError {
     /// A previous dirty write-back failed; cached state no longer
     /// matches the file and all further cache operations are refused.
     CachePoisoned,
+    /// [`TileCache::clear`] was asked to drop un-flushed updates; the
+    /// caller must flush first or opt in with
+    /// [`TileCache::clear_discarding`].
+    WouldDiscardDirty {
+        /// Dirty tiles that would have been lost.
+        dirty: usize,
+    },
 }
 
 impl From<std::io::Error> for OocError {
@@ -293,6 +503,13 @@ impl std::fmt::Display for OocError {
             OocError::Matrix(e) => write!(f, "matrix error: {e}"),
             OocError::CachePoisoned => {
                 write!(f, "tile cache poisoned by an earlier failed write-back")
+            }
+            OocError::WouldDiscardDirty { dirty } => {
+                write!(
+                    f,
+                    "refusing to clear a cache holding {dirty} dirty tile(s); \
+                     flush first or use clear_discarding()"
+                )
             }
         }
     }
@@ -451,7 +668,232 @@ mod tests {
             cache.flush(&mut fb),
             Err(OocError::CachePoisoned)
         ));
-        cache.clear();
-        assert!(!cache.is_poisoned(), "clear() is the recovery path");
+        assert!(
+            matches!(cache.clear(), Err(OocError::WouldDiscardDirty { .. })),
+            "a poisoned cache still holds dirty tiles; clear() must refuse"
+        );
+        cache.clear_discarding();
+        assert!(!cache.is_poisoned(), "clear_discarding() is the recovery path");
+    }
+
+    #[test]
+    fn clear_refuses_dirty_tiles_but_not_clean_ones() {
+        let mut rng = spd::test_rng(200);
+        let a = spd::random_spd(16, &mut rng);
+        let path = scratch_path("clear");
+        let mut fm = FileMatrix::create(&path, &a, 8).unwrap();
+        let mut cache = TileCache::new(3);
+        let t = cache.get(&mut fm, 0, 0).unwrap();
+        cache.clear().unwrap(); // clean resident tiles may be dropped
+        assert_eq!(cache.resident(), 0);
+        cache.put(&mut fm, 0, 0, t).unwrap();
+        match cache.clear() {
+            Err(OocError::WouldDiscardDirty { dirty }) => assert_eq!(dirty, 1),
+            other => panic!("expected WouldDiscardDirty, got {other:?}"),
+        }
+        assert_eq!(cache.resident(), 1, "refused clear must not drop anything");
+        cache.flush(&mut fm).unwrap();
+        cache.clear().unwrap(); // flushed tiles are clean again
+    }
+
+    /// A backend over RAM that records the order of its tile writes, for
+    /// observing eviction / write-back behavior precisely.
+    struct LoggingMem {
+        n: usize,
+        b: usize,
+        nb: usize,
+        tiles: HashMap<(usize, usize), Matrix<f64>>,
+        reads: Vec<(usize, usize)>,
+        writes: Vec<(usize, usize)>,
+    }
+
+    impl LoggingMem {
+        fn new(a: &Matrix<f64>, b: usize) -> Self {
+            let n = a.rows();
+            let nb = n.div_ceil(b);
+            let mut tiles = HashMap::new();
+            for bj in 0..nb {
+                for bi in 0..nb {
+                    tiles.insert(
+                        (bi, bj),
+                        Matrix::from_fn(b, b, |i, j| {
+                            let (gi, gj) = (bi * b + i, bj * b + j);
+                            if gi < n && gj < n {
+                                a[(gi, gj)]
+                            } else {
+                                0.0
+                            }
+                        }),
+                    );
+                }
+            }
+            LoggingMem {
+                n,
+                b,
+                nb,
+                tiles,
+                reads: Vec::new(),
+                writes: Vec::new(),
+            }
+        }
+    }
+
+    impl IoBackend for LoggingMem {
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn b(&self) -> usize {
+            self.b
+        }
+        fn nb(&self) -> usize {
+            self.nb
+        }
+        fn read_tile(&mut self, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
+            self.reads.push((bi, bj));
+            Ok(self.tiles[&(bi, bj)].clone())
+        }
+        fn write_tile(&mut self, bi: usize, bj: usize, t: &Matrix<f64>) -> std::io::Result<()> {
+            self.writes.push((bi, bj));
+            self.tiles.insert((bi, bj), t.clone());
+            Ok(())
+        }
+        fn stats(&self) -> crate::IoStats {
+            crate::IoStats::default()
+        }
+        fn path(&self) -> Option<&std::path::Path> {
+            None
+        }
+    }
+
+    /// The pre-LRU-index model: per-tile last-use ticks, evict the
+    /// minimum.  The intrusive list must reproduce its behavior exactly.
+    struct TickModel {
+        capacity: usize,
+        tiles: HashMap<(usize, usize), (bool, u64)>, // (dirty, last use)
+        tick: u64,
+        evict_writes: Vec<(usize, usize)>,
+        misses: Vec<(usize, usize)>,
+    }
+
+    impl TickModel {
+        fn new(capacity: usize) -> Self {
+            TickModel {
+                capacity,
+                tiles: HashMap::new(),
+                tick: 0,
+                evict_writes: Vec::new(),
+                misses: Vec::new(),
+            }
+        }
+        fn evict_if_full(&mut self) {
+            while self.tiles.len() >= self.capacity {
+                let key = self
+                    .tiles
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty");
+                if self.tiles[&key].0 {
+                    self.evict_writes.push(key);
+                }
+                self.tiles.remove(&key);
+            }
+        }
+        fn get(&mut self, key: (usize, usize)) {
+            self.tick += 1;
+            if let Some(slot) = self.tiles.get_mut(&key) {
+                slot.1 = self.tick;
+                return;
+            }
+            self.evict_if_full();
+            self.misses.push(key);
+            self.tiles.insert(key, (false, self.tick));
+        }
+        fn put(&mut self, key: (usize, usize)) {
+            self.tick += 1;
+            if let Some(slot) = self.tiles.get_mut(&key) {
+                *slot = (true, self.tick);
+                return;
+            }
+            self.evict_if_full();
+            self.tiles.insert(key, (true, self.tick));
+        }
+    }
+
+    #[test]
+    fn lru_index_reproduces_the_tick_model_exactly() {
+        // Drive the real cache and the old tick model through the same
+        // access stream (a seeded mix of gets and puts, plus the real
+        // Algorithm 4 stream) and require identical miss sequences,
+        // eviction write-back order, and final resident sets.
+        let mut rng = spd::test_rng(201);
+        let a = spd::random_spd(40, &mut rng);
+        let b = 8;
+        let nb = a.rows().div_ceil(b);
+        for cap in [3usize, 4, 6] {
+            let mut mem = LoggingMem::new(&a, b);
+            let mut cache = TileCache::new(cap);
+            let mut model = TickModel::new(cap);
+            // Seeded pseudo-random access stream over the lower triangle.
+            let mut state = 0x5EEDu64 ^ (cap as u64);
+            let mut next = || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for _ in 0..400 {
+                let bj = (next() as usize) % nb;
+                let bi = bj + (next() as usize) % (nb - bj);
+                if next().is_multiple_of(3) {
+                    let t = cache.get(&mut mem, bi, bj).unwrap();
+                    cache.put(&mut mem, bi, bj, t).unwrap();
+                    model.get((bi, bj));
+                    model.put((bi, bj));
+                } else {
+                    cache.get(&mut mem, bi, bj).unwrap();
+                    model.get((bi, bj));
+                }
+            }
+            assert_eq!(mem.reads, model.misses, "cap {cap}: miss sequence");
+            assert_eq!(mem.writes, model.evict_writes, "cap {cap}: write-back order");
+            let mut resident: Vec<_> = cache.tiles.keys().copied().collect();
+            resident.sort_unstable();
+            let mut model_resident: Vec<_> = model.tiles.keys().copied().collect();
+            model_resident.sort_unstable();
+            assert_eq!(resident, model_resident, "cap {cap}: resident set");
+        }
+        // And the real factorization stream, where eviction order shapes
+        // the on-disk write pattern end to end.
+        for cap in [3usize, 5] {
+            let mut mem = LoggingMem::new(&a, b);
+            let mut cache = TileCache::new(cap);
+            let mut model = TickModel::new(cap);
+            for k in 0..nb {
+                factor_panel_with(&mut mem, &mut cache, k, KernelImpl::Reference).unwrap();
+            }
+            // Replay the same logical schedule into the model.
+            for k in 0..nb {
+                model.get((k, k));
+                model.put((k, k));
+                for i in (k + 1)..nb {
+                    model.get((i, k));
+                    model.put((i, k));
+                }
+                for j in (k + 1)..nb {
+                    model.get((j, k));
+                    for i in j..nb {
+                        model.get((i, k));
+                        model.get((i, j));
+                        model.put((i, j));
+                    }
+                }
+            }
+            assert_eq!(mem.reads, model.misses, "cap {cap}: factor miss sequence");
+            assert_eq!(
+                mem.writes, model.evict_writes,
+                "cap {cap}: factor write-back order"
+            );
+        }
     }
 }

@@ -29,6 +29,12 @@ pub struct SimMatrix {
     b: usize,
     nb: usize,
     stats: IoStats,
+    /// Virtual head position, for seek accounting that mirrors
+    /// [`FileMatrix`](crate::FileMatrix): sequential transfers are free,
+    /// jumps charge one seek plus the distance travelled.  `u64::MAX`
+    /// means "position unknown" (fresh handle, post-restore).
+    cursor: u64,
+    latency: crate::backend::LatencyModel,
 }
 
 fn lock(disk: &Arc<Mutex<SimDisk>>) -> MutexGuard<'_, SimDisk> {
@@ -73,6 +79,8 @@ impl SimMatrix {
             b,
             nb,
             stats: IoStats::default(),
+            cursor: u64::MAX,
+            latency: crate::backend::LatencyModel::none(),
         })
     }
 
@@ -109,7 +117,28 @@ impl SimMatrix {
             b,
             nb,
             stats: IoStats::default(),
+            cursor: u64::MAX,
+            latency: crate::backend::LatencyModel::none(),
         })
+    }
+
+    /// Declare the per-operation latency this storage charges (see
+    /// [`FileMatrix::set_latency_model`](crate::FileMatrix::set_latency_model)).
+    pub fn set_latency_model(&mut self, model: crate::backend::LatencyModel) {
+        self.latency = model;
+    }
+
+    /// Account a transfer touching `[off, off + len)` against the
+    /// virtual head, exactly as `FileMatrix::seek_to` does for the real
+    /// file cursor.
+    fn track_head(&mut self, off: u64, len: u64) {
+        if self.cursor != off {
+            self.stats.seeks += 1;
+            if self.cursor != u64::MAX {
+                self.stats.seek_distance += self.cursor.abs_diff(off);
+            }
+        }
+        self.cursor = off + len;
     }
 
     /// The shared disk handle.
@@ -162,7 +191,9 @@ impl IoBackend for SimMatrix {
     }
     fn read_tile(&mut self, bi: usize, bj: usize) -> std::io::Result<Matrix<f64>> {
         let bytes = self.b * self.b * 8;
-        let buf = lock(&self.disk).read_at(&self.name, self.tile_offset(bi, bj), bytes)?;
+        let off = self.tile_offset(bi, bj);
+        let buf = lock(&self.disk).read_at(&self.name, off, bytes)?;
+        self.track_head(off, bytes as u64);
         self.stats.bytes_read += bytes as u64;
         self.stats.reads += 1;
         let vals: Vec<f64> = buf
@@ -181,7 +212,9 @@ impl IoBackend for SimMatrix {
                 buf.extend_from_slice(&tile[(i, j)].to_le_bytes());
             }
         }
-        lock(&self.disk).write_at(&self.name, self.tile_offset(bi, bj), &buf);
+        let off = self.tile_offset(bi, bj);
+        lock(&self.disk).write_at(&self.name, off, &buf);
+        self.track_head(off, buf.len() as u64);
         self.stats.bytes_written += buf.len() as u64;
         self.stats.writes += 1;
         Ok(())
@@ -192,9 +225,17 @@ impl IoBackend for SimMatrix {
     fn path(&self) -> Option<&Path> {
         Some(&self.path)
     }
+    fn storage_restored(&mut self) {
+        // A checkpoint restore rewrote the data file behind this handle;
+        // the virtual head position is meaningless now.
+        self.cursor = u64::MAX;
+    }
     fn barrier(&mut self) -> std::io::Result<()> {
         lock(&self.disk).barrier();
         Ok(())
+    }
+    fn latency_model(&self) -> crate::backend::LatencyModel {
+        self.latency
     }
 }
 

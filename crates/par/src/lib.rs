@@ -24,6 +24,7 @@ pub mod abft;
 pub mod blockcyclic;
 pub mod dag;
 pub mod hier;
+pub mod io;
 pub mod matmul25d;
 pub mod onedim;
 pub mod pxpotrf;
@@ -35,6 +36,7 @@ pub use abft::{abft_spmd_pxpotrf, AbftSpmdReport};
 pub use blockcyclic::DistMatrix;
 pub use dag::{potrf_dag, potrf_dag_with, scatter, simulate as dag_simulate, DagModel};
 pub use hier::{pxpotrf_hier, HierReport};
+pub use io::{io_scope, IoScope};
 pub use matmul25d::{matmul_25d, Mm25dReport};
 pub use onedim::pxpotrf_1d;
 pub use pxpotrf::{pxpotrf, PxPotrfReport};

@@ -12,8 +12,8 @@ use cholcomm::faults::{
 };
 use cholcomm::matrix::spd;
 use cholcomm::ooc::{
-    explore_crash_sites, filemat::scratch_path, record_run, Checkpoint, CommitDiscipline,
-    FileMatrix,
+    explore_crash_sites, filemat::scratch_path, record_run, record_run_pipelined, Checkpoint,
+    CommitDiscipline, FileMatrix,
 };
 
 const SECTOR: usize = 64;
@@ -156,6 +156,86 @@ fn sampled_crash_exploration_recovers_on_a_larger_matrix() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("; ")
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite: the pipelined driver under the same explorer.  Deferred
+// write-backs and prefetched reads must not open a single new window —
+// the epoch barrier drains all of them before every checkpoint commit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn pipelined_driver_survives_every_exhaustive_crash_state() {
+    let mut rng = spd::test_rng(500);
+    let a = spd::random_spd(8, &mut rng);
+    // One I/O worker: jobs complete in submission order, so the
+    // recorded schedule is deterministic — and identical to the sync
+    // driver's, which pins down that pipelining changed *when* ops are
+    // issued, never what lands on disk.
+    let sync = record_run(&a, 4, 3, SECTOR, CommitDiscipline::Barriered).expect("sync run");
+    let run = record_run_pipelined(&a, 4, 3, SECTOR, CommitDiscipline::Barriered, 1, 2)
+        .expect("pipelined run");
+    assert_eq!(
+        run.schedule, sync.schedule,
+        "single-worker pipelined durable schedule must equal the synchronous one"
+    );
+    assert_eq!(run.clean_factor, sync.clean_factor);
+
+    let sites = crash_sites_exhaustive(&run.schedule, SECTOR);
+    let report = explore_crash_sites(&run, &sites);
+    assert!(
+        report.violations.is_empty(),
+        "pipelined recovery must be bit-identical at 100% of {} crash states; violations: {}",
+        report.states_explored,
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn pipelined_driver_survives_sampled_power_cuts_with_two_workers() {
+    let mut rng = spd::test_rng(502);
+    let a = spd::random_spd(24, &mut rng);
+    // Two workers reorder job *completions*; every power-cut (crash
+    // prefix, dropped un-barriered writes, sector tears) must still
+    // recover bit-identically because nothing uncommitted is load-
+    // bearing.  Recovery itself also runs pipelined with two workers.
+    let run = record_run_pipelined(&a, 8, 4, SECTOR, CommitDiscipline::Barriered, 2, 3)
+        .expect("pipelined run");
+    let sites = crash_sites_sampled(&run.schedule, SECTOR, 0xC0FFEE, 64);
+    let report = explore_crash_sites(&run, &sites);
+    assert!(
+        report.violations.is_empty(),
+        "seeded power-cuts (seed 0xC0FFEE) must all recover under the pipeline: {}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn pipelined_unbarriered_commit_is_still_caught() {
+    // The explorer's teeth must not dull under the pipelined driver: a
+    // deliberately broken commit discipline is caught there too.
+    let mut rng = spd::test_rng(501);
+    let a = spd::random_spd(8, &mut rng);
+    let run = record_run_pipelined(&a, 4, 3, SECTOR, CommitDiscipline::UnbarrieredCommit, 1, 2)
+        .expect("recorded run");
+    let sites = crash_sites_exhaustive(&run.schedule, SECTOR);
+    let report = explore_crash_sites(&run, &sites);
+    assert!(
+        !report.violations.is_empty(),
+        "an un-barriered commit must be caught under the pipelined driver too \
+         ({} states explored)",
+        report.states_explored
     );
 }
 
